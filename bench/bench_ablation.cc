@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Ablations of Cicero's design choices (DESIGN.md):
+ *
+ *  A. Reference pose selection — extrapolated off-trajectory (Cicero)
+ *     vs holding the last known pose vs oracle mid-window pose: how
+ *     close extrapolation gets to the oracle in disocclusion terms.
+ *  B. MVoxel size — RIT entries and boundary (partial-interpolation)
+ *     entries vs MVoxel edge: why 8^3-vertex chunks are a good point.
+ *  C. Warp-interleaving width — how GPU thread-level parallelism
+ *     destroys DRAM locality (the assumption behind Fig. 4's numbers).
+ */
+
+#include "bench_util.hh"
+#include "cicero/pose_extrapolation.hh"
+#include "memory/dram_model.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+namespace {
+
+void
+ablationReferencePose()
+{
+    std::printf("\n[A] reference pose selection (window 8, 30 FPS)\n");
+    Scene scene = makeScene("lego");
+    auto model = buildModel(ModelKind::DirectVoxGO, scene);
+    auto traj = sceneOrbit(scene, 16);
+    const int window = 8;
+    const int k = 8; // second window start
+
+    Camera cam = qualityCamera(scene, traj[0], 72);
+
+    Pose extrapolated = extrapolateReferencePose(
+        traj[k - 2], traj[k - 1], 1.0f / 30.0f, window);
+    Pose held = traj[k - 1];
+    Pose oracle = traj[k + window / 2];
+
+    Table table(
+        {"reference", "mean rerender %", "mean overlap %"});
+    for (auto [name, pose] :
+         {std::pair<const char *, Pose>{"extrapolated (Cicero)",
+                                        extrapolated},
+          {"hold last pose", held},
+          {"oracle mid-window", oracle}}) {
+        Camera ref = cam;
+        ref.pose = pose;
+        RenderResult r = model->render(ref);
+        Summary rerender, overlap;
+        for (int i = k; i < k + window; ++i) {
+            Camera tgt = cam;
+            tgt.pose = traj[i];
+            WarpOutput w =
+                warpFrame(r.image, r.depth, ref, tgt,
+                          &model->occupancy(), scene.background);
+            rerender.add(100.0 * w.stats.rerenderFraction());
+            overlap.add(100.0 * (1.0 - w.stats.rerenderFraction()));
+        }
+        table.row().cell(name).cell(rerender.mean(), 2).cell(
+            overlap.mean(), 1);
+    }
+    table.print();
+    std::printf("at video rate the pose choices are nearly equivalent "
+                "in disocclusion terms (smooth orbit, small window "
+                "drift) — extrapolation's real payoff is scheduling: "
+                "only off-trajectory references let reference and "
+                "target rendering overlap (Fig. 11b), regardless of "
+                "these fractions.\n");
+}
+
+void
+ablationMVoxelSize()
+{
+    std::printf("\n[B] MVoxel size vs RIT overhead (DirectVoxGO)\n");
+    Scene scene = makeScene("lego");
+    ModelBuildOptions opts;
+    opts.preset = ModelPreset::Full;
+    opts.gridLayout = GridLayout::MVoxelBlocked;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opts);
+    Camera cam = Camera::fromFov(64, 64, scene.fovYDeg,
+                                 sceneOrbit(scene, 1)[0]);
+    auto positions = model->collectSamplePositions(cam);
+    auto *grid =
+        dynamic_cast<const DenseGridEncoding *>(&model->encoding());
+
+    Table table({"edge (verts)", "chunk KB", "RIT entries",
+                 "partial %", "streamed MB"});
+    for (int edge : {2, 4, 8, 16, 32}) {
+        DenseGridEncoding layout(grid->voxelsPerAxis(),
+                                 GridLayout::MVoxelBlocked, edge);
+        StreamPlan plan = layout.streamingFootprint(positions);
+        double partial =
+            100.0 * (static_cast<double>(plan.ritEntries) -
+                     positions.size()) /
+            plan.ritEntries;
+        table.row()
+            .cell(edge)
+            .cell(layout.mvoxelBytes() / 1024.0, 1)
+            .cell(plan.ritEntries)
+            .cell(partial, 1)
+            .cell(plan.streamedBytes / 1048576.0, 1);
+    }
+    table.print();
+    std::printf("small chunks multiply partial (boundary) entries; big "
+                "chunks waste streamed bytes on untouched vertices and "
+                "stop fitting the VFT. 8^3 (the paper's choice) sits in "
+                "the efficient middle.\n");
+}
+
+void
+ablationInterleave()
+{
+    std::printf("\n[C] GPU thread interleaving vs DRAM locality\n");
+    Scene scene = makeScene("lego");
+    ModelBuildOptions opts;
+    opts.preset = ModelPreset::Full;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opts);
+    Camera cam = Camera::fromFov(48, 48, scene.fovYDeg,
+                                 sceneOrbit(scene, 1)[0]);
+
+    Table table({"concurrent rays", "non-streaming %"});
+    for (std::uint32_t ways : {1u, 4u, 16u, 64u, 256u}) {
+        DramModel dram;
+        WarpInterleaver interleaver(ways);
+        interleaver.addSink(&dram);
+        model->traceWorkload(cam, &interleaver);
+        table.row().cell(std::uint64_t{ways}).cell(
+            100.0 * dram.stats().nonStreamingFraction(), 1);
+    }
+    table.print();
+    std::printf("a single in-order ray stream looks deceptively "
+                "streaming; realistic thread counts destroy the "
+                "locality, which is what Fig. 4 measures on silicon.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Ablations", "design-choice studies");
+    ablationReferencePose();
+    ablationMVoxelSize();
+    ablationInterleave();
+    return 0;
+}

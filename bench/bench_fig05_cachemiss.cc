@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 5 reproduction: miss rate of a 2 MB on-chip buffer during
+ * Feature Gathering, across NeRF algorithms. The paper assumes oracle
+ * replacement and reports an average of 38% (up to 92%); we report both
+ * the Belady oracle and LRU for comparison.
+ */
+
+#include "bench_util.hh"
+#include "memory/cache_model.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+int
+main()
+{
+    banner("Fig. 5", "2 MB buffer miss rate in feature gathering");
+
+    Scene scene = makeScene("lego");
+    auto traj = sceneOrbit(scene, 2);
+
+    Table table({"model", "oracle miss %", "LRU miss %", "model MB",
+                 "paper avg"});
+    Summary mean;
+    for (ModelKind kind : allModelKinds()) {
+        auto model = fullModel(kind, scene, GridLayout::Linear);
+        Camera cam = Camera::fromFov(64, 64, scene.fovYDeg, traj[0]);
+
+        LruCache lru;
+        BeladyCache belady;
+        WarpInterleaver interleaver(32);
+        interleaver.addSink(&lru);
+        interleaver.addSink(&belady);
+        model->traceWorkload(cam, &interleaver);
+
+        double oracle = 100.0 * belady.simulate().missRate();
+        double lruPct = 100.0 * lru.stats().missRate();
+        mean.add(oracle);
+        table.row()
+            .cell(modelName(kind))
+            .cell(oracle, 1)
+            .cell(lruPct, 1)
+            .cell(model->modelBytes() / 1048576.0, 1)
+            .cell("38% (up to 92%)");
+    }
+    table.print();
+    std::printf("\nmean oracle miss rate: %.1f%%. The irregular reuse "
+                "that defeats a 2 MB buffer is present; absolute rates "
+                "track our reduced-scale scenes.\n",
+                mean.mean());
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 6 reproduction: SRAM bank conflict rate of Feature Gathering
+ * under the feature-major layout (16 banks, 16 concurrent ray queries),
+ * plus the paper's two sensitivity observations: more concurrent rays
+ * conflict more, more banks conflict less. The channel-major column
+ * shows Cicero's layout eliminating conflicts outright.
+ */
+
+#include "bench_util.hh"
+#include "memory/sram_bank_model.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+namespace {
+
+double
+conflictRate(NerfModel &model, const Camera &cam, std::uint32_t banks,
+             std::uint32_t rays, SramLayout layout)
+{
+    SramBankConfig cfg;
+    cfg.numBanks = banks;
+    cfg.concurrentRays = rays;
+    cfg.featureBytes = model.encoding().featureDim() * kBytesPerChannel;
+    cfg.layout = layout;
+    BankConflictSim sim(cfg);
+    model.traceWorkload(cam, &sim);
+    return 100.0 * sim.stats().conflictRate();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 6",
+           "bank conflict rate (16 banks, 16 concurrent rays)");
+
+    Scene scene = makeScene("lego");
+    auto traj = sceneOrbit(scene, 2);
+
+    Table table({"model", "feat-major 16r %", "feat-major 64r %",
+                 "64 banks %", "channel-major %"});
+    Summary mean;
+    for (ModelKind kind : allModelKinds()) {
+        auto model = fullModel(kind, scene, GridLayout::Linear);
+        Camera cam = Camera::fromFov(48, 48, scene.fovYDeg, traj[0]);
+        double base =
+            conflictRate(*model, cam, 16, 16, SramLayout::FeatureMajor);
+        double rays64 =
+            conflictRate(*model, cam, 16, 64, SramLayout::FeatureMajor);
+        double banks64 =
+            conflictRate(*model, cam, 64, 16, SramLayout::FeatureMajor);
+        double cm =
+            conflictRate(*model, cam, 16, 16, SramLayout::ChannelMajor);
+        mean.add(base);
+        table.row()
+            .cell(modelName(kind))
+            .cell(base, 1)
+            .cell(rays64, 1)
+            .cell(banks64, 1)
+            .cell(cm, 1);
+    }
+    table.print();
+    std::printf("\nmean feature-major conflict rate: %.1f%% (paper: 52%% "
+                "average, EfficientNeRF up to 83%%; Instant-NGP grows to "
+                "80%% at 64 rays). Channel-major is structurally zero.\n",
+                mean.mean());
+    return 0;
+}

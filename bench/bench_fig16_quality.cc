@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fig. 16 reproduction: rendering quality (PSNR vs ground truth) of
+ * Baseline full-frame NeRF, Cicero-6, Cicero-16, DS-2 and Temp-16,
+ * across the three main algorithms, on (a) the eight synthetic scenes
+ * and (b) the two real-world stand-ins.
+ *
+ * Paper expectations: Cicero-6 within 1.0 dB of baseline; Cicero-16
+ * ~1.3 dB below but still above DS-2 and Temp-16 on synthetic scenes;
+ * Temp-16 worst (it accumulates warping error).
+ */
+
+#include "bench_util.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+namespace {
+
+struct QualityRow
+{
+    Summary baseline, cicero6, cicero16, ds2, temp16;
+};
+
+void
+evalScene(ModelKind kind, const std::string &sceneName, QualityRow &row,
+          int frames, int res)
+{
+    Scene scene = makeScene(sceneName);
+    auto model = fullModel(kind, scene, GridLayout::Linear);
+    auto traj = sceneOrbit(scene, frames);
+    Camera cam = qualityCamera(scene, traj[0], res);
+
+    // Ground-truth frames rendered once per scene.
+    std::vector<Image> gt;
+    for (const Pose &pose : traj) {
+        Camera c = cam;
+        c.pose = pose;
+        gt.push_back(renderGroundTruth(scene, c, 256).image);
+    }
+    auto meanPsnr = [&](const SparwRun &run) {
+        Summary s;
+        for (std::size_t i = 0; i < traj.size(); ++i)
+            s.add(std::min(60.0, psnr(run.frames[i].image, gt[i])));
+        return s.mean();
+    };
+
+    {
+        Summary s;
+        for (std::size_t i = 0; i < traj.size(); ++i) {
+            Camera c = cam;
+            c.pose = traj[i];
+            s.add(std::min(60.0, psnr(model->render(c).image, gt[i])));
+        }
+        row.baseline.add(s.mean());
+    }
+    SparwConfig c6;
+    c6.window = 6;
+    row.cicero6.add(meanPsnr(SparwPipeline(*model, cam, c6).run(traj)));
+    SparwConfig c16;
+    c16.window = 16;
+    SparwPipeline pipe16(*model, cam, c16);
+    row.cicero16.add(meanPsnr(pipe16.run(traj)));
+    row.ds2.add(meanPsnr(pipe16.runDownsampled(traj, 2)));
+    row.temp16.add(meanPsnr(pipe16.runTemporal(traj)));
+}
+
+void
+printRows(const std::vector<std::pair<std::string, QualityRow>> &rows)
+{
+    Table table({"model", "Baseline", "Cicero-6", "Cicero-16", "DS-2",
+                 "Temp-16", "drop@6 (dB)"});
+    for (const auto &[name, r] : rows) {
+        table.row()
+            .cell(name)
+            .cell(r.baseline.mean(), 2)
+            .cell(r.cicero6.mean(), 2)
+            .cell(r.cicero16.mean(), 2)
+            .cell(r.ds2.mean(), 2)
+            .cell(r.temp16.mean(), 2)
+            .cell(r.baseline.mean() - r.cicero6.mean(), 2);
+    }
+    table.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    banner("Fig. 16", "rendering quality: PSNR vs ground truth");
+    // --quick restricts to two scenes for fast iteration.
+    bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+    std::vector<std::string> scenes =
+        quick ? std::vector<std::string>{"lego", "chair"}
+              : syntheticSceneNames();
+
+    std::printf("\n(a) Synthetic scenes (%zu scenes, 24 frames @30FPS)\n",
+                scenes.size());
+    std::vector<std::pair<std::string, QualityRow>> rows;
+    for (ModelKind kind : mainModelKinds()) {
+        QualityRow row;
+        for (const auto &name : scenes)
+            evalScene(kind, name, row, 24, 64);
+        rows.emplace_back(modelName(kind), row);
+    }
+    printRows(rows);
+    std::printf("paper (a): Cicero-6 within 1.0 dB of baseline; "
+                "Cicero-16 ~1.3 dB below; Temp-16 worst.\n");
+
+    std::printf("\n(b) Real-world stand-ins (30 FPS captures)\n");
+    std::vector<std::pair<std::string, QualityRow>> rwRows;
+    for (ModelKind kind : mainModelKinds()) {
+        QualityRow row;
+        for (const auto &name : realWorldSceneNames())
+            evalScene(kind, name, row, 24, 64);
+        rwRows.emplace_back(modelName(kind), row);
+    }
+    printRows(rwRows);
+    std::printf("paper (b) averages: Baseline 37.7, Cicero-6 36.9, "
+                "Cicero-16 36.6, DS-2 36.8, Temp-16 36.0 dB.\n");
+    return 0;
+}

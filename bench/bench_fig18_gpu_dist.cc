@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 18 reproduction: GPU execution-time distribution of software
+ * Cicero (full-frame NeRF vs sparse NeRF vs warping/others) at warping
+ * windows 6 and 16, plus DS-2 for contrast. The paper reports 86.1% of
+ * time in full-frame NeRF at window 6, falling to 49.7% at window 16
+ * while sparse NeRF rises to 48.9%.
+ */
+
+#include "bench_util.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+int
+main()
+{
+    banner("Fig. 18", "GPU execution distribution of software Cicero");
+
+    Scene scene = makeScene("lego");
+    GpuModel gpu;
+    auto model = fullModel(ModelKind::DirectVoxGO, scene);
+    auto traj = sceneOrbit(scene, 18);
+    WorkloadInputs in = probeWorkload(*model, traj, probeOptions());
+
+    GpuStageTimes t = gpu.timeNerfFrame(in.fullFrame, in.gatherProfile);
+    double refMs = t.totalMs();
+    double sparseMs =
+        gpu.timeNerfFrame(in.sparsePerFrame, in.gatherProfile)
+            .totalMs() *
+        gpu.config().sparseDispatchOverhead;
+    double warpMs = gpu.warpTimeMs(in.warpPointsPerFrame * 2);
+
+    Table table({"config", "full-frame %", "sparse %", "others %",
+                 "ms/frame"});
+    for (int window : {6, 16}) {
+        double full = refMs / window;
+        double total = full + sparseMs + warpMs;
+        table.row()
+            .cell("Cicero-" + std::to_string(window))
+            .cell(100.0 * full / total, 1)
+            .cell(100.0 * sparseMs / total, 1)
+            .cell(100.0 * warpMs / total, 1)
+            .cell(total, 1);
+    }
+    table.row()
+        .cell("DS-2")
+        .cell(100.0, 1)
+        .cell(0.0, 1)
+        .cell(0.0, 1)
+        .cell(refMs / 4.0, 1);
+    table.print();
+    std::printf("\npaper: Cicero-6 spends 86.1%% in full-frame NeRF; at "
+                "window 16 it falls to 49.7%% with sparse NeRF at 48.9%%; "
+                "warping ('others') is negligible. The bottleneck remains "
+                "NeRF rendering, not warping.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 19a reproduction: end-to-end speedup and normalized energy of
+ * SPARW / SPARW+FS / CICERO over the baseline SoC (GPU + NPU) in the
+ * local-rendering scenario, warping window 16.
+ *
+ * Paper: SPARW 8.1x / 8.1x (speed/energy), SPARW+FS adds 1.2x / 1.6x,
+ * full CICERO reaches 28.2x / 37.8x.
+ */
+
+#include "bench_util.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+int
+main()
+{
+    banner("Fig. 19a", "local rendering: speedup & energy vs baseline");
+
+    Scene scene = makeScene("lego");
+    PerformanceModel pm;
+
+    Table table({"model", "variant", "ms/frame", "speedup x",
+                 "norm energy", "E-save x"});
+    Summary ciceroSpeed, ciceroEnergy;
+    for (ModelKind kind : mainModelKinds()) {
+        auto model = fullModel(kind, scene);
+        auto traj = sceneOrbit(scene, 18);
+        WorkloadInputs in = probeWorkload(*model, traj, probeOptions(16));
+
+        FramePrice base = pm.priceLocal(SystemVariant::Baseline, in);
+        for (SystemVariant v :
+             {SystemVariant::Baseline, SystemVariant::Sparw,
+              SystemVariant::SparwFs, SystemVariant::Cicero}) {
+            FramePrice p = pm.priceLocal(v, in);
+            double speed = base.timeMs / p.timeMs;
+            double esave = base.energyNj / p.energyNj;
+            if (v == SystemVariant::Cicero) {
+                ciceroSpeed.add(speed);
+                ciceroEnergy.add(esave);
+            }
+            table.row()
+                .cell(modelName(kind))
+                .cell(variantName(v))
+                .cell(p.timeMs, 1)
+                .cell(speed, 1)
+                .cell(p.energyNj / base.energyNj, 3)
+                .cell(esave, 1);
+        }
+    }
+    table.print();
+    std::printf("\nmean CICERO: %.1fx speedup, %.1fx energy saving "
+                "(paper: 28.2x / 37.8x).\n",
+                ciceroSpeed.mean(), ciceroEnergy.mean());
+    return 0;
+}

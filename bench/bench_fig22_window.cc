@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fig. 22 reproduction: sensitivity of CICERO's speedup and quality to
+ * the warping window, in both scenarios, on Instant-NGP.
+ *
+ * Paper: quality decreases gradually with the window but stays above
+ * DS-2 through window 21; local speedup plateaus and dips past window
+ * ~26 as disocclusions grow; remote speedup rises nearly linearly until
+ * ~16, where on-device work stops being hidden.
+ */
+
+#include "bench_util.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+int
+main()
+{
+    banner("Fig. 22", "warping-window sensitivity (Instant-NGP)");
+
+    Scene scene = makeScene("lego");
+    auto model = fullModel(ModelKind::InstantNgp, scene);
+    auto traj = sceneOrbit(scene, 33);
+    Camera cam = qualityCamera(scene, traj[0], 64);
+    PerformanceModel pm;
+
+    // Ground truth once.
+    std::vector<Image> gt;
+    for (const Pose &pose : traj) {
+        Camera c = cam;
+        c.pose = pose;
+        gt.push_back(renderGroundTruth(scene, c, 256).image);
+    }
+    auto meanPsnr = [&](const SparwRun &run) {
+        Summary s;
+        for (std::size_t i = 0; i < traj.size(); ++i)
+            s.add(std::min(60.0, psnr(run.frames[i].image, gt[i])));
+        return s.mean();
+    };
+
+    // DS-2 quality line (the red dashed line in the figure).
+    SparwConfig dsCfg;
+    SparwPipeline dsPipe(*model, cam, dsCfg);
+    double ds2Psnr = meanPsnr(dsPipe.runDownsampled(traj, 2));
+
+    FramePrice baseLocal, baseRemote;
+    {
+        WorkloadInputs in = probeWorkload(*model, traj, probeOptions(16));
+        baseLocal = pm.priceLocal(SystemVariant::Baseline, in);
+        baseRemote = pm.priceRemote(SystemVariant::Baseline, in);
+    }
+
+    Table table({"window", "PSNR dB", "local x", "remote x",
+                 "rerender %"});
+    for (int window : {1, 6, 11, 16, 21, 26, 31}) {
+        SparwConfig cfg;
+        cfg.window = window;
+        SparwPipeline pipe(*model, cam, cfg);
+        SparwRun run = pipe.run(traj);
+
+        WorkloadInputs in =
+            probeWorkload(*model, traj, probeOptions(window));
+        double local =
+            baseLocal.timeMs /
+            pm.priceLocal(SystemVariant::Cicero, in).timeMs;
+        double remote =
+            baseRemote.timeMs /
+            pm.priceRemote(SystemVariant::Cicero, in).timeMs;
+        table.row()
+            .cell(window)
+            .cell(meanPsnr(run), 2)
+            .cell(local, 1)
+            .cell(remote, 1)
+            .cell(100.0 * run.meanRerender(), 2);
+    }
+    table.print();
+    std::printf("\nDS-2 quality line: %.2f dB. Paper: quality falls "
+                "slowly with window (still above DS-2 at 21); local "
+                "speedup plateaus as sparse work grows; remote speedup "
+                "climbs until the on-device time stops hiding (~16).\n",
+                ds2Psnr);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fig. 24 reproduction: Cicero vs the prior Instant-NGP accelerators
+ * NeuRex (ISCA'23) and NGPC (ISCA'23), all normalized to the mobile
+ * GPU baseline.
+ *
+ * Paper: Cicero without SPARW is ~2.0x faster than NeuRex (bank
+ * conflicts removed) and on par with NGPC (which needs an unrealistic
+ * 16 MB on-chip buffer where Cicero streams with 32 KB); with SPARW,
+ * Cicero reaches 16.4x / 8.2x over NeuRex / NGPC.
+ */
+
+#include "accel/baseline_accels.hh"
+#include "bench_util.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+int
+main()
+{
+    banner("Fig. 24", "Cicero vs NeuRex vs NGPC on Instant-NGP");
+
+    Scene scene = makeScene("lego");
+    auto model = fullModel(ModelKind::InstantNgp, scene);
+    auto traj = sceneOrbit(scene, 18);
+    WorkloadInputs in = probeWorkload(*model, traj, probeOptions(16));
+
+    PerformanceModel pm;
+    GpuModel gpu;
+    double gpuMs =
+        gpu.timeNerfFrame(in.fullFrame, in.gatherProfile).totalMs();
+
+    NeurexModel neurex;
+    NgpcModel ngpc;
+    double neurexMs =
+        neurex.price(in.fullFrame, in.bankConflictRate).timeMs;
+    double ngpcMs = ngpc.price(in.fullFrame).timeMs;
+    double ciceroNoSparwMs =
+        pm.priceFullFrame(SystemVariant::Cicero, in).timeMs;
+    double ciceroMs = pm.priceLocal(SystemVariant::Cicero, in).timeMs;
+
+    Table table({"design", "ms/frame", "vs GPU x", "on-chip buffer"});
+    table.row().cell("GPU baseline").cell(gpuMs, 1).cell(1.0, 1).cell(
+        "2 MB cache");
+    table.row()
+        .cell("NeuRex")
+        .cell(neurexMs, 1)
+        .cell(gpuMs / neurexMs, 1)
+        .cell("64 KB");
+    table.row()
+        .cell("NGPC")
+        .cell(ngpcMs, 1)
+        .cell(gpuMs / ngpcMs, 1)
+        .cell("16 MB");
+    table.row()
+        .cell("Cicero w/o SPARW")
+        .cell(ciceroNoSparwMs, 1)
+        .cell(gpuMs / ciceroNoSparwMs, 1)
+        .cell("32 KB VFT");
+    table.row()
+        .cell("Cicero-16")
+        .cell(ciceroMs, 1)
+        .cell(gpuMs / ciceroMs, 1)
+        .cell("32 KB VFT");
+    table.print();
+
+    std::printf("\nratios: Cicero w/o SPARW vs NeuRex %.1fx (paper "
+                "2.0x); vs NGPC %.1fx (paper ~1x); Cicero-16 vs NeuRex "
+                "%.1fx (paper 16.4x), vs NGPC %.1fx (paper 8.2x).\n",
+                neurexMs / ciceroNoSparwMs, ngpcMs / ciceroNoSparwMs,
+                neurexMs / ciceroMs, ngpcMs / ciceroMs);
+    return 0;
+}

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the hot kernels of the
+ * functional stack: feature gathers per encoding, the decoder MLP,
+ * warping, compositing and the memory-model sinks.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cicero/warp.hh"
+#include "common/rng.hh"
+#include "memory/cache_model.hh"
+#include "memory/dram_model.hh"
+#include "memory/sram_bank_model.hh"
+#include "nerf/hash_grid.hh"
+#include "nerf/models.hh"
+#include "nerf/tensorf.hh"
+#include "nerf/volume_renderer.hh"
+#include "scene/scene.hh"
+#include "scene/trajectory.hh"
+
+namespace {
+
+using namespace cicero;
+
+Scene &
+benchScene()
+{
+    static Scene s = makeScene("lego");
+    return s;
+}
+
+void
+BM_DenseGridGather(benchmark::State &state)
+{
+    static DenseGridEncoding grid = [] {
+        DenseGridEncoding g(64);
+        g.bake(benchScene().field);
+        return g;
+    }();
+    Rng rng(1);
+    float feat[kFeatureDim];
+    for (auto _ : state) {
+        grid.gatherFeature(rng.uniformVec3(), feat);
+        benchmark::DoNotOptimize(feat[0]);
+    }
+}
+BENCHMARK(BM_DenseGridGather);
+
+void
+BM_HashGridGather(benchmark::State &state)
+{
+    static HashGridEncoding grid = [] {
+        HashGridEncoding g;
+        g.bake(benchScene().field);
+        return g;
+    }();
+    Rng rng(2);
+    float feat[kFeatureDim];
+    for (auto _ : state) {
+        grid.gatherFeature(rng.uniformVec3(), feat);
+        benchmark::DoNotOptimize(feat[0]);
+    }
+}
+BENCHMARK(BM_HashGridGather);
+
+void
+BM_TensoRFGather(benchmark::State &state)
+{
+    static TensoRFEncoding enc = [] {
+        TensoRFConfig cfg;
+        cfg.res = 64;
+        TensoRFEncoding e(cfg);
+        e.bake(benchScene().field);
+        return e;
+    }();
+    Rng rng(3);
+    float feat[kFeatureDim];
+    for (auto _ : state) {
+        enc.gatherFeature(rng.uniformVec3(), feat);
+        benchmark::DoNotOptimize(feat[0]);
+    }
+}
+BENCHMARK(BM_TensoRFGather);
+
+void
+BM_DecoderDecode(benchmark::State &state)
+{
+    Decoder dec({0.4f, 0.8f, 0.45f});
+    BakedPoint pt;
+    pt.sigma = 25.0f;
+    pt.diffuse = {0.6f, 0.4f, 0.3f};
+    pt.specular = 0.4f;
+    float feat[kFeatureDim];
+    encodeBakedPoint(pt, feat);
+    Vec3 view = Vec3{0.1f, -0.5f, -1.0f}.normalized();
+    for (auto _ : state) {
+        DecodedSample s = dec.decode(feat, view);
+        benchmark::DoNotOptimize(s.rgb.x);
+    }
+}
+BENCHMARK(BM_DecoderDecode);
+
+void
+BM_Compositor(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Compositor c;
+        for (int i = 0; i < 64; ++i)
+            if (!c.add(4.0f, {0.5f, 0.5f, 0.5f}, 1.0f + i * 0.01f,
+                       0.01f))
+                break;
+        CompositeResult r = c.finish({1.0f, 1.0f, 1.0f});
+        benchmark::DoNotOptimize(r.rgb.x);
+    }
+}
+BENCHMARK(BM_Compositor);
+
+void
+BM_WarpFrame(benchmark::State &state)
+{
+    static auto setup = [] {
+        Scene scene = benchScene();
+        SamplerConfig cfg;
+        cfg.stepsAcross = 96;
+        cfg.occupancyRes = 32;
+        auto model = std::make_unique<NerfModel>(
+            scene, std::make_unique<DenseGridEncoding>(48), 4096, cfg);
+        OrbitParams orbit;
+        orbit.radius = scene.cameraDistance;
+        auto traj = orbitTrajectory(orbit, 2);
+        Camera ref = Camera::fromFov(96, 96, scene.fovYDeg, traj[0]);
+        Camera tgt = ref;
+        tgt.pose = traj[1];
+        RenderResult r = model->render(ref);
+        return std::make_tuple(std::move(model), ref, tgt,
+                               std::move(r));
+    }();
+    auto &[model, ref, tgt, r] = setup;
+    for (auto _ : state) {
+        WarpOutput w =
+            warpFrame(r.image, r.depth, ref, tgt, &model->occupancy(),
+                      Vec3{1.0f, 1.0f, 1.0f});
+        benchmark::DoNotOptimize(w.stats.warped);
+    }
+}
+BENCHMARK(BM_WarpFrame)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LruCacheSink(benchmark::State &state)
+{
+    Rng rng(4);
+    std::vector<MemAccess> trace;
+    for (int i = 0; i < 4096; ++i)
+        trace.push_back(MemAccess{rng.uniformInt(1u << 24), 18, 0});
+    for (auto _ : state) {
+        LruCache cache;
+        for (const auto &a : trace)
+            cache.onAccess(a);
+        benchmark::DoNotOptimize(cache.stats().misses);
+    }
+}
+BENCHMARK(BM_LruCacheSink)->Unit(benchmark::kMicrosecond);
+
+void
+BM_DramSink(benchmark::State &state)
+{
+    Rng rng(5);
+    std::vector<MemAccess> trace;
+    for (int i = 0; i < 4096; ++i)
+        trace.push_back(MemAccess{rng.uniformInt(1u << 24), 18, 0});
+    for (auto _ : state) {
+        DramModel dram;
+        for (const auto &a : trace)
+            dram.onAccess(a);
+        benchmark::DoNotOptimize(dram.stats().randomAccesses);
+    }
+}
+BENCHMARK(BM_DramSink)->Unit(benchmark::kMicrosecond);
+
+void
+BM_BankConflictSim(benchmark::State &state)
+{
+    Rng rng(6);
+    for (auto _ : state) {
+        BankConflictSim sim;
+        for (std::uint32_t ray = 0; ray < 64; ++ray) {
+            for (int i = 0; i < 32; ++i)
+                sim.onAccess(
+                    MemAccess{rng.uniformInt(1u << 16) * 32, 32, ray});
+            sim.onRayEnd(ray);
+        }
+        sim.onFlush();
+        benchmark::DoNotOptimize(sim.stats().stalls);
+    }
+}
+BENCHMARK(BM_BankConflictSim)->Unit(benchmark::kMicrosecond);
+
+} // namespace

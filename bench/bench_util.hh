@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: standard scene /
+ * model / trajectory setup at bench scale, workload probing, and table
+ * headers that print the paper's reported value next to ours.
+ */
+
+#ifndef CICERO_BENCH_BENCH_UTIL_HH
+#define CICERO_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cicero/probe.hh"
+#include "cicero/sparw.hh"
+#include "common/stats.hh"
+#include "nerf/models.hh"
+#include "scene/trajectory.hh"
+
+namespace cicero::bench {
+
+/** Print a bench banner. */
+inline void
+banner(const std::string &figure, const std::string &what)
+{
+    std::printf("=== %s: %s ===\n", figure.c_str(), what.c_str());
+}
+
+/** Build the standard 30 FPS orbit for a scene. */
+inline std::vector<Pose>
+sceneOrbit(const Scene &scene, int frames, float degPerSecond = 20.0f)
+{
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    orbit.degPerSecond = degPerSecond;
+    return orbitTrajectory(orbit, frames);
+}
+
+/** Build a Full-preset model for (kind, scene). */
+inline std::unique_ptr<NerfModel>
+fullModel(ModelKind kind, const Scene &scene,
+          GridLayout layout = GridLayout::MVoxelBlocked)
+{
+    ModelBuildOptions opts;
+    opts.preset = ModelPreset::Full;
+    opts.gridLayout = layout;
+    return buildModel(kind, scene, opts);
+}
+
+/** Default probe options used across the performance benches. */
+inline ProbeOptions
+probeOptions(int window = 16)
+{
+    ProbeOptions opts;
+    opts.traceRes = 64;
+    opts.targetRes = 800;
+    opts.window = window;
+    return opts;
+}
+
+/** Camera at bench quality resolution. */
+inline Camera
+qualityCamera(const Scene &scene, const Pose &pose, int res = 72)
+{
+    return Camera::fromFov(res, res, scene.fovYDeg, pose);
+}
+
+/**
+ * Mean PSNR of a SPARW run against per-frame ground truth, capped at
+ * 60 dB per frame so infinities do not dominate.
+ */
+inline double
+meanPsnrVsGroundTruth(const Scene &scene, const Camera &intrinsics,
+                      const std::vector<Pose> &traj,
+                      const SparwRun &run, int gtSteps = 256)
+{
+    Summary s;
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+        Camera cam = intrinsics;
+        cam.pose = traj[i];
+        RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
+        s.add(std::min(60.0, psnr(run.frames[i].image, gt.image)));
+    }
+    return s.mean();
+}
+
+/** Mean PSNR of full (baseline) NeRF rendering against ground truth. */
+inline double
+baselinePsnr(const Scene &scene, const NerfModel &model,
+             const Camera &intrinsics, const std::vector<Pose> &traj,
+             int gtSteps = 256)
+{
+    Summary s;
+    for (const Pose &pose : traj) {
+        Camera cam = intrinsics;
+        cam.pose = pose;
+        RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
+        RenderResult r = model.render(cam);
+        s.add(std::min(60.0, psnr(r.image, gt.image)));
+    }
+    return s.mean();
+}
+
+} // namespace cicero::bench
+
+#endif // CICERO_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accelerator simulation walkthrough: probes a NeRF workload (memory
+ * traces -> cache/DRAM/bank behaviour), then prices it on the four
+ * systems of the paper — baseline GPU+NPU, +SPARW, +fully-streaming,
+ * and full Cicero with the Gathering Unit — in both the local and the
+ * remote (wirelessly tethered workstation) scenarios.
+ *
+ * Usage: accelerator_sim [scene] [model]
+ *   model: ngp | dvgo | tensorf (default dvgo)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "cicero/probe.hh"
+#include "nerf/models.hh"
+#include "common/stats.hh"
+#include "scene/trajectory.hh"
+
+using namespace cicero;
+
+int
+main(int argc, char **argv)
+{
+    std::string sceneName = argc > 1 ? argv[1] : "lego";
+    std::string modelArg = argc > 2 ? argv[2] : "dvgo";
+    ModelKind kind = modelArg == "ngp"       ? ModelKind::InstantNgp
+                     : modelArg == "tensorf" ? ModelKind::TensoRF
+                                             : ModelKind::DirectVoxGO;
+
+    Scene scene = makeScene(sceneName);
+    std::printf("probing %s on '%s' (baking full-scale model)...\n",
+                modelName(kind), sceneName.c_str());
+    ModelBuildOptions opts;
+    opts.preset = ModelPreset::Full;
+    opts.gridLayout = GridLayout::MVoxelBlocked;
+    auto model = buildModel(kind, scene, opts);
+
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    auto traj = orbitTrajectory(orbit, 18);
+    WorkloadInputs in = probeWorkload(*model, traj);
+
+    std::printf("\nmeasured workload (scaled to 800x800):\n");
+    std::printf("  samples/frame:        %.1f M\n",
+                in.fullFrame.samples / 1e6);
+    std::printf("  vertex fetches/frame: %.1f M\n",
+                in.fullFrame.vertexFetches / 1e6);
+    std::printf("  cache miss rate:      %.1f %%\n",
+                100.0 * in.gatherProfile.cacheMissRate);
+    std::printf("  non-streaming DRAM:   %.1f %%\n",
+                100.0 * in.gatherProfile.randomFraction);
+    std::printf("  bank conflict rate:   %.1f %%\n",
+                100.0 * in.bankConflictRate);
+    std::printf("  FS streamed bytes:    %s\n",
+                formatBytes(static_cast<double>(
+                                in.fullStreamPlan.streamedBytes))
+                    .c_str());
+    std::printf("  RIT entries/frame:    %.1f M\n",
+                in.fullStreamPlan.ritEntries / 1e6);
+
+    PerformanceModel pm;
+    Table table({"variant", "local ms", "local FPS", "local mJ",
+                 "remote ms", "remote mJ"});
+    for (SystemVariant v :
+         {SystemVariant::Baseline, SystemVariant::Sparw,
+          SystemVariant::SparwFs, SystemVariant::Cicero}) {
+        FramePrice local = pm.priceLocal(v, in);
+        FramePrice remote = pm.priceRemote(v, in);
+        table.row()
+            .cell(variantName(v))
+            .cell(local.timeMs, 1)
+            .cell(1000.0 / local.timeMs, 1)
+            .cell(local.energyNj * 1e-6, 1)
+            .cell(remote.timeMs, 1)
+            .cell(remote.energyNj * 1e-6, 1);
+    }
+    std::printf("\n");
+    table.print();
+
+    auto g = pm.priceGatherOnly(in);
+    std::printf("\nFeature gathering alone: GPU %.1f ms vs GU %.2f ms "
+                "(%.0fx), energy %.1f vs %.2f mJ (%.0fx)\n",
+                g.gpuMs, g.guMs, g.gpuMs / g.guMs, g.gpuEnergyNj * 1e-6,
+                g.guEnergyNj * 1e-6, g.gpuEnergyNj / g.guEnergyNj);
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Timing/energy models of the prior NeRF accelerators the paper compares
+ * against in Fig. 24, implementing each design's published organization:
+ *
+ *  - NeuRex (ISCA'23): 32x32 PE array with a 64 KB encoding buffer;
+ *    feature vectors are stored feature-major, so concurrent gathers
+ *    suffer SRAM bank conflicts (the inefficiency Cicero's GU removes).
+ *  - NGPC (ISCA'23): 24x24 PEs with a 16 MB on-chip encoding buffer —
+ *    one bank per hash level, hence conflict-free, but all of the
+ *    encoding must fit on chip.
+ *
+ * Both are tailored to Instant-NGP; the models price an Instant-NGP
+ * frame's StageWork.
+ */
+
+#ifndef CICERO_ACCEL_BASELINE_ACCELS_HH
+#define CICERO_ACCEL_BASELINE_ACCELS_HH
+
+#include "accel/npu_model.hh"
+#include "memory/dram_model.hh"
+#include "memory/energy_model.hh"
+#include "nerf/workload.hh"
+
+namespace cicero {
+
+/** Priced frame on a prior accelerator. */
+struct AccelFrameCost
+{
+    double gatherMs = 0.0;
+    double mlpMs = 0.0;
+    double timeMs = 0.0;
+    double energyNj = 0.0;
+};
+
+/** NeuRex organization parameters. */
+struct NeurexConfig
+{
+    int peRows = 32;
+    int peCols = 32;
+    std::uint32_t gatherLanes = 32;  //!< concurrent ray-sample gathers
+    std::uint64_t bufferBytes = 64 * 1024;
+    double freqGHz = 1.0;
+    double bufferMissRate = 0.10;    //!< NeuRex's restructured hash buffering
+    double activePowerW = 4.5;
+};
+
+/** NGPC organization parameters. */
+struct NgpcConfig
+{
+    int peRows = 24;
+    int peCols = 24;
+    std::uint32_t gatherLanes = 32;
+    std::uint64_t bufferBytes = 16ull << 20; //!< 16 MB on-chip encodings
+    double freqGHz = 1.0;
+    double activePowerW = 7.0; //!< large SRAM macro is power-hungry
+};
+
+/**
+ * NeuRex model: gather lanes stall on bank conflicts (rate measured by
+ * the BankConflictSim on the same trace), misses from the small buffer
+ * go to DRAM at random-access cost.
+ */
+class NeurexModel
+{
+  public:
+    explicit NeurexModel(const NeurexConfig &config = {});
+
+    /**
+     * @param work           Instant-NGP frame work
+     * @param bankConflictRate measured feature-major conflict rate
+     */
+    AccelFrameCost price(const StageWork &work, double bankConflictRate,
+                         const DramConfig &dram = DramConfig{},
+                         const EnergyConstants &energy = {}) const;
+
+    const NeurexConfig &config() const { return _config; }
+
+  private:
+    NeurexConfig _config;
+    NpuModel _npu;
+};
+
+/**
+ * NGPC model: conflict-free on-chip gathering (one bank per level), no
+ * DRAM traffic for encodings once resident.
+ */
+class NgpcModel
+{
+  public:
+    explicit NgpcModel(const NgpcConfig &config = {});
+
+    AccelFrameCost price(const StageWork &work,
+                         const EnergyConstants &energy = {}) const;
+
+    const NgpcConfig &config() const { return _config; }
+
+  private:
+    NgpcConfig _config;
+    NpuModel _npu;
+};
+
+} // namespace cicero
+
+#endif // CICERO_ACCEL_BASELINE_ACCELS_HH

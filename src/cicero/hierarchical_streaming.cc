@@ -1,0 +1,244 @@
+#include "cicero/hierarchical_streaming.hh"
+
+#include <stdexcept>
+
+#include "nerf/volume_renderer.hh"
+
+namespace cicero {
+
+namespace {
+
+/** One corner contribution queued under a (level, block). */
+struct CornerRef
+{
+    std::uint32_t sample;
+    std::uint16_t ix, iy, iz; //!< global vertex coords at the level
+    float weight;
+};
+
+struct SampleRec
+{
+    Vec3 pn;
+    float t;
+    float dt;
+};
+
+} // namespace
+
+HierarchicalStreamingRenderer::HierarchicalStreamingRenderer(
+    const NerfModel &model)
+    : _model(model),
+      _grid([&]() -> const HashGridEncoding & {
+          auto *g =
+              dynamic_cast<const HashGridEncoding *>(&model.encoding());
+          if (!g) {
+              throw std::invalid_argument(
+                  "HierarchicalStreamingRenderer requires a "
+                  "HashGridEncoding");
+          }
+          return *g;
+      }()),
+      _blockVerts(_grid.config().blockVerts)
+{
+}
+
+RenderResult
+HierarchicalStreamingRenderer::render(const Camera &camera,
+                                      TraceSink *trace) const
+{
+    _stats = Stats{};
+
+    RenderResult out;
+    out.image = Image(camera.width, camera.height);
+    out.depth = DepthMap(camera.width, camera.height);
+
+    const int numLevels = _grid.config().numLevels;
+    const int bv = _blockVerts;
+    const std::uint32_t vb = _grid.vertexBytes();
+    const std::uint64_t blockBytes =
+        static_cast<std::uint64_t>(bv) * bv * bv * vb;
+
+    // ---- Stage I: march rays once, remember samples ------------------
+    std::vector<SampleRec> samples;
+    std::vector<std::uint32_t> rayFirstSample(
+        static_cast<std::size_t>(camera.width) * camera.height + 1, 0);
+    {
+        std::vector<RaySample> raySamples;
+        std::uint32_t rayId = 0;
+        for (int py = 0; py < camera.height; ++py) {
+            for (int px = 0; px < camera.width; ++px, ++rayId) {
+                rayFirstSample[rayId] =
+                    static_cast<std::uint32_t>(samples.size());
+                Ray ray = camera.generateRay(px, py);
+                int n = _model.sampler().sample(ray, raySamples);
+                out.work.rays += 1;
+                out.work.indexOps +=
+                    static_cast<std::uint64_t>(n) *
+                    _grid.indexOpsPerSample();
+                for (int i = 0; i < n; ++i) {
+                    samples.push_back(SampleRec{raySamples[i].pn,
+                                                raySamples[i].t,
+                                                raySamples[i].dt});
+                }
+            }
+        }
+        rayFirstSample.back() =
+            static_cast<std::uint32_t>(samples.size());
+    }
+    _stats.samples = samples.size();
+
+    std::vector<float> features(samples.size() *
+                                static_cast<std::size_t>(kFeatureDim),
+                                0.0f);
+
+    // ---- Stage G: level by level --------------------------------------
+    for (int l = 0; l < numLevels; ++l) {
+        const int res = _grid.levelRes(l);
+        auto cornersOf = [&](const Vec3 &pn, int (&c0)[3],
+                             float (&frac)[3]) {
+            float f[3] = {clamp(pn.x, 0.0f, 1.0f) * res,
+                          clamp(pn.y, 0.0f, 1.0f) * res,
+                          clamp(pn.z, 0.0f, 1.0f) * res};
+            for (int a = 0; a < 3; ++a) {
+                c0[a] = std::min(static_cast<int>(f[a]), res - 1);
+                frac[a] = f[a] - c0[a];
+            }
+        };
+
+        if (_grid.levelDense(l)) {
+            ++_stats.denseLevels;
+            // Partition the level into MVoxel blocks and build its RIT.
+            std::uint32_t blocksPerAxis = (res + 1 + bv - 1) / bv;
+            std::vector<std::vector<CornerRef>> rit(
+                static_cast<std::size_t>(blocksPerAxis) * blocksPerAxis *
+                blocksPerAxis);
+
+            for (std::uint32_t s = 0;
+                 s < static_cast<std::uint32_t>(samples.size()); ++s) {
+                int c0[3];
+                float frac[3];
+                cornersOf(samples[s].pn, c0, frac);
+                std::uint32_t seen[8];
+                int nSeen = 0;
+                for (int c = 0; c < 8; ++c) {
+                    int ix = c0[0] + (c & 1);
+                    int iy = c0[1] + ((c >> 1) & 1);
+                    int iz = c0[2] + ((c >> 2) & 1);
+                    float w = ((c & 1) ? frac[0] : 1.0f - frac[0]) *
+                              (((c >> 1) & 1) ? frac[1]
+                                              : 1.0f - frac[1]) *
+                              (((c >> 2) & 1) ? frac[2]
+                                              : 1.0f - frac[2]);
+                    std::uint32_t blk =
+                        (static_cast<std::uint32_t>(iz / bv) *
+                             blocksPerAxis +
+                         iy / bv) *
+                            blocksPerAxis +
+                        ix / bv;
+                    rit[blk].push_back(CornerRef{
+                        s, static_cast<std::uint16_t>(ix),
+                        static_cast<std::uint16_t>(iy),
+                        static_cast<std::uint16_t>(iz), w});
+                    bool dup = false;
+                    for (int k = 0; k < nSeen; ++k)
+                        dup = dup || seen[k] == blk;
+                    if (!dup)
+                        seen[nSeen++] = blk;
+                }
+                _stats.ritEntries += nSeen;
+            }
+
+            // Stream touched blocks in address order, exactly once.
+            for (std::uint32_t blk = 0; blk < rit.size(); ++blk) {
+                if (rit[blk].empty())
+                    continue;
+                ++_stats.blocksLoaded;
+                _stats.streamedBytes += blockBytes;
+                if (trace) {
+                    trace->onAccess(MemAccess{
+                        _grid.levelBaseAddr(l) + blk * blockBytes,
+                        static_cast<std::uint32_t>(blockBytes), blk});
+                }
+                for (const CornerRef &c : rit[blk]) {
+                    std::uint32_t slot =
+                        _grid.levelSlot(l, c.ix, c.iy, c.iz);
+                    const float *v = _grid.levelData(l, slot);
+                    float *dst =
+                        features.data() +
+                        static_cast<std::size_t>(c.sample) * kFeatureDim;
+                    for (int ch = 0; ch < kFeatureDim; ++ch)
+                        dst[ch] += c.weight * v[ch];
+                }
+            }
+        } else {
+            ++_stats.hashedLevels;
+            // Revert to the original data flow: per-sample random
+            // fetches straight out of the hash table.
+            for (std::uint32_t s = 0;
+                 s < static_cast<std::uint32_t>(samples.size()); ++s) {
+                int c0[3];
+                float frac[3];
+                cornersOf(samples[s].pn, c0, frac);
+                float *dst =
+                    features.data() +
+                    static_cast<std::size_t>(s) * kFeatureDim;
+                for (int c = 0; c < 8; ++c) {
+                    int ix = c0[0] + (c & 1);
+                    int iy = c0[1] + ((c >> 1) & 1);
+                    int iz = c0[2] + ((c >> 2) & 1);
+                    float w = ((c & 1) ? frac[0] : 1.0f - frac[0]) *
+                              (((c >> 1) & 1) ? frac[1]
+                                              : 1.0f - frac[1]) *
+                              (((c >> 2) & 1) ? frac[2]
+                                              : 1.0f - frac[2]);
+                    std::uint32_t slot = _grid.levelSlot(l, ix, iy, iz);
+                    _stats.randomBytes += vb;
+                    if (trace) {
+                        trace->onAccess(MemAccess{
+                            _grid.levelBaseAddr(l) +
+                                static_cast<std::uint64_t>(slot) * vb,
+                            vb, s});
+                    }
+                    const float *v = _grid.levelData(l, slot);
+                    for (int ch = 0; ch < kFeatureDim; ++ch)
+                        dst[ch] += w * v[ch];
+                }
+            }
+        }
+    }
+    if (trace)
+        trace->onFlush();
+
+    out.work.samples = samples.size();
+    out.work.vertexFetches =
+        samples.size() * static_cast<std::uint64_t>(8) * numLevels;
+    out.work.gatherBytes = _stats.streamedBytes + _stats.randomBytes;
+    out.work.interpOps =
+        samples.size() * _grid.interpOpsPerSample();
+
+    // ---- Stage F: unchanged ------------------------------------------
+    std::uint32_t rayId = 0;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px, ++rayId) {
+            Ray ray = camera.generateRay(px, py);
+            Compositor comp;
+            for (std::uint32_t s = rayFirstSample[rayId];
+                 s < rayFirstSample[rayId + 1]; ++s) {
+                const float *feat =
+                    features.data() +
+                    static_cast<std::size_t>(s) * kFeatureDim;
+                DecodedSample d =
+                    _model.decoder().decode(feat, ray.dir);
+                out.work.mlpMacs += _model.nominalMlpMacs();
+                out.work.compositeOps += 12;
+                comp.add(d.sigma, d.rgb, samples[s].t, samples[s].dt);
+            }
+            CompositeResult r = comp.finish(_model.scene().background);
+            out.image.at(px, py) = r.rgb;
+            out.depth.at(px, py) = r.depth;
+        }
+    }
+    return out;
+}
+
+} // namespace cicero

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * On-chip data-layout maps for the Vertex Feature Table (Sec. IV-B,
+ * Fig. 13): feature-major (prior accelerators) vs Cicero's channel-major
+ * interleaving.
+ *
+ * Feature-major places all channels of vertex v in bank (v mod B) — two
+ * concurrent PEs gathering different vertices collide whenever their
+ * vertices share a bank. Channel-major places channel c of *every*
+ * vertex in bank (c mod B) and dedicates PE c to bank c, so no two PEs
+ * can ever address the same bank: conflict-freedom is structural. The
+ * property test in tests/cicero_interleave_test.cc verifies both claims
+ * exhaustively over random access patterns.
+ */
+
+#ifndef CICERO_CICERO_INTERLEAVE_HH
+#define CICERO_CICERO_INTERLEAVE_HH
+
+#include <cstdint>
+
+namespace cicero {
+
+/** Feature-major VFT map: whole vectors per bank. */
+struct FeatureMajorMap
+{
+    std::uint32_t banks;
+
+    /** Bank hosting the whole feature vector of @p vertexIdx. */
+    std::uint32_t
+    bankOf(std::uint32_t vertexIdx) const
+    {
+        return vertexIdx % banks;
+    }
+
+    /** Row within the bank holding the vector. */
+    std::uint32_t
+    rowOf(std::uint32_t vertexIdx) const
+    {
+        return vertexIdx / banks;
+    }
+};
+
+/** Channel-major VFT map: channels striped across banks. */
+struct ChannelMajorMap
+{
+    std::uint32_t banks;
+
+    /**
+     * Bank hosting channel @p channel of any vertex. When the feature
+     * dimension exceeds the bank count, the striping wraps (the paper's
+     * "storing sequence restarts from bank 1").
+     */
+    std::uint32_t
+    bankOf(std::uint32_t channel) const
+    {
+        return channel % banks;
+    }
+
+    /** Row within the bank: one row per vertex (per wrap). */
+    std::uint32_t
+    rowOf(std::uint32_t vertexIdx, std::uint32_t channel,
+          std::uint32_t featureDim) const
+    {
+        std::uint32_t wraps = (featureDim + banks - 1) / banks;
+        return vertexIdx * wraps + channel / banks;
+    }
+
+    /**
+     * The PE that owns @p channel under the channel-parallel schedule —
+     * identical to bankOf, which is exactly why conflicts are
+     * impossible: PE i only ever talks to bank i.
+     */
+    std::uint32_t
+    peOf(std::uint32_t channel) const
+    {
+        return bankOf(channel);
+    }
+};
+
+} // namespace cicero
+
+#endif // CICERO_CICERO_INTERLEAVE_HH

@@ -1,0 +1,27 @@
+#include "cicero/pose_extrapolation.hh"
+
+namespace cicero {
+
+Pose
+extrapolateReferencePose(const Pose &prev, const Pose &curr,
+                         float dtSeconds, int window, int leadFrames)
+{
+    // Eq. 5: velocity from the last two rendered poses. dtSeconds
+    // cancels in position extrapolation (v * t_r = delta * frames), but
+    // is kept for clarity and future variable-rate trajectories.
+    (void)dtSeconds;
+    float framesAhead = leadFrames + 0.5f * window; // t_r = (N/2) Δt lead
+
+    Pose ref;
+    Vec3 delta = curr.pos - prev.pos;
+    ref.pos = curr.pos + delta * framesAhead;
+
+    // Orientation: extrapolate the relative rotation at the same rate.
+    Quat qPrev = Quat::fromMatrix(prev.rot);
+    Quat qCurr = Quat::fromMatrix(curr.rot);
+    Quat qRef = Quat::slerp(qPrev, qCurr, 1.0f + framesAhead);
+    ref.rot = qRef.toMatrix();
+    return ref;
+}
+
+} // namespace cicero

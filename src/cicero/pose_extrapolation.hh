@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reference-pose extrapolation (Sec. III-C, Eqs. 5-6).
+ *
+ * SPARW's key scheduling idea: reference frames need not sit on the
+ * camera trajectory — they only have to be *near* it. Their poses are
+ * extrapolated from already-known target poses (velocity at the latest
+ * pose, projected half a window ahead), which breaks the
+ * reference-to-target dependency and lets reference rendering overlap
+ * target rendering (Fig. 11b).
+ */
+
+#ifndef CICERO_CICERO_POSE_EXTRAPOLATION_HH
+#define CICERO_CICERO_POSE_EXTRAPOLATION_HH
+
+#include "common/math.hh"
+
+namespace cicero {
+
+/**
+ * Extrapolate the reference pose for the *next* warping window.
+ *
+ * @param prev       pose T_{k-1} (older of the two known poses)
+ * @param curr       pose T_k (latest known pose)
+ * @param dtSeconds  frame interval Δt
+ * @param window     N, the number of target frames per reference
+ * @param leadFrames extra frames between `curr` and the start of the
+ *                   next window (how far ahead the window begins)
+ *
+ * Position follows Eq. 6: R = T_k + v * t_r with v = (T_k - T_{k-1})/Δt
+ * and t_r = (leadFrames + N/2) * Δt, placing the reference near the
+ * center of its window. Orientation is slerp-extrapolated at the same
+ * rate.
+ */
+Pose extrapolateReferencePose(const Pose &prev, const Pose &curr,
+                              float dtSeconds, int window,
+                              int leadFrames = 1);
+
+} // namespace cicero
+
+#endif // CICERO_CICERO_POSE_EXTRAPOLATION_HH

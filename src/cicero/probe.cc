@@ -1,0 +1,112 @@
+#include "cicero/probe.hh"
+
+#include <cassert>
+
+#include "memory/cache_model.hh"
+#include "memory/sram_bank_model.hh"
+
+namespace cicero {
+
+namespace {
+
+double
+scaleFactor(const ProbeOptions &options)
+{
+    return static_cast<double>(options.targetRes) * options.targetRes /
+           (static_cast<double>(options.traceRes) * options.traceRes);
+}
+
+StreamPlan
+scalePlan(const StreamPlan &plan, double k)
+{
+    StreamPlan out = plan;
+    // RIT entries grow with ray count; the touched-MVoxel set saturates.
+    out.ritEntries = static_cast<std::uint64_t>(plan.ritEntries * k);
+    out.ritBytes = static_cast<std::uint64_t>(plan.ritBytes * k);
+    out.randomBytes = static_cast<std::uint64_t>(plan.randomBytes * k);
+    return out;
+}
+
+} // namespace
+
+WorkloadInputs
+probeFullFrame(const NerfModel &model, const Pose &pose,
+               const ProbeOptions &options)
+{
+    const double k = scaleFactor(options);
+    Camera cam = Camera::fromFov(options.traceRes, options.traceRes,
+                                 options.fovYDeg, pose);
+
+    WorkloadInputs inputs;
+    inputs.window = options.window;
+    inputs.framePixels =
+        static_cast<std::uint64_t>(options.targetRes) * options.targetRes;
+    inputs.vertexBytes =
+        model.encoding().featureDim() * kBytesPerChannel;
+
+    DramModel dram;
+    LruCache cache;
+    BankConflictSim bank;
+    WarpInterleaver interleaver(options.interleaveWays);
+    interleaver.addSink(&dram);
+    interleaver.addSink(&cache);
+    TraceTee tee;
+    tee.addSink(&interleaver);
+    tee.addSink(&bank); // the bank sim does its own ray slotting
+
+    StageWork work = model.traceWorkload(cam, &tee);
+    inputs.fullFrame = work.scaled(k);
+    inputs.gatherProfile.cacheMissRate = cache.stats().missRate();
+    inputs.gatherProfile.randomFraction =
+        dram.stats().nonStreamingFraction();
+    inputs.bankConflictRate = bank.stats().conflictRate();
+
+    StreamPlan plan = model.encoding().streamingFootprint(
+        model.collectSamplePositions(cam));
+    inputs.fullStreamPlan = scalePlan(plan, k);
+    return inputs;
+}
+
+void
+probeSparseFrame(WorkloadInputs &inputs, const NerfModel &model,
+                 const Pose &refPose, const Pose &tgtPose,
+                 const ProbeOptions &options)
+{
+    const double k = scaleFactor(options);
+    Camera refCam = Camera::fromFov(options.traceRes, options.traceRes,
+                                    options.fovYDeg, refPose);
+    Camera tgtCam = refCam;
+    tgtCam.pose = tgtPose;
+
+    RenderResult ref = model.render(refCam);
+    WarpOutput w =
+        warpFrame(ref.image, ref.depth, refCam, tgtCam,
+                  &model.occupancy(), model.scene().background);
+
+    inputs.sparsePerFrame =
+        model.traceWorkloadPixels(tgtCam, w.needRender).scaled(k);
+    StreamPlan plan = model.encoding().streamingFootprint(
+        model.collectSamplePositionsPixels(tgtCam, w.needRender));
+    inputs.sparseStreamPlan = scalePlan(plan, k);
+    inputs.warpPointsPerFrame = static_cast<std::uint64_t>(
+        w.stats.pointsTransformed * k);
+}
+
+WorkloadInputs
+probeWorkload(const NerfModel &model, const std::vector<Pose> &trajectory,
+              const ProbeOptions &options)
+{
+    assert(trajectory.size() >= 2);
+    WorkloadInputs inputs =
+        probeFullFrame(model, trajectory[0], options);
+    // A mid-window pose pairing is representative of average warp
+    // distance within a window.
+    std::size_t mid =
+        std::min<std::size_t>(trajectory.size() - 1,
+                              std::max(1, options.window / 2));
+    probeSparseFrame(inputs, model, trajectory[0], trajectory[mid],
+                     options);
+    return inputs;
+}
+
+} // namespace cicero

@@ -1,0 +1,211 @@
+#include "cicero/sparw.hh"
+
+#include "cicero/pose_extrapolation.hh"
+
+namespace cicero {
+
+double
+SparwRun::meanOverlap() const
+{
+    if (frames.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &f : frames)
+        acc += f.warpStats.overlapFraction();
+    return acc / frames.size();
+}
+
+double
+SparwRun::meanRerender() const
+{
+    if (frames.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &f : frames)
+        acc += f.warpStats.rerenderFraction();
+    return acc / frames.size();
+}
+
+StageWork
+SparwRun::totalSparseWork() const
+{
+    StageWork w;
+    for (const auto &f : frames)
+        w += f.sparseWork;
+    return w;
+}
+
+StageWork
+SparwRun::totalReferenceWork() const
+{
+    StageWork w;
+    for (const auto &r : references)
+        w += r.work;
+    return w;
+}
+
+SparwPipeline::SparwPipeline(const NerfModel &model,
+                             const Camera &intrinsics,
+                             const SparwConfig &config)
+    : _model(model), _intrinsics(intrinsics), _config(config)
+{
+}
+
+Camera
+SparwPipeline::cameraAt(const Pose &pose) const
+{
+    Camera c = _intrinsics;
+    c.pose = pose;
+    return c;
+}
+
+SparwRun
+SparwPipeline::run(const std::vector<Pose> &trajectory) const
+{
+    SparwRun out;
+    const int n = static_cast<int>(trajectory.size());
+    const int window = std::max(1, _config.window);
+
+    Camera refCam;
+    RenderResult refRender;
+
+    for (int i = 0; i < n; ++i) {
+        if (i % window == 0) {
+            // Start of a window: pick the reference pose. The first
+            // window has no history to extrapolate from, so its
+            // reference is the first trajectory pose itself; later
+            // windows extrapolate from the two poses preceding the
+            // window (known before the window starts, Fig. 10).
+            Pose refPose;
+            bool onTraj = false;
+            if (i >= 2) {
+                refPose =
+                    extrapolateReferencePose(trajectory[i - 2],
+                                             trajectory[i - 1],
+                                             _config.dtSeconds, window);
+            } else {
+                refPose = trajectory[0];
+                onTraj = true;
+            }
+            refCam = cameraAt(refPose);
+            refRender = _model.render(refCam);
+            out.references.push_back(
+                SparwReference{refPose, refRender.work, onTraj});
+        }
+
+        Camera tgtCam = cameraAt(trajectory[i]);
+        WarpOutput w =
+            warpFrame(refRender.image, refRender.depth, refCam, tgtCam,
+                      &_model.occupancy(), _model.scene().background,
+                      _config.warp);
+
+        SparwFrame frame;
+        frame.warpStats = w.stats;
+        frame.warpPoints = w.stats.pointsTransformed;
+        frame.referenceIndex =
+            static_cast<int>(out.references.size()) - 1;
+
+        // Eq. 4: sparse NeRF rendering of the disoccluded pixels.
+        frame.sparseWork = _model.renderPixels(tgtCam, w.needRender,
+                                               w.image, w.depth);
+        frame.image = std::move(w.image);
+        frame.depth = std::move(w.depth);
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+SparwRun
+SparwPipeline::runTemporal(const std::vector<Pose> &trajectory) const
+{
+    SparwRun out;
+    const int n = static_cast<int>(trajectory.size());
+    const int window = std::max(1, _config.window);
+
+    // The reference is always the most recent *output* frame of a window
+    // boundary — warped content warps again, accumulating error.
+    Camera refCam;
+    Image refImage;
+    DepthMap refDepth;
+
+    for (int i = 0; i < n; ++i) {
+        Camera tgtCam = cameraAt(trajectory[i]);
+
+        if (i == 0) {
+            // Bootstrap: full render of the first frame.
+            RenderResult r = _model.render(tgtCam);
+            out.references.push_back(
+                SparwReference{trajectory[0], r.work, true});
+            refCam = tgtCam;
+            refImage = r.image;
+            refDepth = r.depth;
+
+            SparwFrame frame;
+            frame.referenceIndex = 0;
+            frame.warpStats.totalPixels =
+                static_cast<std::uint64_t>(tgtCam.width) * tgtCam.height;
+            frame.warpStats.warped = frame.warpStats.totalPixels;
+            frame.image = std::move(r.image);
+            frame.depth = std::move(r.depth);
+            out.frames.push_back(std::move(frame));
+            continue;
+        }
+
+        WarpOutput w = warpFrame(refImage, refDepth, refCam, tgtCam,
+                                 &_model.occupancy(),
+                                 _model.scene().background, _config.warp);
+
+        SparwFrame frame;
+        frame.warpStats = w.stats;
+        frame.warpPoints = w.stats.pointsTransformed;
+        frame.referenceIndex =
+            static_cast<int>(out.references.size()) - 1;
+        frame.sparseWork = _model.renderPixels(tgtCam, w.needRender,
+                                               w.image, w.depth);
+        frame.image = std::move(w.image);
+        frame.depth = std::move(w.depth);
+
+        if (i % window == 0) {
+            // This output becomes the next reference (serialized reuse).
+            refCam = tgtCam;
+            refImage = frame.image;
+            refDepth = frame.depth;
+        }
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+SparwRun
+SparwPipeline::runDownsampled(const std::vector<Pose> &trajectory,
+                              int factor) const
+{
+    SparwRun out;
+    Camera low = _intrinsics;
+    low.width = std::max(1, _intrinsics.width / factor);
+    low.height = std::max(1, _intrinsics.height / factor);
+    low.focal = _intrinsics.focal / factor;
+    low.cx = _intrinsics.cx / factor;
+    low.cy = _intrinsics.cy / factor;
+
+    for (const Pose &pose : trajectory) {
+        Camera cam = low;
+        cam.pose = pose;
+        RenderResult r = _model.render(cam);
+        out.references.push_back(SparwReference{pose, r.work, true});
+
+        SparwFrame frame;
+        frame.referenceIndex =
+            static_cast<int>(out.references.size()) - 1;
+        frame.warpStats.totalPixels =
+            static_cast<std::uint64_t>(_intrinsics.width) *
+            _intrinsics.height;
+        frame.image = r.image.upsampleBilinear(_intrinsics.width,
+                                               _intrinsics.height);
+        frame.depth = DepthMap(_intrinsics.width, _intrinsics.height);
+        out.frames.push_back(std::move(frame));
+    }
+    return out;
+}
+
+} // namespace cicero

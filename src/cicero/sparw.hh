@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The SPARW rendering pipeline (Sec. III): orchestrates reference-frame
+ * selection, warping, and sparse NeRF re-rendering over a camera
+ * trajectory, producing per-frame images plus the work records the
+ * performance models price.
+ *
+ * Three strategies are provided:
+ *  - Cicero: references extrapolated *off* the trajectory (Eqs. 5-6),
+ *    one reference per window of N target frames — reference and target
+ *    rendering can overlap (Fig. 11b);
+ *  - Temporal (TEMP-N): the previous *output* frame is the reference, as
+ *    in prior temporal-reuse work — errors accumulate and reference /
+ *    target rendering serialize (Fig. 11a);
+ *  - Downsample (DS-k): no warping; render every frame at 1/k resolution
+ *    and bilinearly upsample (the DS-2 baseline).
+ */
+
+#ifndef CICERO_CICERO_SPARW_HH
+#define CICERO_CICERO_SPARW_HH
+
+#include <vector>
+
+#include "cicero/warp.hh"
+#include "nerf/renderer.hh"
+
+namespace cicero {
+
+/** SPARW configuration. */
+struct SparwConfig
+{
+    int window = 6;    //!< N: target frames sharing one reference
+    WarpParams warp;   //!< warping heuristic parameters
+    float dtSeconds = 1.0f / 30.0f; //!< trajectory frame interval
+};
+
+/** Everything produced for one displayed (target) frame. */
+struct SparwFrame
+{
+    Image image;
+    DepthMap depth;
+    WarpStats warpStats;
+    StageWork sparseWork;    //!< sparse NeRF work for disocclusions
+    std::uint64_t warpPoints = 0; //!< points through Eqs. 1-3
+    int referenceIndex = -1; //!< which reference frame was used
+};
+
+/** A reference frame and the work that produced it. */
+struct SparwReference
+{
+    Pose pose;
+    StageWork work;     //!< full-frame NeRF work
+    bool onTrajectory = false;
+};
+
+/** Output of running SPARW over a trajectory. */
+struct SparwRun
+{
+    std::vector<SparwFrame> frames;
+    std::vector<SparwReference> references;
+
+    /** Mean fraction of pixels warped (not NeRF-rendered). */
+    double meanOverlap() const;
+
+    /** Mean fraction of pixels re-rendered by sparse NeRF. */
+    double meanRerender() const;
+
+    /** Total sparse-NeRF work across target frames. */
+    StageWork totalSparseWork() const;
+
+    /** Total full-frame work across references. */
+    StageWork totalReferenceWork() const;
+};
+
+/**
+ * Runs SPARW functionally over a trajectory with a given model.
+ */
+class SparwPipeline
+{
+  public:
+    /**
+     * @param model     baked NeRF model for the scene
+     * @param intrinsics camera intrinsics (pose field is ignored)
+     */
+    SparwPipeline(const NerfModel &model, const Camera &intrinsics,
+                  const SparwConfig &config);
+
+    /** Cicero strategy: extrapolated off-trajectory references. */
+    SparwRun run(const std::vector<Pose> &trajectory) const;
+
+    /** TEMP-N strategy: previous output frame as reference. */
+    SparwRun runTemporal(const std::vector<Pose> &trajectory) const;
+
+    /** DS-k strategy: downsampled full rendering, no warping. */
+    SparwRun runDownsampled(const std::vector<Pose> &trajectory,
+                            int factor) const;
+
+    const SparwConfig &config() const { return _config; }
+
+  private:
+    Camera cameraAt(const Pose &pose) const;
+
+    const NerfModel &_model;
+    Camera _intrinsics;
+    SparwConfig _config;
+};
+
+} // namespace cicero
+
+#endif // CICERO_CICERO_SPARW_HH

@@ -1,0 +1,171 @@
+#include "cicero/streaming_renderer.hh"
+
+#include <stdexcept>
+
+#include "nerf/volume_renderer.hh"
+
+namespace cicero {
+
+namespace {
+
+/** One corner contribution queued under an MVoxel. */
+struct CornerRef
+{
+    std::uint32_t sample; //!< global sample index
+    std::uint8_t ix, iy, iz; //!< vertex coords *within* the MVoxel block
+    float weight;
+};
+
+/** Per-sample record kept until Feature Computation. */
+struct SampleRec
+{
+    float t;
+    float dt;
+};
+
+} // namespace
+
+StreamingRenderer::StreamingRenderer(const NerfModel &model)
+    : _model(model),
+      _grid([&]() -> const DenseGridEncoding & {
+          auto *g =
+              dynamic_cast<const DenseGridEncoding *>(&model.encoding());
+          if (!g) {
+              throw std::invalid_argument(
+                  "StreamingRenderer requires a DenseGridEncoding");
+          }
+          return *g;
+      }())
+{
+}
+
+RenderResult
+StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
+{
+    _stats = Stats{};
+
+    RenderResult out;
+    out.image = Image(camera.width, camera.height);
+    out.depth = DepthMap(camera.width, camera.height);
+
+    const int bv = _grid.blockVerts();
+    const std::uint32_t numMv = _grid.numMVoxels();
+
+    // ---- Stage I: ray marching + RIT construction -------------------
+    std::vector<SampleRec> samples;
+    std::vector<std::uint32_t> rayFirstSample(
+        static_cast<std::size_t>(camera.width) * camera.height + 1, 0);
+    std::vector<std::vector<CornerRef>> rit(numMv);
+
+    std::vector<RaySample> raySamples;
+    std::uint32_t rayId = 0;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px, ++rayId) {
+            rayFirstSample[rayId] =
+                static_cast<std::uint32_t>(samples.size());
+            Ray ray = camera.generateRay(px, py);
+            int n = _model.sampler().sample(ray, raySamples);
+            out.work.rays += 1;
+            out.work.indexOps +=
+                static_cast<std::uint64_t>(n) *
+                _model.encoding().indexOpsPerSample();
+            for (int i = 0; i < n; ++i) {
+                std::uint32_t sid =
+                    static_cast<std::uint32_t>(samples.size());
+                samples.push_back(
+                    SampleRec{raySamples[i].t, raySamples[i].dt});
+                auto cs = _grid.corners(raySamples[i].pn);
+                std::uint32_t touched[8];
+                int nTouched = 0;
+                for (const GridCorner &c : cs) {
+                    rit[c.mvoxel].push_back(CornerRef{
+                        sid, static_cast<std::uint8_t>(c.ix % bv),
+                        static_cast<std::uint8_t>(c.iy % bv),
+                        static_cast<std::uint8_t>(c.iz % bv), c.weight});
+                    bool dup = false;
+                    for (int k = 0; k < nTouched; ++k)
+                        dup = dup || touched[k] == c.mvoxel;
+                    if (!dup)
+                        touched[nTouched++] = c.mvoxel;
+                }
+                _stats.ritEntries += nTouched;
+                if (nTouched > 1)
+                    _stats.boundaryEntries += nTouched - 1;
+            }
+        }
+    }
+    rayFirstSample.back() = static_cast<std::uint32_t>(samples.size());
+    _stats.samples = samples.size();
+    _stats.ritBytes = _stats.ritEntries * 48;
+
+    // ---- Stage G: stream MVoxels in address order --------------------
+    std::vector<float> features(samples.size() *
+                                static_cast<std::size_t>(kFeatureDim),
+                                0.0f);
+    for (std::uint32_t mv = 0; mv < numMv; ++mv) {
+        const auto &entries = rit[mv];
+        if (entries.empty())
+            continue;
+        ++_stats.mvoxelsLoaded;
+        _stats.streamedBytes += _grid.mvoxelBytes();
+        if (trace) {
+            trace->onAccess(MemAccess{
+                _grid.mvoxelBaseAddr(mv),
+                static_cast<std::uint32_t>(_grid.mvoxelBytes()), mv});
+        }
+
+        // Recover the block's global vertex origin from its id.
+        std::uint32_t bpa = _grid.blocksPerAxis();
+        int bx = static_cast<int>(mv % bpa);
+        int by = static_cast<int>((mv / bpa) % bpa);
+        int bz = static_cast<int>(mv / (bpa * bpa));
+
+        for (const CornerRef &c : entries) {
+            const float *v =
+                _grid.vertexData(bx * bv + c.ix, by * bv + c.iy,
+                                 bz * bv + c.iz);
+            float *dst = features.data() +
+                         static_cast<std::size_t>(c.sample) * kFeatureDim;
+            for (int ch = 0; ch < kFeatureDim; ++ch)
+                dst[ch] += c.weight * v[ch];
+        }
+    }
+    if (trace)
+        trace->onFlush();
+
+    out.work.samples = samples.size();
+    out.work.vertexFetches =
+        samples.size() * static_cast<std::uint64_t>(8);
+    out.work.gatherBytes = _stats.streamedBytes;
+    out.work.interpOps =
+        samples.size() * _model.encoding().interpOpsPerSample();
+
+    // ---- Stage F: decode + composite (unchanged) ---------------------
+    rayId = 0;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px, ++rayId) {
+            Ray ray = camera.generateRay(px, py);
+            Compositor comp;
+            std::uint32_t s0 = rayFirstSample[rayId];
+            std::uint32_t s1 = rayFirstSample[rayId + 1];
+            for (std::uint32_t s = s0; s < s1; ++s) {
+                const float *feat =
+                    features.data() +
+                    static_cast<std::size_t>(s) * kFeatureDim;
+                DecodedSample d =
+                    _model.decoder().decode(feat, ray.dir);
+                out.work.mlpMacs += _model.nominalMlpMacs();
+                out.work.compositeOps += 12;
+                // No early termination: the memory-centric order has
+                // already gathered every indexed sample.
+                comp.add(d.sigma, d.rgb, samples[s].t, samples[s].dt);
+            }
+            CompositeResult r = comp.finish(_model.scene().background);
+            out.image.at(px, py) = r.rgb;
+            out.depth.at(px, py) = r.depth;
+        }
+    }
+    return out;
+}
+
+} // namespace cicero

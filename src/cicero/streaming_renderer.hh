@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Fully-streaming (memory-centric) NeRF rendering — Sec. IV-A / Fig. 12.
+ *
+ * Instead of walking rays and letting their samples scatter DRAM reads,
+ * the renderer:
+ *  1. Indexing: marches every ray once, building a Ray Index Table (RIT)
+ *     that records, per MVoxel, the ray samples (with trilinear weights)
+ *     whose vertices live there;
+ *  2. Gathering: streams MVoxels from DRAM *in address order, exactly
+ *     once*, scattering weighted vertex features into per-sample
+ *     accumulators. A sample whose 8 corners straddle MVoxel boundaries
+ *     is processed partially in each — trilinear interpolation is a
+ *     weighted sum, so partial accumulation is exact and vertex storage
+ *     needs no duplication;
+ *  3. Feature Computation: unchanged — decode + composite per ray.
+ *
+ * The result is bit-equal to the pixel-centric renderer up to the
+ * early-termination cutoff (transmittance < 1e-3), which the
+ * memory-centric order cannot exploit.
+ *
+ * Works on models whose encoding is a DenseGridEncoding in
+ * MVoxelBlocked layout (DirectVoxGO / EfficientNeRF classes); for
+ * hierarchical encodings the per-level split is captured by
+ * Encoding::streamingFootprint (see DESIGN.md).
+ */
+
+#ifndef CICERO_CICERO_STREAMING_RENDERER_HH
+#define CICERO_CICERO_STREAMING_RENDERER_HH
+
+#include "nerf/dense_grid.hh"
+#include "nerf/renderer.hh"
+
+namespace cicero {
+
+/**
+ * Memory-centric renderer over a dense-grid model.
+ */
+class StreamingRenderer
+{
+  public:
+    /** Measured streaming statistics of the last render. */
+    struct Stats
+    {
+        std::uint64_t mvoxelsLoaded = 0;
+        std::uint64_t streamedBytes = 0;
+        std::uint64_t ritEntries = 0;   //!< (sample, MVoxel) pairs
+        std::uint64_t ritBytes = 0;
+        std::uint64_t samples = 0;
+        std::uint64_t boundaryEntries = 0; //!< partial (straddling) entries
+    };
+
+    /**
+     * @param model model whose encoding is a DenseGridEncoding; throws
+     *              std::invalid_argument otherwise.
+     */
+    explicit StreamingRenderer(const NerfModel &model);
+
+    /**
+     * Render a frame in memory-centric order.
+     * @param trace optional sink; receives one streaming access per
+     *              loaded MVoxel chunk (burst-split by the DRAM model).
+     */
+    RenderResult render(const Camera &camera,
+                        TraceSink *trace = nullptr) const;
+
+    const Stats &lastStats() const { return _stats; }
+
+  private:
+    const NerfModel &_model;
+    const DenseGridEncoding &_grid;
+    mutable Stats _stats;
+};
+
+} // namespace cicero
+
+#endif // CICERO_CICERO_STREAMING_RENDERER_HH

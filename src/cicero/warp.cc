@@ -1,0 +1,308 @@
+#include "cicero/warp.hh"
+
+#include <cmath>
+
+namespace cicero {
+
+namespace {
+
+/**
+ * Shared warp implementation; when @p gbuffer is non-null, each splat's
+ * color is re-shaded from the reference view direction to the target
+ * view direction using the per-pixel material attributes (the
+ * radiance-transfer extension).
+ */
+WarpOutput
+warpImpl(const Image &refImage, const DepthMap &refDepth,
+         const GBuffer *gbuffer, const Camera &refCam,
+         const Camera &tgtCam, const OccupancyGrid *occupancy,
+         const Vec3 &background, const Vec3 &lightDir,
+         const WarpParams &params)
+{
+    WarpOutput out;
+    out.image = Image(tgtCam.width, tgtCam.height);
+    out.depth = DepthMap(tgtCam.width, tgtCam.height, kInfiniteDepth);
+    out.stats.totalPixels =
+        static_cast<std::uint64_t>(tgtCam.width) * tgtCam.height;
+
+    const float cosThresh =
+        std::cos(deg2rad(clamp(params.maxAngleDeg, 0.0f, 180.0f)));
+
+    const std::size_t numPixels =
+        static_cast<std::size_t>(tgtCam.width) * tgtCam.height;
+
+    // Bilinear forward splatting in two passes: pass 1 builds a
+    // min-depth z-buffer; pass 2 accumulates bilinearly weighted colors
+    // from the points that (nearly) win the depth test. This removes
+    // the half-pixel rounding error of nearest-pixel splatting, which
+    // otherwise dominates the warping PSNR loss.
+    std::vector<float> zbuf(numPixels, kInfiniteDepth);
+    std::vector<float> wacc(numPixels, 0.0f);
+    std::vector<Vec3> cacc(numPixels);
+    std::vector<float> bestZ(numPixels, kInfiniteDepth);
+    std::vector<Vec3> bestColor(numPixels);
+
+    // Eq. (2): point cloud transform ref-camera -> target-camera frame.
+    Mat4 refToTgt = refCam.pose.transformTo(tgtCam.pose);
+
+    // Projection results are cached between the passes.
+    struct Splat
+    {
+        float x, y, z;
+        float tol; //!< depth-test tolerance (gradient-aware)
+        Vec3 color; //!< (possibly re-shaded) source color
+    };
+    std::vector<Splat> splats;
+    splats.reserve(static_cast<std::size_t>(refCam.width) *
+                   refCam.height / 2);
+
+    for (int py = 0; py < refCam.height; ++py) {
+        for (int px = 0; px < refCam.width; ++px) {
+            float d = refDepth.at(px, py);
+            if (!std::isfinite(d))
+                continue;
+
+            // Eq. (1): back-project to the reference camera frame.
+            Vec3 pRef = refCam.backproject(static_cast<float>(px),
+                                           static_cast<float>(py), d);
+            ++out.stats.pointsTransformed;
+
+            Vec3 pWorld = refCam.pose.cameraToWorld(pRef);
+            Vec3 toRef = (refCam.pose.pos - pWorld).normalized();
+            Vec3 toTgt = (tgtCam.pose.pos - pWorld).normalized();
+
+            // Warping heuristic (Sec. III-C): angle subtended at the
+            // scene point by the two camera centers.
+            if (cosThresh > -1.0f + 1e-6f &&
+                toRef.dot(toTgt) < cosThresh) {
+                ++out.stats.angleRejected;
+                continue;
+            }
+
+            Vec3 color = refImage.at(
+                static_cast<std::size_t>(py) * refCam.width + px);
+            if (gbuffer) {
+                // Radiance transfer (Sec. VIII): replace the
+                // view-dependent shading of the reference ray with that
+                // of the target ray; keep the unmodeled residual.
+                const BakedPoint &m = gbuffer->at(
+                    static_cast<std::size_t>(py) * refCam.width + px);
+                // Only re-shade where the material estimate is
+                // unambiguous: a (near-)opaque single surface. Blended
+                // G-buffer entries (silhouettes, semi-transparent
+                // stacks) carry averaged normals whose predicted
+                // highlight would be wrong.
+                if (m.sigma > 0.7f && m.specular > 1e-3f) {
+                    Vec3 shadeRef = shadePoint(m, -toRef, lightDir);
+                    Vec3 shadeTgt = shadePoint(m, -toTgt, lightDir);
+                    color += (shadeTgt - shadeRef) * m.sigma;
+                    color = Vec3::max(
+                        Vec3{}, Vec3::min(color, Vec3{1.f, 1.f, 1.f}));
+                }
+            }
+
+            Vec3 pTgt = refToTgt.transformPoint(pRef);
+
+            // Eq. (3): perspective projection into the target frame.
+            Vec3 proj = tgtCam.projectCameraSpace(pTgt);
+            if (proj.z <= 0.0f)
+                continue;
+            if (proj.x <= -1.0f || proj.y <= -1.0f ||
+                proj.x >= tgtCam.width || proj.y >= tgtCam.height)
+                continue;
+
+            // Depth-test tolerance: a grazing surface legitimately spans
+            // a large depth range within one pixel, so scale the
+            // tolerance with the local reference depth gradient (capped
+            // so foreground/background stay separated).
+            float grad = 0.0f;
+            for (auto [nx, ny] : {std::pair{px + 1, py},
+                                  std::pair{px - 1, py},
+                                  std::pair{px, py + 1},
+                                  std::pair{px, py - 1}}) {
+                if (nx < 0 || ny < 0 || nx >= refCam.width ||
+                    ny >= refCam.height)
+                    continue;
+                float nd = refDepth.at(nx, ny);
+                if (std::isfinite(nd))
+                    grad = std::fmax(grad, std::fabs(nd - d));
+            }
+            float tol = clamp(1.5f * grad, 0.02f * proj.z,
+                              0.10f * proj.z);
+
+            splats.push_back(
+                Splat{proj.x, proj.y, proj.z, tol, color});
+
+            // Pass 1: min-depth over the 2x2 bilinear footprint.
+            int x0 = static_cast<int>(std::floor(proj.x));
+            int y0 = static_cast<int>(std::floor(proj.y));
+            for (int dy = 0; dy < 2; ++dy) {
+                for (int dx = 0; dx < 2; ++dx) {
+                    int tx = x0 + dx, ty = y0 + dy;
+                    if (!out.image.inBounds(tx, ty))
+                        continue;
+                    float w = (dx ? proj.x - x0 : 1.0f - (proj.x - x0)) *
+                              (dy ? proj.y - y0 : 1.0f - (proj.y - y0));
+                    if (w < 0.05f)
+                        continue;
+                    std::size_t idx =
+                        static_cast<std::size_t>(ty) * tgtCam.width + tx;
+                    zbuf[idx] = std::fmin(zbuf[idx], proj.z);
+                }
+            }
+        }
+    }
+
+    // Pass 2: accumulate colors of near-winning points.
+    for (const Splat &s : splats) {
+        int x0 = static_cast<int>(std::floor(s.x));
+        int y0 = static_cast<int>(std::floor(s.y));
+        const Vec3 &color = s.color;
+        for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+                int tx = x0 + dx, ty = y0 + dy;
+                if (!out.image.inBounds(tx, ty))
+                    continue;
+                float w = (dx ? s.x - x0 : 1.0f - (s.x - x0)) *
+                          (dy ? s.y - y0 : 1.0f - (s.y - y0));
+                if (w < 0.05f)
+                    continue;
+                std::size_t idx =
+                    static_cast<std::size_t>(ty) * tgtCam.width + tx;
+                // Tolerate depth spread around the winner so adjacent
+                // surface points blend instead of z-fighting.
+                if (s.z <= zbuf[idx] + s.tol) {
+                    wacc[idx] += w;
+                    cacc[idx] += color * w;
+                }
+                if (s.z < bestZ[idx]) {
+                    bestZ[idx] = s.z;
+                    bestColor[idx] = color;
+                }
+            }
+        }
+    }
+
+    for (std::size_t idx = 0; idx < numPixels; ++idx) {
+        // A pixel is covered once it accumulated meaningful splat
+        // weight; weakly touched pixels become holes for the sparse
+        // NeRF pass (this is what keeps silhouettes sharp).
+        if (wacc[idx] > 0.3f) {
+            int tx = static_cast<int>(idx % tgtCam.width);
+            int ty = static_cast<int>(idx / tgtCam.width);
+            out.image.at(tx, ty) = cacc[idx] / wacc[idx];
+            out.depth.at(tx, ty) = zbuf[idx];
+        } else {
+            zbuf[idx] = kInfiniteDepth;
+        }
+    }
+
+    // Pinhole filling: single-pixel forward splatting leaves isolated
+    // holes under magnification/rotation. A hole surrounded by covered
+    // pixels (>= 6 of 8 neighbors) is a sampling artifact, not a
+    // disocclusion — fill it from the nearest-depth neighbor, the
+    // standard fix in point-based rendering.
+    {
+        std::vector<std::uint32_t> fills;
+        for (int ty = 0; ty < tgtCam.height; ++ty) {
+            for (int tx = 0; tx < tgtCam.width; ++tx) {
+                std::size_t idx =
+                    static_cast<std::size_t>(ty) * tgtCam.width + tx;
+                if (std::isfinite(zbuf[idx]))
+                    continue;
+                int covered = 0;
+                for (int dy = -1; dy <= 1; ++dy) {
+                    for (int dx = -1; dx <= 1; ++dx) {
+                        if (dx == 0 && dy == 0)
+                            continue;
+                        int nx = tx + dx, ny = ty + dy;
+                        if (!out.image.inBounds(nx, ny))
+                            continue;
+                        std::size_t nidx =
+                            static_cast<std::size_t>(ny) * tgtCam.width +
+                            nx;
+                        covered += std::isfinite(zbuf[nidx]);
+                    }
+                }
+                if (covered >= 6)
+                    fills.push_back(static_cast<std::uint32_t>(idx));
+            }
+        }
+        for (std::uint32_t idx : fills) {
+            int tx = idx % tgtCam.width;
+            int ty = idx / tgtCam.width;
+            float best = kInfiniteDepth;
+            Vec3 color;
+            for (int dy = -1; dy <= 1; ++dy) {
+                for (int dx = -1; dx <= 1; ++dx) {
+                    int nx = tx + dx, ny = ty + dy;
+                    if (!out.image.inBounds(nx, ny))
+                        continue;
+                    std::size_t nidx =
+                        static_cast<std::size_t>(ny) * tgtCam.width + nx;
+                    if (zbuf[nidx] < best) {
+                        best = zbuf[nidx];
+                        color = out.image.at(nx, ny);
+                    }
+                }
+            }
+            zbuf[idx] = best;
+            out.image.at(tx, ty) = color;
+            out.depth.at(tx, ty) = best;
+        }
+    }
+
+    // Hole classification: void (skip) vs disoccluded (sparse NeRF).
+    for (int ty = 0; ty < tgtCam.height; ++ty) {
+        for (int tx = 0; tx < tgtCam.width; ++tx) {
+            std::size_t idx =
+                static_cast<std::size_t>(ty) * tgtCam.width + tx;
+            if (std::isfinite(zbuf[idx])) {
+                ++out.stats.warped;
+                continue;
+            }
+            bool hit = true;
+            if (occupancy) {
+                Ray ray = tgtCam.generateRay(tx, ty);
+                hit = occupancy->rayHitsOccupied(ray);
+            }
+            if (hit) {
+                ++out.stats.disoccluded;
+                out.needRender.push_back(
+                    static_cast<std::uint32_t>(idx));
+            } else {
+                ++out.stats.voidHoles;
+                out.image.at(tx, ty) = background;
+                out.depth.at(tx, ty) = kInfiniteDepth;
+            }
+        }
+    }
+
+    return out;
+}
+
+} // namespace
+
+WarpOutput
+warpFrame(const Image &refImage, const DepthMap &refDepth,
+          const Camera &refCam, const Camera &tgtCam,
+          const OccupancyGrid *occupancy, const Vec3 &background,
+          const WarpParams &params)
+{
+    return warpImpl(refImage, refDepth, nullptr, refCam, tgtCam,
+                    occupancy, background, Vec3{0.0f, 1.0f, 0.0f},
+                    params);
+}
+
+WarpOutput
+warpFrameTransfer(const Image &refImage, const DepthMap &refDepth,
+                  const GBuffer &gbuffer, const Camera &refCam,
+                  const Camera &tgtCam, const OccupancyGrid *occupancy,
+                  const Vec3 &background, const Vec3 &lightDir,
+                  const WarpParams &params)
+{
+    return warpImpl(refImage, refDepth, &gbuffer, refCam, tgtCam,
+                    occupancy, background, lightDir, params);
+}
+
+} // namespace cicero

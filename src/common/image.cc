@@ -1,0 +1,153 @@
+#include "common/image.hh"
+
+#include <cassert>
+#include <cmath>
+#include <fstream>
+
+namespace cicero {
+
+Image::Image(int w, int h, const Vec3 &fill)
+    : _width(w), _height(h),
+      _pixels(static_cast<std::size_t>(w) * h, fill)
+{
+    assert(w >= 0 && h >= 0);
+}
+
+void
+Image::fill(const Vec3 &v)
+{
+    for (auto &p : _pixels)
+        p = v;
+}
+
+Vec3
+Image::sampleBilinear(float x, float y) const
+{
+    assert(!empty());
+    x = clamp(x, 0.0f, static_cast<float>(_width - 1));
+    y = clamp(y, 0.0f, static_cast<float>(_height - 1));
+    int x0 = static_cast<int>(x);
+    int y0 = static_cast<int>(y);
+    int x1 = std::min(x0 + 1, _width - 1);
+    int y1 = std::min(y0 + 1, _height - 1);
+    float fx = x - x0;
+    float fy = y - y0;
+
+    Vec3 top = lerp(at(x0, y0), at(x1, y0), fx);
+    Vec3 bot = lerp(at(x0, y1), at(x1, y1), fx);
+    return lerp(top, bot, fy);
+}
+
+Image
+Image::downsample(int factor) const
+{
+    assert(factor >= 1);
+    int w = std::max(1, _width / factor);
+    int h = std::max(1, _height / factor);
+    Image out(w, h);
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            Vec3 acc;
+            int n = 0;
+            for (int dy = 0; dy < factor; ++dy) {
+                for (int dx = 0; dx < factor; ++dx) {
+                    int sx = x * factor + dx;
+                    int sy = y * factor + dy;
+                    if (sx < _width && sy < _height) {
+                        acc += at(sx, sy);
+                        ++n;
+                    }
+                }
+            }
+            out.at(x, y) = acc / static_cast<float>(std::max(n, 1));
+        }
+    }
+    return out;
+}
+
+Image
+Image::upsampleBilinear(int w, int h) const
+{
+    assert(!empty());
+    Image out(w, h);
+    float sx = static_cast<float>(_width) / w;
+    float sy = static_cast<float>(_height) / h;
+    for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+            // Sample at the center of the destination pixel.
+            float fx = (x + 0.5f) * sx - 0.5f;
+            float fy = (y + 0.5f) * sy - 0.5f;
+            out.at(x, y) = sampleBilinear(fx, fy);
+        }
+    }
+    return out;
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::ofstream f(path, std::ios::binary);
+    if (!f)
+        return false;
+    f << "P6\n" << _width << " " << _height << "\n255\n";
+    for (const Vec3 &p : _pixels) {
+        for (int c = 0; c < 3; ++c) {
+            float v = clamp(p[c], 0.0f, 1.0f);
+            // Simple 2.2 display gamma.
+            v = std::pow(v, 1.0f / 2.2f);
+            f.put(static_cast<char>(
+                static_cast<std::uint8_t>(v * 255.0f + 0.5f)));
+        }
+    }
+    return static_cast<bool>(f);
+}
+
+DepthMap::DepthMap(int w, int h, float fill)
+    : _width(w), _height(h),
+      _depth(static_cast<std::size_t>(w) * h, fill)
+{
+}
+
+void
+DepthMap::fill(float v)
+{
+    for (auto &d : _depth)
+        d = v;
+}
+
+double
+DepthMap::coverage() const
+{
+    if (_depth.empty())
+        return 0.0;
+    std::size_t finite = 0;
+    for (float d : _depth)
+        if (std::isfinite(d))
+            ++finite;
+    return static_cast<double>(finite) / _depth.size();
+}
+
+double
+mse(const Image &a, const Image &b)
+{
+    assert(a.width() == b.width() && a.height() == b.height());
+    if (a.pixelCount() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.pixelCount(); ++i) {
+        Vec3 d = a.at(i) - b.at(i);
+        acc += d.x * d.x + d.y * d.y + d.z * d.z;
+    }
+    return acc / (3.0 * a.pixelCount());
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    double m = mse(a, b);
+    if (m <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(1.0 / m);
+}
+
+} // namespace cicero

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Image containers and quality metrics.
+ *
+ * Frames in Cicero are linear-RGB float images paired with a depth map;
+ * quality is evaluated with PSNR exactly as in the paper's Fig. 16/25/26.
+ */
+
+#ifndef CICERO_COMMON_IMAGE_HH
+#define CICERO_COMMON_IMAGE_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/math.hh"
+
+namespace cicero {
+
+/** Depth value used to mark "no surface along this ray" (void). */
+constexpr float kInfiniteDepth = std::numeric_limits<float>::infinity();
+
+/**
+ * A width x height RGB image of linear float radiance in [0, 1].
+ */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Construct a @p w x @p h image filled with @p fill. */
+    Image(int w, int h, const Vec3 &fill = Vec3{});
+
+    int width() const { return _width; }
+    int height() const { return _height; }
+    std::size_t pixelCount() const { return _pixels.size(); }
+    bool empty() const { return _pixels.empty(); }
+
+    const Vec3 &at(int x, int y) const { return _pixels[idx(x, y)]; }
+    Vec3 &at(int x, int y) { return _pixels[idx(x, y)]; }
+
+    const Vec3 &at(std::size_t i) const { return _pixels[i]; }
+    Vec3 &at(std::size_t i) { return _pixels[i]; }
+
+    const std::vector<Vec3> &pixels() const { return _pixels; }
+
+    bool
+    inBounds(int x, int y) const
+    {
+        return x >= 0 && x < _width && y >= 0 && y < _height;
+    }
+
+    /** Fill every pixel with @p v. */
+    void fill(const Vec3 &v);
+
+    /**
+     * Bilinearly sample at continuous pixel coordinates (@p x, @p y);
+     * coordinates are clamped to the image border.
+     */
+    Vec3 sampleBilinear(float x, float y) const;
+
+    /**
+     * Downsample by an integer factor using box filtering (the DS-2
+     * baseline of the paper downsamples by 2).
+     */
+    Image downsample(int factor) const;
+
+    /** Upsample to (@p w, @p h) with bilinear interpolation. */
+    Image upsampleBilinear(int w, int h) const;
+
+    /** Write as a binary PPM (P6) file with sRGB-ish 2.2 gamma. */
+    bool writePpm(const std::string &path) const;
+
+  private:
+    std::size_t idx(int x, int y) const
+    {
+        return static_cast<std::size_t>(y) * _width + x;
+    }
+
+    int _width = 0;
+    int _height = 0;
+    std::vector<Vec3> _pixels;
+};
+
+/**
+ * A per-pixel depth map; kInfiniteDepth marks rays that hit nothing.
+ */
+class DepthMap
+{
+  public:
+    DepthMap() = default;
+    DepthMap(int w, int h, float fill = kInfiniteDepth);
+
+    int width() const { return _width; }
+    int height() const { return _height; }
+    bool empty() const { return _depth.empty(); }
+
+    float at(int x, int y) const { return _depth[idx(x, y)]; }
+    float &at(int x, int y) { return _depth[idx(x, y)]; }
+
+    float at(std::size_t i) const { return _depth[i]; }
+    float &at(std::size_t i) { return _depth[i]; }
+
+    void fill(float v);
+
+    /** Fraction of pixels with finite depth. */
+    double coverage() const;
+
+  private:
+    std::size_t idx(int x, int y) const
+    {
+        return static_cast<std::size_t>(y) * _width + x;
+    }
+
+    int _width = 0;
+    int _height = 0;
+    std::vector<float> _depth;
+};
+
+/**
+ * Peak signal-to-noise ratio between two images of identical size, in dB,
+ * with a peak signal of 1.0.
+ *
+ * @return +infinity when the images are identical.
+ */
+double psnr(const Image &a, const Image &b);
+
+/** Mean squared error over all channels of two equally-sized images. */
+double mse(const Image &a, const Image &b);
+
+} // namespace cicero
+
+#endif // CICERO_COMMON_IMAGE_HH

@@ -1,0 +1,367 @@
+#include "common/math.hh"
+
+#include <cassert>
+#include <ostream>
+
+namespace cicero {
+
+std::ostream &
+operator<<(std::ostream &os, const Vec3 &v)
+{
+    return os << "(" << v.x << ", " << v.y << ", " << v.z << ")";
+}
+
+float
+angleBetween(const Vec3 &a, const Vec3 &b)
+{
+    float denom = a.norm() * b.norm();
+    if (denom < kEps)
+        return 0.0f;
+    float c = clamp(a.dot(b) / denom, -1.0f, 1.0f);
+    return std::acos(c);
+}
+
+Mat3
+Mat3::identity()
+{
+    Mat3 r;
+    r(0, 0) = r(1, 1) = r(2, 2) = 1.0f;
+    return r;
+}
+
+Mat3
+Mat3::zero()
+{
+    return Mat3{};
+}
+
+Mat3
+Mat3::rotation(const Vec3 &axis, float angle)
+{
+    Vec3 u = axis.normalized();
+    float c = std::cos(angle);
+    float s = std::sin(angle);
+    float t = 1.0f - c;
+
+    Mat3 r;
+    r(0, 0) = c + u.x * u.x * t;
+    r(0, 1) = u.x * u.y * t - u.z * s;
+    r(0, 2) = u.x * u.z * t + u.y * s;
+    r(1, 0) = u.y * u.x * t + u.z * s;
+    r(1, 1) = c + u.y * u.y * t;
+    r(1, 2) = u.y * u.z * t - u.x * s;
+    r(2, 0) = u.z * u.x * t - u.y * s;
+    r(2, 1) = u.z * u.y * t + u.x * s;
+    r(2, 2) = c + u.z * u.z * t;
+    return r;
+}
+
+Mat3
+Mat3::rotationX(float angle)
+{
+    return rotation({1.0f, 0.0f, 0.0f}, angle);
+}
+
+Mat3
+Mat3::rotationY(float angle)
+{
+    return rotation({0.0f, 1.0f, 0.0f}, angle);
+}
+
+Mat3
+Mat3::rotationZ(float angle)
+{
+    return rotation({0.0f, 0.0f, 1.0f}, angle);
+}
+
+Mat3
+Mat3::operator*(const Mat3 &o) const
+{
+    Mat3 r = Mat3::zero();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t k = 0; k < 3; ++k)
+            for (std::size_t j = 0; j < 3; ++j)
+                r(i, j) += (*this)(i, k) * o(k, j);
+    return r;
+}
+
+Vec3
+Mat3::operator*(const Vec3 &v) const
+{
+    return {
+        (*this)(0, 0) * v.x + (*this)(0, 1) * v.y + (*this)(0, 2) * v.z,
+        (*this)(1, 0) * v.x + (*this)(1, 1) * v.y + (*this)(1, 2) * v.z,
+        (*this)(2, 0) * v.x + (*this)(2, 1) * v.y + (*this)(2, 2) * v.z,
+    };
+}
+
+Mat3
+Mat3::operator*(float s) const
+{
+    Mat3 r = *this;
+    for (auto &e : r.m)
+        e *= s;
+    return r;
+}
+
+Mat3
+Mat3::operator+(const Mat3 &o) const
+{
+    Mat3 r = *this;
+    for (std::size_t i = 0; i < 9; ++i)
+        r.m[i] += o.m[i];
+    return r;
+}
+
+Mat3
+Mat3::transposed() const
+{
+    Mat3 r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+float
+Mat3::determinant() const
+{
+    const Mat3 &a = *this;
+    return a(0, 0) * (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) -
+           a(0, 1) * (a(1, 0) * a(2, 2) - a(1, 2) * a(2, 0)) +
+           a(0, 2) * (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0));
+}
+
+Mat3
+Mat3::inverse() const
+{
+    const Mat3 &a = *this;
+    float det = determinant();
+    assert(std::fabs(det) > 1e-12f && "singular matrix");
+    float inv = 1.0f / det;
+
+    Mat3 r;
+    r(0, 0) = (a(1, 1) * a(2, 2) - a(1, 2) * a(2, 1)) * inv;
+    r(0, 1) = (a(0, 2) * a(2, 1) - a(0, 1) * a(2, 2)) * inv;
+    r(0, 2) = (a(0, 1) * a(1, 2) - a(0, 2) * a(1, 1)) * inv;
+    r(1, 0) = (a(1, 2) * a(2, 0) - a(1, 0) * a(2, 2)) * inv;
+    r(1, 1) = (a(0, 0) * a(2, 2) - a(0, 2) * a(2, 0)) * inv;
+    r(1, 2) = (a(0, 2) * a(1, 0) - a(0, 0) * a(1, 2)) * inv;
+    r(2, 0) = (a(1, 0) * a(2, 1) - a(1, 1) * a(2, 0)) * inv;
+    r(2, 1) = (a(0, 1) * a(2, 0) - a(0, 0) * a(2, 1)) * inv;
+    r(2, 2) = (a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0)) * inv;
+    return r;
+}
+
+Mat4
+Mat4::identity()
+{
+    Mat4 r;
+    r(0, 0) = r(1, 1) = r(2, 2) = r(3, 3) = 1.0f;
+    return r;
+}
+
+Mat4
+Mat4::operator*(const Mat4 &o) const
+{
+    Mat4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t k = 0; k < 4; ++k)
+            for (std::size_t j = 0; j < 4; ++j)
+                r(i, j) += (*this)(i, k) * o(k, j);
+    return r;
+}
+
+Vec3
+Mat4::transformPoint(const Vec3 &p) const
+{
+    const Mat4 &a = *this;
+    float x = a(0, 0) * p.x + a(0, 1) * p.y + a(0, 2) * p.z + a(0, 3);
+    float y = a(1, 0) * p.x + a(1, 1) * p.y + a(1, 2) * p.z + a(1, 3);
+    float z = a(2, 0) * p.x + a(2, 1) * p.y + a(2, 2) * p.z + a(2, 3);
+    float w = a(3, 0) * p.x + a(3, 1) * p.y + a(3, 2) * p.z + a(3, 3);
+    if (std::fabs(w) > kEps && std::fabs(w - 1.0f) > kEps) {
+        float inv = 1.0f / w;
+        return {x * inv, y * inv, z * inv};
+    }
+    return {x, y, z};
+}
+
+Vec3
+Mat4::transformDir(const Vec3 &d) const
+{
+    const Mat4 &a = *this;
+    return {
+        a(0, 0) * d.x + a(0, 1) * d.y + a(0, 2) * d.z,
+        a(1, 0) * d.x + a(1, 1) * d.y + a(1, 2) * d.z,
+        a(2, 0) * d.x + a(2, 1) * d.y + a(2, 2) * d.z,
+    };
+}
+
+Mat4
+Mat4::transposed() const
+{
+    Mat4 r;
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat4
+Mat4::fromRigid(const Mat3 &rot, const Vec3 &trans)
+{
+    Mat4 r = Mat4::identity();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            r(i, j) = rot(i, j);
+    r(0, 3) = trans.x;
+    r(1, 3) = trans.y;
+    r(2, 3) = trans.z;
+    return r;
+}
+
+Mat4
+Mat4::rigidInverse() const
+{
+    Mat3 rot;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            rot(i, j) = (*this)(i, j);
+    Vec3 t{(*this)(0, 3), (*this)(1, 3), (*this)(2, 3)};
+    Mat3 rt = rot.transposed();
+    return fromRigid(rt, -(rt * t));
+}
+
+Quat
+Quat::fromMatrix(const Mat3 &m)
+{
+    Quat q;
+    float trace = m(0, 0) + m(1, 1) + m(2, 2);
+    if (trace > 0.0f) {
+        float s = std::sqrt(trace + 1.0f) * 2.0f;
+        q.w = 0.25f * s;
+        q.x = (m(2, 1) - m(1, 2)) / s;
+        q.y = (m(0, 2) - m(2, 0)) / s;
+        q.z = (m(1, 0) - m(0, 1)) / s;
+    } else if (m(0, 0) > m(1, 1) && m(0, 0) > m(2, 2)) {
+        float s = std::sqrt(1.0f + m(0, 0) - m(1, 1) - m(2, 2)) * 2.0f;
+        q.w = (m(2, 1) - m(1, 2)) / s;
+        q.x = 0.25f * s;
+        q.y = (m(0, 1) + m(1, 0)) / s;
+        q.z = (m(0, 2) + m(2, 0)) / s;
+    } else if (m(1, 1) > m(2, 2)) {
+        float s = std::sqrt(1.0f + m(1, 1) - m(0, 0) - m(2, 2)) * 2.0f;
+        q.w = (m(0, 2) - m(2, 0)) / s;
+        q.x = (m(0, 1) + m(1, 0)) / s;
+        q.y = 0.25f * s;
+        q.z = (m(1, 2) + m(2, 1)) / s;
+    } else {
+        float s = std::sqrt(1.0f + m(2, 2) - m(0, 0) - m(1, 1)) * 2.0f;
+        q.w = (m(1, 0) - m(0, 1)) / s;
+        q.x = (m(0, 2) + m(2, 0)) / s;
+        q.y = (m(1, 2) + m(2, 1)) / s;
+        q.z = 0.25f * s;
+    }
+    return q.normalized();
+}
+
+Quat
+Quat::fromAxisAngle(const Vec3 &axis, float angle)
+{
+    Vec3 u = axis.normalized();
+    float h = 0.5f * angle;
+    float s = std::sin(h);
+    return Quat{std::cos(h), u.x * s, u.y * s, u.z * s};
+}
+
+Mat3
+Quat::toMatrix() const
+{
+    Mat3 m;
+    float xx = x * x, yy = y * y, zz = z * z;
+    float xy = x * y, xz = x * z, yz = y * z;
+    float wx = w * x, wy = w * y, wz = w * z;
+    m(0, 0) = 1.0f - 2.0f * (yy + zz);
+    m(0, 1) = 2.0f * (xy - wz);
+    m(0, 2) = 2.0f * (xz + wy);
+    m(1, 0) = 2.0f * (xy + wz);
+    m(1, 1) = 1.0f - 2.0f * (xx + zz);
+    m(1, 2) = 2.0f * (yz - wx);
+    m(2, 0) = 2.0f * (xz - wy);
+    m(2, 1) = 2.0f * (yz + wx);
+    m(2, 2) = 1.0f - 2.0f * (xx + yy);
+    return m;
+}
+
+Quat
+Quat::operator*(const Quat &o) const
+{
+    return {
+        w * o.w - x * o.x - y * o.y - z * o.z,
+        w * o.x + x * o.w + y * o.z - z * o.y,
+        w * o.y - x * o.z + y * o.w + z * o.x,
+        w * o.z + x * o.y - y * o.x + z * o.w,
+    };
+}
+
+Quat
+Quat::normalized() const
+{
+    float n = norm();
+    if (n < kEps)
+        return identity();
+    return {w / n, x / n, y / n, z / n};
+}
+
+Quat
+Quat::slerp(const Quat &a, const Quat &b, float t)
+{
+    Quat q = b;
+    float d = a.w * b.w + a.x * b.x + a.y * b.y + a.z * b.z;
+    // Take the short path on the 4-sphere.
+    if (d < 0.0f) {
+        d = -d;
+        q = {-b.w, -b.x, -b.y, -b.z};
+    }
+    if (d > 1.0f - kEps) {
+        // Nearly parallel: fall back to nlerp, which also supports
+        // extrapolation (t outside [0, 1]).
+        Quat r{lerp(a.w, q.w, t), lerp(a.x, q.x, t), lerp(a.y, q.y, t),
+               lerp(a.z, q.z, t)};
+        return r.normalized();
+    }
+    float theta = std::acos(clamp(d, -1.0f, 1.0f));
+    float s = std::sin(theta);
+    float wa = std::sin((1.0f - t) * theta) / s;
+    float wb = std::sin(t * theta) / s;
+    Quat r{wa * a.w + wb * q.w, wa * a.x + wb * q.x, wa * a.y + wb * q.y,
+           wa * a.z + wb * q.z};
+    return r.normalized();
+}
+
+Pose
+Pose::lookAt(const Vec3 &eye, const Vec3 &at, const Vec3 &up)
+{
+    Vec3 fwd = (at - eye).normalized();
+    Vec3 right = fwd.cross(up).normalized();
+    Vec3 camUp = right.cross(fwd);
+
+    // Columns of the camera-to-world rotation are the world-space camera
+    // axes: +X right, +Y up, -Z forward.
+    Pose p;
+    p.pos = eye;
+    p.rot(0, 0) = right.x; p.rot(1, 0) = right.y; p.rot(2, 0) = right.z;
+    p.rot(0, 1) = camUp.x; p.rot(1, 1) = camUp.y; p.rot(2, 1) = camUp.z;
+    p.rot(0, 2) = -fwd.x;  p.rot(1, 2) = -fwd.y;  p.rot(2, 2) = -fwd.z;
+    return p;
+}
+
+Mat4
+Pose::transformTo(const Pose &tgt) const
+{
+    // world-from-ref composed with tgt-from-world.
+    return tgt.toMatrix().rigidInverse() * toMatrix();
+}
+
+} // namespace cicero

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Small linear-algebra toolkit used throughout Cicero: 3-vectors,
+ * 3x3 / 4x4 matrices, quaternions and rigid-body poses.
+ *
+ * The types are deliberately minimal (no expression templates, no SIMD)
+ * so that the numerical behaviour is easy to reason about in tests.
+ */
+
+#ifndef CICERO_COMMON_MATH_HH
+#define CICERO_COMMON_MATH_HH
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <iosfwd>
+
+namespace cicero {
+
+/** Tolerance used by approximate comparisons in this toolkit. */
+constexpr float kEps = 1e-6f;
+
+constexpr float kPi = 3.14159265358979323846f;
+
+/** Convert degrees to radians. */
+constexpr float
+deg2rad(float deg)
+{
+    return deg * kPi / 180.0f;
+}
+
+/** Convert radians to degrees. */
+constexpr float
+rad2deg(float rad)
+{
+    return rad * 180.0f / kPi;
+}
+
+/** Clamp @p v to the inclusive range [@p lo, @p hi]. */
+template <typename T>
+constexpr T
+clamp(T v, T lo, T hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/** Linear interpolation between @p a and @p b with weight @p t. */
+template <typename T>
+constexpr T
+lerp(const T &a, const T &b, float t)
+{
+    return a * (1.0f - t) + b * t;
+}
+
+/**
+ * A 3-component float vector used for positions, directions and RGB
+ * radiance values.
+ */
+struct Vec3
+{
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    constexpr Vec3() = default;
+    constexpr Vec3(float x_, float y_, float z_) : x(x_), y(y_), z(z_) {}
+    constexpr explicit Vec3(float s) : x(s), y(s), z(s) {}
+
+    constexpr float operator[](std::size_t i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    float &operator[](std::size_t i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    constexpr Vec3 operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+    constexpr Vec3 operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+    constexpr Vec3 operator*(float s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(float s) const { return {x / s, y / s, z / s}; }
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+    /** Component-wise product (Hadamard). */
+    constexpr Vec3 operator*(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+
+    Vec3 &operator+=(const Vec3 &o)
+    {
+        x += o.x; y += o.y; z += o.z;
+        return *this;
+    }
+    Vec3 &operator-=(const Vec3 &o)
+    {
+        x -= o.x; y -= o.y; z -= o.z;
+        return *this;
+    }
+    Vec3 &operator*=(float s)
+    {
+        x *= s; y *= s; z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const Vec3 &o) const
+    {
+        return x == o.x && y == o.y && z == o.z;
+    }
+
+    /** Dot product. */
+    constexpr float dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    /** Cross product. */
+    constexpr Vec3 cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    float norm() const { return std::sqrt(dot(*this)); }
+    constexpr float squaredNorm() const { return dot(*this); }
+
+    /** Return a unit-length copy; returns the zero vector unchanged. */
+    Vec3
+    normalized() const
+    {
+        float n = norm();
+        return n > kEps ? (*this) / n : *this;
+    }
+
+    /** Component-wise minimum. */
+    static constexpr Vec3
+    min(const Vec3 &a, const Vec3 &b)
+    {
+        return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+                a.z < b.z ? a.z : b.z};
+    }
+
+    /** Component-wise maximum. */
+    static constexpr Vec3
+    max(const Vec3 &a, const Vec3 &b)
+    {
+        return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+                a.z > b.z ? a.z : b.z};
+    }
+
+    float maxComponent() const { return std::fmax(x, std::fmax(y, z)); }
+    float minComponent() const { return std::fmin(x, std::fmin(y, z)); }
+};
+
+constexpr Vec3
+operator*(float s, const Vec3 &v)
+{
+    return v * s;
+}
+
+std::ostream &operator<<(std::ostream &os, const Vec3 &v);
+
+/** Squared Euclidean distance between two points. */
+inline float
+distance(const Vec3 &a, const Vec3 &b)
+{
+    return (a - b).norm();
+}
+
+/** Angle in radians between two (not necessarily unit) vectors. */
+float angleBetween(const Vec3 &a, const Vec3 &b);
+
+/**
+ * Row-major 3x3 float matrix; used for rotations and camera intrinsics.
+ */
+struct Mat3
+{
+    std::array<float, 9> m{};
+
+    constexpr float operator()(std::size_t r, std::size_t c) const
+    {
+        return m[r * 3 + c];
+    }
+    float &operator()(std::size_t r, std::size_t c) { return m[r * 3 + c]; }
+
+    static Mat3 identity();
+    static Mat3 zero();
+
+    /** Rotation of @p angle radians about unit axis @p axis (Rodrigues). */
+    static Mat3 rotation(const Vec3 &axis, float angle);
+
+    /** Rotation about the X axis. */
+    static Mat3 rotationX(float angle);
+    /** Rotation about the Y axis. */
+    static Mat3 rotationY(float angle);
+    /** Rotation about the Z axis. */
+    static Mat3 rotationZ(float angle);
+
+    Mat3 operator*(const Mat3 &o) const;
+    Vec3 operator*(const Vec3 &v) const;
+    Mat3 operator*(float s) const;
+    Mat3 operator+(const Mat3 &o) const;
+
+    Mat3 transposed() const;
+    float determinant() const;
+    /** Matrix inverse; asserts the determinant is nonzero. */
+    Mat3 inverse() const;
+};
+
+/**
+ * Row-major 4x4 float matrix; used for homogeneous rigid transforms and
+ * the projection matrices of Eqs. (1) and (3) in the paper.
+ */
+struct Mat4
+{
+    std::array<float, 16> m{};
+
+    constexpr float operator()(std::size_t r, std::size_t c) const
+    {
+        return m[r * 4 + c];
+    }
+    float &operator()(std::size_t r, std::size_t c) { return m[r * 4 + c]; }
+
+    static Mat4 identity();
+
+    Mat4 operator*(const Mat4 &o) const;
+
+    /** Transform a point (w = 1), dividing by the resulting w. */
+    Vec3 transformPoint(const Vec3 &p) const;
+    /** Transform a direction (w = 0). */
+    Vec3 transformDir(const Vec3 &d) const;
+
+    Mat4 transposed() const;
+
+    /** Build a rigid transform from a rotation and a translation. */
+    static Mat4 fromRigid(const Mat3 &rot, const Vec3 &trans);
+
+    /** Invert assuming the matrix is a rigid transform (R | t). */
+    Mat4 rigidInverse() const;
+};
+
+/**
+ * Unit quaternion for interpolating camera orientations during pose
+ * extrapolation (Sec. III-C of the paper).
+ */
+struct Quat
+{
+    float w = 1.0f;
+    float x = 0.0f;
+    float y = 0.0f;
+    float z = 0.0f;
+
+    static Quat identity() { return {}; }
+
+    /** Build from a rotation matrix (assumed orthonormal). */
+    static Quat fromMatrix(const Mat3 &m);
+
+    /** Build from axis-angle. */
+    static Quat fromAxisAngle(const Vec3 &axis, float angle);
+
+    Mat3 toMatrix() const;
+
+    Quat operator*(const Quat &o) const;
+
+    Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    float norm() const { return std::sqrt(w * w + x * x + y * y + z * z); }
+
+    Quat normalized() const;
+
+    /**
+     * Spherical linear interpolation.
+     *
+     * @param a Start orientation (t = 0).
+     * @param b End orientation (t = 1).
+     * @param t Interpolation parameter; values outside [0, 1] extrapolate.
+     */
+    static Quat slerp(const Quat &a, const Quat &b, float t);
+};
+
+/**
+ * A rigid-body camera pose: camera-to-world rotation and camera position.
+ *
+ * The convention matches the paper's rendering pipeline: the camera looks
+ * down its local -Z axis, +X is right, +Y is up.
+ */
+struct Pose
+{
+    Mat3 rot = Mat3::identity(); //!< camera-to-world rotation
+    Vec3 pos;                    //!< camera position in world space
+
+    /** Camera-to-world homogeneous matrix. */
+    Mat4 toMatrix() const { return Mat4::fromRigid(rot, pos); }
+
+    /** World-to-camera transform of a world-space point. */
+    Vec3
+    worldToCamera(const Vec3 &p) const
+    {
+        return rot.transposed() * (p - pos);
+    }
+
+    /** Camera-to-world transform of a camera-space point. */
+    Vec3 cameraToWorld(const Vec3 &p) const { return rot * p + pos; }
+
+    /** Viewing direction (world space) of the camera's optical axis. */
+    Vec3 forward() const { return rot * Vec3{0.0f, 0.0f, -1.0f}; }
+
+    /**
+     * Build a pose located at @p eye looking at @p at with up-vector @p up.
+     */
+    static Pose lookAt(const Vec3 &eye, const Vec3 &at, const Vec3 &up);
+
+    /**
+     * Relative transform T_{ref->tgt} of Eq. (2): maps points expressed in
+     * this (reference) camera's frame into @p tgt camera's frame.
+     */
+    Mat4 transformTo(const Pose &tgt) const;
+};
+
+} // namespace cicero
+
+#endif // CICERO_COMMON_MATH_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic pieces of the reproduction (scene baking, trajectory
+ * jitter, workload generators) draw from this generator so that every
+ * experiment is reproducible from a single seed.
+ */
+
+#ifndef CICERO_COMMON_RNG_HH
+#define CICERO_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/math.hh"
+
+namespace cicero {
+
+/**
+ * xoshiro256** — a small, fast, high-quality PRNG with splittable seeding.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0xc0ffeeull) { reseed(seed); }
+
+    /** Re-seed using splitmix64 expansion of @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &si : s)
+            si = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+        std::uint64_t t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform float in [0, 1). */
+    float
+    uniform()
+    {
+        return static_cast<float>(next() >> 40) * (1.0f / (1ull << 24));
+    }
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). @p n must be nonzero. */
+    std::uint64_t
+    uniformInt(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Standard normal via Box-Muller. */
+    float
+    normal()
+    {
+        float u1 = uniform();
+        float u2 = uniform();
+        if (u1 < 1e-12f)
+            u1 = 1e-12f;
+        return std::sqrt(-2.0f * std::log(u1)) *
+               std::cos(2.0f * kPi * u2);
+    }
+
+    /** Uniform point in the unit cube. */
+    Vec3
+    uniformVec3()
+    {
+        return {uniform(), uniform(), uniform()};
+    }
+
+    /** Uniform direction on the unit sphere. */
+    Vec3
+    uniformDirection()
+    {
+        float z = uniform(-1.0f, 1.0f);
+        float phi = uniform(0.0f, 2.0f * kPi);
+        float r = std::sqrt(std::fmax(0.0f, 1.0f - z * z));
+        return {r * std::cos(phi), r * std::sin(phi), z};
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static std::uint64_t
+    splitmix64(std::uint64_t &x)
+    {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t s[4];
+};
+
+} // namespace cicero
+
+#endif // CICERO_COMMON_RNG_HH

@@ -1,0 +1,129 @@
+#include "common/stats.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace cicero {
+
+void
+Summary::add(double v)
+{
+    ++_n;
+    _sum += v;
+    _sumSq += v * v;
+    if (v < _min)
+        _min = v;
+    if (v > _max)
+        _max = v;
+}
+
+double
+Summary::stddev() const
+{
+    if (_n < 2)
+        return 0.0;
+    double m = mean();
+    double var = _sumSq / _n - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Table::Table(std::vector<std::string> header) : _header(std::move(header))
+{
+}
+
+Table &
+Table::row()
+{
+    _rows.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &s)
+{
+    if (_rows.empty())
+        row();
+    _rows.back().push_back(s);
+    return *this;
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(formatDouble(v, precision));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(std::to_string(v));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(std::to_string(v));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(_header.size());
+    for (std::size_t c = 0; c < _header.size(); ++c)
+        widths[c] = _header[c].size();
+    for (const auto &r : _rows)
+        for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &r,
+                       std::ostringstream &os) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            std::string v = c < r.size() ? r[c] : "";
+            os << v;
+            if (c + 1 < widths.size())
+                os << std::string(widths[c] - v.size() + 2, ' ');
+        }
+        os << "\n";
+    };
+
+    std::ostringstream os;
+    emitRow(_header, os);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+    for (const auto &r : _rows)
+        emitRow(r, os);
+    return os.str();
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const char *suffix[] = {"B", "KB", "MB", "GB", "TB"};
+    int s = 0;
+    while (bytes >= 1024.0 && s < 4) {
+        bytes /= 1024.0;
+        ++s;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, suffix[s]);
+    return buf;
+}
+
+} // namespace cicero

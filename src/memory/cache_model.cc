@@ -1,0 +1,131 @@
+#include "memory/cache_model.hh"
+
+#include <queue>
+
+namespace cicero {
+
+LruCache::LruCache(const CacheConfig &config) : _config(config)
+{
+}
+
+void
+LruCache::touch(std::uint64_t line)
+{
+    ++_stats.accesses;
+    auto it = _where.find(line);
+    if (it != _where.end()) {
+        ++_stats.hits;
+        _lru.erase(it->second);
+        _lru.push_front(line);
+        it->second = _lru.begin();
+        return;
+    }
+    ++_stats.misses;
+    if (_lru.size() >= _config.numLines()) {
+        std::uint64_t victim = _lru.back();
+        _lru.pop_back();
+        _where.erase(victim);
+    }
+    _lru.push_front(line);
+    _where[line] = _lru.begin();
+}
+
+void
+LruCache::onAccess(const MemAccess &access)
+{
+    std::uint64_t first = access.addr / _config.lineBytes;
+    std::uint64_t last = (access.addr + std::max(access.bytes, 1u) - 1) /
+                         _config.lineBytes;
+    for (std::uint64_t l = first; l <= last; ++l)
+        touch(l);
+}
+
+void
+LruCache::reset()
+{
+    _stats = CacheStats{};
+    _lru.clear();
+    _where.clear();
+}
+
+BeladyCache::BeladyCache(const CacheConfig &config) : _config(config)
+{
+}
+
+void
+BeladyCache::onAccess(const MemAccess &access)
+{
+    std::uint64_t first = access.addr / _config.lineBytes;
+    std::uint64_t last = (access.addr + std::max(access.bytes, 1u) - 1) /
+                         _config.lineBytes;
+    for (std::uint64_t l = first; l <= last; ++l) {
+        auto [it, inserted] = _lineId.try_emplace(
+            l, static_cast<std::uint32_t>(_lineId.size()));
+        _sequence.push_back(it->second);
+    }
+}
+
+CacheStats
+BeladyCache::simulate() const
+{
+    CacheStats stats;
+    const std::size_t n = _sequence.size();
+    if (n == 0)
+        return stats;
+
+    // next[i]: position of the next access to the same line after i.
+    constexpr std::uint64_t kNever = ~0ull;
+    std::vector<std::uint64_t> next(n, kNever);
+    std::vector<std::uint64_t> lastSeen(_lineId.size(), kNever);
+    for (std::size_t i = n; i-- > 0;) {
+        std::uint32_t line = _sequence[i];
+        next[i] = lastSeen[line];
+        lastSeen[line] = i;
+    }
+
+    // Max-heap of (nextUse, line) identifies the Belady victim: the
+    // resident line whose next use is farthest away. Entries are lazily
+    // invalidated via residentNext.
+    using Entry = std::pair<std::uint64_t, std::uint32_t>;
+    std::priority_queue<Entry> heap;
+    std::vector<std::uint64_t> residentNext(_lineId.size(), kNever);
+    std::vector<char> resident(_lineId.size(), 0);
+    std::uint64_t used = 0;
+    const std::uint64_t capacity = _config.numLines();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t line = _sequence[i];
+        ++stats.accesses;
+        if (resident[line]) {
+            ++stats.hits;
+        } else {
+            ++stats.misses;
+            if (used >= capacity) {
+                // Evict the farthest-next-use resident line.
+                while (true) {
+                    auto [nu, victim] = heap.top();
+                    heap.pop();
+                    if (resident[victim] && residentNext[victim] == nu) {
+                        resident[victim] = 0;
+                        --used;
+                        break;
+                    }
+                }
+            }
+            resident[line] = 1;
+            ++used;
+        }
+        residentNext[line] = next[i];
+        heap.emplace(next[i], line);
+    }
+    return stats;
+}
+
+void
+BeladyCache::reset()
+{
+    _sequence.clear();
+    _lineId.clear();
+}
+
+} // namespace cicero

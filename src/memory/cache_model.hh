@@ -1,0 +1,94 @@
+/**
+ * @file
+ * On-chip buffer (cache) models for the Fig. 5 characterization:
+ * an LRU set-associative cache and a Belady (oracle replacement) cache,
+ * matching the paper's "2 MB on-chip buffer with oracle replacement".
+ */
+
+#ifndef CICERO_MEMORY_CACHE_MODEL_HH
+#define CICERO_MEMORY_CACHE_MODEL_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/trace.hh"
+
+namespace cicero {
+
+/** Shared cache geometry. */
+struct CacheConfig
+{
+    std::uint64_t capacityBytes = 2ull << 20; //!< 2 MB as in the paper
+    std::uint32_t lineBytes = 64;
+
+    std::uint64_t numLines() const { return capacityBytes / lineBytes; }
+};
+
+/** Hit/miss statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    double missRate() const
+    {
+        return accesses ? static_cast<double>(misses) / accesses : 0.0;
+    }
+};
+
+/**
+ * Fully-associative LRU cache simulated as a TraceSink.
+ *
+ * Fully-associative is the generous assumption for the baseline: real
+ * caches only do worse, so the measured inefficiency is a lower bound.
+ */
+class LruCache : public TraceSink
+{
+  public:
+    explicit LruCache(const CacheConfig &config = CacheConfig{});
+
+    void onAccess(const MemAccess &access) override;
+
+    const CacheStats &stats() const { return _stats; }
+    void reset();
+
+  private:
+    void touch(std::uint64_t line);
+
+    CacheConfig _config;
+    CacheStats _stats;
+    std::list<std::uint64_t> _lru; //!< front = most recent
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
+        _where;
+};
+
+/**
+ * Belady/oracle-replacement cache. Because the oracle needs the future,
+ * this is a two-pass simulator: record the line-ID sequence as the trace
+ * streams in, then simulate() computes the optimal-replacement miss rate.
+ */
+class BeladyCache : public TraceSink
+{
+  public:
+    explicit BeladyCache(const CacheConfig &config = CacheConfig{});
+
+    void onAccess(const MemAccess &access) override;
+
+    /** Run the oracle simulation over the recorded sequence. */
+    CacheStats simulate() const;
+
+    std::size_t recordedAccesses() const { return _sequence.size(); }
+    void reset();
+
+  private:
+    CacheConfig _config;
+    std::vector<std::uint32_t> _sequence; //!< compressed line IDs
+    std::unordered_map<std::uint64_t, std::uint32_t> _lineId;
+};
+
+} // namespace cicero
+
+#endif // CICERO_MEMORY_CACHE_MODEL_HH

@@ -1,0 +1,21 @@
+#include "memory/energy_model.hh"
+
+namespace cicero {
+
+double
+EnergyLedger::get(const std::string &name) const
+{
+    auto it = _entries.find(name);
+    return it == _entries.end() ? 0.0 : it->second;
+}
+
+double
+EnergyLedger::totalNj() const
+{
+    double acc = 0.0;
+    for (const auto &[k, v] : _entries)
+        acc += v;
+    return acc;
+}
+
+} // namespace cicero

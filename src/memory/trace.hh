@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Memory access trace plumbing.
+ *
+ * Functional rendering emits every feature-gather access into a
+ * TraceSink; the DRAM, cache and SRAM-bank models in this module are all
+ * sinks, so arbitrarily long traces stream through them without being
+ * materialized. A ray boundary marker lets sinks that care about
+ * concurrency (the bank-conflict simulator) reconstruct per-ray streams.
+ */
+
+#ifndef CICERO_MEMORY_TRACE_HH
+#define CICERO_MEMORY_TRACE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cicero {
+
+/** One memory access emitted during Feature Gathering. */
+struct MemAccess
+{
+    std::uint64_t addr = 0; //!< byte address in the encoding's space
+    std::uint32_t bytes = 0;
+    std::uint32_t rayId = 0; //!< issuing camera ray
+};
+
+/**
+ * Consumer of a gather access stream. Implementations must tolerate any
+ * interleaving of onAccess and onRayEnd, and multiple onFlush calls.
+ */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** One feature fetch. */
+    virtual void onAccess(const MemAccess &access) = 0;
+
+    /** All accesses of ray @p rayId have been emitted. */
+    virtual void onRayEnd(std::uint32_t rayId) { (void)rayId; }
+
+    /** End of the trace; drain any buffered state. */
+    virtual void onFlush() {}
+};
+
+/**
+ * Fans a trace out to several sinks so one functional render can feed
+ * the DRAM, cache and bank models simultaneously.
+ */
+class TraceTee : public TraceSink
+{
+  public:
+    void addSink(TraceSink *sink) { _sinks.push_back(sink); }
+
+    void
+    onAccess(const MemAccess &access) override
+    {
+        for (auto *s : _sinks)
+            s->onAccess(access);
+    }
+
+    void
+    onRayEnd(std::uint32_t rayId) override
+    {
+        for (auto *s : _sinks)
+            s->onRayEnd(rayId);
+    }
+
+    void
+    onFlush() override
+    {
+        for (auto *s : _sinks)
+            s->onFlush();
+    }
+
+  private:
+    std::vector<TraceSink *> _sinks;
+};
+
+/**
+ * Models GPU warp scheduling: buffers the per-ray access streams of
+ * `ways` rays and forwards them round-robin (one access per ray per
+ * round). A GPU runs thousands of threads concurrently, so the DRAM
+ * sees their requests interleaved — which is precisely what destroys
+ * the intra-ray locality a single-ray trace would overstate (Fig. 4).
+ */
+class WarpInterleaver : public TraceSink
+{
+  public:
+    explicit WarpInterleaver(std::uint32_t ways = 32)
+        : _ways(ways ? ways : 1)
+    {
+    }
+
+    void addSink(TraceSink *sink) { _out.addSink(sink); }
+
+    void
+    onAccess(const MemAccess &access) override
+    {
+        if (access.rayId != _currentRay && !_current.empty())
+            onRayEnd(_currentRay);
+        _currentRay = access.rayId;
+        _current.push_back(access);
+    }
+
+    void
+    onRayEnd(std::uint32_t rayId) override
+    {
+        (void)rayId;
+        if (_current.empty())
+            return;
+        _pending.push_back(std::move(_current));
+        _current.clear();
+        _currentRay = ~0u;
+        if (_pending.size() >= _ways)
+            drain();
+    }
+
+    void
+    onFlush() override
+    {
+        if (!_current.empty())
+            onRayEnd(_currentRay);
+        while (!_pending.empty())
+            drain();
+        _out.onFlush();
+    }
+
+  private:
+    void
+    drain()
+    {
+        std::size_t n = std::min<std::size_t>(_ways, _pending.size());
+        bool any = true;
+        for (std::size_t i = 0; any; ++i) {
+            any = false;
+            for (std::size_t r = 0; r < n; ++r) {
+                if (i < _pending[r].size()) {
+                    _out.onAccess(_pending[r][i]);
+                    any = true;
+                }
+            }
+        }
+        for (std::size_t r = 0; r < n; ++r)
+            _out.onRayEnd(_pending[r].empty() ? 0 : _pending[r][0].rayId);
+        _pending.erase(_pending.begin(), _pending.begin() + n);
+    }
+
+    std::uint32_t _ways;
+    TraceTee _out;
+    std::uint32_t _currentRay = ~0u;
+    std::vector<MemAccess> _current;
+    std::vector<std::vector<MemAccess>> _pending;
+};
+
+/** A sink that simply stores the trace (tests and small experiments). */
+class TraceRecorder : public TraceSink
+{
+  public:
+    void onAccess(const MemAccess &access) override
+    {
+        _trace.push_back(access);
+    }
+
+    const std::vector<MemAccess> &trace() const { return _trace; }
+    void clear() { _trace.clear(); }
+
+  private:
+    std::vector<MemAccess> _trace;
+};
+
+} // namespace cicero
+
+#endif // CICERO_MEMORY_TRACE_HH

@@ -1,0 +1,89 @@
+#include "nerf/decoder.hh"
+
+#include <cmath>
+
+namespace cicero {
+
+void
+encodeBakedPoint(const BakedPoint &pt, float *feature)
+{
+    feature[0] = pt.sigma / kSigmaScale;
+    feature[1] = pt.diffuse.x;
+    feature[2] = pt.diffuse.y;
+    feature[3] = pt.diffuse.z;
+    feature[4] = pt.normal.x * 0.5f + 0.5f;
+    feature[5] = pt.normal.y * 0.5f + 0.5f;
+    feature[6] = pt.normal.z * 0.5f + 0.5f;
+    feature[7] = pt.specular;
+    feature[8] = pt.shininess / kShinScale;
+}
+
+BakedPoint
+decodeBakedFeature(const float *feature)
+{
+    BakedPoint pt;
+    pt.sigma = std::fmax(0.0f, feature[0]) * kSigmaScale;
+    pt.diffuse = {clamp(feature[1], 0.0f, 1.0f),
+                  clamp(feature[2], 0.0f, 1.0f),
+                  clamp(feature[3], 0.0f, 1.0f)};
+    Vec3 n{feature[4] * 2.0f - 1.0f, feature[5] * 2.0f - 1.0f,
+           feature[6] * 2.0f - 1.0f};
+    pt.normal = n.normalized();
+    pt.specular = clamp(feature[7], 0.0f, 1.0f);
+    pt.shininess = std::fmax(1.0f, feature[8] * kShinScale);
+    return pt;
+}
+
+Decoder::Decoder(const Vec3 &lightDir, int hiddenWidth, int hiddenLayers,
+                 std::uint64_t nominalMacs, float residualAmp,
+                 std::uint64_t seed)
+    : _lightDir(lightDir.normalized()),
+      _mlp(
+          [&] {
+              std::vector<int> dims;
+              dims.push_back(kFeatureDim + 3); // feature + view direction
+              for (int l = 0; l < hiddenLayers; ++l)
+                  dims.push_back(hiddenWidth);
+              dims.push_back(4); // sigma residual (unused) + rgb residual
+              return dims;
+          }(),
+          seed),
+      _nominalMacs(nominalMacs ? nominalMacs : _mlp.macsPerInference()),
+      _residualAmp(residualAmp)
+{
+}
+
+DecodedSample
+Decoder::decode(const float *feature, const Vec3 &viewDir) const
+{
+    BakedPoint pt = decodeBakedFeature(feature);
+
+    DecodedSample out;
+    out.sigma = pt.sigma;
+    if (pt.sigma <= 0.0f)
+        return out;
+
+    out.rgb = shadePoint(pt, viewDir, _lightDir);
+
+    // Residual from the executed (frozen, random) MLP: stands in for the
+    // irreducible reconstruction error of a trained network.
+    float in[kFeatureDim + 3];
+    for (int i = 0; i < kFeatureDim; ++i)
+        in[i] = feature[i];
+    Vec3 v = viewDir.normalized();
+    in[kFeatureDim + 0] = v.x;
+    in[kFeatureDim + 1] = v.y;
+    in[kFeatureDim + 2] = v.z;
+
+    float res[4];
+    _mlp.forward(in, res);
+    out.rgb.x = clamp(out.rgb.x + _residualAmp * std::tanh(res[1]),
+                      0.0f, 1.0f);
+    out.rgb.y = clamp(out.rgb.y + _residualAmp * std::tanh(res[2]),
+                      0.0f, 1.0f);
+    out.rgb.z = clamp(out.rgb.z + _residualAmp * std::tanh(res[3]),
+                      0.0f, 1.0f);
+    return out;
+}
+
+} // namespace cicero

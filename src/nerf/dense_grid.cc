@@ -1,0 +1,190 @@
+#include "nerf/dense_grid.hh"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace cicero {
+
+DenseGridEncoding::DenseGridEncoding(int voxelsPerAxis, GridLayout layout,
+                                     int blockVerts)
+    : _n(voxelsPerAxis),
+      _v(voxelsPerAxis + 1),
+      _layout(layout),
+      _blockVerts(blockVerts),
+      _blocksPerAxis((_v + blockVerts - 1) / blockVerts),
+      _data(static_cast<std::size_t>(_v) * _v * _v * kFeatureDim, 0.0f)
+{
+    assert(voxelsPerAxis >= 1 && blockVerts >= 2);
+}
+
+std::size_t
+DenseGridEncoding::storageIndex(int ix, int iy, int iz) const
+{
+    return ((static_cast<std::size_t>(iz) * _v + iy) * _v + ix) *
+           kFeatureDim;
+}
+
+std::uint64_t
+DenseGridEncoding::modelBytes() const
+{
+    return static_cast<std::uint64_t>(_v) * _v * _v * vertexBytes();
+}
+
+std::uint64_t
+DenseGridEncoding::interpOpsPerSample() const
+{
+    // Weight computation plus 8-corner weighted accumulation per channel.
+    return 24 + 8ull * kFeatureDim;
+}
+
+void
+DenseGridEncoding::bake(const AnalyticField &field)
+{
+    const Aabb &b = field.bounds();
+    Vec3 e = b.extent();
+    for (int iz = 0; iz < _v; ++iz) {
+        for (int iy = 0; iy < _v; ++iy) {
+            for (int ix = 0; ix < _v; ++ix) {
+                Vec3 p{b.lo.x + e.x * ix / _n, b.lo.y + e.y * iy / _n,
+                       b.lo.z + e.z * iz / _n};
+                BakedPoint bp = field.bakePoint(p);
+                encodeBakedPoint(bp,
+                                 _data.data() + storageIndex(ix, iy, iz));
+            }
+        }
+    }
+}
+
+std::uint32_t
+DenseGridEncoding::mvoxelOfVertex(int ix, int iy, int iz) const
+{
+    std::uint32_t bx = ix / _blockVerts;
+    std::uint32_t by = iy / _blockVerts;
+    std::uint32_t bz = iz / _blockVerts;
+    return (bz * _blocksPerAxis + by) * _blocksPerAxis + bx;
+}
+
+std::uint32_t
+DenseGridEncoding::numMVoxels() const
+{
+    return _blocksPerAxis * _blocksPerAxis * _blocksPerAxis;
+}
+
+std::uint64_t
+DenseGridEncoding::mvoxelBytes() const
+{
+    return static_cast<std::uint64_t>(_blockVerts) * _blockVerts *
+           _blockVerts * vertexBytes();
+}
+
+std::uint64_t
+DenseGridEncoding::mvoxelBaseAddr(std::uint32_t id) const
+{
+    return id * mvoxelBytes();
+}
+
+std::uint64_t
+DenseGridEncoding::vertexAddr(int ix, int iy, int iz) const
+{
+    if (_layout == GridLayout::Linear) {
+        return ((static_cast<std::uint64_t>(iz) * _v + iy) * _v + ix) *
+               vertexBytes();
+    }
+    // MVoxelBlocked: block base + x-fastest offset within the block.
+    std::uint32_t block = mvoxelOfVertex(ix, iy, iz);
+    int lx = ix % _blockVerts;
+    int ly = iy % _blockVerts;
+    int lz = iz % _blockVerts;
+    std::uint64_t local =
+        (static_cast<std::uint64_t>(lz) * _blockVerts + ly) * _blockVerts +
+        lx;
+    return mvoxelBaseAddr(block) + local * vertexBytes();
+}
+
+const float *
+DenseGridEncoding::vertexData(int ix, int iy, int iz) const
+{
+    return _data.data() + storageIndex(ix, iy, iz);
+}
+
+std::array<GridCorner, 8>
+DenseGridEncoding::corners(const Vec3 &pn) const
+{
+    float fx = clamp(pn.x, 0.0f, 1.0f) * _n;
+    float fy = clamp(pn.y, 0.0f, 1.0f) * _n;
+    float fz = clamp(pn.z, 0.0f, 1.0f) * _n;
+    int x0 = std::min(static_cast<int>(fx), _n - 1);
+    int y0 = std::min(static_cast<int>(fy), _n - 1);
+    int z0 = std::min(static_cast<int>(fz), _n - 1);
+    float tx = fx - x0;
+    float ty = fy - y0;
+    float tz = fz - z0;
+
+    std::array<GridCorner, 8> out;
+    for (int c = 0; c < 8; ++c) {
+        int dx = c & 1;
+        int dy = (c >> 1) & 1;
+        int dz = (c >> 2) & 1;
+        GridCorner &gc = out[c];
+        gc.ix = x0 + dx;
+        gc.iy = y0 + dy;
+        gc.iz = z0 + dz;
+        gc.weight = (dx ? tx : 1.0f - tx) * (dy ? ty : 1.0f - ty) *
+                    (dz ? tz : 1.0f - tz);
+        gc.addr = vertexAddr(gc.ix, gc.iy, gc.iz);
+        gc.mvoxel = mvoxelOfVertex(gc.ix, gc.iy, gc.iz);
+    }
+    return out;
+}
+
+void
+DenseGridEncoding::gatherFeature(const Vec3 &pn, float *out) const
+{
+    auto cs = corners(pn);
+    for (int ch = 0; ch < kFeatureDim; ++ch)
+        out[ch] = 0.0f;
+    for (const GridCorner &c : cs) {
+        const float *v = vertexData(c.ix, c.iy, c.iz);
+        for (int ch = 0; ch < kFeatureDim; ++ch)
+            out[ch] += c.weight * v[ch];
+    }
+}
+
+void
+DenseGridEncoding::gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
+                                  std::vector<MemAccess> &out) const
+{
+    auto cs = corners(pn);
+    for (const GridCorner &c : cs)
+        out.push_back(MemAccess{c.addr, vertexBytes(), rayId});
+}
+
+StreamPlan
+DenseGridEncoding::streamingFootprint(
+    const std::vector<Vec3> &positions) const
+{
+    StreamPlan plan;
+    std::unordered_set<std::uint32_t> touched;
+    for (const Vec3 &pn : positions) {
+        auto cs = corners(pn);
+        // RIT entries: one per (sample, distinct MVoxel) pair — partial
+        // interpolation accumulates across MVoxel boundaries (DESIGN.md).
+        std::uint32_t seen[8];
+        int nSeen = 0;
+        for (const GridCorner &c : cs) {
+            touched.insert(c.mvoxel);
+            bool dup = false;
+            for (int i = 0; i < nSeen; ++i)
+                dup = dup || seen[i] == c.mvoxel;
+            if (!dup)
+                seen[nSeen++] = c.mvoxel;
+        }
+        plan.ritEntries += nSeen;
+    }
+    plan.streamedBytes = touched.size() * mvoxelBytes();
+    plan.ritBytes = plan.ritEntries * 48; // paper: 48 B per RIT entry
+    return plan;
+}
+
+} // namespace cicero

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The Encoding interface: a NeRF model's spatial feature representation.
+ *
+ * An encoding supports three queries:
+ *  - gatherFeature(): the functional path — interpolate the feature
+ *    vector at a normalized scene position;
+ *  - gatherAccesses(): the instrumentation path — the DRAM accesses that
+ *    gathering at this position performs, emitted for the memory models;
+ *  - streamingFootprint(): what the fully-streaming data flow of
+ *    Sec. IV-A would move for a set of sample positions (streamed MVoxel
+ *    bytes, residual random bytes, RIT size).
+ */
+
+#ifndef CICERO_NERF_ENCODING_HH
+#define CICERO_NERF_ENCODING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/math.hh"
+#include "memory/trace.hh"
+#include "scene/field.hh"
+
+namespace cicero {
+
+/** Feature channels are stored as 2-byte (fp16-class) values in DRAM. */
+constexpr std::uint32_t kBytesPerChannel = 2;
+
+/**
+ * What the fully-streaming data flow moves for a workload. All byte
+ * counts are DRAM traffic for the voxel/feature structures only.
+ */
+struct StreamPlan
+{
+    std::uint64_t streamedBytes = 0; //!< MVoxel chunks, read exactly once
+    std::uint64_t randomBytes = 0;   //!< residual non-streamable traffic
+    std::uint64_t ritEntries = 0;    //!< Ray Index Table entries built
+    std::uint64_t ritBytes = 0;      //!< RIT DRAM footprint (48 B/entry)
+};
+
+/**
+ * Abstract spatial feature encoding over the unit cube [0,1]^3.
+ */
+class Encoding
+{
+  public:
+    virtual ~Encoding() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Channels of the interpolated feature vector. */
+    virtual int featureDim() const = 0;
+
+    /** Bytes of feature storage actually allocated. */
+    virtual std::uint64_t modelBytes() const = 0;
+
+    /** Vertex/texel fetches issued per sample gather. */
+    virtual std::uint32_t fetchesPerSample() const = 0;
+
+    /** Arithmetic ops of one interpolation. */
+    virtual std::uint64_t interpOpsPerSample() const = 0;
+
+    /** Indexing-stage ops per sample (voxel IDs, hashes, projections). */
+    virtual std::uint64_t indexOpsPerSample() const = 0;
+
+    /** Bake the encoding from the analytic ground-truth field. */
+    virtual void bake(const AnalyticField &field) = 0;
+
+    /**
+     * Interpolate the feature at normalized position @p pn in [0,1]^3.
+     * @param out featureDim() floats.
+     */
+    virtual void gatherFeature(const Vec3 &pn, float *out) const = 0;
+
+    /** Append the DRAM accesses of gathering at @p pn to @p out. */
+    virtual void gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
+                                std::vector<MemAccess> &out) const = 0;
+
+    /**
+     * Compute the fully-streaming footprint for @p positions (normalized
+     * sample positions of one frame or batch).
+     */
+    virtual StreamPlan
+    streamingFootprint(const std::vector<Vec3> &positions) const = 0;
+};
+
+} // namespace cicero
+
+#endif // CICERO_NERF_ENCODING_HH

@@ -1,0 +1,69 @@
+#include "nerf/mlp.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace cicero {
+
+Mlp::Mlp(std::vector<int> dims, std::uint64_t seed) : _dims(std::move(dims))
+{
+    assert(_dims.size() >= 2);
+    Rng rng(seed);
+    int maxWidth = 0;
+    for (std::size_t l = 0; l + 1 < _dims.size(); ++l) {
+        int in = _dims[l];
+        int out = _dims[l + 1];
+        maxWidth = std::max({maxWidth, in, out});
+        float scale = std::sqrt(6.0f / (in + out));
+        std::vector<float> w(static_cast<std::size_t>(in) * out);
+        for (auto &v : w)
+            v = rng.uniform(-scale, scale);
+        _weights.push_back(std::move(w));
+        _biases.emplace_back(out, 0.0f);
+        _macs += static_cast<std::uint64_t>(in) * out;
+    }
+    _scratchA.resize(maxWidth);
+    _scratchB.resize(maxWidth);
+}
+
+std::uint64_t
+Mlp::weightBytes() const
+{
+    std::uint64_t params = 0;
+    for (std::size_t l = 0; l < _weights.size(); ++l)
+        params += _weights[l].size() + _biases[l].size();
+    return params * 2; // fp16 storage
+}
+
+void
+Mlp::forward(const float *in, float *out) const
+{
+    const float *src = in;
+    float *cur = _scratchA.data();
+    float *nxt = _scratchB.data();
+
+    for (std::size_t l = 0; l < _weights.size(); ++l) {
+        int ni = _dims[l];
+        int no = _dims[l + 1];
+        const float *w = _weights[l].data();
+        const float *b = _biases[l].data();
+        bool last = l + 1 == _weights.size();
+        float *dst = last ? out : nxt;
+        for (int o = 0; o < no; ++o) {
+            float acc = b[o];
+            const float *row = w + static_cast<std::size_t>(o) * ni;
+            for (int i = 0; i < ni; ++i)
+                acc += row[i] * src[i];
+            dst[o] = last ? acc : std::fmax(0.0f, acc); // ReLU hidden
+        }
+        if (!last) {
+            src = dst;
+            std::swap(cur, nxt);
+        }
+    }
+}
+
+} // namespace cicero

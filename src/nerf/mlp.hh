@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A small fully-connected network with ReLU hidden activations — the
+ * "Feature Computation" MLP of NeRF models. Weight storage is plain
+ * row-major float; the forward pass reports its multiply-accumulate
+ * count so timing models can price it.
+ */
+
+#ifndef CICERO_NERF_MLP_HH
+#define CICERO_NERF_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace cicero {
+
+/**
+ * Multilayer perceptron: dims = {in, h1, ..., out}; ReLU after every
+ * layer except the last.
+ */
+class Mlp
+{
+  public:
+    /**
+     * @param dims Layer widths, at least {in, out}.
+     * @param seed Weight-init seed (Xavier-uniform).
+     */
+    explicit Mlp(std::vector<int> dims, std::uint64_t seed = 1);
+
+    int inputDim() const { return _dims.front(); }
+    int outputDim() const { return _dims.back(); }
+
+    /** MACs of one forward pass. */
+    std::uint64_t macsPerInference() const { return _macs; }
+
+    /** Total bytes of weights + biases (2 bytes/param, fp16 storage). */
+    std::uint64_t weightBytes() const;
+
+    /**
+     * Forward pass.
+     *
+     * @param in  inputDim() floats.
+     * @param out outputDim() floats.
+     */
+    void forward(const float *in, float *out) const;
+
+    /** Direct access for tests. */
+    std::vector<std::vector<float>> &weights() { return _weights; }
+    std::vector<std::vector<float>> &biases() { return _biases; }
+
+  private:
+    std::vector<int> _dims;
+    // _weights[l] is row-major (dims[l+1] x dims[l]).
+    std::vector<std::vector<float>> _weights;
+    std::vector<std::vector<float>> _biases;
+    std::uint64_t _macs = 0;
+    mutable std::vector<float> _scratchA, _scratchB;
+};
+
+} // namespace cicero
+
+#endif // CICERO_NERF_MLP_HH

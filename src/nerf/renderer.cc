@@ -1,0 +1,306 @@
+#include "nerf/renderer.hh"
+
+#include "nerf/volume_renderer.hh"
+
+namespace cicero {
+
+NerfModel::NerfModel(const Scene &scene,
+                     std::unique_ptr<Encoding> encoding,
+                     std::uint64_t nominalMlpMacs,
+                     const SamplerConfig &sampler, std::uint64_t seed)
+    : _scene(scene),
+      _encoding(std::move(encoding)),
+      _decoder(scene.field.lightDir(), 16, 1, nominalMlpMacs, 0.01f, seed),
+      _occupancy(_scene.field, sampler.occupancyRes,
+                 sampler.occupancySigma),
+      _sampler(_scene.field.bounds(), &_occupancy, sampler),
+      _workloadSampler(_scene.field.bounds(), nullptr, sampler),
+      _nominalMlpMacs(nominalMlpMacs)
+{
+    _encoding->bake(_scene.field);
+}
+
+std::uint64_t
+NerfModel::modelBytes() const
+{
+    return _encoding->modelBytes() + _decoder.weightBytes();
+}
+
+void
+NerfModel::renderOne(const Camera &camera, int px, int py,
+                     std::uint32_t rayId, Vec3 &rgbOut, float &depthOut,
+                     StageWork &work, TraceSink *trace,
+                     BakedPoint *gbufOut) const
+{
+    thread_local std::vector<RaySample> samples;
+    thread_local std::vector<MemAccess> accessBuf;
+    float feature[kFeatureDim];
+
+    Ray ray = camera.generateRay(px, py);
+    int n = _sampler.sample(ray, samples);
+
+    ++work.rays;
+    work.indexOps += static_cast<std::uint64_t>(n) *
+                     _encoding->indexOpsPerSample();
+
+    // Optional G-buffer accumulation: opacity-weighted material
+    // attributes, normalized at the end.
+    BakedPoint gAcc;
+    Vec3 gNormal;
+    float gWeight = 0.0f;
+    gAcc.diffuse = Vec3{};
+    gAcc.specular = 0.0f;
+    gAcc.shininess = 0.0f;
+
+    Compositor comp;
+    int computed = 0;
+    for (int i = 0; i < n; ++i) {
+        const RaySample &s = samples[i];
+        ++computed;
+
+        if (trace) {
+            accessBuf.clear();
+            _encoding->gatherAccesses(s.pn, rayId, accessBuf);
+            for (const MemAccess &a : accessBuf)
+                trace->onAccess(a);
+        }
+
+        _encoding->gatherFeature(s.pn, feature);
+        DecodedSample d = _decoder.decode(feature, ray.dir);
+
+        if (gbufOut && d.sigma > 0.0f) {
+            float tBefore = comp.transmittance();
+            float alpha = 1.0f - std::exp(-d.sigma * s.dt);
+            float w = tBefore * alpha;
+            BakedPoint bp = decodeBakedFeature(feature);
+            gAcc.diffuse += bp.diffuse * w;
+            gNormal += bp.normal * w;
+            gAcc.specular += bp.specular * w;
+            gAcc.shininess += bp.shininess * w;
+            gWeight += w;
+        }
+
+        if (!comp.add(d.sigma, d.rgb, s.t, s.dt))
+            break;
+    }
+
+    if (gbufOut) {
+        if (gWeight > 1e-4f) {
+            float inv = 1.0f / gWeight;
+            gbufOut->diffuse = gAcc.diffuse * inv;
+            gbufOut->normal = gNormal.normalized();
+            gbufOut->specular = gAcc.specular * inv;
+            gbufOut->shininess = gAcc.shininess * inv;
+            gbufOut->sigma = gWeight; // records accumulated opacity
+        } else {
+            *gbufOut = BakedPoint{};
+            gbufOut->sigma = 0.0f;
+        }
+    }
+
+    work.samples += computed;
+    work.vertexFetches += static_cast<std::uint64_t>(computed) *
+                          _encoding->fetchesPerSample();
+    work.gatherBytes += static_cast<std::uint64_t>(computed) *
+                        _encoding->fetchesPerSample() *
+                        (_encoding->featureDim() * kBytesPerChannel);
+    work.interpOps += static_cast<std::uint64_t>(computed) *
+                      _encoding->interpOpsPerSample();
+    work.mlpMacs += static_cast<std::uint64_t>(computed) * _nominalMlpMacs;
+    work.compositeOps += static_cast<std::uint64_t>(computed) * 12;
+
+    if (trace)
+        trace->onRayEnd(rayId);
+
+    CompositeResult r = comp.finish(_scene.background);
+    rgbOut = r.rgb;
+    depthOut = r.depth;
+}
+
+RenderResult
+NerfModel::render(const Camera &camera, TraceSink *trace,
+                  bool wantGBuffer) const
+{
+    RenderResult out;
+    out.image = Image(camera.width, camera.height);
+    out.depth = DepthMap(camera.width, camera.height);
+    if (wantGBuffer)
+        out.gbuffer = GBuffer(camera.width, camera.height);
+
+    std::uint32_t rayId = 0;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px, ++rayId) {
+            Vec3 rgb;
+            float d;
+            renderOne(camera, px, py, rayId, rgb, d, out.work, trace,
+                      wantGBuffer ? &out.gbuffer.at(px, py) : nullptr);
+            out.image.at(px, py) = rgb;
+            out.depth.at(px, py) = d;
+        }
+    }
+    if (trace)
+        trace->onFlush();
+    return out;
+}
+
+StageWork
+NerfModel::renderPixels(const Camera &camera,
+                        const std::vector<std::uint32_t> &pixelIds,
+                        Image &image, DepthMap &depth,
+                        TraceSink *trace) const
+{
+    StageWork work;
+    for (std::uint32_t id : pixelIds) {
+        int px = id % camera.width;
+        int py = id / camera.width;
+        Vec3 rgb;
+        float d;
+        renderOne(camera, px, py, id, rgb, d, work, trace);
+        image.at(px, py) = rgb;
+        depth.at(px, py) = d;
+    }
+    if (trace)
+        trace->onFlush();
+    return work;
+}
+
+void
+NerfModel::traceOne(const Camera &camera, int px, int py,
+                    std::uint32_t rayId, StageWork &work,
+                    TraceSink *trace) const
+{
+    thread_local std::vector<RaySample> samples;
+    thread_local std::vector<MemAccess> accessBuf;
+
+    Ray ray = camera.generateRay(px, py);
+    int n = _workloadSampler.sample(ray, samples);
+
+    ++work.rays;
+    work.indexOps += static_cast<std::uint64_t>(n) *
+                     _encoding->indexOpsPerSample();
+
+    std::uint64_t shaded = 0;
+    for (int i = 0; i < n; ++i) {
+        const RaySample &s = samples[i];
+        if (trace) {
+            accessBuf.clear();
+            _encoding->gatherAccesses(s.pn, rayId, accessBuf);
+            for (const MemAccess &a : accessBuf)
+                trace->onAccess(a);
+        }
+        // Only samples in occupied space reach Feature Computation.
+        if (_occupancy.occupiedNormalized(s.pn))
+            ++shaded;
+    }
+    if (trace)
+        trace->onRayEnd(rayId);
+
+    work.samples += n;
+    work.vertexFetches += static_cast<std::uint64_t>(n) *
+                          _encoding->fetchesPerSample();
+    work.gatherBytes += static_cast<std::uint64_t>(n) *
+                        _encoding->fetchesPerSample() *
+                        (_encoding->featureDim() * kBytesPerChannel);
+    work.interpOps += static_cast<std::uint64_t>(n) *
+                      _encoding->interpOpsPerSample();
+    work.mlpMacs += shaded * _nominalMlpMacs;
+    work.compositeOps += shaded * 12;
+}
+
+StageWork
+NerfModel::traceWorkload(const Camera &camera, TraceSink *trace) const
+{
+    StageWork work;
+    std::uint32_t rayId = 0;
+    for (int py = 0; py < camera.height; ++py)
+        for (int px = 0; px < camera.width; ++px, ++rayId)
+            traceOne(camera, px, py, rayId, work, trace);
+    if (trace)
+        trace->onFlush();
+    return work;
+}
+
+StageWork
+NerfModel::traceWorkloadPixels(const Camera &camera,
+                               const std::vector<std::uint32_t> &pixelIds,
+                               TraceSink *trace) const
+{
+    StageWork work;
+    for (std::uint32_t id : pixelIds) {
+        traceOne(camera, id % camera.width, id / camera.width, id, work,
+                 trace);
+    }
+    if (trace)
+        trace->onFlush();
+    return work;
+}
+
+std::vector<Vec3>
+NerfModel::collectSamplePositions(const Camera &camera) const
+{
+    std::vector<Vec3> positions;
+    std::vector<RaySample> samples;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px) {
+            Ray ray = camera.generateRay(px, py);
+            int n = _sampler.sample(ray, samples);
+            for (int i = 0; i < n; ++i)
+                positions.push_back(samples[i].pn);
+        }
+    }
+    return positions;
+}
+
+std::vector<Vec3>
+NerfModel::collectSamplePositionsPixels(
+    const Camera &camera,
+    const std::vector<std::uint32_t> &pixelIds) const
+{
+    std::vector<Vec3> positions;
+    std::vector<RaySample> samples;
+    for (std::uint32_t id : pixelIds) {
+        Ray ray =
+            camera.generateRay(id % camera.width, id / camera.width);
+        int n = _sampler.sample(ray, samples);
+        for (int i = 0; i < n; ++i)
+            positions.push_back(samples[i].pn);
+    }
+    return positions;
+}
+
+RenderResult
+renderGroundTruth(const Scene &scene, const Camera &camera,
+                  int stepsAcross)
+{
+    RenderResult out;
+    out.image = Image(camera.width, camera.height);
+    out.depth = DepthMap(camera.width, camera.height);
+
+    SamplerConfig cfg;
+    cfg.stepsAcross = stepsAcross;
+    cfg.maxSamplesPerRay = stepsAcross * 2;
+    OccupancyGrid occupancy(scene.field, cfg.occupancyRes,
+                            cfg.occupancySigma);
+    RaySampler sampler(scene.field.bounds(), &occupancy, cfg);
+
+    std::vector<RaySample> samples;
+    for (int py = 0; py < camera.height; ++py) {
+        for (int px = 0; px < camera.width; ++px) {
+            Ray ray = camera.generateRay(px, py);
+            int n = sampler.sample(ray, samples);
+            Compositor comp;
+            for (int i = 0; i < n; ++i) {
+                const RaySample &s = samples[i];
+                FieldSample f = scene.field.sample(s.pos, ray.dir);
+                if (!comp.add(f.sigma, f.rgb, s.t, s.dt))
+                    break;
+            }
+            CompositeResult r = comp.finish(scene.background);
+            out.image.at(px, py) = r.rgb;
+            out.depth.at(px, py) = r.depth;
+        }
+    }
+    return out;
+}
+
+} // namespace cicero

@@ -1,0 +1,130 @@
+#include "nerf/sampler.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace cicero {
+
+OccupancyGrid::OccupancyGrid(const AnalyticField &field, int res,
+                             float sigmaThresh)
+    : _res(res), _bounds(field.bounds()),
+      _cells(static_cast<std::size_t>(res) * res * res, 0)
+{
+    assert(res >= 2);
+    Vec3 e = _bounds.extent();
+    // Sample cell centers, then dilate by one cell so thin or grazing
+    // features are never skipped.
+    _raw.assign(_cells.size(), 0);
+    std::vector<char> &raw = _raw;
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                Vec3 p{_bounds.lo.x + e.x * (x + 0.5f) / res,
+                       _bounds.lo.y + e.y * (y + 0.5f) / res,
+                       _bounds.lo.z + e.z * (z + 0.5f) / res};
+                raw[idx(x, y, z)] = field.density(p) > sigmaThresh;
+            }
+        }
+    }
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                bool occ = false;
+                for (int dz = -1; dz <= 1 && !occ; ++dz) {
+                    for (int dy = -1; dy <= 1 && !occ; ++dy) {
+                        for (int dx = -1; dx <= 1 && !occ; ++dx) {
+                            int nx = x + dx, ny = y + dy, nz = z + dz;
+                            if (nx < 0 || ny < 0 || nz < 0 || nx >= res ||
+                                ny >= res || nz >= res)
+                                continue;
+                            occ = raw[idx(nx, ny, nz)];
+                        }
+                    }
+                }
+                _cells[idx(x, y, z)] = occ;
+            }
+        }
+    }
+}
+
+bool
+OccupancyGrid::occupiedNormalized(const Vec3 &pn) const
+{
+    int x = clamp(static_cast<int>(pn.x * _res), 0, _res - 1);
+    int y = clamp(static_cast<int>(pn.y * _res), 0, _res - 1);
+    int z = clamp(static_cast<int>(pn.z * _res), 0, _res - 1);
+    return _cells[idx(x, y, z)];
+}
+
+bool
+OccupancyGrid::occupied(const Vec3 &p) const
+{
+    if (!_bounds.contains(p))
+        return false;
+    return occupiedNormalized(_bounds.normalize(p));
+}
+
+bool
+OccupancyGrid::rayHitsOccupied(const Ray &ray) const
+{
+    auto hit = _bounds.intersect(ray);
+    if (!hit)
+        return false;
+    auto [t0, t1] = *hit;
+    float cell = _bounds.extent().minComponent() / _res;
+    float step = 0.5f * cell;
+    for (float t = t0 + 0.5f * step; t < t1; t += step) {
+        Vec3 p = ray.at(t);
+        if (!_bounds.contains(p))
+            continue;
+        Vec3 pn = _bounds.normalize(p);
+        int x = clamp(static_cast<int>(pn.x * _res), 0, _res - 1);
+        int y = clamp(static_cast<int>(pn.y * _res), 0, _res - 1);
+        int z = clamp(static_cast<int>(pn.z * _res), 0, _res - 1);
+        if (_raw[idx(x, y, z)])
+            return true;
+    }
+    return false;
+}
+
+double
+OccupancyGrid::occupancyFraction() const
+{
+    std::size_t occ = 0;
+    for (char c : _cells)
+        occ += c;
+    return static_cast<double>(occ) / _cells.size();
+}
+
+RaySampler::RaySampler(const Aabb &bounds, const OccupancyGrid *occupancy,
+                       const SamplerConfig &config)
+    : _bounds(bounds), _occupancy(occupancy), _config(config),
+      _step(bounds.extent().norm() / config.stepsAcross)
+{
+}
+
+int
+RaySampler::sample(const Ray &ray, std::vector<RaySample> &out) const
+{
+    out.clear();
+    auto hit = _bounds.intersect(ray);
+    if (!hit)
+        return 0;
+    auto [t0, t1] = *hit;
+
+    Vec3 e = _bounds.extent();
+    for (float t = t0 + 0.5f * _step;
+         t < t1 &&
+         static_cast<int>(out.size()) < _config.maxSamplesPerRay;
+         t += _step) {
+        Vec3 p = ray.at(t);
+        Vec3 pn{(p.x - _bounds.lo.x) / e.x, (p.y - _bounds.lo.y) / e.y,
+                (p.z - _bounds.lo.z) / e.z};
+        if (_occupancy && !_occupancy->occupiedNormalized(pn))
+            continue;
+        out.push_back(RaySample{p, pn, t, _step});
+    }
+    return static_cast<int>(out.size());
+}
+
+} // namespace cicero

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Ray sampling: uniform marching through the scene AABB with
+ * occupancy-grid empty-space skipping (the coarse grid every modern
+ * NeRF model maintains).
+ */
+
+#ifndef CICERO_NERF_SAMPLER_HH
+#define CICERO_NERF_SAMPLER_HH
+
+#include <vector>
+
+#include "common/geometry.hh"
+#include "scene/field.hh"
+
+namespace cicero {
+
+/** Sampling parameters. */
+struct SamplerConfig
+{
+    int stepsAcross = 192;    //!< uniform steps across the AABB diagonal
+    int maxSamplesPerRay = 256;
+    int occupancyRes = 64;    //!< occupancy grid voxels per axis
+    float occupancySigma = 0.5f; //!< density threshold for "occupied"
+};
+
+/**
+ * A binary occupancy grid over the scene bounds, baked from the analytic
+ * field with one voxel of dilation. Also provides the cheap
+ * ray-vs-occupancy test SPARW uses to separate void from disocclusion.
+ */
+class OccupancyGrid
+{
+  public:
+    OccupancyGrid(const AnalyticField &field, int res, float sigmaThresh);
+
+    int res() const { return _res; }
+    const Aabb &bounds() const { return _bounds; }
+
+    /** Occupancy (dilated) at normalized position @p pn in [0,1]^3. */
+    bool occupiedNormalized(const Vec3 &pn) const;
+
+    /** Occupancy (dilated) at world position @p p. */
+    bool occupied(const Vec3 &p) const;
+
+    /**
+     * March @p ray through the bounds at occupancy-cell granularity.
+     * Uses the *raw* (un-dilated) occupancy: the dilation exists to keep
+     * sampling conservative, but the SPARW void test wants the tight
+     * surface so silhouette-adjacent background pixels classify as void
+     * rather than triggering needless sparse rendering.
+     *
+     * @return true if any occupied cell is crossed (SPARW's depth test).
+     */
+    bool rayHitsOccupied(const Ray &ray) const;
+
+    /** Fraction of occupied cells (diagnostics). */
+    double occupancyFraction() const;
+
+  private:
+    std::size_t idx(int x, int y, int z) const
+    {
+        return (static_cast<std::size_t>(z) * _res + y) * _res + x;
+    }
+
+    int _res;
+    Aabb _bounds;
+    std::vector<char> _cells; //!< dilated occupancy (sampling)
+    std::vector<char> _raw;   //!< un-dilated occupancy (void test)
+};
+
+/** One ray sample produced by the sampler. */
+struct RaySample
+{
+    Vec3 pos;  //!< world position
+    Vec3 pn;   //!< normalized [0,1]^3 position
+    float t;   //!< ray parameter
+    float dt;  //!< segment length for compositing
+};
+
+/**
+ * Uniform ray marcher with occupancy skipping.
+ */
+class RaySampler
+{
+  public:
+    RaySampler(const Aabb &bounds, const OccupancyGrid *occupancy,
+               const SamplerConfig &config);
+
+    /**
+     * Sample @p ray; appends to @p out (which is cleared first).
+     * @return number of samples produced.
+     */
+    int sample(const Ray &ray, std::vector<RaySample> &out) const;
+
+    float stepSize() const { return _step; }
+    const SamplerConfig &config() const { return _config; }
+
+  private:
+    Aabb _bounds;
+    const OccupancyGrid *_occupancy;
+    SamplerConfig _config;
+    float _step;
+};
+
+} // namespace cicero
+
+#endif // CICERO_NERF_SAMPLER_HH

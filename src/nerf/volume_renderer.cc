@@ -1,0 +1,4 @@
+// Compositor is header-only; this translation unit exists so the build
+// has a home for future out-of-line additions and keeps one .cc per
+// header convention.
+#include "nerf/volume_renderer.hh"

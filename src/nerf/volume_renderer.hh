@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Classic volume-rendering compositor (Kajiya/Levoy quadrature): per-ray
+ * front-to-back alpha accumulation of (sigma, rgb) samples, producing
+ * color, opacity and the expected depth SPARW's point-cloud conversion
+ * consumes.
+ */
+
+#ifndef CICERO_NERF_VOLUME_RENDERER_HH
+#define CICERO_NERF_VOLUME_RENDERER_HH
+
+#include "common/image.hh"
+#include "common/math.hh"
+
+namespace cicero {
+
+/** Final composited value of one ray. */
+struct CompositeResult
+{
+    Vec3 rgb;
+    float depth = kInfiniteDepth; //!< expected hit depth, or infinite
+    float opacity = 0.0f;         //!< 1 - final transmittance
+};
+
+/**
+ * Front-to-back compositor for a single ray. Usage:
+ *   Compositor c;
+ *   for (sample : samples)
+ *       if (!c.add(sigma, rgb, t, dt)) break;   // saturated
+ *   result = c.finish(background);
+ */
+class Compositor
+{
+  public:
+    /** Transmittance below which accumulation early-terminates. */
+    static constexpr float kEarlyStopT = 1e-3f;
+
+    /** Opacity below which a ray is classified as hitting nothing. */
+    static constexpr float kVoidOpacity = 0.2f;
+
+    /**
+     * Accumulate one sample.
+     * @return false once transmittance fell below kEarlyStopT (the
+     * caller should stop marching).
+     */
+    bool
+    add(float sigma, const Vec3 &rgb, float t, float dt)
+    {
+        if (sigma > 0.0f) {
+            float alpha = 1.0f - std::exp(-sigma * dt);
+            float w = _trans * alpha;
+            _color += rgb * w;
+            _depthAcc += t * w;
+            _trans *= 1.0f - alpha;
+        }
+        return _trans > kEarlyStopT;
+    }
+
+    float transmittance() const { return _trans; }
+
+    /**
+     * Blend with the @p background and derive the expected depth.
+     */
+    CompositeResult
+    finish(const Vec3 &background) const
+    {
+        CompositeResult r;
+        r.opacity = 1.0f - _trans;
+        r.rgb = _color + background * _trans;
+        if (r.opacity >= kVoidOpacity)
+            r.depth = _depthAcc / r.opacity;
+        return r;
+    }
+
+  private:
+    float _trans = 1.0f;
+    Vec3 _color;
+    float _depthAcc = 0.0f;
+};
+
+} // namespace cicero
+
+#endif // CICERO_NERF_VOLUME_RENDERER_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-frame work accounting for the three NeRF pipeline stages
+ * (Indexing, Feature Gathering, Feature Computation — Fig. 1 of the
+ * paper). Timing and energy models consume these counts, so functional
+ * rendering never has to be repeated for performance experiments.
+ */
+
+#ifndef CICERO_NERF_WORKLOAD_HH
+#define CICERO_NERF_WORKLOAD_HH
+
+#include <cstdint>
+
+namespace cicero {
+
+/**
+ * Work performed to render a set of rays, broken down by pipeline stage.
+ */
+struct StageWork
+{
+    // Ray/sample population.
+    std::uint64_t rays = 0;
+    std::uint64_t samples = 0;
+
+    // Indexing (I): voxel-ID / level-index computations.
+    std::uint64_t indexOps = 0;
+
+    // Feature Gathering (G): vertex fetches and interpolation arithmetic.
+    std::uint64_t vertexFetches = 0;
+    std::uint64_t gatherBytes = 0;
+    std::uint64_t interpOps = 0;
+
+    // Feature Computation (F): MLP multiply-accumulates + compositing.
+    std::uint64_t mlpMacs = 0;
+    std::uint64_t compositeOps = 0;
+
+    StageWork &
+    operator+=(const StageWork &o)
+    {
+        rays += o.rays;
+        samples += o.samples;
+        indexOps += o.indexOps;
+        vertexFetches += o.vertexFetches;
+        gatherBytes += o.gatherBytes;
+        interpOps += o.interpOps;
+        mlpMacs += o.mlpMacs;
+        compositeOps += o.compositeOps;
+        return *this;
+    }
+
+    StageWork
+    operator+(const StageWork &o) const
+    {
+        StageWork r = *this;
+        r += o;
+        return r;
+    }
+
+    /** Scale all counts by @p f (e.g. to extrapolate resolution). */
+    StageWork
+    scaled(double f) const
+    {
+        auto s = [f](std::uint64_t v) {
+            return static_cast<std::uint64_t>(v * f);
+        };
+        StageWork r;
+        r.rays = s(rays);
+        r.samples = s(samples);
+        r.indexOps = s(indexOps);
+        r.vertexFetches = s(vertexFetches);
+        r.gatherBytes = s(gatherBytes);
+        r.interpOps = s(interpOps);
+        r.mlpMacs = s(mlpMacs);
+        r.compositeOps = s(compositeOps);
+        return r;
+    }
+};
+
+} // namespace cicero
+
+#endif // CICERO_NERF_WORKLOAD_HH

@@ -1,0 +1,195 @@
+#include "scene/field.hh"
+
+#include <cmath>
+
+namespace cicero {
+
+namespace {
+
+/** Smoothstep-like falloff: 1 well inside, 0 beyond the softness band. */
+float
+densityFalloff(float sd, float softness)
+{
+    // sd < 0: inside. Map sd in [-softness, softness] smoothly 1 -> 0.
+    float t = clamp(0.5f - 0.5f * sd / softness, 0.0f, 1.0f);
+    return t * t * (3.0f - 2.0f * t);
+}
+
+float
+sdfSphere(const Vec3 &p, float r)
+{
+    return p.norm() - r;
+}
+
+float
+sdfBox(const Vec3 &p, const Vec3 &half)
+{
+    Vec3 q{std::fabs(p.x) - half.x, std::fabs(p.y) - half.y,
+           std::fabs(p.z) - half.z};
+    Vec3 qmax = Vec3::max(q, Vec3{0.0f});
+    float outside = qmax.norm();
+    float inside = std::fmin(std::fmax(q.x, std::fmax(q.y, q.z)), 0.0f);
+    return outside + inside;
+}
+
+float
+sdfTorus(const Vec3 &p, float majorR, float minorR)
+{
+    float qx = std::sqrt(p.x * p.x + p.z * p.z) - majorR;
+    return std::sqrt(qx * qx + p.y * p.y) - minorR;
+}
+
+float
+sdfCylinder(const Vec3 &p, float r, float halfH)
+{
+    float dxz = std::sqrt(p.x * p.x + p.z * p.z) - r;
+    float dy = std::fabs(p.y) - halfH;
+    float ox = std::fmax(dxz, 0.0f);
+    float oy = std::fmax(dy, 0.0f);
+    return std::fmin(std::fmax(dxz, dy), 0.0f) +
+           std::sqrt(ox * ox + oy * oy);
+}
+
+} // namespace
+
+float
+Primitive::sdf(const Vec3 &p) const
+{
+    Vec3 local = rot * (p - center);
+    switch (shape) {
+      case PrimShape::Sphere:
+        return sdfSphere(local, size.x);
+      case PrimShape::Box:
+        return sdfBox(local, size);
+      case PrimShape::Torus:
+        return sdfTorus(local, size.x, size.y);
+      case PrimShape::Cylinder:
+        return sdfCylinder(local, size.x, size.y);
+      case PrimShape::RoundBox:
+        return sdfBox(local, size) - 0.25f * size.minComponent();
+    }
+    return 1e30f;
+}
+
+float
+AnalyticField::unionSdf(const Vec3 &p) const
+{
+    float d = 1e30f;
+    for (const auto &prim : _prims)
+        d = std::fmin(d, prim.sdf(p));
+    return d;
+}
+
+float
+AnalyticField::density(const Vec3 &p) const
+{
+    if (!_bounds.contains(p))
+        return 0.0f;
+    float sigma = 0.0f;
+    for (const auto &prim : _prims) {
+        float sd = prim.sdf(p);
+        if (sd < prim.softness)
+            sigma += prim.sigmaMax * densityFalloff(sd, prim.softness);
+    }
+    return sigma;
+}
+
+Vec3
+AnalyticField::normalAt(const Vec3 &p) const
+{
+    constexpr float h = 1e-3f;
+    float dx = unionSdf({p.x + h, p.y, p.z}) - unionSdf({p.x - h, p.y, p.z});
+    float dy = unionSdf({p.x, p.y + h, p.z}) - unionSdf({p.x, p.y - h, p.z});
+    float dz = unionSdf({p.x, p.y, p.z + h}) - unionSdf({p.x, p.y, p.z - h});
+    return Vec3{dx, dy, dz}.normalized();
+}
+
+Vec3
+shadePoint(const BakedPoint &pt, const Vec3 &viewDir, const Vec3 &lightDir)
+{
+    Vec3 rgb = pt.diffuse;
+    if (pt.specular > 0.0f) {
+        // Blinn-Phong lobe: the view-dependent component that makes the
+        // radiance approximation degrade for large view-angle changes
+        // (paper Sec. VIII).
+        Vec3 toEye = -viewDir.normalized();
+        Vec3 h = (toEye + lightDir).normalized();
+        float sl = std::pow(std::fmax(0.0f, pt.normal.dot(h)),
+                            pt.shininess);
+        rgb += Vec3{1.0f, 1.0f, 1.0f} * (pt.specular * sl);
+    }
+    return Vec3::min(rgb, Vec3{1.0f, 1.0f, 1.0f});
+}
+
+BakedPoint
+AnalyticField::bakePoint(const Vec3 &p) const
+{
+    BakedPoint out;
+    if (!_bounds.contains(p))
+        return out;
+
+    Vec3 colorAcc;
+    float weightAcc = 0.0f;
+    float specAcc = 0.0f;
+    float shinAcc = 0.0f;
+
+    for (const auto &prim : _prims) {
+        float sd = prim.sdf(p);
+        if (sd >= prim.softness)
+            continue;
+        float w = prim.sigmaMax * densityFalloff(sd, prim.softness);
+        if (w <= 0.0f)
+            continue;
+        out.sigma += w;
+        weightAcc += w;
+        colorAcc += prim.albedo * w;
+        specAcc += prim.specular * w;
+        shinAcc += prim.shininess * w;
+    }
+
+    Vec3 albedo;
+    if (weightAcc > 0.0f) {
+        albedo = colorAcc / weightAcc;
+        out.specular = specAcc / weightAcc;
+        out.shininess = std::fmax(1.0f, shinAcc / weightAcc);
+    } else {
+        // Empty space: extend the appearance of the *nearest* primitive
+        // so that interpolating across a surface blends meaningful
+        // colors instead of darkening toward zero — the behaviour a
+        // trained NeRF grid exhibits (colors bleed past surfaces while
+        // density alone carves the geometry).
+        const Primitive *nearest = nullptr;
+        float best = 1e30f;
+        for (const auto &prim : _prims) {
+            float sd = prim.sdf(p);
+            if (sd < best) {
+                best = sd;
+                nearest = &prim;
+            }
+        }
+        if (!nearest)
+            return out;
+        albedo = nearest->albedo;
+        out.specular = nearest->specular;
+        out.shininess = std::fmax(1.0f, nearest->shininess);
+    }
+
+    out.normal = normalAt(p);
+    float lambert =
+        0.35f + 0.65f * std::fmax(0.0f, out.normal.dot(_lightDir));
+    out.diffuse = albedo * lambert;
+    return out;
+}
+
+FieldSample
+AnalyticField::sample(const Vec3 &p, const Vec3 &viewDir) const
+{
+    BakedPoint b = bakePoint(p);
+    FieldSample out;
+    out.sigma = b.sigma;
+    if (b.sigma > 0.0f)
+        out.rgb = shadePoint(b, viewDir, _lightDir);
+    return out;
+}
+
+} // namespace cicero

@@ -1,0 +1,330 @@
+#include "scene/scene.hh"
+
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace cicero {
+
+namespace {
+
+Primitive
+prim(PrimShape shape, Vec3 center, Vec3 size, Vec3 albedo,
+     float specular = 0.0f, float sigmaMax = 40.0f)
+{
+    Primitive p;
+    p.shape = shape;
+    p.center = center;
+    p.size = size;
+    p.albedo = albedo;
+    p.specular = specular;
+    p.sigmaMax = sigmaMax;
+    return p;
+}
+
+/** A flat ground slab shared by several scenes. */
+Primitive
+ground(float y = -0.8f, Vec3 albedo = {0.55f, 0.5f, 0.45f})
+{
+    return prim(PrimShape::Box, {0.0f, y - 0.05f, 0.0f},
+                {0.95f, 0.05f, 0.95f}, albedo);
+}
+
+Scene
+sceneChair()
+{
+    Scene s;
+    s.name = "chair";
+    // Seat, backrest and four legs.
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, -0.1f, 0.0f},
+                              {0.35f, 0.05f, 0.35f},
+                              {0.65f, 0.4f, 0.25f}));
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, 0.35f, -0.32f},
+                              {0.35f, 0.4f, 0.04f},
+                              {0.6f, 0.38f, 0.22f}));
+    for (int ix = -1; ix <= 1; ix += 2) {
+        for (int iz = -1; iz <= 1; iz += 2) {
+            s.field.addPrimitive(
+                prim(PrimShape::Cylinder,
+                     {0.3f * ix, -0.45f, 0.3f * iz},
+                     {0.04f, 0.35f, 0.0f}, {0.4f, 0.26f, 0.16f}));
+        }
+    }
+    s.field.addPrimitive(ground());
+    return s;
+}
+
+Scene
+sceneDrums()
+{
+    Scene s;
+    s.name = "drums";
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {-0.35f, -0.3f, 0.1f},
+                              {0.28f, 0.18f, 0.0f},
+                              {0.75f, 0.15f, 0.15f}, 0.25f));
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.35f, -0.3f, 0.1f},
+                              {0.28f, 0.18f, 0.0f},
+                              {0.15f, 0.25f, 0.7f}, 0.25f));
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, -0.1f, -0.35f},
+                              {0.34f, 0.22f, 0.0f},
+                              {0.85f, 0.75f, 0.3f}, 0.3f));
+    // Cymbals: thin discs with strong specular.
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {-0.45f, 0.35f, -0.2f},
+                              {0.24f, 0.015f, 0.0f},
+                              {0.9f, 0.85f, 0.5f}, 0.7f));
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.45f, 0.4f, -0.2f},
+                              {0.2f, 0.015f, 0.0f},
+                              {0.9f, 0.85f, 0.5f}, 0.7f));
+    s.field.addPrimitive(ground());
+    return s;
+}
+
+Scene
+sceneFicus()
+{
+    Scene s;
+    s.name = "ficus";
+    // Pot, trunk and a canopy of foliage blobs.
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, -0.6f, 0.0f},
+                              {0.22f, 0.15f, 0.0f},
+                              {0.7f, 0.35f, 0.2f}));
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, -0.2f, 0.0f},
+                              {0.05f, 0.3f, 0.0f},
+                              {0.45f, 0.3f, 0.15f}));
+    Rng rng(42);
+    for (int i = 0; i < 14; ++i) {
+        Vec3 off = rng.uniformDirection() * rng.uniform(0.05f, 0.3f);
+        off.y = std::fabs(off.y) * 0.8f;
+        float r = rng.uniform(0.08f, 0.18f);
+        s.field.addPrimitive(prim(PrimShape::Sphere,
+                                  Vec3{0.0f, 0.25f, 0.0f} + off,
+                                  {r, r, r},
+                                  {0.15f + rng.uniform() * 0.1f,
+                                   0.5f + rng.uniform() * 0.25f, 0.15f},
+                                  0.05f, 25.0f));
+    }
+    return s;
+}
+
+Scene
+sceneHotdog()
+{
+    Scene s;
+    s.name = "hotdog";
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, -0.35f, 0.0f},
+                              {0.55f, 0.04f, 0.4f},
+                              {0.92f, 0.92f, 0.9f}, 0.35f));
+    auto bun = prim(PrimShape::RoundBox, {0.0f, -0.22f, 0.0f},
+                    {0.45f, 0.08f, 0.16f}, {0.85f, 0.6f, 0.3f});
+    s.field.addPrimitive(bun);
+    auto sausage = prim(PrimShape::Cylinder, {0.0f, -0.1f, 0.0f},
+                        {0.07f, 0.42f, 0.0f}, {0.75f, 0.25f, 0.12f}, 0.4f);
+    sausage.rot = Mat3::rotationZ(deg2rad(90.0f));
+    s.field.addPrimitive(sausage);
+    return s;
+}
+
+Scene
+sceneLego()
+{
+    Scene s;
+    s.name = "lego";
+    // A stepped "bulldozer" silhouette out of bricks.
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, -0.5f, 0.0f},
+                              {0.55f, 0.1f, 0.35f},
+                              {0.9f, 0.75f, 0.1f}));
+    s.field.addPrimitive(prim(PrimShape::Box, {-0.1f, -0.28f, 0.0f},
+                              {0.4f, 0.12f, 0.3f},
+                              {0.85f, 0.7f, 0.08f}));
+    s.field.addPrimitive(prim(PrimShape::Box, {-0.25f, -0.02f, 0.0f},
+                              {0.22f, 0.14f, 0.26f},
+                              {0.3f, 0.3f, 0.32f}));
+    // Blade.
+    auto blade = prim(PrimShape::Box, {0.52f, -0.38f, 0.0f},
+                      {0.06f, 0.18f, 0.38f}, {0.75f, 0.72f, 0.7f}, 0.5f);
+    blade.rot = Mat3::rotationZ(deg2rad(12.0f));
+    s.field.addPrimitive(blade);
+    // Wheels.
+    for (int ix = -1; ix <= 1; ix += 2) {
+        for (int iz = -1; iz <= 1; iz += 2) {
+            auto wheel = prim(PrimShape::Torus,
+                              {0.28f * ix, -0.52f, 0.3f * iz},
+                              {0.1f, 0.045f, 0.0f},
+                              {0.12f, 0.12f, 0.12f});
+            wheel.rot = Mat3::rotationX(deg2rad(90.0f));
+            s.field.addPrimitive(wheel);
+        }
+    }
+    return s;
+}
+
+Scene
+sceneMaterials()
+{
+    Scene s;
+    s.name = "materials";
+    // A grid of spheres with increasing specularity — the classic
+    // materials test; strongly view-dependent by construction.
+    int idx = 0;
+    for (int i = -1; i <= 1; ++i) {
+        for (int j = -1; j <= 1; ++j) {
+            float spec = idx / 9.0f;
+            Vec3 albedo{0.3f + 0.2f * (i + 1), 0.25f + 0.2f * (j + 1),
+                        0.6f - 0.15f * (i + 1)};
+            s.field.addPrimitive(prim(PrimShape::Sphere,
+                                      {0.45f * i, -0.35f, 0.45f * j},
+                                      {0.16f, 0.16f, 0.16f}, albedo,
+                                      spec, 45.0f));
+            ++idx;
+        }
+    }
+    s.field.addPrimitive(ground(-0.6f, {0.2f, 0.2f, 0.22f}));
+    return s;
+}
+
+Scene
+sceneMic()
+{
+    Scene s;
+    s.name = "mic";
+    s.field.addPrimitive(prim(PrimShape::Sphere, {0.0f, 0.3f, 0.0f},
+                              {0.2f, 0.2f, 0.2f},
+                              {0.7f, 0.7f, 0.75f}, 0.6f));
+    auto arm = prim(PrimShape::Cylinder, {0.12f, -0.05f, 0.0f},
+                    {0.035f, 0.38f, 0.0f}, {0.3f, 0.3f, 0.32f}, 0.3f);
+    arm.rot = Mat3::rotationZ(deg2rad(-20.0f));
+    s.field.addPrimitive(arm);
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.2f, -0.45f, 0.0f},
+                              {0.3f, 0.04f, 0.0f},
+                              {0.25f, 0.25f, 0.28f}, 0.2f));
+    return s;
+}
+
+Scene
+sceneShip()
+{
+    Scene s;
+    s.name = "ship";
+    // Hull, deck, mast — floating above a specular "water" slab.
+    auto hull = prim(PrimShape::RoundBox, {0.0f, -0.3f, 0.0f},
+                     {0.5f, 0.12f, 0.18f}, {0.45f, 0.28f, 0.15f});
+    s.field.addPrimitive(hull);
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, -0.14f, 0.0f},
+                              {0.42f, 0.03f, 0.15f},
+                              {0.6f, 0.45f, 0.3f}));
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, 0.2f, 0.0f},
+                              {0.03f, 0.35f, 0.0f},
+                              {0.4f, 0.3f, 0.2f}));
+    s.field.addPrimitive(prim(PrimShape::Box, {0.18f, 0.25f, 0.0f},
+                              {0.14f, 0.2f, 0.01f},
+                              {0.9f, 0.88f, 0.8f}));
+    // Water: large thin slab, very specular.
+    s.field.addPrimitive(prim(PrimShape::Box, {0.0f, -0.62f, 0.0f},
+                              {0.95f, 0.08f, 0.95f},
+                              {0.1f, 0.25f, 0.4f}, 0.75f));
+    return s;
+}
+
+/** Bonsai (Unbounded-360 stand-in): dense foliage over a table top. */
+Scene
+sceneBonsai()
+{
+    Scene s;
+    s.name = "bonsai";
+    s.cameraDistance = 2.6f;
+    s.background = {0.35f, 0.35f, 0.4f};
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, -0.65f, 0.0f},
+                              {0.7f, 0.08f, 0.0f},
+                              {0.5f, 0.4f, 0.3f}));
+    s.field.addPrimitive(prim(PrimShape::RoundBox, {0.0f, -0.45f, 0.0f},
+                              {0.3f, 0.12f, 0.2f},
+                              {0.35f, 0.25f, 0.5f}, 0.3f));
+    auto trunk = prim(PrimShape::Cylinder, {0.05f, -0.15f, 0.0f},
+                      {0.06f, 0.25f, 0.0f}, {0.4f, 0.28f, 0.18f});
+    trunk.rot = Mat3::rotationZ(deg2rad(15.0f));
+    s.field.addPrimitive(trunk);
+    Rng rng(7);
+    for (int i = 0; i < 18; ++i) {
+        Vec3 off = rng.uniformDirection() * rng.uniform(0.08f, 0.35f);
+        off.y = std::fabs(off.y) * 0.6f;
+        float r = rng.uniform(0.07f, 0.16f);
+        s.field.addPrimitive(prim(PrimShape::Sphere,
+                                  Vec3{0.1f, 0.22f, 0.0f} + off,
+                                  {r, r, r},
+                                  {0.2f, 0.45f + rng.uniform() * 0.2f,
+                                   0.12f},
+                                  0.1f, 30.0f));
+    }
+    return s;
+}
+
+/**
+ * Ignatius (Tanks and Temples stand-in): a statue-like figure with a
+ * polished bronze finish — the strongly non-diffuse case that stresses
+ * the radiance approximation at low temporal resolution (Sec. VI-F).
+ */
+Scene
+sceneIgnatius()
+{
+    Scene s;
+    s.name = "ignatius";
+    s.cameraDistance = 2.8f;
+    s.background = {0.45f, 0.5f, 0.55f};
+    const Vec3 bronze{0.55f, 0.35f, 0.18f};
+    const float spec = 0.65f;
+    // Torso, head, arms, legs and a pedestal.
+    s.field.addPrimitive(prim(PrimShape::RoundBox, {0.0f, 0.05f, 0.0f},
+                              {0.18f, 0.3f, 0.12f}, bronze, spec));
+    s.field.addPrimitive(prim(PrimShape::Sphere, {0.0f, 0.5f, 0.0f},
+                              {0.12f, 0.12f, 0.12f}, bronze, spec));
+    for (int ix = -1; ix <= 1; ix += 2) {
+        auto arm = prim(PrimShape::Cylinder, {0.26f * ix, 0.12f, 0.0f},
+                        {0.05f, 0.24f, 0.0f}, bronze, spec);
+        arm.rot = Mat3::rotationZ(deg2rad(14.0f * ix));
+        s.field.addPrimitive(arm);
+        s.field.addPrimitive(prim(PrimShape::Cylinder,
+                                  {0.1f * ix, -0.5f, 0.0f},
+                                  {0.06f, 0.26f, 0.0f}, bronze, spec));
+    }
+    s.field.addPrimitive(prim(PrimShape::Cylinder, {0.0f, -0.82f, 0.0f},
+                              {0.4f, 0.07f, 0.0f},
+                              {0.4f, 0.4f, 0.42f}, 0.2f));
+    return s;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+syntheticSceneNames()
+{
+    static const std::vector<std::string> names = {
+        "chair", "drums", "ficus", "hotdog",
+        "lego", "materials", "mic", "ship",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+realWorldSceneNames()
+{
+    static const std::vector<std::string> names = {"bonsai", "ignatius"};
+    return names;
+}
+
+Scene
+makeScene(const std::string &name)
+{
+    if (name == "chair") return sceneChair();
+    if (name == "drums") return sceneDrums();
+    if (name == "ficus") return sceneFicus();
+    if (name == "hotdog") return sceneHotdog();
+    if (name == "lego") return sceneLego();
+    if (name == "materials") return sceneMaterials();
+    if (name == "mic") return sceneMic();
+    if (name == "ship") return sceneShip();
+    if (name == "bonsai") return sceneBonsai();
+    if (name == "ignatius") return sceneIgnatius();
+    throw std::invalid_argument("unknown scene: " + name);
+}
+
+} // namespace cicero

@@ -1,0 +1,69 @@
+#include "scene/trajectory.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace cicero {
+
+std::vector<Pose>
+orbitTrajectory(const OrbitParams &params, int numFrames)
+{
+    std::vector<Pose> traj;
+    traj.reserve(numFrames);
+    for (int i = 0; i < numFrames; ++i) {
+        float t = i / params.fps;
+        float az = deg2rad(params.startDeg + params.degPerSecond * t);
+        float h = params.height +
+                  params.heightWobble *
+                      std::sin(2.0f * kPi * t / params.wobblePeriodS);
+        Vec3 eye{params.target.x + params.radius * std::cos(az),
+                 params.target.y + h,
+                 params.target.z + params.radius * std::sin(az)};
+        traj.push_back(Pose::lookAt(eye, params.target,
+                                    {0.0f, 1.0f, 0.0f}));
+    }
+    return traj;
+}
+
+void
+applyJitter(std::vector<Pose> &traj, const JitterParams &params)
+{
+    Rng rng(params.seed);
+    for (Pose &p : traj) {
+        if (params.posSigma > 0.0f) {
+            p.pos += Vec3{rng.normal(), rng.normal(), rng.normal()} *
+                     params.posSigma;
+        }
+        if (params.rotSigmaDeg > 0.0f) {
+            Vec3 axis = rng.uniformDirection();
+            float ang = deg2rad(rng.normal() * params.rotSigmaDeg);
+            p.rot = Mat3::rotation(axis, ang) * p.rot;
+        }
+    }
+}
+
+std::vector<Pose>
+decimate(const std::vector<Pose> &traj, int stride)
+{
+    std::vector<Pose> out;
+    for (std::size_t i = 0; i < traj.size();
+         i += static_cast<std::size_t>(stride))
+        out.push_back(traj[i]);
+    return out;
+}
+
+double
+meanConsecutiveAngleDeg(const std::vector<Pose> &traj)
+{
+    if (traj.size() < 2)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 1; i < traj.size(); ++i) {
+        acc += rad2deg(
+            angleBetween(traj[i - 1].forward(), traj[i].forward()));
+    }
+    return acc / (traj.size() - 1);
+}
+
+} // namespace cicero

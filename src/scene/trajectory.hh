@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Camera trajectory generators.
+ *
+ * Real-time VR rendering visits camera poses along a smooth, temporally
+ * dense path (>= 30 FPS). The paper's Fig. 7/25 analysis hinges on the
+ * pose spacing of consecutive frames, so trajectories are parameterized
+ * by frame rate and angular velocity; a 1 FPS sequence is obtained by
+ * decimation exactly as the Tanks and Temples capture is.
+ */
+
+#ifndef CICERO_SCENE_TRAJECTORY_HH
+#define CICERO_SCENE_TRAJECTORY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "common/math.hh"
+
+namespace cicero {
+
+/** Parameters of an orbiting camera path around a scene. */
+struct OrbitParams
+{
+    Vec3 target;              //!< point the camera looks at
+    float radius = 3.0f;      //!< orbit radius
+    float height = 0.6f;      //!< camera height above the target
+    float fps = 30.0f;        //!< temporal resolution of the sequence
+    float degPerSecond = 20.0f; //!< angular velocity around the target
+    float startDeg = 0.0f;    //!< initial azimuth
+    float heightWobble = 0.15f; //!< vertical oscillation amplitude
+    float wobblePeriodS = 4.0f; //!< vertical oscillation period (seconds)
+};
+
+/** Parameters of hand-held jitter layered on a trajectory. */
+struct JitterParams
+{
+    float posSigma = 0.0f;  //!< per-frame positional noise (world units)
+    float rotSigmaDeg = 0.0f; //!< per-frame rotational noise
+    std::uint64_t seed = 1234;
+};
+
+/**
+ * Generate @p numFrames poses orbiting per @p params; every pose looks at
+ * the orbit target.
+ */
+std::vector<Pose> orbitTrajectory(const OrbitParams &params, int numFrames);
+
+/** Apply hand-held jitter to an existing trajectory (in place). */
+void applyJitter(std::vector<Pose> &traj, const JitterParams &params);
+
+/**
+ * Keep every @p stride-th pose — e.g. stride 30 turns a 30 FPS sequence
+ * into the 1 FPS sequence used in the paper's Fig. 25a.
+ */
+std::vector<Pose> decimate(const std::vector<Pose> &traj, int stride);
+
+/**
+ * Mean fractional angular pose difference between consecutive frames,
+ * in degrees — a quick characterization statistic for a trajectory.
+ */
+double meanConsecutiveAngleDeg(const std::vector<Pose> &traj);
+
+} // namespace cicero
+
+#endif // CICERO_SCENE_TRAJECTORY_HH

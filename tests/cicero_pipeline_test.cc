@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the composed performance model: variant orderings, scenario
+ * behaviours and breakdown consistency — the qualitative claims of
+ * Figs. 17-24 as invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cicero/pipeline.hh"
+#include "cicero/probe.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+/** Probed once and shared: workload inputs for the tiny model. */
+const WorkloadInputs &
+inputs()
+{
+    static WorkloadInputs in = [] {
+        // The model must exceed the 2 MB on-chip buffer for the
+        // pixel-centric inefficiencies (the baseline's whole problem)
+        // to exist, as every paper-scale model does.
+        auto model = test::tinyModel(GridLayout::MVoxelBlocked, 72);
+        auto traj = test::tinyOrbit(18);
+        ProbeOptions opts;
+        opts.traceRes = 48;
+        opts.window = 8;
+        WorkloadInputs w = probeWorkload(*model, traj, opts);
+        return w;
+    }();
+    return in;
+}
+
+TEST(PerformanceModelTest, LocalVariantOrdering)
+{
+    PerformanceModel pm;
+    double base =
+        pm.priceLocal(SystemVariant::Baseline, inputs()).timeMs;
+    double sparw = pm.priceLocal(SystemVariant::Sparw, inputs()).timeMs;
+    double fs = pm.priceLocal(SystemVariant::SparwFs, inputs()).timeMs;
+    double cicero =
+        pm.priceLocal(SystemVariant::Cicero, inputs()).timeMs;
+    // Fig. 19a ordering.
+    EXPECT_GT(base, sparw);
+    EXPECT_GT(sparw, fs);
+    EXPECT_GE(fs, cicero);
+    // SPARW alone is several-fold (paper: 8.1x).
+    EXPECT_GT(base / sparw, 3.0);
+    // Full Cicero is an order of magnitude or more (paper: 28.2x).
+    EXPECT_GT(base / cicero, 10.0);
+}
+
+TEST(PerformanceModelTest, LocalEnergyOrdering)
+{
+    PerformanceModel pm;
+    double base =
+        pm.priceLocal(SystemVariant::Baseline, inputs()).energyNj;
+    double sparw =
+        pm.priceLocal(SystemVariant::Sparw, inputs()).energyNj;
+    double cicero =
+        pm.priceLocal(SystemVariant::Cicero, inputs()).energyNj;
+    EXPECT_GT(base, sparw);
+    EXPECT_GT(sparw, cicero);
+    EXPECT_GT(base / cicero, 10.0); // paper: 37.8x
+}
+
+TEST(PerformanceModelTest, RemoteBaselineEnergyIsWirelessOnly)
+{
+    PerformanceModel pm;
+    FramePrice base = pm.priceRemote(SystemVariant::Baseline, inputs());
+    // Device energy = frame bytes * 100 nJ/B.
+    double expect = inputs().framePixels * 3.0 * 100.0;
+    EXPECT_NEAR(base.energyNj, expect, expect * 1e-6);
+}
+
+TEST(PerformanceModelTest, RemoteBaselineBeatsLocalOnEnergy)
+{
+    // Sec. VI-C observation: offloading everything leaves the device
+    // paying wireless energy only, below any local rendering variant.
+    // (Whether it also beats remote-Cicero depends on the sparse
+    // workload's size; bench_fig19b reports that comparison at paper
+    // scale.)
+    PerformanceModel pm;
+    double base =
+        pm.priceRemote(SystemVariant::Baseline, inputs()).energyNj;
+    for (SystemVariant v :
+         {SystemVariant::Baseline, SystemVariant::Sparw}) {
+        EXPECT_LT(base, pm.priceLocal(v, inputs()).energyNj)
+            << variantName(v);
+    }
+}
+
+TEST(PerformanceModelTest, RemoteSpeedOrdering)
+{
+    PerformanceModel pm;
+    double base =
+        pm.priceRemote(SystemVariant::Baseline, inputs()).timeMs;
+    double sparw =
+        pm.priceRemote(SystemVariant::Sparw, inputs()).timeMs;
+    double cicero =
+        pm.priceRemote(SystemVariant::Cicero, inputs()).timeMs;
+    EXPECT_GT(base, sparw);
+    EXPECT_GE(sparw, cicero);
+}
+
+TEST(PerformanceModelTest, GatherGuBeatsGpu)
+{
+    PerformanceModel pm;
+    auto g = pm.priceGatherOnly(inputs());
+    // Fig. 20: large speedup and much larger energy reduction.
+    EXPECT_GT(g.gpuMs / g.guMs, 5.0);
+    EXPECT_GT(g.gpuEnergyNj / g.guEnergyNj, 20.0);
+}
+
+TEST(PerformanceModelTest, WindowAmortizesReference)
+{
+    PerformanceModel pm;
+    WorkloadInputs w8 = inputs();
+    WorkloadInputs w2 = inputs();
+    w2.window = 2;
+    w8.window = 8;
+    double t2 = pm.priceLocal(SystemVariant::Sparw, w2).timeMs;
+    double t8 = pm.priceLocal(SystemVariant::Sparw, w8).timeMs;
+    EXPECT_GT(t2, t8);
+}
+
+TEST(PerformanceModelTest, SpeedupPlateausAtLargeWindows)
+{
+    // Fig. 22a: beyond some window the per-frame sparse+warp cost
+    // dominates and further amortization stops helping.
+    PerformanceModel pm;
+    WorkloadInputs w = inputs();
+    w.window = 128;
+    double t128 = pm.priceLocal(SystemVariant::Cicero, w).timeMs;
+    w.window = 512;
+    double t512 = pm.priceLocal(SystemVariant::Cicero, w).timeMs;
+    EXPECT_LT(t128 - t512, 0.35 * t128);
+}
+
+TEST(PerformanceModelTest, BreakdownSumsToTotal)
+{
+    PerformanceModel pm;
+    FramePrice p = pm.priceLocal(SystemVariant::Sparw, inputs());
+    EXPECT_NEAR(p.timeMs, p.fullFrameMs + p.sparseMs + p.warpMs, 1e-9);
+    EXPECT_GT(p.fullFrameMs, 0.0);
+    EXPECT_GT(p.warpMs, 0.0);
+}
+
+TEST(PerformanceModelTest, BaselineHasNoWarpShare)
+{
+    PerformanceModel pm;
+    FramePrice p = pm.priceLocal(SystemVariant::Baseline, inputs());
+    EXPECT_EQ(p.warpMs, 0.0);
+    EXPECT_EQ(p.sparseMs, 0.0);
+}
+
+TEST(PerformanceModelTest, FsReducesDramEnergy)
+{
+    PerformanceModel pm;
+    FramePrice sparw = pm.priceFullFrame(SystemVariant::Sparw, inputs());
+    FramePrice fs = pm.priceFullFrame(SystemVariant::SparwFs, inputs());
+    EXPECT_LT(fs.dramEnergyNj, sparw.dramEnergyNj);
+}
+
+TEST(PerformanceModelTest, VariantNames)
+{
+    EXPECT_STREQ(variantName(SystemVariant::Baseline), "Baseline");
+    EXPECT_STREQ(variantName(SystemVariant::Cicero), "CICERO");
+}
+
+TEST(ProbeTest, InputsSane)
+{
+    const WorkloadInputs &in = inputs();
+    EXPECT_GT(in.fullFrame.rays, 0u);
+    EXPECT_GT(in.fullFrame.samples, in.fullFrame.rays);
+    EXPECT_GT(in.gatherProfile.randomFraction, 0.0);
+    EXPECT_LT(in.gatherProfile.randomFraction, 1.0);
+    EXPECT_GE(in.bankConflictRate, 0.0);
+    EXPECT_LT(in.bankConflictRate, 1.0);
+    EXPECT_GT(in.fullStreamPlan.ritEntries, 0u);
+    EXPECT_GT(in.fullStreamPlan.streamedBytes, 0u);
+    EXPECT_GT(in.sparsePerFrame.rays, 0u);
+    EXPECT_LT(in.sparsePerFrame.rays, in.fullFrame.rays);
+    EXPECT_GT(in.warpPointsPerFrame, 0u);
+}
+
+TEST(ProbeTest, ScalesToTargetResolution)
+{
+    auto model = test::tinyModel(GridLayout::MVoxelBlocked, 24);
+    ProbeOptions small;
+    small.traceRes = 32;
+    small.targetRes = 32;
+    ProbeOptions big = small;
+    big.targetRes = 64;
+    Pose pose = test::tinyOrbit(2)[0];
+    WorkloadInputs a = probeFullFrame(*model, pose, small);
+    WorkloadInputs b = probeFullFrame(*model, pose, big);
+    EXPECT_NEAR(static_cast<double>(b.fullFrame.samples),
+                4.0 * a.fullFrame.samples,
+                0.01 * b.fullFrame.samples);
+    // Streamed bytes saturate (not scaled).
+    EXPECT_EQ(a.fullStreamPlan.streamedBytes,
+              b.fullStreamPlan.streamedBytes);
+}
+
+} // namespace
+} // namespace cicero

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for reference-pose extrapolation (Eqs. 5-6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cicero/pose_extrapolation.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+TEST(PoseExtrapolationTest, LinearMotionExtrapolatesPosition)
+{
+    Pose prev, curr;
+    prev.pos = {0.0f, 0.0f, 0.0f};
+    curr.pos = {0.1f, 0.0f, 0.0f};
+    // Window 4, lead 1: t_r = (1 + 2) frames ahead of curr.
+    Pose ref = extrapolateReferencePose(prev, curr, 1.0f / 30.0f, 4);
+    EXPECT_NEAR(ref.pos.x, 0.1f + 0.1f * 3.0f, 1e-5f);
+    EXPECT_NEAR(ref.pos.y, 0.0f, 1e-6f);
+}
+
+TEST(PoseExtrapolationTest, StationaryCameraStays)
+{
+    Pose p;
+    p.pos = {1.0f, 2.0f, 3.0f};
+    Pose ref = extrapolateReferencePose(p, p, 1.0f / 30.0f, 16);
+    EXPECT_NEAR(distance(ref.pos, p.pos), 0.0f, 1e-5f);
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(ref.rot.m[i], p.rot.m[i], 1e-4f);
+}
+
+TEST(PoseExtrapolationTest, RotationExtrapolates)
+{
+    Pose prev, curr;
+    prev.rot = Mat3::identity();
+    curr.rot = Mat3::rotationY(deg2rad(2.0f));
+    Pose ref =
+        extrapolateReferencePose(prev, curr, 1.0f / 30.0f, 4, 1);
+    // 3 frames ahead at 2 deg/frame => 2 + 6 = 8 degrees total.
+    Mat3 expect = Mat3::rotationY(deg2rad(8.0f));
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(ref.rot.m[i], expect.m[i], 1e-3f);
+}
+
+TEST(PoseExtrapolationTest, WindowCentersReference)
+{
+    // With larger windows the reference lands farther ahead.
+    Pose prev, curr;
+    curr.pos = {0.05f, 0.0f, 0.0f};
+    Pose small = extrapolateReferencePose(prev, curr, 1.0f, 4);
+    Pose large = extrapolateReferencePose(prev, curr, 1.0f, 16);
+    EXPECT_GT(large.pos.x, small.pos.x);
+}
+
+TEST(PoseExtrapolationTest, TracksOrbitTrajectoryClosely)
+{
+    // The extrapolated reference should be near the actual future
+    // mid-window pose on a smooth orbit (the property Fig. 10 needs).
+    auto traj = test::tinyOrbit(40, 20.0f);
+    const int window = 6;
+    const int k = 10; // window starts here
+    Pose ref = extrapolateReferencePose(traj[k - 2], traj[k - 1],
+                                        1.0f / 30.0f, window);
+    Pose actualMid = traj[k + window / 2];
+    // Within a few percent of the orbit radius.
+    EXPECT_LT(distance(ref.pos, actualMid.pos), 0.08f);
+    EXPECT_LT(rad2deg(angleBetween(ref.forward(), actualMid.forward())),
+              2.0f);
+}
+
+TEST(PoseExtrapolationTest, ExtrapolationBeatsHoldingLastPose)
+{
+    auto traj = test::tinyOrbit(40, 30.0f);
+    const int window = 8;
+    const int k = 12;
+    Pose ref = extrapolateReferencePose(traj[k - 2], traj[k - 1],
+                                        1.0f / 30.0f, window);
+    Pose actualMid = traj[k + window / 2];
+    // Compared to just reusing the last known pose (the on-trajectory
+    // strategy's best immediate option).
+    EXPECT_LT(distance(ref.pos, actualMid.pos),
+              distance(traj[k - 1].pos, actualMid.pos));
+}
+
+} // namespace
+} // namespace cicero

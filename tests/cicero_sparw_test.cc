@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the SPARW pipeline: windowing, reference accounting, the
+ * temporal and downsampled comparison strategies, and quality ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cicero/sparw.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+struct SparwFixture : public ::testing::Test
+{
+    void
+    SetUp() override
+    {
+        model = test::tinyModel();
+        intrinsics = test::tinyCamera(40);
+        traj = test::tinyOrbit(12, 20.0f);
+    }
+
+    SparwConfig
+    config(int window)
+    {
+        SparwConfig c;
+        c.window = window;
+        return c;
+    }
+
+    std::unique_ptr<NerfModel> model;
+    Camera intrinsics;
+    std::vector<Pose> traj;
+};
+
+TEST_F(SparwFixture, OneReferencePerWindow)
+{
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun run = pipe.run(traj);
+    EXPECT_EQ(run.frames.size(), 12u);
+    EXPECT_EQ(run.references.size(), 3u); // ceil(12 / 4)
+    // Frames reference the right window.
+    EXPECT_EQ(run.frames[0].referenceIndex, 0);
+    EXPECT_EQ(run.frames[3].referenceIndex, 0);
+    EXPECT_EQ(run.frames[4].referenceIndex, 1);
+    EXPECT_EQ(run.frames[11].referenceIndex, 2);
+}
+
+TEST_F(SparwFixture, FirstReferenceOnTrajectoryRestExtrapolated)
+{
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun run = pipe.run(traj);
+    EXPECT_TRUE(run.references[0].onTrajectory);
+    EXPECT_FALSE(run.references[1].onTrajectory);
+    EXPECT_FALSE(run.references[2].onTrajectory);
+}
+
+TEST_F(SparwFixture, ReferenceWorkDominatesSparseWork)
+{
+    SparwPipeline pipe(*model, intrinsics, config(6));
+    SparwRun run = pipe.run(traj);
+    StageWork refW = run.totalReferenceWork();
+    StageWork sparseW = run.totalSparseWork();
+    EXPECT_GT(refW.samples, sparseW.samples);
+    EXPECT_GT(sparseW.rays, 0u);
+}
+
+TEST_F(SparwFixture, SparwAvoidsMostNerfComputation)
+{
+    // The headline claim: SPARW avoids the large majority of per-frame
+    // NeRF work relative to rendering every frame fully.
+    SparwPipeline pipe(*model, intrinsics, config(6));
+    SparwRun run = pipe.run(traj);
+
+    std::uint64_t fullSamples = 0;
+    for (const Pose &p : traj) {
+        Camera cam = intrinsics;
+        cam.pose = p;
+        fullSamples += model->render(cam).work.samples;
+    }
+    std::uint64_t sparwSamples = run.totalReferenceWork().samples +
+                                 run.totalSparseWork().samples;
+    EXPECT_LT(sparwSamples, fullSamples / 2);
+}
+
+TEST_F(SparwFixture, QualityCloseToFullRendering)
+{
+    SparwPipeline pipe(*model, intrinsics, config(6));
+    SparwRun run = pipe.run(traj);
+    double worst = 1e9;
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+        Camera cam = intrinsics;
+        cam.pose = traj[i];
+        RenderResult full = model->render(cam);
+        worst = std::min(worst, psnr(run.frames[i].image, full.image));
+    }
+    EXPECT_GT(worst, 24.0);
+}
+
+TEST_F(SparwFixture, LargerWindowLowerQuality)
+{
+    auto meanPsnr = [&](int window) {
+        SparwPipeline pipe(*model, intrinsics, config(window));
+        SparwRun run = pipe.run(traj);
+        double acc = 0.0;
+        for (std::size_t i = 0; i < traj.size(); ++i) {
+            Camera cam = intrinsics;
+            cam.pose = traj[i];
+            RenderResult full = model->render(cam);
+            acc += std::min(60.0, psnr(run.frames[i].image, full.image));
+        }
+        return acc / traj.size();
+    };
+    // Fig. 22: quality decreases with window size.
+    EXPECT_GT(meanPsnr(2), meanPsnr(12) - 0.5);
+}
+
+TEST_F(SparwFixture, TemporalStrategyAccumulatesError)
+{
+    // TEMP-N warps from warped outputs; CICERO warps from full renders.
+    // By the end of the trajectory TEMP should be no better.
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun cicero = pipe.run(traj);
+    SparwRun temp = pipe.runTemporal(traj);
+    ASSERT_EQ(temp.frames.size(), cicero.frames.size());
+
+    Camera cam = intrinsics;
+    cam.pose = traj.back();
+    RenderResult full = model->render(cam);
+    double ciceroLast =
+        std::min(60.0, psnr(cicero.frames.back().image, full.image));
+    double tempLast =
+        std::min(60.0, psnr(temp.frames.back().image, full.image));
+    EXPECT_GE(ciceroLast + 0.5, tempLast);
+}
+
+TEST_F(SparwFixture, TemporalUsesSingleFullRender)
+{
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun temp = pipe.runTemporal(traj);
+    EXPECT_EQ(temp.references.size(), 1u);
+    EXPECT_TRUE(temp.references[0].onTrajectory);
+}
+
+TEST_F(SparwFixture, DownsampledRendersEveryFrameSmaller)
+{
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun ds = pipe.runDownsampled(traj, 2);
+    EXPECT_EQ(ds.frames.size(), traj.size());
+    EXPECT_EQ(ds.references.size(), traj.size());
+    // Full-resolution output images.
+    EXPECT_EQ(ds.frames[0].image.width(), 40);
+    // Quarter the rays of a full render.
+    EXPECT_EQ(ds.references[0].work.rays, 20u * 20);
+}
+
+TEST_F(SparwFixture, DownsampledLosesDetailVsSparw)
+{
+    SparwPipeline pipe(*model, intrinsics, config(6));
+    SparwRun sparw = pipe.run(traj);
+    SparwRun ds = pipe.runDownsampled(traj, 2);
+    double sparwAcc = 0.0, dsAcc = 0.0;
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+        Camera cam = intrinsics;
+        cam.pose = traj[i];
+        RenderResult full = model->render(cam);
+        sparwAcc += std::min(60.0, psnr(sparw.frames[i].image, full.image));
+        dsAcc += std::min(60.0, psnr(ds.frames[i].image, full.image));
+    }
+    // Fig. 16: SPARW (window 6) beats DS-2 on synthetic scenes.
+    EXPECT_GT(sparwAcc, dsAcc);
+}
+
+TEST_F(SparwFixture, MeanOverlapHighAtVideoRate)
+{
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRun run = pipe.run(traj);
+    // Warped + void dominates; sparse re-render fraction is small.
+    EXPECT_LT(run.meanRerender(), 0.1);
+}
+
+TEST_F(SparwFixture, RunStatsAggregates)
+{
+    SparwPipeline pipe(*model, intrinsics, config(3));
+    SparwRun run = pipe.run(traj);
+    StageWork sparse = run.totalSparseWork();
+    std::uint64_t rays = 0;
+    for (const auto &f : run.frames)
+        rays += f.sparseWork.rays;
+    EXPECT_EQ(sparse.rays, rays);
+}
+
+} // namespace
+} // namespace cicero

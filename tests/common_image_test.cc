@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for images, depth maps and PSNR.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/image.hh"
+
+namespace cicero {
+namespace {
+
+TEST(ImageTest, ConstructionAndFill)
+{
+    Image img(4, 3, {0.5f, 0.25f, 0.125f});
+    EXPECT_EQ(img.width(), 4);
+    EXPECT_EQ(img.height(), 3);
+    EXPECT_EQ(img.pixelCount(), 12u);
+    EXPECT_FLOAT_EQ(img.at(2, 1).x, 0.5f);
+    img.fill({1.0f, 0.0f, 0.0f});
+    EXPECT_FLOAT_EQ(img.at(3, 2).x, 1.0f);
+    EXPECT_FLOAT_EQ(img.at(3, 2).y, 0.0f);
+}
+
+TEST(ImageTest, InBounds)
+{
+    Image img(4, 3);
+    EXPECT_TRUE(img.inBounds(0, 0));
+    EXPECT_TRUE(img.inBounds(3, 2));
+    EXPECT_FALSE(img.inBounds(4, 0));
+    EXPECT_FALSE(img.inBounds(0, 3));
+    EXPECT_FALSE(img.inBounds(-1, 0));
+}
+
+TEST(ImageTest, BilinearSamplingInterpolates)
+{
+    Image img(2, 2);
+    img.at(0, 0) = {0.0f, 0.0f, 0.0f};
+    img.at(1, 0) = {1.0f, 0.0f, 0.0f};
+    img.at(0, 1) = {0.0f, 1.0f, 0.0f};
+    img.at(1, 1) = {1.0f, 1.0f, 0.0f};
+    Vec3 mid = img.sampleBilinear(0.5f, 0.5f);
+    EXPECT_NEAR(mid.x, 0.5f, 1e-6f);
+    EXPECT_NEAR(mid.y, 0.5f, 1e-6f);
+    // Exact at grid points.
+    EXPECT_NEAR(img.sampleBilinear(1.0f, 0.0f).x, 1.0f, 1e-6f);
+    // Clamps outside.
+    EXPECT_NEAR(img.sampleBilinear(-5.0f, -5.0f).x, 0.0f, 1e-6f);
+}
+
+TEST(ImageTest, DownsampleBoxAverages)
+{
+    Image img(4, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            img.at(x, y) = Vec3(static_cast<float>(x % 2));
+    Image half = img.downsample(2);
+    EXPECT_EQ(half.width(), 2);
+    EXPECT_EQ(half.height(), 2);
+    // Each 2x2 block contains two 0s and two 1s.
+    EXPECT_NEAR(half.at(0, 0).x, 0.5f, 1e-6f);
+    EXPECT_NEAR(half.at(1, 1).x, 0.5f, 1e-6f);
+}
+
+TEST(ImageTest, UpsampleRoundTripOnConstant)
+{
+    Image img(3, 3, {0.7f, 0.2f, 0.9f});
+    Image up = img.upsampleBilinear(9, 9);
+    EXPECT_EQ(up.width(), 9);
+    for (int y = 0; y < 9; ++y)
+        for (int x = 0; x < 9; ++x)
+            EXPECT_NEAR(up.at(x, y).x, 0.7f, 1e-5f);
+}
+
+TEST(ImageTest, WritePpm)
+{
+    Image img(8, 8, {0.5f, 0.5f, 0.5f});
+    std::string path = ::testing::TempDir() + "cicero_test.ppm";
+    EXPECT_TRUE(img.writePpm(path));
+    FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[3] = {};
+    ASSERT_EQ(std::fread(magic, 1, 2, f), 2u);
+    EXPECT_EQ(magic[0], 'P');
+    EXPECT_EQ(magic[1], '6');
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(DepthMapTest, FillAndCoverage)
+{
+    DepthMap d(4, 4);
+    EXPECT_DOUBLE_EQ(d.coverage(), 0.0);
+    d.at(0, 0) = 1.0f;
+    d.at(1, 1) = 2.0f;
+    EXPECT_NEAR(d.coverage(), 2.0 / 16.0, 1e-12);
+    d.fill(3.0f);
+    EXPECT_DOUBLE_EQ(d.coverage(), 1.0);
+    d.fill(kInfiniteDepth);
+    EXPECT_DOUBLE_EQ(d.coverage(), 0.0);
+}
+
+TEST(PsnrTest, IdenticalImagesInfinite)
+{
+    Image a(8, 8, {0.3f, 0.6f, 0.9f});
+    Image b = a;
+    EXPECT_TRUE(std::isinf(psnr(a, b)));
+    EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+}
+
+TEST(PsnrTest, KnownValue)
+{
+    // Uniform error of 0.1 on one channel: MSE = 0.01/3,
+    // PSNR = 10*log10(3/0.01) = 24.77 dB.
+    Image a(4, 4, {0.5f, 0.5f, 0.5f});
+    Image b(4, 4, {0.6f, 0.5f, 0.5f});
+    EXPECT_NEAR(psnr(a, b), 24.771, 1e-2);
+}
+
+TEST(PsnrTest, MoreErrorLowerPsnr)
+{
+    Image ref(8, 8, {0.5f, 0.5f, 0.5f});
+    Image small(8, 8, {0.52f, 0.5f, 0.5f});
+    Image large(8, 8, {0.7f, 0.5f, 0.5f});
+    EXPECT_GT(psnr(ref, small), psnr(ref, large));
+}
+
+/** PSNR is symmetric in its arguments. */
+TEST(PsnrTest, Symmetric)
+{
+    Image a(4, 4, {0.1f, 0.2f, 0.3f});
+    Image b(4, 4, {0.4f, 0.1f, 0.2f});
+    EXPECT_DOUBLE_EQ(psnr(a, b), psnr(b, a));
+}
+
+/** Downsample-then-upsample loses information (DS-2 baseline). */
+TEST(PsnrTest, DownsampleUpsampleDegrades)
+{
+    Image img(16, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            img.at(x, y) = Vec3(((x ^ y) & 1) ? 1.0f : 0.0f);
+    Image ds = img.downsample(2).upsampleBilinear(16, 16);
+    EXPECT_LT(psnr(img, ds), 15.0);
+}
+
+} // namespace
+} // namespace cicero

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit tests for the linear-algebra toolkit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math.hh"
+
+namespace cicero {
+namespace {
+
+constexpr float kTol = 1e-5f;
+
+void
+expectVecNear(const Vec3 &a, const Vec3 &b, float tol = kTol)
+{
+    EXPECT_NEAR(a.x, b.x, tol);
+    EXPECT_NEAR(a.y, b.y, tol);
+    EXPECT_NEAR(a.z, b.z, tol);
+}
+
+TEST(Vec3Test, BasicArithmetic)
+{
+    Vec3 a{1.0f, 2.0f, 3.0f};
+    Vec3 b{4.0f, 5.0f, 6.0f};
+    expectVecNear(a + b, {5.0f, 7.0f, 9.0f});
+    expectVecNear(b - a, {3.0f, 3.0f, 3.0f});
+    expectVecNear(a * 2.0f, {2.0f, 4.0f, 6.0f});
+    expectVecNear(2.0f * a, {2.0f, 4.0f, 6.0f});
+    expectVecNear(a / 2.0f, {0.5f, 1.0f, 1.5f});
+    expectVecNear(-a, {-1.0f, -2.0f, -3.0f});
+    expectVecNear(a * b, {4.0f, 10.0f, 18.0f});
+}
+
+TEST(Vec3Test, DotAndCross)
+{
+    Vec3 a{1.0f, 0.0f, 0.0f};
+    Vec3 b{0.0f, 1.0f, 0.0f};
+    EXPECT_FLOAT_EQ(a.dot(b), 0.0f);
+    expectVecNear(a.cross(b), {0.0f, 0.0f, 1.0f});
+    expectVecNear(b.cross(a), {0.0f, 0.0f, -1.0f});
+    EXPECT_FLOAT_EQ(Vec3(1.0f, 2.0f, 3.0f).dot({4.0f, 5.0f, 6.0f}),
+                    32.0f);
+}
+
+TEST(Vec3Test, NormAndNormalize)
+{
+    Vec3 v{3.0f, 4.0f, 0.0f};
+    EXPECT_FLOAT_EQ(v.norm(), 5.0f);
+    EXPECT_FLOAT_EQ(v.squaredNorm(), 25.0f);
+    expectVecNear(v.normalized(), {0.6f, 0.8f, 0.0f});
+    // Zero vector stays zero.
+    expectVecNear(Vec3{}.normalized(), {0.0f, 0.0f, 0.0f});
+}
+
+TEST(Vec3Test, MinMaxComponent)
+{
+    Vec3 a{1.0f, -2.0f, 5.0f};
+    Vec3 b{0.0f, 3.0f, 4.0f};
+    expectVecNear(Vec3::min(a, b), {0.0f, -2.0f, 4.0f});
+    expectVecNear(Vec3::max(a, b), {1.0f, 3.0f, 5.0f});
+    EXPECT_FLOAT_EQ(a.maxComponent(), 5.0f);
+    EXPECT_FLOAT_EQ(a.minComponent(), -2.0f);
+}
+
+TEST(Vec3Test, IndexAccess)
+{
+    Vec3 v{7.0f, 8.0f, 9.0f};
+    EXPECT_FLOAT_EQ(v[0], 7.0f);
+    EXPECT_FLOAT_EQ(v[1], 8.0f);
+    EXPECT_FLOAT_EQ(v[2], 9.0f);
+    v[1] = 42.0f;
+    EXPECT_FLOAT_EQ(v.y, 42.0f);
+}
+
+TEST(MathTest, AngleBetween)
+{
+    EXPECT_NEAR(angleBetween({1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f}),
+                kPi / 2.0f, kTol);
+    EXPECT_NEAR(angleBetween({1.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}),
+                0.0f, kTol);
+    EXPECT_NEAR(angleBetween({1.0f, 0.0f, 0.0f}, {-1.0f, 0.0f, 0.0f}),
+                kPi, kTol);
+    // Degenerate input does not blow up.
+    EXPECT_FLOAT_EQ(angleBetween({0.0f, 0.0f, 0.0f}, {1.0f, 0.0f, 0.0f}),
+                    0.0f);
+}
+
+TEST(MathTest, ClampLerpDegRad)
+{
+    EXPECT_EQ(clamp(5, 0, 3), 3);
+    EXPECT_EQ(clamp(-1, 0, 3), 0);
+    EXPECT_EQ(clamp(2, 0, 3), 2);
+    EXPECT_FLOAT_EQ(lerp(0.0f, 10.0f, 0.25f), 2.5f);
+    EXPECT_NEAR(deg2rad(180.0f), kPi, kTol);
+    EXPECT_NEAR(rad2deg(kPi / 2.0f), 90.0f, 1e-4f);
+}
+
+TEST(Mat3Test, IdentityAndMultiply)
+{
+    Mat3 id = Mat3::identity();
+    Vec3 v{1.0f, 2.0f, 3.0f};
+    expectVecNear(id * v, v);
+
+    Mat3 r = Mat3::rotationZ(deg2rad(90.0f));
+    expectVecNear(r * Vec3{1.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f});
+
+    Mat3 r2 = r * r; // 180 degrees
+    expectVecNear(r2 * Vec3{1.0f, 0.0f, 0.0f}, {-1.0f, 0.0f, 0.0f});
+}
+
+TEST(Mat3Test, RotationOrthonormal)
+{
+    Mat3 r = Mat3::rotation({1.0f, 2.0f, 3.0f}, 0.7f);
+    Mat3 rtr = r.transposed() * r;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(rtr(i, j), i == j ? 1.0f : 0.0f, kTol);
+    EXPECT_NEAR(r.determinant(), 1.0f, kTol);
+}
+
+TEST(Mat3Test, InverseRoundTrip)
+{
+    Mat3 m;
+    m(0, 0) = 2.0f; m(0, 1) = 1.0f; m(0, 2) = 0.5f;
+    m(1, 0) = 0.0f; m(1, 1) = 3.0f; m(1, 2) = 1.0f;
+    m(2, 0) = 1.0f; m(2, 1) = 0.0f; m(2, 2) = 4.0f;
+    Mat3 inv = m.inverse();
+    Mat3 prod = m * inv;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0f : 0.0f, 1e-4f);
+}
+
+TEST(Mat3Test, AxisRotationsMatchGeneric)
+{
+    float a = 0.43f;
+    Mat3 gx = Mat3::rotation({1.0f, 0.0f, 0.0f}, a);
+    Mat3 x = Mat3::rotationX(a);
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(gx.m[i], x.m[i], kTol);
+}
+
+TEST(Mat4Test, TransformPointAndDir)
+{
+    Mat4 t = Mat4::fromRigid(Mat3::rotationZ(deg2rad(90.0f)),
+                             {1.0f, 2.0f, 3.0f});
+    expectVecNear(t.transformPoint({1.0f, 0.0f, 0.0f}),
+                  {1.0f, 3.0f, 3.0f});
+    // Directions ignore translation.
+    expectVecNear(t.transformDir({1.0f, 0.0f, 0.0f}),
+                  {0.0f, 1.0f, 0.0f});
+}
+
+TEST(Mat4Test, RigidInverse)
+{
+    Mat4 t = Mat4::fromRigid(Mat3::rotation({1.0f, 1.0f, 0.0f}, 0.9f),
+                             {3.0f, -2.0f, 5.0f});
+    Mat4 inv = t.rigidInverse();
+    Vec3 p{0.3f, 0.7f, -1.2f};
+    expectVecNear(inv.transformPoint(t.transformPoint(p)), p, 1e-4f);
+}
+
+TEST(Mat4Test, MultiplyAssociatesWithTransform)
+{
+    Mat4 a = Mat4::fromRigid(Mat3::rotationY(0.4f), {1.0f, 0.0f, 0.0f});
+    Mat4 b = Mat4::fromRigid(Mat3::rotationX(-0.6f), {0.0f, 2.0f, 0.0f});
+    Vec3 p{0.5f, -0.5f, 0.25f};
+    expectVecNear((a * b).transformPoint(p),
+                  a.transformPoint(b.transformPoint(p)), 1e-4f);
+}
+
+TEST(QuatTest, MatrixRoundTrip)
+{
+    Mat3 r = Mat3::rotation({0.2f, -0.5f, 0.8f}, 1.3f);
+    Quat q = Quat::fromMatrix(r);
+    Mat3 back = q.toMatrix();
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(back.m[i], r.m[i], 1e-4f);
+}
+
+TEST(QuatTest, AxisAngleMatchesMatrix)
+{
+    Vec3 axis{0.0f, 0.0f, 1.0f};
+    float ang = deg2rad(90.0f);
+    Quat q = Quat::fromAxisAngle(axis, ang);
+    Mat3 m = Mat3::rotation(axis, ang);
+    Mat3 qm = q.toMatrix();
+    for (std::size_t i = 0; i < 9; ++i)
+        EXPECT_NEAR(qm.m[i], m.m[i], kTol);
+}
+
+TEST(QuatTest, SlerpEndpointsAndMidpoint)
+{
+    Quat a = Quat::identity();
+    Quat b = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, deg2rad(90.0f));
+    Quat s0 = Quat::slerp(a, b, 0.0f);
+    Quat s1 = Quat::slerp(a, b, 1.0f);
+    Quat sh = Quat::slerp(a, b, 0.5f);
+    EXPECT_NEAR(s0.w, a.w, kTol);
+    EXPECT_NEAR(s1.x, b.x, kTol);
+    // Midpoint should be a 45-degree rotation about Y.
+    Quat expect = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, deg2rad(45.0f));
+    EXPECT_NEAR(sh.w, expect.w, 1e-4f);
+    EXPECT_NEAR(sh.y, expect.y, 1e-4f);
+}
+
+TEST(QuatTest, SlerpExtrapolates)
+{
+    Quat a = Quat::identity();
+    Quat b = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, deg2rad(30.0f));
+    Quat e = Quat::slerp(a, b, 2.0f);
+    Quat expect = Quat::fromAxisAngle({0.0f, 1.0f, 0.0f}, deg2rad(60.0f));
+    EXPECT_NEAR(e.w, expect.w, 1e-4f);
+    EXPECT_NEAR(e.y, expect.y, 1e-4f);
+}
+
+TEST(PoseTest, LookAtLooksAtTarget)
+{
+    Pose p = Pose::lookAt({0.0f, 0.0f, 5.0f}, {0.0f, 0.0f, 0.0f},
+                          {0.0f, 1.0f, 0.0f});
+    expectVecNear(p.forward(), {0.0f, 0.0f, -1.0f});
+    // A point at the target should project onto the -Z camera axis.
+    Vec3 camSpace = p.worldToCamera({0.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(camSpace.x, 0.0f, kTol);
+    EXPECT_NEAR(camSpace.y, 0.0f, kTol);
+    EXPECT_NEAR(camSpace.z, -5.0f, kTol);
+}
+
+TEST(PoseTest, WorldCameraRoundTrip)
+{
+    Pose p = Pose::lookAt({1.0f, 2.0f, 3.0f}, {0.0f, 0.5f, -1.0f},
+                          {0.0f, 1.0f, 0.0f});
+    Vec3 w{0.4f, -0.3f, 0.9f};
+    expectVecNear(p.cameraToWorld(p.worldToCamera(w)), w, 1e-4f);
+}
+
+TEST(PoseTest, TransformToComposesCorrectly)
+{
+    Pose a = Pose::lookAt({0.0f, 0.0f, 4.0f}, {0.0f, 0.0f, 0.0f},
+                          {0.0f, 1.0f, 0.0f});
+    Pose b = Pose::lookAt({4.0f, 0.0f, 0.0f}, {0.0f, 0.0f, 0.0f},
+                          {0.0f, 1.0f, 0.0f});
+    Mat4 aToB = a.transformTo(b);
+    Vec3 w{0.2f, 0.1f, -0.5f};
+    // Mapping a point through a's frame to b's frame must equal direct
+    // world->b transform.
+    Vec3 inA = a.worldToCamera(w);
+    Vec3 inB = b.worldToCamera(w);
+    expectVecNear(aToB.transformPoint(inA), inB, 1e-4f);
+}
+
+/** Property sweep: rotations preserve length for arbitrary axes. */
+class RotationProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RotationProperty, PreservesNorm)
+{
+    int seed = GetParam();
+    // Deterministic pseudo-random axis/angle from the seed.
+    float ax = std::sin(seed * 12.9898f) * 43758.5453f;
+    float ay = std::sin(seed * 78.233f) * 12543.123f;
+    float az = std::sin(seed * 39.425f) * 99871.547f;
+    Vec3 axis{ax - std::floor(ax) - 0.5f, ay - std::floor(ay) - 0.5f,
+              az - std::floor(az) - 0.5f};
+    if (axis.norm() < 1e-3f)
+        axis = {1.0f, 0.0f, 0.0f};
+    float angle = (seed % 7) * 0.7f - 2.0f;
+
+    Mat3 r = Mat3::rotation(axis, angle);
+    Vec3 v{0.3f + seed * 0.01f, -0.8f, 0.55f};
+    EXPECT_NEAR((r * v).norm(), v.norm(), 1e-4f);
+
+    // Quaternion path agrees with matrix path.
+    Quat q = Quat::fromAxisAngle(axis, angle);
+    Vec3 vm = r * v;
+    Vec3 vq = q.toMatrix() * v;
+    expectVecNear(vm, vq, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RotationProperty,
+                         ::testing::Range(1, 25));
+
+} // namespace
+} // namespace cicero

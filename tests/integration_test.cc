@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cross-module integration tests: every model kind end-to-end on a real
+ * scene, SPARW + performance model together, and the full
+ * render-warp-price loop the benches rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cicero/probe.hh"
+#include "common/stats.hh"
+#include "cicero/sparw.hh"
+#include "cicero/streaming_renderer.hh"
+#include "nerf/models.hh"
+#include "scene/trajectory.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+TEST(IntegrationTest, AllModelKindsRenderLego)
+{
+    Scene scene = makeScene("lego");
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    auto traj = orbitTrajectory(orbit, 2);
+    Camera cam = Camera::fromFov(48, 48, scene.fovYDeg, traj[0]);
+    RenderResult gt = renderGroundTruth(scene, cam, 256);
+
+    for (ModelKind kind : allModelKinds()) {
+        auto model = buildModel(kind, scene);
+        RenderResult r = model->render(cam);
+        double q = psnr(r.image, gt.image);
+        EXPECT_GT(q, 22.0) << modelName(kind);
+        EXPECT_GT(model->modelBytes(), 0u);
+        EXPECT_GT(r.work.samples, 0u);
+    }
+}
+
+TEST(IntegrationTest, ModelsDifferInAccessCharacter)
+{
+    Scene scene = makeScene("chair");
+    auto ngp = buildModel(ModelKind::InstantNgp, scene);
+    auto dvgo = buildModel(ModelKind::DirectVoxGO, scene);
+    // Hash grids fetch per level; dense grids once.
+    EXPECT_GT(ngp->encoding().fetchesPerSample(),
+              4 * dvgo->encoding().fetchesPerSample());
+}
+
+TEST(IntegrationTest, SparwOnRealSceneKeepsQuality)
+{
+    Scene scene = makeScene("hotdog");
+    auto model = buildModel(ModelKind::DirectVoxGO, scene);
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    auto traj = orbitTrajectory(orbit, 8);
+    Camera cam = Camera::fromFov(56, 56, scene.fovYDeg, traj[0]);
+
+    SparwConfig cfg;
+    cfg.window = 4;
+    SparwPipeline pipe(*model, cam, cfg);
+    SparwRun run = pipe.run(traj);
+
+    Summary quality;
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+        Camera c = cam;
+        c.pose = traj[i];
+        RenderResult gt = renderGroundTruth(scene, c, 224);
+        quality.add(std::min(60.0, psnr(run.frames[i].image, gt.image)));
+    }
+    Camera c0 = cam;
+    c0.pose = traj[0];
+    RenderResult gt0 = renderGroundTruth(scene, c0, 224);
+    double fullPsnr =
+        std::min(60.0, psnr(model->render(c0).image, gt0.image));
+    // < ~1.5 dB mean loss versus full NeRF at this tiny resolution.
+    EXPECT_GT(quality.mean(), fullPsnr - 1.5);
+}
+
+TEST(IntegrationTest, StreamingRendererOnRealModel)
+{
+    Scene scene = makeScene("mic");
+    ModelBuildOptions opt;
+    opt.gridLayout = GridLayout::MVoxelBlocked;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opt);
+    Camera cam = Camera::fromFov(40, 40, scene.fovYDeg,
+                                 test::tinyOrbit(2)[0]);
+    Pose p = Pose::lookAt({0.0f, 0.6f, scene.cameraDistance},
+                          {0.0f, 0.0f, 0.0f}, {0.0f, 1.0f, 0.0f});
+    cam.pose = p;
+
+    StreamingRenderer streaming(*model);
+    RenderResult a = streaming.render(cam);
+    RenderResult b = model->render(cam);
+    EXPECT_GT(psnr(a.image, b.image), 40.0);
+}
+
+TEST(IntegrationTest, ProbeAndPriceAllVariants)
+{
+    Scene scene = makeScene("drums");
+    ModelBuildOptions opt;
+    opt.gridLayout = GridLayout::MVoxelBlocked;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opt);
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    auto traj = orbitTrajectory(orbit, 10);
+
+    ProbeOptions popts;
+    popts.traceRes = 40;
+    popts.window = 8;
+    WorkloadInputs in = probeWorkload(*model, traj, popts);
+
+    PerformanceModel pm;
+    double prev = 1e18;
+    for (SystemVariant v :
+         {SystemVariant::Baseline, SystemVariant::Sparw,
+          SystemVariant::SparwFs, SystemVariant::Cicero}) {
+        FramePrice local = pm.priceLocal(v, in);
+        EXPECT_GT(local.timeMs, 0.0);
+        EXPECT_GT(local.energyNj, 0.0);
+        EXPECT_LE(local.timeMs, prev * 1.05);
+        prev = local.timeMs;
+    }
+}
+
+TEST(IntegrationTest, NominalSpecsCoverSixModels)
+{
+    const auto &specs = nominalModelSpecs();
+    EXPECT_EQ(specs.size(), 6u);
+    int implemented = 0;
+    for (const auto &s : specs) {
+        EXPECT_GT(s.modelMB, 0.0);
+        implemented += s.implemented;
+    }
+    EXPECT_EQ(implemented, 4);
+}
+
+TEST(IntegrationTest, SpecularSceneWarpsWorseThanDiffuse)
+{
+    // Sec. VI-F: the radiance approximation degrades on non-diffuse
+    // surfaces under large pose deltas.
+    auto evalScene = [&](const Scene &scene) {
+        SamplerConfig cfg;
+        cfg.stepsAcross = 64;
+        cfg.occupancyRes = 24;
+        NerfModel model(scene,
+                        std::make_unique<DenseGridEncoding>(32), 4096,
+                        cfg);
+        auto traj = test::tinyOrbit(2, 600.0f); // 20 deg jump
+        Camera ref = test::tinyCamera(48, &traj[0]);
+        Camera tgt = test::tinyCamera(48, &traj[1]);
+        RenderResult r = model.render(ref);
+        WarpOutput w = warpFrame(r.image, r.depth, ref, tgt,
+                                 &model.occupancy(), scene.background);
+        model.renderPixels(tgt, w.needRender, w.image, w.depth);
+        RenderResult full = model.render(tgt);
+        return psnr(w.image, full.image);
+    };
+    double diffuse = evalScene(test::tinyScene());
+    double specular = evalScene(test::tinySpecularScene());
+    EXPECT_GT(diffuse, specular);
+}
+
+} // namespace
+} // namespace cicero

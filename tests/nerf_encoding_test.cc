@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Unit and property tests for the three feature encodings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hh"
+#include "nerf/dense_grid.hh"
+#include "nerf/hash_grid.hh"
+#include "nerf/tensorf.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+// ---------------------------------------------------------------------
+// Dense grid
+// ---------------------------------------------------------------------
+
+TEST(DenseGridTest, ExactAtVertices)
+{
+    Scene s = test::tinyScene();
+    DenseGridEncoding grid(16);
+    grid.bake(s.field);
+
+    const Aabb &b = s.field.bounds();
+    Vec3 e = b.extent();
+    // Query exactly at a vertex: trilinear must reproduce the bake.
+    for (int v : {0, 5, 16}) {
+        Vec3 pn{v / 16.0f, v / 16.0f, v / 16.0f};
+        float feat[kFeatureDim];
+        grid.gatherFeature(pn, feat);
+        Vec3 p{b.lo.x + e.x * pn.x, b.lo.y + e.y * pn.y,
+               b.lo.z + e.z * pn.z};
+        float expect[kFeatureDim];
+        encodeBakedPoint(s.field.bakePoint(p), expect);
+        for (int ch = 0; ch < kFeatureDim; ++ch)
+            EXPECT_NEAR(feat[ch], expect[ch], 1e-4f) << "ch " << ch;
+    }
+}
+
+TEST(DenseGridTest, CornerWeightsSumToOne)
+{
+    DenseGridEncoding grid(8);
+    Rng rng(3);
+    for (int i = 0; i < 50; ++i) {
+        auto cs = grid.corners(rng.uniformVec3());
+        float sum = 0.0f;
+        for (const auto &c : cs) {
+            sum += c.weight;
+            EXPECT_GE(c.weight, 0.0f);
+        }
+        EXPECT_NEAR(sum, 1.0f, 1e-5f);
+    }
+}
+
+/** Property: interpolated values stay within the corner value hull. */
+class DenseGridConvexity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DenseGridConvexity, InterpolationIsConvex)
+{
+    Scene s = test::tinyScene();
+    static DenseGridEncoding grid = [] {
+        DenseGridEncoding g(12);
+        g.bake(test::tinyScene().field);
+        return g;
+    }();
+
+    Rng rng(GetParam());
+    Vec3 pn = rng.uniformVec3();
+    auto cs = grid.corners(pn);
+    float feat[kFeatureDim];
+    grid.gatherFeature(pn, feat);
+
+    for (int ch = 0; ch < kFeatureDim; ++ch) {
+        float lo = 1e30f, hi = -1e30f;
+        for (const auto &c : cs) {
+            float v = grid.vertexData(c.ix, c.iy, c.iz)[ch];
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+        EXPECT_GE(feat[ch], lo - 1e-4f);
+        EXPECT_LE(feat[ch], hi + 1e-4f);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DenseGridConvexity,
+                         ::testing::Range(1, 20));
+
+TEST(DenseGridTest, LayoutChangesAddressesNotValues)
+{
+    Scene s = test::tinyScene();
+    DenseGridEncoding linear(10, GridLayout::Linear);
+    DenseGridEncoding blocked(10, GridLayout::MVoxelBlocked);
+    linear.bake(s.field);
+    blocked.bake(s.field);
+
+    Rng rng(5);
+    for (int i = 0; i < 20; ++i) {
+        Vec3 pn = rng.uniformVec3();
+        float a[kFeatureDim], b[kFeatureDim];
+        linear.gatherFeature(pn, a);
+        blocked.gatherFeature(pn, b);
+        for (int ch = 0; ch < kFeatureDim; ++ch)
+            EXPECT_FLOAT_EQ(a[ch], b[ch]);
+    }
+    // But addresses differ in general.
+    EXPECT_NE(linear.vertexAddr(9, 9, 9), blocked.vertexAddr(9, 9, 9));
+}
+
+TEST(DenseGridTest, LinearAddressesAreRowMajor)
+{
+    DenseGridEncoding grid(8, GridLayout::Linear);
+    std::uint32_t vb = grid.vertexBytes();
+    EXPECT_EQ(grid.vertexAddr(0, 0, 0), 0u);
+    EXPECT_EQ(grid.vertexAddr(1, 0, 0), vb);
+    EXPECT_EQ(grid.vertexAddr(0, 1, 0), 9ull * vb);
+    EXPECT_EQ(grid.vertexAddr(0, 0, 1), 81ull * vb);
+}
+
+TEST(DenseGridTest, MVoxelAddressesContiguousWithinBlock)
+{
+    DenseGridEncoding grid(15, GridLayout::MVoxelBlocked, 8);
+    // All vertices of block 0 fall within [0, mvoxelBytes).
+    for (int z = 0; z < 8; ++z) {
+        for (int y = 0; y < 8; ++y) {
+            for (int x = 0; x < 8; ++x) {
+                std::uint64_t a = grid.vertexAddr(x, y, z);
+                EXPECT_LT(a, grid.mvoxelBytes());
+                EXPECT_EQ(grid.mvoxelOfVertex(x, y, z), 0u);
+            }
+        }
+    }
+    EXPECT_EQ(grid.mvoxelOfVertex(8, 0, 0), 1u);
+    EXPECT_GE(grid.vertexAddr(8, 0, 0), grid.mvoxelBytes());
+}
+
+TEST(DenseGridTest, AccessesAreEightVertexFetches)
+{
+    DenseGridEncoding grid(8);
+    std::vector<MemAccess> acc;
+    grid.gatherAccesses({0.5f, 0.5f, 0.5f}, 7, acc);
+    ASSERT_EQ(acc.size(), 8u);
+    std::unordered_set<std::uint64_t> addrs;
+    for (const auto &a : acc) {
+        EXPECT_EQ(a.bytes, grid.vertexBytes());
+        EXPECT_EQ(a.rayId, 7u);
+        addrs.insert(a.addr);
+    }
+    EXPECT_EQ(addrs.size(), 8u); // distinct vertices
+}
+
+TEST(DenseGridTest, StreamingFootprintCountsBlocks)
+{
+    DenseGridEncoding grid(15, GridLayout::MVoxelBlocked, 8);
+    // One sample in the interior of block 0 touches exactly 1 MVoxel.
+    std::vector<Vec3> pos = {{0.1f, 0.1f, 0.1f}};
+    StreamPlan plan = grid.streamingFootprint(pos);
+    EXPECT_EQ(plan.streamedBytes, grid.mvoxelBytes());
+    EXPECT_EQ(plan.ritEntries, 1u);
+    EXPECT_EQ(plan.ritBytes, 48u);
+
+    // A sample whose voxel straddles the block boundary produces
+    // partial entries in both blocks.
+    std::vector<Vec3> boundary = {{7.2f / 15.0f, 0.1f, 0.1f}};
+    StreamPlan plan2 = grid.streamingFootprint(boundary);
+    EXPECT_EQ(plan2.ritEntries, 2u);
+    EXPECT_EQ(plan2.streamedBytes, 2 * grid.mvoxelBytes());
+}
+
+TEST(DenseGridTest, ModelBytesMatchesGeometry)
+{
+    DenseGridEncoding grid(16);
+    EXPECT_EQ(grid.modelBytes(),
+              17ull * 17 * 17 * kFeatureDim * kBytesPerChannel);
+}
+
+// ---------------------------------------------------------------------
+// Hash grid
+// ---------------------------------------------------------------------
+
+HashGridConfig
+smallHashConfig()
+{
+    HashGridConfig cfg;
+    cfg.numLevels = 4;
+    cfg.baseRes = 4;
+    cfg.perLevelScale = 2.0f;
+    cfg.tableSize = 4096;
+    return cfg;
+}
+
+TEST(HashGridTest, LevelResolutionsGrow)
+{
+    HashGridEncoding enc(smallHashConfig());
+    EXPECT_EQ(enc.levelRes(0), 4);
+    EXPECT_EQ(enc.levelRes(1), 8);
+    EXPECT_EQ(enc.levelRes(2), 16);
+    EXPECT_EQ(enc.levelRes(3), 32);
+}
+
+TEST(HashGridTest, CoarseLevelsDenseFineLevelsHashed)
+{
+    HashGridEncoding enc(smallHashConfig());
+    // (4+1)^3=125, (8+1)^3=729, (16+1)^3=4913 > 4096.
+    EXPECT_TRUE(enc.levelDense(0));
+    EXPECT_TRUE(enc.levelDense(1));
+    EXPECT_FALSE(enc.levelDense(2));
+    EXPECT_FALSE(enc.levelDense(3));
+    EXPECT_EQ(enc.revertLevel(), 2);
+}
+
+TEST(HashGridTest, ReconstructsFieldApproximately)
+{
+    Scene s = test::tinyScene();
+    HashGridConfig cfg;
+    cfg.numLevels = 5;
+    cfg.baseRes = 4;
+    cfg.perLevelScale = 1.8f;
+    cfg.tableSize = 1u << 14;
+    HashGridEncoding enc(cfg);
+    enc.bake(s.field);
+
+    const Aabb &b = s.field.bounds();
+    Vec3 e = b.extent();
+    Rng rng(9);
+    double err = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        Vec3 pn = rng.uniformVec3();
+        float feat[kFeatureDim];
+        enc.gatherFeature(pn, feat);
+        Vec3 p{b.lo.x + e.x * pn.x, b.lo.y + e.y * pn.y,
+               b.lo.z + e.z * pn.z};
+        float expect[kFeatureDim];
+        encodeBakedPoint(s.field.bakePoint(p), expect);
+        // Compare the diffuse channels (bounded [0,1]).
+        for (int ch = 1; ch <= 3; ++ch)
+            err += std::fabs(feat[ch] - expect[ch]);
+    }
+    EXPECT_LT(err / (3 * n), 0.08);
+}
+
+TEST(HashGridTest, FetchCountsPerLevel)
+{
+    HashGridEncoding enc(smallHashConfig());
+    EXPECT_EQ(enc.fetchesPerSample(), 8u * 4);
+    std::vector<MemAccess> acc;
+    enc.gatherAccesses({0.3f, 0.7f, 0.2f}, 1, acc);
+    EXPECT_EQ(acc.size(), 32u);
+}
+
+TEST(HashGridTest, AccessAddressesWithinLevelRegions)
+{
+    HashGridEncoding enc(smallHashConfig());
+    std::vector<MemAccess> acc;
+    enc.gatherAccesses({0.5f, 0.5f, 0.5f}, 0, acc);
+    // All addresses fall inside the model.
+    for (const auto &a : acc)
+        EXPECT_LT(a.addr + a.bytes, enc.modelBytes() + 1);
+}
+
+TEST(HashGridTest, StreamingFootprintSplitsByLevel)
+{
+    HashGridEncoding enc(smallHashConfig());
+    std::vector<Vec3> pos;
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i)
+        pos.push_back(rng.uniformVec3());
+    StreamPlan plan = enc.streamingFootprint(pos);
+    // Two dense levels stream; two hashed levels are random.
+    EXPECT_GT(plan.streamedBytes, 0u);
+    EXPECT_EQ(plan.randomBytes,
+              100ull * 2 * 8 * kFeatureDim * kBytesPerChannel);
+    EXPECT_GT(plan.ritEntries, 0u);
+}
+
+TEST(HashGridTest, FullConfigRevertsMidway)
+{
+    // The paper: Instant-NGP reverts to non-streaming from level 5 of 8.
+    HashGridEncoding enc(HashGridConfig::full());
+    EXPECT_EQ(enc.config().numLevels, 8);
+    int revert = enc.revertLevel();
+    EXPECT_GE(revert, 3);
+    EXPECT_LE(revert, 5);
+}
+
+// ---------------------------------------------------------------------
+// TensoRF
+// ---------------------------------------------------------------------
+
+TEST(TensoRFTest, ReconstructsSeparableFieldWell)
+{
+    // A centered sphere density is nearly separable; the greedy rank-1
+    // fit should capture most of it.
+    Scene s = test::tinyScene();
+    TensoRFConfig cfg;
+    cfg.res = 32;
+    cfg.ranks = 4;
+    TensoRFEncoding enc(cfg);
+    enc.bake(s.field);
+
+    const Aabb &b = s.field.bounds();
+    Vec3 e = b.extent();
+    Rng rng(13);
+    double err = 0.0;
+    const int n = 200;
+    for (int i = 0; i < n; ++i) {
+        Vec3 pn = rng.uniformVec3();
+        float feat[kFeatureDim];
+        enc.gatherFeature(pn, feat);
+        Vec3 p{b.lo.x + e.x * pn.x, b.lo.y + e.y * pn.y,
+               b.lo.z + e.z * pn.z};
+        float expect[kFeatureDim];
+        encodeBakedPoint(s.field.bakePoint(p), expect);
+        for (int ch = 1; ch <= 3; ++ch)
+            err += std::fabs(feat[ch] - expect[ch]);
+    }
+    EXPECT_LT(err / (3 * n), 0.1);
+}
+
+TEST(TensoRFTest, MoreRanksReduceError)
+{
+    Scene s = test::tinyScene();
+    auto fitError = [&](int ranks) {
+        TensoRFConfig cfg;
+        cfg.res = 24;
+        cfg.ranks = ranks;
+        TensoRFEncoding enc(cfg);
+        enc.bake(s.field);
+        Rng rng(21);
+        const Aabb &b = s.field.bounds();
+        Vec3 e = b.extent();
+        double err = 0.0;
+        for (int i = 0; i < 150; ++i) {
+            Vec3 pn = rng.uniformVec3();
+            float feat[kFeatureDim];
+            enc.gatherFeature(pn, feat);
+            Vec3 p{b.lo.x + e.x * pn.x, b.lo.y + e.y * pn.y,
+                   b.lo.z + e.z * pn.z};
+            float expect[kFeatureDim];
+            encodeBakedPoint(s.field.bakePoint(p), expect);
+            for (int ch = 0; ch < kFeatureDim; ++ch)
+                err += std::fabs(feat[ch] - expect[ch]);
+        }
+        return err;
+    };
+    EXPECT_LT(fitError(4), fitError(1));
+}
+
+TEST(TensoRFTest, AccessPattern)
+{
+    TensoRFConfig cfg;
+    cfg.res = 16;
+    cfg.ranks = 2;
+    TensoRFEncoding enc(cfg);
+    std::vector<MemAccess> acc;
+    enc.gatherAccesses({0.4f, 0.6f, 0.2f}, 3, acc);
+    // 3 groupings x (4 plane + 2 line) fetches.
+    EXPECT_EQ(acc.size(), 18u);
+    for (const auto &a : acc)
+        EXPECT_LT(a.addr + a.bytes, enc.modelBytes() + 1);
+}
+
+TEST(TensoRFTest, ModelBytesFormula)
+{
+    TensoRFConfig cfg;
+    cfg.res = 16;
+    cfg.ranks = 2;
+    TensoRFEncoding enc(cfg);
+    std::uint64_t texel = 2ull * kFeatureDim * kBytesPerChannel;
+    EXPECT_EQ(enc.modelBytes(), 3ull * (16 * 16 + 16) * texel);
+}
+
+TEST(TensoRFTest, StreamingFootprintAllStreamable)
+{
+    TensoRFConfig cfg;
+    cfg.res = 32;
+    cfg.ranks = 2;
+    TensoRFEncoding enc(cfg);
+    Rng rng(2);
+    std::vector<Vec3> pos;
+    for (int i = 0; i < 64; ++i)
+        pos.push_back(rng.uniformVec3());
+    StreamPlan plan = enc.streamingFootprint(pos);
+    EXPECT_EQ(plan.randomBytes, 0u);
+    EXPECT_GT(plan.streamedBytes, 0u);
+}
+
+} // namespace
+} // namespace cicero

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the MLP and the feature decoder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nerf/decoder.hh"
+#include "nerf/mlp.hh"
+
+namespace cicero {
+namespace {
+
+TEST(MlpTest, HandComputedForward)
+{
+    Mlp mlp({2, 2, 1});
+    // Layer 0: out0 = relu(1*x0 + 2*x1), out1 = relu(-1*x0 + 0.5*x1)
+    mlp.weights()[0] = {1.0f, 2.0f, -1.0f, 0.5f};
+    mlp.biases()[0] = {0.0f, 0.0f};
+    // Layer 1: y = 3*h0 + 4*h1 + 1
+    mlp.weights()[1] = {3.0f, 4.0f};
+    mlp.biases()[1] = {1.0f};
+
+    float in[2] = {1.0f, 1.0f};
+    float out[1];
+    mlp.forward(in, out);
+    // h = relu(3), relu(-0.5) = (3, 0); y = 9 + 0 + 1 = 10.
+    EXPECT_NEAR(out[0], 10.0f, 1e-5f);
+}
+
+TEST(MlpTest, ReluClampsHidden)
+{
+    Mlp mlp({1, 1, 1});
+    mlp.weights()[0] = {-1.0f};
+    mlp.biases()[0] = {0.0f};
+    mlp.weights()[1] = {1.0f};
+    mlp.biases()[1] = {0.0f};
+    float in[1] = {5.0f};
+    float out[1];
+    mlp.forward(in, out);
+    EXPECT_FLOAT_EQ(out[0], 0.0f); // relu(-5) = 0
+}
+
+TEST(MlpTest, LastLayerIsLinear)
+{
+    Mlp mlp({1, 1});
+    mlp.weights()[0] = {-2.0f};
+    mlp.biases()[0] = {0.0f};
+    float in[1] = {3.0f};
+    float out[1];
+    mlp.forward(in, out);
+    EXPECT_FLOAT_EQ(out[0], -6.0f); // no ReLU on output
+}
+
+TEST(MlpTest, MacCountMatchesDims)
+{
+    Mlp mlp({10, 32, 16, 4});
+    EXPECT_EQ(mlp.macsPerInference(),
+              10ull * 32 + 32 * 16 + 16 * 4);
+}
+
+TEST(MlpTest, WeightBytesCountsParams)
+{
+    Mlp mlp({4, 8, 2});
+    // (4*8 + 8) + (8*2 + 2) params, 2 bytes each.
+    EXPECT_EQ(mlp.weightBytes(), 2ull * (32 + 8 + 16 + 2));
+}
+
+TEST(MlpTest, DeterministicInit)
+{
+    Mlp a({6, 12, 3}, 99);
+    Mlp b({6, 12, 3}, 99);
+    float in[6] = {0.1f, -0.2f, 0.3f, 0.4f, -0.5f, 0.6f};
+    float oa[3], ob[3];
+    a.forward(in, oa);
+    b.forward(in, ob);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FLOAT_EQ(oa[i], ob[i]);
+}
+
+TEST(DecoderTest, BakedPointRoundTrip)
+{
+    BakedPoint pt;
+    pt.sigma = 20.0f;
+    pt.diffuse = {0.4f, 0.5f, 0.6f};
+    pt.normal = Vec3{1.0f, 2.0f, -1.0f}.normalized();
+    pt.specular = 0.3f;
+    pt.shininess = 24.0f;
+
+    float feat[kFeatureDim];
+    encodeBakedPoint(pt, feat);
+    BakedPoint back = decodeBakedFeature(feat);
+    EXPECT_NEAR(back.sigma, pt.sigma, 1e-3f);
+    EXPECT_NEAR(back.diffuse.y, pt.diffuse.y, 1e-5f);
+    EXPECT_NEAR(back.normal.x, pt.normal.x, 1e-4f);
+    EXPECT_NEAR(back.specular, pt.specular, 1e-5f);
+    EXPECT_NEAR(back.shininess, pt.shininess, 1e-3f);
+}
+
+TEST(DecoderTest, ZeroDensityDecodesToZero)
+{
+    Decoder dec({0.3f, 0.8f, 0.5f});
+    float feat[kFeatureDim] = {};
+    DecodedSample s = dec.decode(feat, {0.0f, 0.0f, -1.0f});
+    EXPECT_FLOAT_EQ(s.sigma, 0.0f);
+    EXPECT_FLOAT_EQ(s.rgb.x, 0.0f);
+}
+
+TEST(DecoderTest, DecodeApproximatesShading)
+{
+    Vec3 light = Vec3{0.4f, 0.8f, 0.45f}.normalized();
+    Decoder dec(light);
+    BakedPoint pt;
+    pt.sigma = 30.0f;
+    pt.diffuse = {0.5f, 0.25f, 0.125f};
+    pt.normal = {0.0f, 1.0f, 0.0f};
+    pt.specular = 0.5f;
+    pt.shininess = 16.0f;
+    float feat[kFeatureDim];
+    encodeBakedPoint(pt, feat);
+
+    Vec3 view = Vec3{0.1f, -0.9f, -0.3f}.normalized();
+    DecodedSample s = dec.decode(feat, view);
+    Vec3 expect = shadePoint(pt, view, light);
+    // Within the residual-MLP amplitude.
+    EXPECT_NEAR(s.rgb.x, expect.x, 0.02f);
+    EXPECT_NEAR(s.rgb.y, expect.y, 0.02f);
+    EXPECT_NEAR(s.rgb.z, expect.z, 0.02f);
+    EXPECT_NEAR(s.sigma, pt.sigma, 0.05f);
+}
+
+TEST(DecoderTest, NominalMacsOverridesExecuted)
+{
+    Decoder dec({0.0f, 1.0f, 0.0f}, 16, 1, 123456);
+    EXPECT_EQ(dec.nominalMacs(), 123456u);
+    EXPECT_GT(dec.executedMacs(), 0u);
+    EXPECT_LT(dec.executedMacs(), dec.nominalMacs());
+}
+
+TEST(DecoderTest, RgbStaysInRange)
+{
+    Decoder dec({0.0f, 1.0f, 0.0f});
+    BakedPoint pt;
+    pt.sigma = 64.0f;
+    pt.diffuse = {1.0f, 1.0f, 1.0f};
+    pt.normal = {0.0f, 1.0f, 0.0f};
+    pt.specular = 1.0f;
+    pt.shininess = 1.0f;
+    float feat[kFeatureDim];
+    encodeBakedPoint(pt, feat);
+    DecodedSample s = dec.decode(feat, {0.0f, -1.0f, 0.0f});
+    EXPECT_LE(s.rgb.x, 1.0f);
+    EXPECT_LE(s.rgb.y, 1.0f);
+    EXPECT_GE(s.rgb.z, 0.0f);
+}
+
+} // namespace
+} // namespace cicero

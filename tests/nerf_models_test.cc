@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the model factory and nominal characterization specs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nerf/hash_grid.hh"
+#include "nerf/models.hh"
+#include "nerf/tensorf.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+TEST(ModelFactoryTest, NamesAndLists)
+{
+    EXPECT_STREQ(modelName(ModelKind::InstantNgp), "Instant-NGP");
+    EXPECT_STREQ(modelName(ModelKind::DirectVoxGO), "DirectVoxGO");
+    EXPECT_STREQ(modelName(ModelKind::TensoRF), "TensoRF");
+    EXPECT_STREQ(modelName(ModelKind::EfficientNeRF), "EfficientNeRF");
+    EXPECT_EQ(allModelKinds().size(), 4u);
+    EXPECT_EQ(mainModelKinds().size(), 3u);
+}
+
+TEST(ModelFactoryTest, KindsGetMatchingEncodings)
+{
+    Scene scene = test::tinyScene();
+    auto ngp = buildModel(ModelKind::InstantNgp, scene);
+    auto dvgo = buildModel(ModelKind::DirectVoxGO, scene);
+    auto tensorf = buildModel(ModelKind::TensoRF, scene);
+    EXPECT_NE(dynamic_cast<const HashGridEncoding *>(&ngp->encoding()),
+              nullptr);
+    EXPECT_NE(
+        dynamic_cast<const DenseGridEncoding *>(&dvgo->encoding()),
+        nullptr);
+    EXPECT_NE(
+        dynamic_cast<const TensoRFEncoding *>(&tensorf->encoding()),
+        nullptr);
+}
+
+TEST(ModelFactoryTest, FullPresetIsBigger)
+{
+    Scene scene = test::tinyScene();
+    ModelBuildOptions fast;
+    ModelBuildOptions full;
+    full.preset = ModelPreset::Full;
+    auto a = buildModel(ModelKind::DirectVoxGO, scene, fast);
+    auto b = buildModel(ModelKind::DirectVoxGO, scene, full);
+    EXPECT_GT(b->modelBytes(), a->modelBytes());
+}
+
+TEST(ModelFactoryTest, LayoutOptionPropagates)
+{
+    Scene scene = test::tinyScene();
+    ModelBuildOptions opts;
+    opts.gridLayout = GridLayout::MVoxelBlocked;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opts);
+    auto *grid =
+        dynamic_cast<const DenseGridEncoding *>(&model->encoding());
+    ASSERT_NE(grid, nullptr);
+    EXPECT_EQ(grid->layout(), GridLayout::MVoxelBlocked);
+}
+
+TEST(ModelFactoryTest, NominalMlpMacsOrdering)
+{
+    // EfficientNeRF distills to a small MLP; DirectVoxGO's shallow
+    // RGBNet is the largest per-sample among our four.
+    EXPECT_LT(nominalMlpMacs(ModelKind::EfficientNeRF),
+              nominalMlpMacs(ModelKind::DirectVoxGO));
+    EXPECT_GT(nominalMlpMacs(ModelKind::InstantNgp), 0u);
+}
+
+TEST(ModelSpecTest, ImplementedSpecsHaveWorkParameters)
+{
+    for (const ModelSpec &spec : nominalModelSpecs()) {
+        if (!spec.implemented)
+            continue;
+        EXPECT_GT(spec.samplesPerRay, 0.0) << spec.name;
+        EXPECT_GT(spec.fetchesPerSample, 0.0) << spec.name;
+        EXPECT_GT(spec.mlpMacsPerSample, 0.0) << spec.name;
+    }
+}
+
+TEST(ModelSpecTest, SizesSpanThePaperRange)
+{
+    // Fig. 2's x-axis covers ~10 MB to ~10 GB.
+    double lo = 1e18, hi = 0.0;
+    for (const ModelSpec &spec : nominalModelSpecs()) {
+        lo = std::min(lo, spec.modelMB);
+        hi = std::max(hi, spec.modelMB);
+    }
+    EXPECT_LT(lo, 100.0);
+    EXPECT_GT(hi, 1000.0);
+}
+
+TEST(ModelFactoryTest, SeedChangesDecoderResidualOnly)
+{
+    Scene scene = test::tinyScene();
+    ModelBuildOptions a, b;
+    a.seed = 1;
+    b.seed = 2;
+    auto ma = buildModel(ModelKind::DirectVoxGO, scene, a);
+    auto mb = buildModel(ModelKind::DirectVoxGO, scene, b);
+    Camera cam = test::tinyCamera(24);
+    RenderResult ra = ma->render(cam);
+    RenderResult rb = mb->render(cam);
+    // Different residual seeds: images differ slightly but agree
+    // strongly (the residual amplitude is small).
+    EXPECT_GT(psnr(ra.image, rb.image), 35.0);
+    EXPECT_LT(psnr(ra.image, rb.image), 1e9);
+}
+
+} // namespace
+} // namespace cicero

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the volume compositor, the sampler/occupancy grid and the
+ * pixel-centric renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nerf/renderer.hh"
+#include "nerf/volume_renderer.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+TEST(CompositorTest, EmptyRayIsBackground)
+{
+    Compositor c;
+    CompositeResult r = c.finish({0.2f, 0.4f, 0.6f});
+    EXPECT_FLOAT_EQ(r.opacity, 0.0f);
+    EXPECT_FLOAT_EQ(r.rgb.x, 0.2f);
+    EXPECT_TRUE(std::isinf(r.depth));
+}
+
+TEST(CompositorTest, OpaqueSampleDominates)
+{
+    Compositor c;
+    // Very dense sample: alpha ~ 1.
+    c.add(1000.0f, {1.0f, 0.0f, 0.0f}, 2.0f, 0.1f);
+    CompositeResult r = c.finish({0.0f, 1.0f, 0.0f});
+    EXPECT_NEAR(r.opacity, 1.0f, 1e-4f);
+    EXPECT_NEAR(r.rgb.x, 1.0f, 1e-4f);
+    EXPECT_NEAR(r.rgb.y, 0.0f, 1e-4f);
+    EXPECT_NEAR(r.depth, 2.0f, 1e-3f);
+}
+
+TEST(CompositorTest, TransmittanceDecreasesMonotonically)
+{
+    Compositor c;
+    float prev = c.transmittance();
+    for (int i = 0; i < 10; ++i) {
+        c.add(5.0f, {0.5f, 0.5f, 0.5f}, 1.0f + i * 0.1f, 0.05f);
+        EXPECT_LE(c.transmittance(), prev);
+        prev = c.transmittance();
+    }
+    EXPECT_GE(prev, 0.0f);
+}
+
+TEST(CompositorTest, EarlyStopSignalled)
+{
+    Compositor c;
+    bool keep = true;
+    int steps = 0;
+    while (keep && steps < 100) {
+        keep = c.add(200.0f, {1.0f, 1.0f, 1.0f}, 1.0f, 0.05f);
+        ++steps;
+    }
+    EXPECT_LT(steps, 10);
+    EXPECT_LE(c.transmittance(), Compositor::kEarlyStopT);
+}
+
+TEST(CompositorTest, ZeroDensityContributesNothing)
+{
+    Compositor c;
+    c.add(0.0f, {9.0f, 9.0f, 9.0f}, 1.0f, 1.0f);
+    CompositeResult r = c.finish({0.0f, 0.0f, 0.0f});
+    EXPECT_FLOAT_EQ(r.opacity, 0.0f);
+    EXPECT_FLOAT_EQ(r.rgb.x, 0.0f);
+}
+
+TEST(CompositorTest, WeightsFormPartitionWithBackground)
+{
+    // Accumulated color of constant-radiance samples + background of
+    // the same color must reproduce that color exactly.
+    Compositor c;
+    Vec3 col{0.3f, 0.6f, 0.9f};
+    for (int i = 0; i < 20; ++i)
+        if (!c.add(7.0f, col, 1.0f + 0.1f * i, 0.1f))
+            break;
+    CompositeResult r = c.finish(col);
+    EXPECT_NEAR(r.rgb.x, col.x, 1e-5f);
+    EXPECT_NEAR(r.rgb.y, col.y, 1e-5f);
+    EXPECT_NEAR(r.rgb.z, col.z, 1e-5f);
+}
+
+TEST(OccupancyTest, MarksSphereOccupied)
+{
+    Scene s = test::tinyScene();
+    OccupancyGrid occ(s.field, 32, 0.5f);
+    EXPECT_TRUE(occ.occupied({0.0f, 0.0f, 0.0f}));
+    EXPECT_FALSE(occ.occupied({0.9f, 0.9f, 0.9f}));
+    EXPECT_FALSE(occ.occupied({5.0f, 0.0f, 0.0f})); // outside bounds
+    EXPECT_GT(occ.occupancyFraction(), 0.01);
+    EXPECT_LT(occ.occupancyFraction(), 0.6);
+}
+
+TEST(OccupancyTest, RayTestSeparatesHitAndMiss)
+{
+    Scene s = test::tinyScene();
+    OccupancyGrid occ(s.field, 32, 0.5f);
+    Ray hit{{0.0f, 0.0f, 2.0f}, {0.0f, 0.0f, -1.0f}};
+    Ray miss{{0.0f, 2.5f, 2.0f},
+             Vec3{0.0f, 0.3f, -1.0f}.normalized()};
+    EXPECT_TRUE(occ.rayHitsOccupied(hit));
+    EXPECT_FALSE(occ.rayHitsOccupied(miss));
+}
+
+TEST(SamplerTest, SkipsEmptySpace)
+{
+    Scene s = test::tinyScene();
+    OccupancyGrid occ(s.field, 32, 0.5f);
+    SamplerConfig cfg;
+    cfg.stepsAcross = 128;
+    RaySampler with(s.field.bounds(), &occ, cfg);
+    RaySampler without(s.field.bounds(), nullptr, cfg);
+
+    Ray ray{{0.0f, 0.0f, 2.0f}, {0.0f, 0.0f, -1.0f}};
+    std::vector<RaySample> a, b;
+    with.sample(ray, a);
+    without.sample(ray, b);
+    EXPECT_GT(a.size(), 0u);
+    EXPECT_GE(b.size(), 2 * a.size());
+    // Samples lie inside bounds with valid normalized coords.
+    for (const auto &smp : a) {
+        EXPECT_TRUE(s.field.bounds().contains(smp.pos));
+        EXPECT_GE(smp.pn.x, 0.0f);
+        EXPECT_LE(smp.pn.x, 1.0f);
+    }
+}
+
+TEST(SamplerTest, SamplesAreOrderedAndSpaced)
+{
+    Scene s = test::tinyScene();
+    SamplerConfig cfg;
+    cfg.stepsAcross = 64;
+    RaySampler sampler(s.field.bounds(), nullptr, cfg);
+    Ray ray{{0.0f, 0.1f, 2.0f}, Vec3{0.1f, 0.0f, -1.0f}.normalized()};
+    std::vector<RaySample> out;
+    sampler.sample(ray, out);
+    ASSERT_GT(out.size(), 4u);
+    for (std::size_t i = 1; i < out.size(); ++i) {
+        EXPECT_GT(out[i].t, out[i - 1].t);
+        EXPECT_NEAR(out[i].t - out[i - 1].t, sampler.stepSize(), 1e-4f);
+    }
+}
+
+TEST(SamplerTest, RespectsMaxSamples)
+{
+    Scene s = test::tinyScene();
+    SamplerConfig cfg;
+    cfg.stepsAcross = 512;
+    cfg.maxSamplesPerRay = 16;
+    RaySampler sampler(s.field.bounds(), nullptr, cfg);
+    Ray ray{{0.0f, 0.0f, 2.0f}, {0.0f, 0.0f, -1.0f}};
+    std::vector<RaySample> out;
+    EXPECT_LE(sampler.sample(ray, out), 16);
+}
+
+TEST(RendererTest, QualityAgainstGroundTruth)
+{
+    auto model = test::tinyModel(GridLayout::Linear, 64);
+    Camera cam = test::tinyCamera(48);
+    RenderResult nerf = model->render(cam);
+    RenderResult gt = renderGroundTruth(model->scene(), cam, 192);
+    EXPECT_GT(psnr(nerf.image, gt.image), 24.0);
+}
+
+TEST(RendererTest, FinerGridHigherQuality)
+{
+    Camera cam = test::tinyCamera(48);
+    RenderResult gt =
+        renderGroundTruth(test::tinyScene(), cam, 192);
+    auto coarse = test::tinyModel(GridLayout::Linear, 24);
+    auto fine = test::tinyModel(GridLayout::Linear, 64);
+    EXPECT_GT(psnr(fine->render(cam).image, gt.image),
+              psnr(coarse->render(cam).image, gt.image));
+}
+
+TEST(RendererTest, WorkCountersPopulated)
+{
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(32);
+    RenderResult r = model->render(cam);
+    EXPECT_EQ(r.work.rays, 32u * 32);
+    EXPECT_GT(r.work.samples, 0u);
+    EXPECT_EQ(r.work.vertexFetches, r.work.samples * 8);
+    EXPECT_GT(r.work.mlpMacs, 0u);
+    EXPECT_EQ(r.work.mlpMacs, r.work.samples * 4096);
+}
+
+TEST(RendererTest, DepthFiniteOnObjectInfiniteOnBackground)
+{
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(48);
+    RenderResult r = model->render(cam);
+    // Center pixel hits the sphere.
+    EXPECT_TRUE(std::isfinite(r.depth.at(24, 24)));
+    // Top corner is background.
+    EXPECT_FALSE(std::isfinite(r.depth.at(1, 1)));
+    // Depth at center approximates distance to sphere front surface
+    // (camera at distance ~2.55 from origin; sphere radius 0.45).
+    EXPECT_NEAR(r.depth.at(24, 24), 2.55f - 0.45f, 0.2f);
+}
+
+TEST(RendererTest, SparsePixelsMatchFullRender)
+{
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(32);
+    RenderResult full = model->render(cam);
+
+    std::vector<std::uint32_t> ids = {0, 17, 512, 1023,
+                                      16 * 32 + 16};
+    Image img(32, 32);
+    DepthMap depth(32, 32);
+    model->renderPixels(cam, ids, img, depth);
+    for (std::uint32_t id : ids) {
+        int x = id % 32, y = id / 32;
+        EXPECT_NEAR(img.at(x, y).x, full.image.at(x, y).x, 1e-5f);
+        EXPECT_NEAR(img.at(x, y).y, full.image.at(x, y).y, 1e-5f);
+    }
+}
+
+TEST(RendererTest, TraceWorkloadGathersAllMarchedSamples)
+{
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(24);
+    RenderResult quality = model->render(cam);
+    StageWork workload = model->traceWorkload(cam);
+    // Workload mode marches every in-box sample: strictly more gathers
+    // than the occupancy-skipped, early-terminated quality render.
+    EXPECT_GT(workload.samples, quality.work.samples);
+    // But MLP work only covers occupied samples.
+    EXPECT_LT(workload.mlpMacs, workload.samples * 4096);
+    EXPECT_GT(workload.mlpMacs, 0u);
+}
+
+TEST(RendererTest, GroundTruthConvergesWithSteps)
+{
+    Scene s = test::tinyScene();
+    Camera cam = test::tinyCamera(24);
+    RenderResult coarse = renderGroundTruth(s, cam, 96);
+    RenderResult fine = renderGroundTruth(s, cam, 384);
+    RenderResult finer = renderGroundTruth(s, cam, 512);
+    // Finer marching converges: fine vs finer closer than coarse vs finer.
+    EXPECT_GT(psnr(fine.image, finer.image),
+              psnr(coarse.image, finer.image));
+}
+
+TEST(RendererTest, ModelBytesIncludeDecoder)
+{
+    auto model = test::tinyModel();
+    EXPECT_GT(model->modelBytes(), model->encoding().modelBytes());
+}
+
+} // namespace
+} // namespace cicero

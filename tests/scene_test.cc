@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Unit tests for the analytic fields, the scene library and camera
+ * trajectories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "scene/scene.hh"
+#include "scene/trajectory.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+TEST(PrimitiveTest, SphereSdfSigns)
+{
+    Primitive p;
+    p.shape = PrimShape::Sphere;
+    p.size = {0.5f, 0.5f, 0.5f};
+    EXPECT_LT(p.sdf({0.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_NEAR(p.sdf({0.5f, 0.0f, 0.0f}), 0.0f, 1e-5f);
+    EXPECT_GT(p.sdf({1.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_NEAR(p.sdf({1.0f, 0.0f, 0.0f}), 0.5f, 1e-5f);
+}
+
+TEST(PrimitiveTest, BoxSdfExact)
+{
+    Primitive p;
+    p.shape = PrimShape::Box;
+    p.size = {1.0f, 0.5f, 0.25f};
+    EXPECT_LT(p.sdf({0.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_NEAR(p.sdf({1.5f, 0.0f, 0.0f}), 0.5f, 1e-5f);
+    EXPECT_NEAR(p.sdf({0.0f, 1.0f, 0.0f}), 0.5f, 1e-5f);
+    // Corner distance is Euclidean.
+    EXPECT_NEAR(p.sdf({2.0f, 1.5f, 0.25f}), std::sqrt(2.0f), 1e-4f);
+}
+
+TEST(PrimitiveTest, TorusSdf)
+{
+    Primitive p;
+    p.shape = PrimShape::Torus;
+    p.size = {0.5f, 0.1f, 0.0f}; // major 0.5, minor 0.1
+    // On the ring center circle.
+    EXPECT_NEAR(p.sdf({0.5f, 0.0f, 0.0f}), -0.1f, 1e-5f);
+    // At origin: distance to ring = 0.5, minus minor.
+    EXPECT_NEAR(p.sdf({0.0f, 0.0f, 0.0f}), 0.4f, 1e-5f);
+}
+
+TEST(PrimitiveTest, CylinderSdf)
+{
+    Primitive p;
+    p.shape = PrimShape::Cylinder;
+    p.size = {0.3f, 0.5f, 0.0f}; // radius 0.3, half-height 0.5
+    EXPECT_LT(p.sdf({0.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_NEAR(p.sdf({0.8f, 0.0f, 0.0f}), 0.5f, 1e-5f);
+    EXPECT_NEAR(p.sdf({0.0f, 1.0f, 0.0f}), 0.5f, 1e-5f);
+}
+
+TEST(PrimitiveTest, RotationAppliesInLocalFrame)
+{
+    Primitive p;
+    p.shape = PrimShape::Box;
+    p.size = {1.0f, 0.1f, 0.1f};
+    p.rot = Mat3::rotationZ(deg2rad(90.0f));
+    // The long axis is now along world Y.
+    EXPECT_LT(p.sdf({0.0f, 0.9f, 0.0f}), 0.0f);
+    EXPECT_GT(p.sdf({0.9f, 0.0f, 0.0f}), 0.0f);
+}
+
+TEST(FieldTest, DensityZeroOutsideBounds)
+{
+    AnalyticField f;
+    Primitive p;
+    p.shape = PrimShape::Sphere;
+    p.size = {0.4f, 0.4f, 0.4f};
+    f.addPrimitive(p);
+    EXPECT_GT(f.density({0.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_EQ(f.density({5.0f, 0.0f, 0.0f}), 0.0f);
+    EXPECT_EQ(f.density({0.99f, 0.99f, 0.99f}), 0.0f); // outside sphere
+}
+
+TEST(FieldTest, DensityPeaksInside)
+{
+    AnalyticField f;
+    Primitive p;
+    p.shape = PrimShape::Sphere;
+    p.size = {0.4f, 0.4f, 0.4f};
+    p.sigmaMax = 50.0f;
+    f.addPrimitive(p);
+    float inside = f.density({0.0f, 0.0f, 0.0f});
+    float nearSurface = f.density({0.39f, 0.0f, 0.0f});
+    EXPECT_NEAR(inside, 50.0f, 1.0f);
+    EXPECT_GT(inside, nearSurface);
+}
+
+TEST(FieldTest, NormalPointsOutward)
+{
+    AnalyticField f;
+    Primitive p;
+    p.shape = PrimShape::Sphere;
+    p.size = {0.5f, 0.5f, 0.5f};
+    f.addPrimitive(p);
+    Vec3 n = f.normalAt({0.5f, 0.0f, 0.0f});
+    EXPECT_NEAR(n.x, 1.0f, 1e-2f);
+    EXPECT_NEAR(n.y, 0.0f, 1e-2f);
+}
+
+TEST(FieldTest, SampleMatchesShadedBakePoint)
+{
+    Scene s = test::tinyScene();
+    Vec3 p{0.2f, 0.1f, 0.3f};
+    Vec3 view = Vec3{0.0f, -0.2f, -1.0f}.normalized();
+    FieldSample fs = s.field.sample(p, view);
+    BakedPoint bp = s.field.bakePoint(p);
+    EXPECT_FLOAT_EQ(fs.sigma, bp.sigma);
+    Vec3 shaded = shadePoint(bp, view, s.field.lightDir());
+    EXPECT_FLOAT_EQ(fs.rgb.x, shaded.x);
+    EXPECT_FLOAT_EQ(fs.rgb.y, shaded.y);
+}
+
+TEST(FieldTest, SpecularIsViewDependent)
+{
+    Scene s = test::tinySpecularScene();
+    // Point near the sphere's lit surface.
+    Vec3 p{0.0f, 0.44f, 0.0f};
+    ASSERT_GT(s.field.density(p), 0.0f);
+    Vec3 v1 = Vec3{0.3f, -1.0f, 0.2f}.normalized();
+    Vec3 v2 = Vec3{-0.8f, -0.2f, 0.5f}.normalized();
+    FieldSample a = s.field.sample(p, v1);
+    FieldSample b = s.field.sample(p, v2);
+    EXPECT_GT(distance(a.rgb, b.rgb), 1e-4f);
+}
+
+TEST(FieldTest, DiffuseIsViewIndependent)
+{
+    Scene s = test::tinyScene(); // no specular
+    Vec3 p{0.0f, 0.4f, 0.0f};
+    FieldSample a = s.field.sample(p, {0.0f, -1.0f, 0.0f});
+    FieldSample b = s.field.sample(p, {1.0f, 0.0f, 0.0f});
+    EXPECT_NEAR(distance(a.rgb, b.rgb), 0.0f, 1e-6f);
+}
+
+TEST(SceneLibraryTest, AllScenesBuild)
+{
+    for (const auto &name : syntheticSceneNames()) {
+        Scene s = makeScene(name);
+        EXPECT_EQ(s.name, name);
+        EXPECT_FALSE(s.field.primitives().empty()) << name;
+    }
+    for (const auto &name : realWorldSceneNames()) {
+        Scene s = makeScene(name);
+        EXPECT_FALSE(s.field.primitives().empty()) << name;
+    }
+    EXPECT_EQ(syntheticSceneNames().size(), 8u);
+    EXPECT_EQ(realWorldSceneNames().size(), 2u);
+}
+
+TEST(SceneLibraryTest, UnknownSceneThrows)
+{
+    EXPECT_THROW(makeScene("not-a-scene"), std::invalid_argument);
+}
+
+TEST(SceneLibraryTest, IgnatiusIsSpecular)
+{
+    Scene s = makeScene("ignatius");
+    bool anySpec = false;
+    for (const auto &p : s.field.primitives())
+        anySpec = anySpec || p.specular > 0.3f;
+    EXPECT_TRUE(anySpec);
+}
+
+TEST(TrajectoryTest, OrbitKeepsRadius)
+{
+    OrbitParams p;
+    p.radius = 3.0f;
+    p.heightWobble = 0.0f;
+    p.height = 0.0f;
+    auto traj = orbitTrajectory(p, 30);
+    ASSERT_EQ(traj.size(), 30u);
+    for (const Pose &pose : traj)
+        EXPECT_NEAR(pose.pos.norm(), 3.0f, 1e-4f);
+}
+
+TEST(TrajectoryTest, OrbitLooksAtTarget)
+{
+    OrbitParams p;
+    p.target = {0.5f, 0.0f, -0.5f};
+    auto traj = orbitTrajectory(p, 10);
+    for (const Pose &pose : traj) {
+        Vec3 toTarget = (p.target - pose.pos).normalized();
+        EXPECT_NEAR(toTarget.dot(pose.forward()), 1.0f, 1e-4f);
+    }
+}
+
+TEST(TrajectoryTest, AngularSpacingMatchesRate)
+{
+    OrbitParams p;
+    p.fps = 30.0f;
+    p.degPerSecond = 30.0f;
+    p.heightWobble = 0.0f;
+    auto traj = orbitTrajectory(p, 60);
+    // 30 deg/s at 30 FPS = 1 degree between consecutive frames.
+    EXPECT_NEAR(meanConsecutiveAngleDeg(traj), 1.0, 0.1);
+}
+
+TEST(TrajectoryTest, DecimateStrides)
+{
+    OrbitParams p;
+    auto traj = orbitTrajectory(p, 90);
+    auto oneFps = decimate(traj, 30);
+    EXPECT_EQ(oneFps.size(), 3u);
+    EXPECT_NEAR(distance(oneFps[1].pos, traj[30].pos), 0.0f, 1e-6f);
+    // Decimation increases consecutive pose deltas (the 1 FPS problem
+    // of Sec. VI-F).
+    EXPECT_GT(meanConsecutiveAngleDeg(oneFps),
+              10.0 * meanConsecutiveAngleDeg(traj));
+}
+
+TEST(TrajectoryTest, JitterPerturbsPoses)
+{
+    OrbitParams p;
+    auto traj = orbitTrajectory(p, 10);
+    auto jittered = traj;
+    JitterParams j;
+    j.posSigma = 0.01f;
+    j.rotSigmaDeg = 0.5f;
+    applyJitter(jittered, j);
+    double moved = 0.0;
+    for (std::size_t i = 0; i < traj.size(); ++i)
+        moved += distance(traj[i].pos, jittered[i].pos);
+    EXPECT_GT(moved, 0.0);
+    EXPECT_LT(moved / traj.size(), 0.1);
+}
+
+} // namespace
+} // namespace cicero
