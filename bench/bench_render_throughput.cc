@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Render-engine throughput bench: rays/s of the full NeRF render path
+ * at 128x128, serial (1 thread) vs the parallel tile engine, emitted
+ * as one JSON object so BENCH_*.json trajectories can track the
+ * speedup across PRs. Also proves the parallel output is bit-identical
+ * to the serial one — the determinism contract of the engine.
+ *
+ * The speedup scales with physical cores; on a single-core runner the
+ * two paths time alike and the bench degenerates to a smoke test.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench_util.hh"
+#include "common/parallel.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+namespace {
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    double best = 1e30;
+    for (int r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+bool
+identical(const Image &a, const Image &b)
+{
+    if (a.pixelCount() != b.pixelCount())
+        return false;
+    for (std::size_t i = 0; i < a.pixelCount(); ++i)
+        if (a.at(i).x != b.at(i).x || a.at(i).y != b.at(i).y ||
+            a.at(i).z != b.at(i).z)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("throughput", "tile-parallel render engine, 128x128");
+
+    Scene scene = makeScene("lego");
+    auto model = buildModel(ModelKind::DirectVoxGO, scene);
+
+    const int res = 128;
+    std::vector<Pose> traj = sceneOrbit(scene, 2);
+    Camera cam = Camera::fromFov(res, res, scene.fovYDeg, traj[0]);
+    const double rays = static_cast<double>(res) * res;
+
+    // Warm up once (bakes TLS buffers, faults pages).
+    RenderResult warm = model->render(cam);
+    (void)warm;
+
+    setParallelThreadCount(1);
+    RenderResult serialOut = model->render(cam);
+    double serialS =
+        secondsOf([&] { serialOut = model->render(cam); }, 3);
+
+    setParallelThreadCount(0); // CICERO_THREADS / hardware_concurrency
+    const int threads = parallelThreadCount();
+    RenderResult parallelOut = model->render(cam);
+    double parallelS =
+        secondsOf([&] { parallelOut = model->render(cam); }, 3);
+
+    const bool bitIdentical =
+        identical(serialOut.image, parallelOut.image) &&
+        serialOut.work.samples == parallelOut.work.samples &&
+        serialOut.work.mlpMacs == parallelOut.work.mlpMacs;
+
+    const double speedup = parallelS > 0.0 ? serialS / parallelS : 0.0;
+    std::printf("{\"bench\": \"render_throughput\", "
+                "\"resolution\": %d, "
+                "\"threads\": %d, "
+                "\"serial_s\": %.6f, "
+                "\"parallel_s\": %.6f, "
+                "\"rays_per_s_serial\": %.1f, "
+                "\"rays_per_s_parallel\": %.1f, "
+                "\"speedup\": %.3f, "
+                "\"bit_identical\": %s}\n",
+                res, threads, serialS, parallelS, rays / serialS,
+                rays / parallelS, speedup,
+                bitIdentical ? "true" : "false");
+
+    setParallelThreadCount(0);
+    return bitIdentical ? 0 : 1;
+}

@@ -14,6 +14,7 @@
 
 #include "cicero/probe.hh"
 #include "cicero/sparw.hh"
+#include "common/parallel.hh"
 #include "common/stats.hh"
 #include "nerf/models.hh"
 #include "scene/trajectory.hh"
@@ -67,6 +68,31 @@ qualityCamera(const Scene &scene, const Pose &pose, int res = 72)
 }
 
 /**
+ * Mean of a per-frame metric over a trajectory. Frames are
+ * independent; parallelForOuter picks frame- vs row-level
+ * parallelism, and per-frame values summarize in frame order either
+ * way, so the mean is deterministic. @p metric receives the frame's
+ * camera and index.
+ */
+template <typename Fn>
+inline double
+meanFrameMetric(const Camera &intrinsics, const std::vector<Pose> &traj,
+                Fn &&metric)
+{
+    std::vector<double> vals(traj.size(), 0.0);
+    parallelForOuter(static_cast<std::int64_t>(traj.size()),
+                     [&](std::int64_t i) {
+                         Camera cam = intrinsics;
+                         cam.pose = traj[i];
+                         vals[i] = metric(cam, static_cast<std::size_t>(i));
+                     });
+    Summary s;
+    for (double v : vals)
+        s.add(v);
+    return s.mean();
+}
+
+/**
  * Mean PSNR of a SPARW run against per-frame ground truth, capped at
  * 60 dB per frame so infinities do not dominate.
  */
@@ -75,14 +101,11 @@ meanPsnrVsGroundTruth(const Scene &scene, const Camera &intrinsics,
                       const std::vector<Pose> &traj,
                       const SparwRun &run, int gtSteps = 256)
 {
-    Summary s;
-    for (std::size_t i = 0; i < traj.size(); ++i) {
-        Camera cam = intrinsics;
-        cam.pose = traj[i];
-        RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
-        s.add(std::min(60.0, psnr(run.frames[i].image, gt.image)));
-    }
-    return s.mean();
+    return meanFrameMetric(
+        intrinsics, traj, [&](const Camera &cam, std::size_t i) {
+            RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
+            return std::min(60.0, psnr(run.frames[i].image, gt.image));
+        });
 }
 
 /** Mean PSNR of full (baseline) NeRF rendering against ground truth. */
@@ -91,15 +114,12 @@ baselinePsnr(const Scene &scene, const NerfModel &model,
              const Camera &intrinsics, const std::vector<Pose> &traj,
              int gtSteps = 256)
 {
-    Summary s;
-    for (const Pose &pose : traj) {
-        Camera cam = intrinsics;
-        cam.pose = pose;
-        RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
-        RenderResult r = model.render(cam);
-        s.add(std::min(60.0, psnr(r.image, gt.image)));
-    }
-    return s.mean();
+    return meanFrameMetric(
+        intrinsics, traj, [&](const Camera &cam, std::size_t) {
+            RenderResult gt = renderGroundTruth(scene, cam, gtSteps);
+            RenderResult r = model.render(cam);
+            return std::min(60.0, psnr(r.image, gt.image));
+        });
 }
 
 } // namespace cicero::bench

@@ -1,6 +1,9 @@
 #include "cicero/sparw.hh"
 
+#include <algorithm>
+
 #include "cicero/pose_extrapolation.hh"
+#include "common/parallel.hh"
 
 namespace cicero {
 
@@ -65,52 +68,80 @@ SparwPipeline::run(const std::vector<Pose> &trajectory) const
     SparwRun out;
     const int n = static_cast<int>(trajectory.size());
     const int window = std::max(1, _config.window);
+    if (n == 0)
+        return out;
 
-    Camera refCam;
-    RenderResult refRender;
+    // Reference poses depend only on the *input* trajectory (the two
+    // poses preceding each window, known before it starts — Fig. 10),
+    // never on rendered output. That makes the whole frame loop
+    // data-parallel: resolve every window's reference pose first,
+    // render the references, then warp + sparse-render each target
+    // frame independently. Results are identical to the serial
+    // window-by-window walk.
+    const int numWindows = (n + window - 1) / window;
+    out.references.resize(numWindows);
+    std::vector<Camera> refCams(numWindows);
+    std::vector<RenderResult> refRenders(numWindows);
 
-    for (int i = 0; i < n; ++i) {
-        if (i % window == 0) {
-            // Start of a window: pick the reference pose. The first
-            // window has no history to extrapolate from, so its
-            // reference is the first trajectory pose itself; later
-            // windows extrapolate from the two poses preceding the
-            // window (known before the window starts, Fig. 10).
-            Pose refPose;
-            bool onTraj = false;
-            if (i >= 2) {
-                refPose =
-                    extrapolateReferencePose(trajectory[i - 2],
-                                             trajectory[i - 1],
-                                             _config.dtSeconds, window);
-            } else {
-                refPose = trajectory[0];
-                onTraj = true;
-            }
-            refCam = cameraAt(refPose);
-            refRender = _model.render(refCam);
-            out.references.push_back(
-                SparwReference{refPose, refRender.work, onTraj});
+    for (int wi = 0; wi < numWindows; ++wi) {
+        const int i = wi * window;
+        Pose refPose;
+        bool onTraj = false;
+        if (i >= 2) {
+            refPose = extrapolateReferencePose(trajectory[i - 2],
+                                               trajectory[i - 1],
+                                               _config.dtSeconds, window);
+        } else {
+            refPose = trajectory[0];
+            onTraj = true;
         }
+        refCams[wi] = cameraAt(refPose);
+        out.references[wi] = SparwReference{refPose, StageWork{}, onTraj};
+    }
 
-        Camera tgtCam = cameraAt(trajectory[i]);
-        WarpOutput w =
-            warpFrame(refRender.image, refRender.depth, refCam, tgtCam,
-                      &_model.occupancy(), _model.scene().background,
-                      _config.warp);
+    // Work through windows in pool-width batches: render the batch's
+    // references (one heavy unit per window; parallelForOuter picks
+    // window- vs row-level parallelism), process the batch's target
+    // frames — warp from the window's reference, then sparse NeRF
+    // rendering of the disocclusions (Eq. 4) — and release the
+    // reference images before the next batch, so peak memory stays
+    // O(threads) full-resolution references instead of O(numWindows).
+    out.frames.resize(n);
+    const int batch = std::max(1, parallelThreadCount());
+    for (int w0 = 0; w0 < numWindows; w0 += batch) {
+        const int w1 = std::min(w0 + batch, numWindows);
+        parallelForOuter(w1 - w0, [&](std::int64_t k) {
+            const std::int64_t wi = w0 + k;
+            refRenders[wi] = _model.render(refCams[wi]);
+        });
+        for (int wi = w0; wi < w1; ++wi)
+            out.references[wi].work = refRenders[wi].work;
 
-        SparwFrame frame;
-        frame.warpStats = w.stats;
-        frame.warpPoints = w.stats.pointsTransformed;
-        frame.referenceIndex =
-            static_cast<int>(out.references.size()) - 1;
+        const int f0 = w0 * window;
+        const int f1 = std::min(w1 * window, n);
+        parallelForOuter(f1 - f0, [&](std::int64_t k) {
+            const std::int64_t i = f0 + k;
+            const int wi = static_cast<int>(i) / window;
+            Camera tgtCam = cameraAt(trajectory[i]);
+            WarpOutput w = warpFrame(refRenders[wi].image,
+                                     refRenders[wi].depth, refCams[wi],
+                                     tgtCam, &_model.occupancy(),
+                                     _model.scene().background,
+                                     _config.warp);
 
-        // Eq. 4: sparse NeRF rendering of the disoccluded pixels.
-        frame.sparseWork = _model.renderPixels(tgtCam, w.needRender,
-                                               w.image, w.depth);
-        frame.image = std::move(w.image);
-        frame.depth = std::move(w.depth);
-        out.frames.push_back(std::move(frame));
+            SparwFrame frame;
+            frame.warpStats = w.stats;
+            frame.warpPoints = w.stats.pointsTransformed;
+            frame.referenceIndex = wi;
+            frame.sparseWork = _model.renderPixels(tgtCam, w.needRender,
+                                                   w.image, w.depth);
+            frame.image = std::move(w.image);
+            frame.depth = std::move(w.depth);
+            out.frames[i] = std::move(frame);
+        });
+
+        for (int wi = w0; wi < w1; ++wi)
+            refRenders[wi] = RenderResult{};
     }
     return out;
 }
@@ -123,7 +154,10 @@ SparwPipeline::runTemporal(const std::vector<Pose> &trajectory) const
     const int window = std::max(1, _config.window);
 
     // The reference is always the most recent *output* frame of a window
-    // boundary — warped content warps again, accumulating error.
+    // boundary — warped content warps again, accumulating error. Each
+    // frame therefore depends on its predecessors' outputs: the frame
+    // loop is inherently serial (the serialization Fig. 11a charges
+    // this strategy with); only the per-frame internals parallelize.
     Camera refCam;
     Image refImage;
     DepthMap refDepth;
@@ -188,23 +222,26 @@ SparwPipeline::runDownsampled(const std::vector<Pose> &trajectory,
     low.cx = _intrinsics.cx / factor;
     low.cy = _intrinsics.cy / factor;
 
-    for (const Pose &pose : trajectory) {
+    // Every frame is an independent downsampled render + upsample.
+    const int n = static_cast<int>(trajectory.size());
+    out.references.resize(n);
+    out.frames.resize(n);
+    parallelForOuter(n, [&](std::int64_t i) {
         Camera cam = low;
-        cam.pose = pose;
+        cam.pose = trajectory[i];
         RenderResult r = _model.render(cam);
-        out.references.push_back(SparwReference{pose, r.work, true});
+        out.references[i] = SparwReference{trajectory[i], r.work, true};
 
         SparwFrame frame;
-        frame.referenceIndex =
-            static_cast<int>(out.references.size()) - 1;
+        frame.referenceIndex = static_cast<int>(i);
         frame.warpStats.totalPixels =
             static_cast<std::uint64_t>(_intrinsics.width) *
             _intrinsics.height;
         frame.image = r.image.upsampleBilinear(_intrinsics.width,
                                                _intrinsics.height);
         frame.depth = DepthMap(_intrinsics.width, _intrinsics.height);
-        out.frames.push_back(std::move(frame));
-    }
+        out.frames[i] = std::move(frame);
+    });
     return out;
 }
 

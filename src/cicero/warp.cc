@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/parallel.hh"
+
 namespace cicero {
 
 namespace {
@@ -52,11 +54,29 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
         float tol; //!< depth-test tolerance (gradient-aware)
         Vec3 color; //!< (possibly re-shaded) source color
     };
-    std::vector<Splat> splats;
-    splats.reserve(static_cast<std::size_t>(refCam.width) *
-                   refCam.height / 2);
 
-    for (int py = 0; py < refCam.height; ++py) {
+    // Stage A — transform / angle-test / re-shade / project every
+    // reference pixel (Eqs. 1-3, the compute-heavy part). Row chunks
+    // run in parallel, each producing an ordered local splat list and
+    // local counters; concatenating in chunk order reproduces the
+    // serial row-major splat order exactly, so the (serial) z-buffer
+    // passes below see an identical stream at any thread count.
+    struct SplatPart
+    {
+        std::vector<Splat> splats;
+        std::uint64_t transformed = 0;
+        std::uint64_t angleRejected = 0;
+    };
+    std::vector<SplatPart> splatParts = parallelMapChunks<SplatPart>(
+        refCam.height,
+        [&](SplatPart &part, std::int64_t row0, std::int64_t row1) {
+        std::vector<Splat> &localSplats = part.splats;
+        localSplats.reserve(static_cast<std::size_t>(row1 - row0) *
+                            refCam.width / 2);
+        std::uint64_t transformed = 0;
+        std::uint64_t angleRejected = 0;
+
+        for (int py = static_cast<int>(row0); py < row1; ++py) {
         for (int px = 0; px < refCam.width; ++px) {
             float d = refDepth.at(px, py);
             if (!std::isfinite(d))
@@ -65,7 +85,7 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
             // Eq. (1): back-project to the reference camera frame.
             Vec3 pRef = refCam.backproject(static_cast<float>(px),
                                            static_cast<float>(py), d);
-            ++out.stats.pointsTransformed;
+            ++transformed;
 
             Vec3 pWorld = refCam.pose.cameraToWorld(pRef);
             Vec3 toRef = (refCam.pose.pos - pWorld).normalized();
@@ -75,7 +95,7 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
             // scene point by the two camera centers.
             if (cosThresh > -1.0f + 1e-6f &&
                 toRef.dot(toTgt) < cosThresh) {
-                ++out.stats.angleRejected;
+                ++angleRejected;
                 continue;
             }
 
@@ -130,25 +150,46 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
             float tol = clamp(1.5f * grad, 0.02f * proj.z,
                               0.10f * proj.z);
 
-            splats.push_back(
+            localSplats.push_back(
                 Splat{proj.x, proj.y, proj.z, tol, color});
+        }
+        }
+        part.transformed = transformed;
+        part.angleRejected = angleRejected;
+    });
 
-            // Pass 1: min-depth over the 2x2 bilinear footprint.
-            int x0 = static_cast<int>(std::floor(proj.x));
-            int y0 = static_cast<int>(std::floor(proj.y));
-            for (int dy = 0; dy < 2; ++dy) {
-                for (int dx = 0; dx < 2; ++dx) {
-                    int tx = x0 + dx, ty = y0 + dy;
-                    if (!out.image.inBounds(tx, ty))
-                        continue;
-                    float w = (dx ? proj.x - x0 : 1.0f - (proj.x - x0)) *
-                              (dy ? proj.y - y0 : 1.0f - (proj.y - y0));
-                    if (w < 0.05f)
-                        continue;
-                    std::size_t idx =
-                        static_cast<std::size_t>(ty) * tgtCam.width + tx;
-                    zbuf[idx] = std::fmin(zbuf[idx], proj.z);
-                }
+    std::vector<Splat> splats;
+    {
+        std::size_t total = 0;
+        for (const auto &p : splatParts)
+            total += p.splats.size();
+        splats.reserve(total);
+        for (const SplatPart &p : splatParts) {
+            splats.insert(splats.end(), p.splats.begin(),
+                          p.splats.end());
+            out.stats.pointsTransformed += p.transformed;
+            out.stats.angleRejected += p.angleRejected;
+        }
+    }
+
+    // Pass 1: min-depth z-buffer over each splat's 2x2 bilinear
+    // footprint. Cheap memory-bound fmin scatter; kept serial (fmin is
+    // order-independent, but neighboring splats contend for pixels).
+    for (const Splat &s : splats) {
+        int x0 = static_cast<int>(std::floor(s.x));
+        int y0 = static_cast<int>(std::floor(s.y));
+        for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+                int tx = x0 + dx, ty = y0 + dy;
+                if (!out.image.inBounds(tx, ty))
+                    continue;
+                float w = (dx ? s.x - x0 : 1.0f - (s.x - x0)) *
+                          (dy ? s.y - y0 : 1.0f - (s.y - y0));
+                if (w < 0.05f)
+                    continue;
+                std::size_t idx =
+                    static_cast<std::size_t>(ty) * tgtCam.width + tx;
+                zbuf[idx] = std::fmin(zbuf[idx], s.z);
             }
         }
     }
@@ -183,19 +224,26 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
         }
     }
 
-    for (std::size_t idx = 0; idx < numPixels; ++idx) {
-        // A pixel is covered once it accumulated meaningful splat
-        // weight; weakly touched pixels become holes for the sparse
-        // NeRF pass (this is what keeps silhouettes sharp).
-        if (wacc[idx] > 0.3f) {
-            int tx = static_cast<int>(idx % tgtCam.width);
-            int ty = static_cast<int>(idx / tgtCam.width);
-            out.image.at(tx, ty) = cacc[idx] / wacc[idx];
-            out.depth.at(tx, ty) = zbuf[idx];
-        } else {
-            zbuf[idx] = kInfiniteDepth;
-        }
-    }
+    // Resolve: per-pixel, independent writes — parallel.
+    parallelFor(
+        0, static_cast<std::int64_t>(numPixels), -1,
+        [&](std::int64_t i0, std::int64_t i1) {
+            for (std::size_t idx = static_cast<std::size_t>(i0);
+                 idx < static_cast<std::size_t>(i1); ++idx) {
+                // A pixel is covered once it accumulated meaningful
+                // splat weight; weakly touched pixels become holes for
+                // the sparse NeRF pass (this is what keeps silhouettes
+                // sharp).
+                if (wacc[idx] > 0.3f) {
+                    int tx = static_cast<int>(idx % tgtCam.width);
+                    int ty = static_cast<int>(idx / tgtCam.width);
+                    out.image.at(tx, ty) = cacc[idx] / wacc[idx];
+                    out.depth.at(tx, ty) = zbuf[idx];
+                } else {
+                    zbuf[idx] = kInfiniteDepth;
+                }
+            }
+        });
 
     // Pinhole filling: single-pixel forward splatting leaves isolated
     // holes under magnification/rotation. A hole surrounded by covered
@@ -203,8 +251,13 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
     // disocclusion — fill it from the nearest-depth neighbor, the
     // standard fix in point-based rendering.
     {
-        std::vector<std::uint32_t> fills;
-        for (int ty = 0; ty < tgtCam.height; ++ty) {
+        // Detection reads a consistent zbuf snapshot: parallel row
+        // chunks, candidate lists concatenated in row order.
+        std::vector<std::uint32_t> fills =
+            parallelConcatChunks<std::uint32_t>(
+                tgtCam.height, [&](std::vector<std::uint32_t> &local,
+                                   std::int64_t row0, std::int64_t row1) {
+            for (int ty = static_cast<int>(row0); ty < row1; ++ty) {
             for (int tx = 0; tx < tgtCam.width; ++tx) {
                 std::size_t idx =
                     static_cast<std::size_t>(ty) * tgtCam.width + tx;
@@ -225,9 +278,14 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
                     }
                 }
                 if (covered >= 6)
-                    fills.push_back(static_cast<std::uint32_t>(idx));
+                    local.push_back(static_cast<std::uint32_t>(idx));
             }
-        }
+            }
+        });
+
+        // Filling mutates zbuf while later fills read it (an earlier
+        // fill can seed a later one's neighborhood), so application is
+        // order-dependent and stays serial.
         for (std::uint32_t idx : fills) {
             int tx = idx % tgtCam.width;
             int ty = idx / tgtCam.width;
@@ -253,28 +311,54 @@ warpImpl(const Image &refImage, const DepthMap &refDepth,
     }
 
     // Hole classification: void (skip) vs disoccluded (sparse NeRF).
-    for (int ty = 0; ty < tgtCam.height; ++ty) {
-        for (int tx = 0; tx < tgtCam.width; ++tx) {
-            std::size_t idx =
-                static_cast<std::size_t>(ty) * tgtCam.width + tx;
-            if (std::isfinite(zbuf[idx])) {
-                ++out.stats.warped;
-                continue;
+    // The occupancy ray test per hole is the expensive part; row
+    // chunks run in parallel with per-chunk counters and needRender
+    // lists concatenated in row order (the sparse renderer receives
+    // the same pixel order as the serial pass).
+    {
+        struct ClassifyPart
+        {
+            std::uint64_t warped = 0;
+            std::uint64_t disoccluded = 0;
+            std::uint64_t voidHoles = 0;
+            std::vector<std::uint32_t> needRender;
+        };
+        std::vector<ClassifyPart> classParts =
+            parallelMapChunks<ClassifyPart>(
+                tgtCam.height, [&](ClassifyPart &part, std::int64_t row0,
+                                   std::int64_t row1) {
+            for (int ty = static_cast<int>(row0); ty < row1; ++ty) {
+            for (int tx = 0; tx < tgtCam.width; ++tx) {
+                std::size_t idx =
+                    static_cast<std::size_t>(ty) * tgtCam.width + tx;
+                if (std::isfinite(zbuf[idx])) {
+                    ++part.warped;
+                    continue;
+                }
+                bool hit = true;
+                if (occupancy) {
+                    Ray ray = tgtCam.generateRay(tx, ty);
+                    hit = occupancy->rayHitsOccupied(ray);
+                }
+                if (hit) {
+                    ++part.disoccluded;
+                    part.needRender.push_back(
+                        static_cast<std::uint32_t>(idx));
+                } else {
+                    ++part.voidHoles;
+                    out.image.at(tx, ty) = background;
+                    out.depth.at(tx, ty) = kInfiniteDepth;
+                }
             }
-            bool hit = true;
-            if (occupancy) {
-                Ray ray = tgtCam.generateRay(tx, ty);
-                hit = occupancy->rayHitsOccupied(ray);
             }
-            if (hit) {
-                ++out.stats.disoccluded;
-                out.needRender.push_back(
-                    static_cast<std::uint32_t>(idx));
-            } else {
-                ++out.stats.voidHoles;
-                out.image.at(tx, ty) = background;
-                out.depth.at(tx, ty) = kInfiniteDepth;
-            }
+        });
+        for (const ClassifyPart &part : classParts) {
+            out.stats.warped += part.warped;
+            out.stats.disoccluded += part.disoccluded;
+            out.stats.voidHoles += part.voidHoles;
+            out.needRender.insert(out.needRender.end(),
+                                  part.needRender.begin(),
+                                  part.needRender.end());
         }
     }
 

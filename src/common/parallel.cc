@@ -1,0 +1,330 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cicero {
+
+namespace {
+
+thread_local bool tInsideWorker = false;
+
+/** One chunked loop in flight. */
+struct Job
+{
+    std::int64_t begin = 0;
+    std::int64_t grain = 1;
+    std::int64_t end = 0;
+    std::size_t chunkCount = 0;
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)>
+        *fn = nullptr;
+
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<std::size_t> pending{0};
+    std::atomic<bool> failed{false};
+
+    std::mutex doneMutex;
+    std::condition_variable doneCv;
+    std::exception_ptr error; //!< guarded by doneMutex
+};
+
+/**
+ * The global pool. Workers sleep until a job generation is published;
+ * the submitting thread participates in chunk execution, so a pool of
+ * N threads runs N-1 workers.
+ */
+class Pool
+{
+  public:
+    ~Pool() { shutdown(); }
+
+    int
+    threadCount()
+    {
+        std::lock_guard<std::mutex> lk(_configMutex);
+        ensureStartedLocked();
+        return _threads;
+    }
+
+    void
+    configure(int n)
+    {
+        std::lock_guard<std::mutex> lk(_configMutex);
+        stopWorkersLocked();
+        _threads = n > 0 ? n : autoThreadCount();
+        startWorkersLocked();
+    }
+
+    void
+    run(std::int64_t begin, std::int64_t end, std::int64_t grain,
+        const std::function<void(std::size_t, std::int64_t, std::int64_t)>
+            &fn)
+    {
+        std::int64_t n = end - begin;
+        std::int64_t g = parallelResolveGrain(n, grain);
+        std::size_t chunks =
+            static_cast<std::size_t>((n + g - 1) / g);
+
+        // Serial fallback: one chunk, a one-thread pool, or a nested
+        // call from inside a worker (running inline avoids deadlock and
+        // oversubscription).
+        if (chunks <= 1 || tInsideWorker || threadCount() <= 1) {
+            for (std::size_t c = 0; c < chunks; ++c) {
+                std::int64_t b = begin + static_cast<std::int64_t>(c) * g;
+                std::int64_t e = std::min(b + g, end);
+                fn(c, b, e);
+            }
+            return;
+        }
+
+        // One loop at a time: concurrent top-level submitters queue up.
+        std::lock_guard<std::mutex> submit(_submitMutex);
+
+        // shared_ptr keeps the job alive for workers that observe it
+        // after the last chunk drained (their late nextChunk fetch).
+        auto job = std::make_shared<Job>();
+        job->begin = begin;
+        job->end = end;
+        job->grain = g;
+        job->chunkCount = chunks;
+        job->fn = &fn;
+        job->pending.store(chunks, std::memory_order_relaxed);
+
+        {
+            std::lock_guard<std::mutex> lk(_jobMutex);
+            _job = job;
+            ++_generation;
+        }
+        _jobCv.notify_all();
+
+        // The caller works too (flagged as a worker so nested loops
+        // from these chunks run inline).
+        tInsideWorker = true;
+        drain(*job);
+        tInsideWorker = false;
+
+        {
+            std::unique_lock<std::mutex> lk(job->doneMutex);
+            job->doneCv.wait(lk, [&job] {
+                return job->pending.load(std::memory_order_acquire) == 0;
+            });
+        }
+        {
+            std::lock_guard<std::mutex> lk(_jobMutex);
+            _job.reset();
+        }
+        if (job->error)
+            std::rethrow_exception(job->error);
+    }
+
+  private:
+    static int
+    autoThreadCount()
+    {
+        if (const char *env = std::getenv("CICERO_THREADS")) {
+            int v = std::atoi(env);
+            if (v > 0)
+                return v;
+        }
+        unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    void
+    ensureStartedLocked()
+    {
+        if (_threads == 0) {
+            _threads = autoThreadCount();
+            startWorkersLocked();
+        }
+    }
+
+    void
+    startWorkersLocked()
+    {
+        _stop = false;
+        for (int i = 0; i + 1 < _threads; ++i)
+            _workers.emplace_back([this] { workerLoop(); });
+    }
+
+    void
+    stopWorkersLocked()
+    {
+        {
+            std::lock_guard<std::mutex> lk(_jobMutex);
+            _stop = true;
+            ++_generation;
+        }
+        _jobCv.notify_all();
+        for (std::thread &t : _workers)
+            t.join();
+        _workers.clear();
+    }
+
+    void
+    shutdown()
+    {
+        std::lock_guard<std::mutex> lk(_configMutex);
+        stopWorkersLocked();
+        _threads = 1;
+    }
+
+    void
+    workerLoop()
+    {
+        tInsideWorker = true;
+        std::uint64_t seen = 0;
+        for (;;) {
+            std::shared_ptr<Job> job;
+            {
+                std::unique_lock<std::mutex> lk(_jobMutex);
+                _jobCv.wait(lk, [this, seen] {
+                    return _stop || _generation != seen;
+                });
+                if (_stop)
+                    return;
+                seen = _generation;
+                job = _job;
+            }
+            if (job)
+                drain(*job);
+        }
+    }
+
+    /** Execute chunks of @p job until none remain. */
+    void
+    drain(Job &job)
+    {
+        for (;;) {
+            std::size_t c =
+                job.nextChunk.fetch_add(1, std::memory_order_relaxed);
+            if (c >= job.chunkCount)
+                return;
+            if (!job.failed.load(std::memory_order_acquire)) {
+                try {
+                    std::int64_t b =
+                        job.begin +
+                        static_cast<std::int64_t>(c) * job.grain;
+                    std::int64_t e = std::min(b + job.grain, job.end);
+                    (*job.fn)(c, b, e);
+                } catch (...) {
+                    std::lock_guard<std::mutex> lk(job.doneMutex);
+                    if (!job.error)
+                        job.error = std::current_exception();
+                    job.failed.store(true, std::memory_order_release);
+                }
+            }
+            if (job.pending.fetch_sub(1, std::memory_order_acq_rel) ==
+                1) {
+                std::lock_guard<std::mutex> lk(job.doneMutex);
+                job.doneCv.notify_all();
+            }
+        }
+    }
+
+    std::mutex _configMutex;  //!< guards _threads/_workers lifecycle
+    std::mutex _submitMutex;  //!< serializes top-level loops
+    std::mutex _jobMutex;     //!< guards _job/_generation/_stop
+    std::condition_variable _jobCv;
+    std::vector<std::thread> _workers;
+    std::shared_ptr<Job> _job;
+    std::uint64_t _generation = 0;
+    bool _stop = false;
+    int _threads = 0; //!< 0 = not yet initialized
+};
+
+Pool &
+pool()
+{
+    static Pool p;
+    return p;
+}
+
+} // namespace
+
+int
+parallelThreadCount()
+{
+    return pool().threadCount();
+}
+
+void
+setParallelThreadCount(int n)
+{
+    pool().configure(n);
+}
+
+std::int64_t
+parallelResolveGrain(std::int64_t n, std::int64_t grain)
+{
+    if (grain > 0)
+        return grain;
+    if (n <= 0)
+        return 1;
+    // Several chunks per thread so uneven per-item cost load-balances.
+    std::int64_t threads = parallelThreadCount();
+    std::int64_t target = threads * 8;
+    return std::max<std::int64_t>(1, (n + target - 1) / target);
+}
+
+std::size_t
+parallelChunkCount(std::int64_t begin, std::int64_t end,
+                   std::int64_t grain)
+{
+    std::int64_t n = end - begin;
+    if (n <= 0)
+        return 0;
+    std::int64_t g = parallelResolveGrain(n, grain);
+    return static_cast<std::size_t>((n + g - 1) / g);
+}
+
+void
+parallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)> &fn)
+{
+    if (end <= begin)
+        return;
+    pool().run(begin, end, grain, fn);
+}
+
+void
+parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+            const std::function<void(std::int64_t, std::int64_t)> &fn)
+{
+    parallelForChunks(begin, end, grain,
+                      [&fn](std::size_t, std::int64_t b, std::int64_t e) {
+                          fn(b, e);
+                      });
+}
+
+void
+parallelForOuter(std::int64_t n,
+                 const std::function<void(std::int64_t)> &fn)
+{
+    if (n <= 0)
+        return;
+    if (n >= parallelThreadCount()) {
+        parallelFor(0, n, 1, [&fn](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i)
+                fn(i);
+        });
+    } else {
+        for (std::int64_t i = 0; i < n; ++i)
+            fn(i);
+    }
+}
+
+bool
+insideParallelWorker()
+{
+    return tInsideWorker;
+}
+
+} // namespace cicero

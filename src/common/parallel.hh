@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The parallel execution subsystem: a lazily-initialized global thread
+ * pool and a chunked parallel-for on top of it.
+ *
+ * Design contract (see README "Threading model"):
+ *  - Work is split into contiguous chunks of a deterministic size; the
+ *    chunk decomposition depends only on (range, grain, thread count),
+ *    never on scheduling. Callers that must merge per-chunk results in
+ *    a deterministic order index them by chunk id via
+ *    parallelForChunks() / parallelChunkCount().
+ *  - The worker count comes from CICERO_THREADS (default:
+ *    hardware_concurrency) and can be overridden programmatically with
+ *    setParallelThreadCount(); with one thread every loop runs serially
+ *    inline, so single-thread runs never touch the pool.
+ *  - Nested parallelFor calls (a loop issued from inside a worker) run
+ *    serially inline — callers can parallelize at whatever level is
+ *    outermost without risking deadlock or oversubscription.
+ *  - The first exception thrown by a chunk is captured and rethrown to
+ *    the caller once the loop has drained; remaining chunks are skipped
+ *    on a best-effort basis.
+ */
+
+#ifndef CICERO_COMMON_PARALLEL_HH
+#define CICERO_COMMON_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cicero {
+
+/**
+ * Number of threads parallel loops use (pool workers + the calling
+ * thread). Initializes the pool on first use: CICERO_THREADS if set to
+ * a positive integer, otherwise std::thread::hardware_concurrency().
+ */
+int parallelThreadCount();
+
+/**
+ * Reconfigure the pool to @p n threads; n <= 0 re-applies the automatic
+ * default (CICERO_THREADS / hardware_concurrency). Joins the previous
+ * workers. Must not race with an in-flight parallel loop.
+ */
+void setParallelThreadCount(int n);
+
+/**
+ * Resolve the chunk size a loop over @p n items with requested grain
+ * @p grain will use. grain > 0 is honored as-is; grain <= 0 picks a
+ * default that yields several chunks per thread for load balance.
+ */
+std::int64_t parallelResolveGrain(std::int64_t n, std::int64_t grain);
+
+/**
+ * Number of chunks parallelFor/parallelForChunks will decompose
+ * [@p begin, @p end) into at grain @p grain (resolved as above).
+ */
+std::size_t parallelChunkCount(std::int64_t begin, std::int64_t end,
+                               std::int64_t grain);
+
+/**
+ * Chunked parallel loop: invokes @p fn(chunkBegin, chunkEnd) for each
+ * chunk of [@p begin, @p end), concurrently on the global pool. The
+ * calling thread participates. Returns when every chunk completed.
+ */
+void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)> &fn);
+
+/**
+ * As parallelFor, but @p fn also receives the chunk index
+ * (0 .. parallelChunkCount()-1, in range order), so per-chunk partial
+ * results can be merged deterministically after the loop. Chunk k spans
+ * [begin + k*g, min(begin + (k+1)*g, end)) with g the resolved grain.
+ */
+void parallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::size_t, std::int64_t, std::int64_t)> &fn);
+
+/**
+ * Outer-level loop over @p n independent heavy units (frames, windows,
+ * whole renders): invokes @p fn(i) for i in [0, n). Runs item-parallel
+ * only when n >= parallelThreadCount(); narrower loops run serially so
+ * each unit's *internal* parallelFor can use the whole pool (a nested
+ * loop runs inline-serial — going wide over a handful of units would
+ * idle most threads).
+ */
+void parallelForOuter(std::int64_t n,
+                      const std::function<void(std::int64_t)> &fn);
+
+/** True while the current thread is executing a pool chunk. */
+bool insideParallelWorker();
+
+/**
+ * Run @p fn(part, begin, end) over chunks of [0, n) and return the
+ * per-chunk partials in chunk order. Pairing the chunk count and the
+ * loop decomposition inside one call is the determinism-critical
+ * invariant every ordered merge relies on — stated once here.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelMapChunks(std::int64_t n, Fn &&fn)
+{
+    const std::size_t chunks = parallelChunkCount(0, n, -1);
+    std::vector<T> parts(chunks);
+    parallelForChunks(0, n, -1,
+                      [&](std::size_t c, std::int64_t b, std::int64_t e) {
+                          fn(parts[c], b, e);
+                      });
+    return parts;
+}
+
+/**
+ * Run @p fn(list, begin, end) over chunks of [0, n) and concatenate
+ * the per-chunk lists in chunk order, reproducing the serial
+ * traversal order exactly.
+ */
+template <typename T, typename Fn>
+std::vector<T>
+parallelConcatChunks(std::int64_t n, Fn &&fn)
+{
+    std::vector<std::vector<T>> parts =
+        parallelMapChunks<std::vector<T>>(n, std::forward<Fn>(fn));
+    std::size_t total = 0;
+    for (const auto &p : parts)
+        total += p.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto &p : parts)
+        out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+} // namespace cicero
+
+#endif // CICERO_COMMON_PARALLEL_HH

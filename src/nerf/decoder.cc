@@ -1,6 +1,7 @@
 #include "nerf/decoder.hh"
 
 #include <cmath>
+#include <vector>
 
 namespace cicero {
 
@@ -84,6 +85,66 @@ Decoder::decode(const float *feature, const Vec3 &viewDir) const
     out.rgb.z = clamp(out.rgb.z + _residualAmp * std::tanh(res[3]),
                       0.0f, 1.0f);
     return out;
+}
+
+void
+Decoder::decodeBatch(const float *features, int count,
+                     const Vec3 &viewDir, DecodedSample *out) const
+{
+    if (count <= 0)
+        return;
+
+    // Transpose the gathered sample-major features into the
+    // channel-major (SoA) layout the batched MLP kernel consumes, and
+    // broadcast the (normalized) view direction channels.
+    const int inDim = kFeatureDim + 3;
+    const std::size_t n = static_cast<std::size_t>(count);
+    thread_local std::vector<float> mlpIn, mlpOut;
+    if (mlpIn.size() < static_cast<std::size_t>(inDim) * n)
+        mlpIn.resize(static_cast<std::size_t>(inDim) * n);
+    if (mlpOut.size() < 4 * n)
+        mlpOut.resize(4 * n);
+
+    Vec3 v = viewDir.normalized();
+    for (int c = 0; c < kFeatureDim; ++c) {
+        float *col = mlpIn.data() + static_cast<std::size_t>(c) * n;
+        const float *src = features + c;
+        for (int b = 0; b < count; ++b)
+            col[b] = src[static_cast<std::size_t>(b) * kFeatureDim];
+    }
+    for (int b = 0; b < count; ++b) {
+        mlpIn[(kFeatureDim + 0) * n + b] = v.x;
+        mlpIn[(kFeatureDim + 1) * n + b] = v.y;
+        mlpIn[(kFeatureDim + 2) * n + b] = v.z;
+    }
+
+    // One blocked pass instead of count virtual-call round trips. The
+    // residual of empty (sigma <= 0) samples is computed and discarded;
+    // their decode below never reads it, matching the scalar path's
+    // early return.
+    _mlp.forwardBatch(mlpIn.data(), mlpOut.data(), count);
+
+    for (int b = 0; b < count; ++b) {
+        const float *feature =
+            features + static_cast<std::size_t>(b) * kFeatureDim;
+        BakedPoint pt = decodeBakedFeature(feature);
+
+        DecodedSample d;
+        d.sigma = pt.sigma;
+        if (pt.sigma > 0.0f) {
+            d.rgb = shadePoint(pt, viewDir, _lightDir);
+            d.rgb.x = clamp(d.rgb.x +
+                                _residualAmp * std::tanh(mlpOut[1 * n + b]),
+                            0.0f, 1.0f);
+            d.rgb.y = clamp(d.rgb.y +
+                                _residualAmp * std::tanh(mlpOut[2 * n + b]),
+                            0.0f, 1.0f);
+            d.rgb.z = clamp(d.rgb.z +
+                                _residualAmp * std::tanh(mlpOut[3 * n + b]),
+                            0.0f, 1.0f);
+        }
+        out[b] = d;
+    }
 }
 
 } // namespace cicero

@@ -74,6 +74,15 @@ class Decoder
      */
     DecodedSample decode(const float *feature, const Vec3 &viewDir) const;
 
+    /**
+     * Decode @p count feature vectors sharing one ray direction in a
+     * single batched MLP pass. @p features is sample-major
+     * (count x kFeatureDim, as gathered); results are bit-identical to
+     * @p count scalar decode() calls. Thread-safe.
+     */
+    void decodeBatch(const float *features, int count,
+                     const Vec3 &viewDir, DecodedSample *out) const;
+
     /** MACs/sample to account for Feature Computation. */
     std::uint64_t nominalMacs() const { return _nominalMacs; }
 

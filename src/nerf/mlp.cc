@@ -8,15 +8,25 @@
 
 namespace cicero {
 
+namespace {
+
+/**
+ * Items per kernel block: bounds the thread-local scratch and keeps one
+ * block's activations (maxWidth * kBatchBlock floats) L1-resident while
+ * the weight rows stream over it.
+ */
+constexpr int kBatchBlock = 128;
+
+} // namespace
+
 Mlp::Mlp(std::vector<int> dims, std::uint64_t seed) : _dims(std::move(dims))
 {
     assert(_dims.size() >= 2);
     Rng rng(seed);
-    int maxWidth = 0;
     for (std::size_t l = 0; l + 1 < _dims.size(); ++l) {
         int in = _dims[l];
         int out = _dims[l + 1];
-        maxWidth = std::max({maxWidth, in, out});
+        _maxWidth = std::max({_maxWidth, in, out});
         float scale = std::sqrt(6.0f / (in + out));
         std::vector<float> w(static_cast<std::size_t>(in) * out);
         for (auto &v : w)
@@ -25,8 +35,6 @@ Mlp::Mlp(std::vector<int> dims, std::uint64_t seed) : _dims(std::move(dims))
         _biases.emplace_back(out, 0.0f);
         _macs += static_cast<std::uint64_t>(in) * out;
     }
-    _scratchA.resize(maxWidth);
-    _scratchB.resize(maxWidth);
 }
 
 std::uint64_t
@@ -41,27 +49,74 @@ Mlp::weightBytes() const
 void
 Mlp::forward(const float *in, float *out) const
 {
-    const float *src = in;
-    float *cur = _scratchA.data();
-    float *nxt = _scratchB.data();
+    // Channel-major with count == 1 degenerates to a plain dense
+    // vector, so the scalar path is the batch kernel at width 1.
+    forwardBatch(in, out, 1);
+}
 
-    for (std::size_t l = 0; l < _weights.size(); ++l) {
-        int ni = _dims[l];
-        int no = _dims[l + 1];
-        const float *w = _weights[l].data();
-        const float *b = _biases[l].data();
-        bool last = l + 1 == _weights.size();
-        float *dst = last ? out : nxt;
-        for (int o = 0; o < no; ++o) {
-            float acc = b[o];
-            const float *row = w + static_cast<std::size_t>(o) * ni;
-            for (int i = 0; i < ni; ++i)
-                acc += row[i] * src[i];
-            dst[o] = last ? acc : std::fmax(0.0f, acc); // ReLU hidden
-        }
-        if (!last) {
+void
+Mlp::forwardBatch(const float *in, float *out, int count) const
+{
+    if (count <= 0)
+        return;
+
+    // Scratch lives in TLS so concurrent forward passes on one model
+    // are safe (the shared mutable buffers of the old implementation
+    // were UB under multi-threaded rendering).
+    thread_local std::vector<float> scratchA, scratchB;
+    const std::size_t need =
+        static_cast<std::size_t>(_maxWidth) * kBatchBlock;
+    if (scratchA.size() < need) {
+        scratchA.resize(need);
+        scratchB.resize(need);
+    }
+
+    for (int b0 = 0; b0 < count; b0 += kBatchBlock) {
+        const int bn = std::min(kBatchBlock, count - b0);
+
+        // Layer inputs: block columns of `in` for the first layer
+        // (stride = count), then the ping-pong scratch (stride = bn,
+        // the actual block width, so partial and single-item blocks —
+        // forward() is forwardBatch at count 1 — stay contiguous).
+        const float *src = in + b0;
+        std::size_t srcStride = static_cast<std::size_t>(count);
+
+        for (std::size_t l = 0; l < _weights.size(); ++l) {
+            const int ni = _dims[l];
+            const int no = _dims[l + 1];
+            const float *w = _weights[l].data();
+            const float *bias = _biases[l].data();
+            const bool last = l + 1 == _weights.size();
+
+            float *dst = last ? out + b0
+                              : (l % 2 == 0 ? scratchA.data()
+                                            : scratchB.data());
+            const std::size_t dstStride =
+                last ? static_cast<std::size_t>(count)
+                     : static_cast<std::size_t>(bn);
+
+            for (int o = 0; o < no; ++o) {
+                float *d = dst + o * dstStride;
+                const float *row = w + static_cast<std::size_t>(o) * ni;
+                const float b = bias[o];
+                for (int k = 0; k < bn; ++k)
+                    d[k] = b;
+                // Accumulate input channels in ascending order — the
+                // same order as the scalar dot product, so batched and
+                // scalar results are bit-identical. Contiguous over k:
+                // auto-vectorizes.
+                for (int i = 0; i < ni; ++i) {
+                    const float wv = row[i];
+                    const float *s = src + i * srcStride;
+                    for (int k = 0; k < bn; ++k)
+                        d[k] += wv * s[k];
+                }
+                if (!last)
+                    for (int k = 0; k < bn; ++k)
+                        d[k] = std::fmax(0.0f, d[k]); // ReLU hidden
+            }
             src = dst;
-            std::swap(cur, nxt);
+            srcStride = dstStride;
         }
     }
 }

@@ -4,6 +4,13 @@
  * "Feature Computation" MLP of NeRF models. Weight storage is plain
  * row-major float; the forward pass reports its multiply-accumulate
  * count so timing models can price it.
+ *
+ * Two entry points exist: the scalar forward() and the batched
+ * forwardBatch(), which evaluates many inputs through one blocked,
+ * auto-vectorizable kernel. Both accumulate in the same order, so a
+ * batched evaluation is bit-identical to the scalar one. Scratch
+ * buffers live in thread-local storage: concurrent forward passes on
+ * one model from many threads are safe.
  */
 
 #ifndef CICERO_NERF_MLP_HH
@@ -37,12 +44,22 @@ class Mlp
     std::uint64_t weightBytes() const;
 
     /**
-     * Forward pass.
+     * Forward pass of a single input.
      *
      * @param in  inputDim() floats.
      * @param out outputDim() floats.
      */
     void forward(const float *in, float *out) const;
+
+    /**
+     * Batched forward pass over @p count inputs in channel-major (SoA)
+     * layout: channel c of item b lives at [c * count + b], for both
+     * @p in (inputDim() x count floats) and @p out (outputDim() x count
+     * floats). The contiguous item axis is what lets the compiler
+     * vectorize the inner accumulation loop. Results are bit-identical
+     * to @p count scalar forward() calls.
+     */
+    void forwardBatch(const float *in, float *out, int count) const;
 
     /** Direct access for tests. */
     std::vector<std::vector<float>> &weights() { return _weights; }
@@ -54,7 +71,7 @@ class Mlp
     std::vector<std::vector<float>> _weights;
     std::vector<std::vector<float>> _biases;
     std::uint64_t _macs = 0;
-    mutable std::vector<float> _scratchA, _scratchB;
+    int _maxWidth = 0;
 };
 
 } // namespace cicero

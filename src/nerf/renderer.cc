@@ -1,8 +1,41 @@
 #include "nerf/renderer.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.hh"
 #include "nerf/volume_renderer.hh"
 
 namespace cicero {
+
+namespace {
+
+/**
+ * Batched decode block sizing: start small and grow. Most rays
+ * early-terminate a few samples into the first surface, so a large
+ * fixed block would gather and decode features the compositor never
+ * consumes; geometric growth keeps that waste below one small block
+ * while long rays still reach the wide, vectorizing block size.
+ */
+constexpr int kFirstDecodeBlock = 8;
+constexpr int kMaxDecodeBlock = 64;
+
+/**
+ * Run @p fn(work, begin, end) over chunks of [0, n) and fold the
+ * per-chunk StageWork accumulators in chunk order.
+ */
+template <typename Fn>
+StageWork
+accumulateWorkChunks(std::int64_t n, Fn &&fn)
+{
+    StageWork total;
+    for (const StageWork &w :
+         parallelMapChunks<StageWork>(n, std::forward<Fn>(fn)))
+        total += w;
+    return total;
+}
+
+} // namespace
 
 NerfModel::NerfModel(const Scene &scene,
                      std::unique_ptr<Encoding> encoding,
@@ -34,7 +67,8 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
 {
     thread_local std::vector<RaySample> samples;
     thread_local std::vector<MemAccess> accessBuf;
-    float feature[kFeatureDim];
+    thread_local std::vector<float> featureBuf;
+    thread_local std::vector<DecodedSample> decodedBuf;
 
     Ray ray = camera.generateRay(px, py);
     int n = _sampler.sample(ray, samples);
@@ -52,36 +86,83 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
     gAcc.specular = 0.0f;
     gAcc.shininess = 0.0f;
 
+    auto accumulateGBuffer = [&](const float *feature,
+                                 const DecodedSample &d,
+                                 const RaySample &s, float tBefore) {
+        float alpha = 1.0f - std::exp(-d.sigma * s.dt);
+        float w = tBefore * alpha;
+        BakedPoint bp = decodeBakedFeature(feature);
+        gAcc.diffuse += bp.diffuse * w;
+        gNormal += bp.normal * w;
+        gAcc.specular += bp.specular * w;
+        gAcc.shininess += bp.shininess * w;
+        gWeight += w;
+    };
+
     Compositor comp;
     int computed = 0;
-    for (int i = 0; i < n; ++i) {
-        const RaySample &s = samples[i];
-        ++computed;
 
-        if (trace) {
+    if (trace) {
+        // Traced rendering stays strictly per-sample: the access
+        // stream must cover exactly the samples the compositor
+        // consumed, in consumption order (the TraceSink ordering
+        // contract the memory models rely on).
+        float feature[kFeatureDim];
+        for (int i = 0; i < n; ++i) {
+            const RaySample &s = samples[i];
+            ++computed;
+
             accessBuf.clear();
             _encoding->gatherAccesses(s.pn, rayId, accessBuf);
             for (const MemAccess &a : accessBuf)
                 trace->onAccess(a);
+
+            _encoding->gatherFeature(s.pn, feature);
+            DecodedSample d = _decoder.decode(feature, ray.dir);
+
+            if (gbufOut && d.sigma > 0.0f)
+                accumulateGBuffer(feature, d, s, comp.transmittance());
+
+            if (!comp.add(d.sigma, d.rgb, s.t, s.dt))
+                break;
         }
-
-        _encoding->gatherFeature(s.pn, feature);
-        DecodedSample d = _decoder.decode(feature, ray.dir);
-
-        if (gbufOut && d.sigma > 0.0f) {
-            float tBefore = comp.transmittance();
-            float alpha = 1.0f - std::exp(-d.sigma * s.dt);
-            float w = tBefore * alpha;
-            BakedPoint bp = decodeBakedFeature(feature);
-            gAcc.diffuse += bp.diffuse * w;
-            gNormal += bp.normal * w;
-            gAcc.specular += bp.specular * w;
-            gAcc.shininess += bp.shininess * w;
-            gWeight += w;
+    } else {
+        // Fast path: gather a block of samples into a contiguous
+        // buffer and decode them through one batched MLP pass instead
+        // of per-sample virtual-call ping-pong. Numerically identical
+        // to the per-sample loop (same accumulation order everywhere).
+        if (featureBuf.size() <
+            static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim) {
+            featureBuf.resize(
+                static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim);
+            decodedBuf.resize(kMaxDecodeBlock);
         }
+        int block = kFirstDecodeBlock;
+        bool stopped = false;
+        for (int base = 0; base < n && !stopped; base += block,
+                 block = std::min(2 * block, kMaxDecodeBlock)) {
+            const int m = std::min(block, n - base);
+            float *feats = featureBuf.data();
+            for (int j = 0; j < m; ++j)
+                _encoding->gatherFeature(samples[base + j].pn,
+                                         feats + j * kFeatureDim);
+            _decoder.decodeBatch(feats, m, ray.dir, decodedBuf.data());
 
-        if (!comp.add(d.sigma, d.rgb, s.t, s.dt))
-            break;
+            for (int j = 0; j < m; ++j) {
+                const RaySample &s = samples[base + j];
+                const DecodedSample &d = decodedBuf[j];
+                ++computed;
+
+                if (gbufOut && d.sigma > 0.0f)
+                    accumulateGBuffer(feats + j * kFeatureDim, d, s,
+                                      comp.transmittance());
+
+                if (!comp.add(d.sigma, d.rgb, s.t, s.dt)) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
     }
 
     if (gbufOut) {
@@ -127,19 +208,49 @@ NerfModel::render(const Camera &camera, TraceSink *trace,
     if (wantGBuffer)
         out.gbuffer = GBuffer(camera.width, camera.height);
 
-    std::uint32_t rayId = 0;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px, ++rayId) {
-            Vec3 rgb;
-            float d;
-            renderOne(camera, px, py, rayId, rgb, d, out.work, trace,
-                      wantGBuffer ? &out.gbuffer.at(px, py) : nullptr);
-            out.image.at(px, py) = rgb;
-            out.depth.at(px, py) = d;
+    const int W = camera.width;
+    const int H = camera.height;
+
+    if (trace) {
+        // Trace-sink runs stay serial: the access-stream order is part
+        // of the memory-model contract.
+        std::uint32_t rayId = 0;
+        for (int py = 0; py < H; ++py) {
+            for (int px = 0; px < W; ++px, ++rayId) {
+                Vec3 rgb;
+                float d;
+                renderOne(camera, px, py, rayId, rgb, d, out.work,
+                          trace,
+                          wantGBuffer ? &out.gbuffer.at(px, py)
+                                      : nullptr);
+                out.image.at(px, py) = rgb;
+                out.depth.at(px, py) = d;
+            }
         }
-    }
-    if (trace)
         trace->onFlush();
+        return out;
+    }
+
+    // Tile-parallel: row chunks, per-chunk work accumulators merged in
+    // chunk order. Pixels are written to disjoint locations and ray
+    // ids are a function of the pixel, so the output is bit-identical
+    // to the serial path at any thread count.
+    out.work = accumulateWorkChunks(
+        H, [&](StageWork &w, std::int64_t y0, std::int64_t y1) {
+            for (int py = static_cast<int>(y0); py < y1; ++py) {
+                std::uint32_t rayId =
+                    static_cast<std::uint32_t>(py) * W;
+                for (int px = 0; px < W; ++px, ++rayId) {
+                    Vec3 rgb;
+                    float d;
+                    renderOne(camera, px, py, rayId, rgb, d, w, nullptr,
+                              wantGBuffer ? &out.gbuffer.at(px, py)
+                                          : nullptr);
+                    out.image.at(px, py) = rgb;
+                    out.depth.at(px, py) = d;
+                }
+            }
+        });
     return out;
 }
 
@@ -150,18 +261,34 @@ NerfModel::renderPixels(const Camera &camera,
                         TraceSink *trace) const
 {
     StageWork work;
-    for (std::uint32_t id : pixelIds) {
-        int px = id % camera.width;
-        int py = id / camera.width;
-        Vec3 rgb;
-        float d;
-        renderOne(camera, px, py, id, rgb, d, work, trace);
-        image.at(px, py) = rgb;
-        depth.at(px, py) = d;
-    }
-    if (trace)
+    if (trace) {
+        for (std::uint32_t id : pixelIds) {
+            int px = id % camera.width;
+            int py = id / camera.width;
+            Vec3 rgb;
+            float d;
+            renderOne(camera, px, py, id, rgb, d, work, trace);
+            image.at(px, py) = rgb;
+            depth.at(px, py) = d;
+        }
         trace->onFlush();
-    return work;
+        return work;
+    }
+
+    return accumulateWorkChunks(
+        static_cast<std::int64_t>(pixelIds.size()),
+        [&](StageWork &w, std::int64_t b, std::int64_t e) {
+            for (std::int64_t k = b; k < e; ++k) {
+                std::uint32_t id = pixelIds[k];
+                int px = id % camera.width;
+                int py = id / camera.width;
+                Vec3 rgb;
+                float d;
+                renderOne(camera, px, py, id, rgb, d, w, nullptr);
+                image.at(px, py) = rgb;
+                depth.at(px, py) = d;
+            }
+        });
 }
 
 void
@@ -211,13 +338,27 @@ StageWork
 NerfModel::traceWorkload(const Camera &camera, TraceSink *trace) const
 {
     StageWork work;
-    std::uint32_t rayId = 0;
-    for (int py = 0; py < camera.height; ++py)
-        for (int px = 0; px < camera.width; ++px, ++rayId)
-            traceOne(camera, px, py, rayId, work, trace);
-    if (trace)
+    const int W = camera.width;
+    const int H = camera.height;
+
+    if (trace) {
+        std::uint32_t rayId = 0;
+        for (int py = 0; py < H; ++py)
+            for (int px = 0; px < W; ++px, ++rayId)
+                traceOne(camera, px, py, rayId, work, trace);
         trace->onFlush();
-    return work;
+        return work;
+    }
+
+    return accumulateWorkChunks(
+        H, [&](StageWork &w, std::int64_t y0, std::int64_t y1) {
+            for (int py = static_cast<int>(y0); py < y1; ++py) {
+                std::uint32_t rayId =
+                    static_cast<std::uint32_t>(py) * W;
+                for (int px = 0; px < W; ++px, ++rayId)
+                    traceOne(camera, px, py, rayId, w, nullptr);
+            }
+        });
 }
 
 StageWork
@@ -226,29 +367,47 @@ NerfModel::traceWorkloadPixels(const Camera &camera,
                                TraceSink *trace) const
 {
     StageWork work;
-    for (std::uint32_t id : pixelIds) {
-        traceOne(camera, id % camera.width, id / camera.width, id, work,
-                 trace);
-    }
-    if (trace)
+    if (trace) {
+        for (std::uint32_t id : pixelIds) {
+            traceOne(camera, id % camera.width, id / camera.width, id,
+                     work, trace);
+        }
         trace->onFlush();
-    return work;
+        return work;
+    }
+
+    return accumulateWorkChunks(
+        static_cast<std::int64_t>(pixelIds.size()),
+        [&](StageWork &w, std::int64_t b, std::int64_t e) {
+            for (std::int64_t k = b; k < e; ++k) {
+                std::uint32_t id = pixelIds[k];
+                traceOne(camera, id % camera.width, id / camera.width,
+                         id, w, nullptr);
+            }
+        });
 }
 
 std::vector<Vec3>
 NerfModel::collectSamplePositions(const Camera &camera) const
 {
-    std::vector<Vec3> positions;
-    std::vector<RaySample> samples;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px) {
-            Ray ray = camera.generateRay(px, py);
-            int n = _sampler.sample(ray, samples);
-            for (int i = 0; i < n; ++i)
-                positions.push_back(samples[i].pn);
-        }
-    }
-    return positions;
+    const int W = camera.width;
+    const int H = camera.height;
+
+    // Per-chunk position lists, concatenated in chunk (= row) order so
+    // the result matches the serial traversal exactly.
+    return parallelConcatChunks<Vec3>(
+        H, [&](std::vector<Vec3> &out, std::int64_t y0,
+               std::int64_t y1) {
+            thread_local std::vector<RaySample> samples;
+            for (int py = static_cast<int>(y0); py < y1; ++py) {
+                for (int px = 0; px < W; ++px) {
+                    Ray ray = camera.generateRay(px, py);
+                    int n = _sampler.sample(ray, samples);
+                    for (int i = 0; i < n; ++i)
+                        out.push_back(samples[i].pn);
+                }
+            }
+        });
 }
 
 std::vector<Vec3>
@@ -256,16 +415,19 @@ NerfModel::collectSamplePositionsPixels(
     const Camera &camera,
     const std::vector<std::uint32_t> &pixelIds) const
 {
-    std::vector<Vec3> positions;
-    std::vector<RaySample> samples;
-    for (std::uint32_t id : pixelIds) {
-        Ray ray =
-            camera.generateRay(id % camera.width, id / camera.width);
-        int n = _sampler.sample(ray, samples);
-        for (int i = 0; i < n; ++i)
-            positions.push_back(samples[i].pn);
-    }
-    return positions;
+    return parallelConcatChunks<Vec3>(
+        static_cast<std::int64_t>(pixelIds.size()),
+        [&](std::vector<Vec3> &out, std::int64_t b, std::int64_t e) {
+            thread_local std::vector<RaySample> samples;
+            for (std::int64_t k = b; k < e; ++k) {
+                std::uint32_t id = pixelIds[k];
+                Ray ray = camera.generateRay(id % camera.width,
+                                             id / camera.width);
+                int cnt = _sampler.sample(ray, samples);
+                for (int i = 0; i < cnt; ++i)
+                    out.push_back(samples[i].pn);
+            }
+        });
 }
 
 RenderResult
@@ -283,23 +445,28 @@ renderGroundTruth(const Scene &scene, const Camera &camera,
                             cfg.occupancySigma);
     RaySampler sampler(scene.field.bounds(), &occupancy, cfg);
 
-    std::vector<RaySample> samples;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px) {
-            Ray ray = camera.generateRay(px, py);
-            int n = sampler.sample(ray, samples);
-            Compositor comp;
-            for (int i = 0; i < n; ++i) {
-                const RaySample &s = samples[i];
-                FieldSample f = scene.field.sample(s.pos, ray.dir);
-                if (!comp.add(f.sigma, f.rgb, s.t, s.dt))
-                    break;
-            }
-            CompositeResult r = comp.finish(scene.background);
-            out.image.at(px, py) = r.rgb;
-            out.depth.at(px, py) = r.depth;
-        }
-    }
+    parallelFor(0, camera.height, -1,
+                [&](std::int64_t y0, std::int64_t y1) {
+                    thread_local std::vector<RaySample> samples;
+                    for (int py = static_cast<int>(y0); py < y1; ++py) {
+                        for (int px = 0; px < camera.width; ++px) {
+                            Ray ray = camera.generateRay(px, py);
+                            int n = sampler.sample(ray, samples);
+                            Compositor comp;
+                            for (int i = 0; i < n; ++i) {
+                                const RaySample &s = samples[i];
+                                FieldSample f =
+                                    scene.field.sample(s.pos, ray.dir);
+                                if (!comp.add(f.sigma, f.rgb, s.t, s.dt))
+                                    break;
+                            }
+                            CompositeResult r =
+                                comp.finish(scene.background);
+                            out.image.at(px, py) = r.rgb;
+                            out.depth.at(px, py) = r.depth;
+                        }
+                    }
+                });
     return out;
 }
 

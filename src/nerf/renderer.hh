@@ -94,6 +94,12 @@ class NerfModel
 
     /**
      * Render a full frame, pixel-centric (the baseline order).
+     *
+     * Runs tile-parallel on the global pool (common/parallel.hh) with
+     * bit-identical output at any thread count; passing a @p trace
+     * sink forces the serial per-sample walk, since the access-stream
+     * order is part of the memory-model contract.
+     *
      * @param trace optional sink receiving every gather access.
      * @param wantGBuffer also accumulate the per-pixel material buffer
      *        (used by the radiance-transfer warping extension).

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the parallel execution subsystem: chunk decomposition,
+ * pool reuse and reconfiguration, exception propagation, nested-loop
+ * inlining and grain edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/parallel.hh"
+
+namespace cicero {
+namespace {
+
+/** Restores the automatic thread count when a test finishes. */
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+TEST(ParallelTest, EveryIndexVisitedExactlyOnce)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    constexpr int n = 1000;
+    std::vector<std::atomic<int>> visits(n);
+    parallelFor(0, n, 7, [&](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
+            visits[i].fetch_add(1);
+    });
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelTest, ChunksPartitionRangeInOrder)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(3);
+
+    const std::int64_t begin = 5, end = 103, grain = 10;
+    const std::size_t count = parallelChunkCount(begin, end, grain);
+    ASSERT_GT(count, 0u);
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges(count);
+    std::vector<std::atomic<int>> seen(count);
+    parallelForChunks(begin, end, grain,
+                      [&](std::size_t c, std::int64_t b, std::int64_t e) {
+                          ranges[c] = {b, e};
+                          seen[c].fetch_add(1);
+                      });
+
+    std::int64_t expectB = begin;
+    for (std::size_t c = 0; c < count; ++c) {
+        EXPECT_EQ(seen[c].load(), 1);
+        EXPECT_EQ(ranges[c].first, expectB);
+        EXPECT_GT(ranges[c].second, ranges[c].first);
+        EXPECT_LE(ranges[c].second - ranges[c].first, grain);
+        expectB = ranges[c].second;
+    }
+    EXPECT_EQ(expectB, end);
+}
+
+TEST(ParallelTest, GrainEdgeCases)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    // Empty and inverted ranges: no invocation.
+    int calls = 0;
+    parallelFor(0, 0, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    parallelFor(10, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(parallelChunkCount(0, 0, 1), 0u);
+    EXPECT_EQ(parallelChunkCount(10, 3, 1), 0u);
+
+    // Grain larger than the range: one chunk, run inline.
+    std::atomic<int> single{0};
+    parallelFor(0, 5, 100, [&](std::int64_t b, std::int64_t e) {
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 5);
+        single.fetch_add(1);
+    });
+    EXPECT_EQ(single.load(), 1);
+    EXPECT_EQ(parallelChunkCount(0, 5, 100), 1u);
+
+    // Grain of one: one chunk per element.
+    EXPECT_EQ(parallelChunkCount(0, 5, 1), 5u);
+
+    // Auto grain (<= 0) resolves to something sane and consistent.
+    std::int64_t g = parallelResolveGrain(1000, -1);
+    EXPECT_GE(g, 1);
+    EXPECT_EQ(parallelChunkCount(0, 1000, -1),
+              static_cast<std::size_t>((1000 + g - 1) / g));
+
+    // A single-element range works.
+    std::atomic<int> one{0};
+    parallelFor(41, 42, -1, [&](std::int64_t b, std::int64_t e) {
+        EXPECT_EQ(b, 41);
+        EXPECT_EQ(e, 42);
+        one.fetch_add(1);
+    });
+    EXPECT_EQ(one.load(), 1);
+}
+
+TEST(ParallelTest, PoolIsReusedAcrossManyLoops)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+    EXPECT_EQ(parallelThreadCount(), 4);
+
+    // Many back-to-back loops on the same pool: results stay exact and
+    // nothing deadlocks or leaks workers.
+    for (int iter = 0; iter < 200; ++iter) {
+        std::atomic<std::int64_t> sum{0};
+        parallelFor(0, 100, 9, [&](std::int64_t b, std::int64_t e) {
+            std::int64_t local = 0;
+            for (std::int64_t i = b; i < e; ++i)
+                local += i;
+            sum.fetch_add(local);
+        });
+        EXPECT_EQ(sum.load(), 99 * 100 / 2);
+    }
+
+    // Reconfiguration joins the old workers and keeps working.
+    setParallelThreadCount(2);
+    EXPECT_EQ(parallelThreadCount(), 2);
+    setParallelThreadCount(1);
+    EXPECT_EQ(parallelThreadCount(), 1);
+    std::atomic<int> count{0};
+    parallelFor(0, 50, 5, [&](std::int64_t b, std::int64_t e) {
+        count.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ParallelTest, SingleThreadRunsInlineOnCaller)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(1);
+
+    const std::thread::id caller = std::this_thread::get_id();
+    parallelFor(0, 64, 4, [&](std::int64_t, std::int64_t) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+    });
+}
+
+TEST(ParallelTest, ExceptionPropagatesToCaller)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    EXPECT_THROW(
+        parallelFor(0, 100, 1,
+                    [&](std::int64_t b, std::int64_t) {
+                        if (b == 37)
+                            throw std::runtime_error("chunk 37 failed");
+                    }),
+        std::runtime_error);
+
+    // The pool survives a failed loop.
+    std::atomic<int> ok{0};
+    parallelFor(0, 10, 1, [&](std::int64_t, std::int64_t) {
+        ok.fetch_add(1);
+    });
+    EXPECT_EQ(ok.load(), 10);
+
+    // Serial fallback path propagates too.
+    setParallelThreadCount(1);
+    EXPECT_THROW(parallelFor(0, 4, 1,
+                             [&](std::int64_t, std::int64_t) {
+                                 throw std::logic_error("serial");
+                             }),
+                 std::logic_error);
+}
+
+TEST(ParallelTest, NestedLoopsRunInlineWithoutDeadlock)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    EXPECT_FALSE(insideParallelWorker());
+
+    std::atomic<int> inner{0};
+    parallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
+        EXPECT_TRUE(insideParallelWorker());
+        const std::thread::id outer = std::this_thread::get_id();
+        // A nested loop must execute inline on the same thread.
+        parallelFor(0, 16, 1, [&](std::int64_t b, std::int64_t e) {
+            EXPECT_EQ(std::this_thread::get_id(), outer);
+            inner.fetch_add(static_cast<int>(e - b));
+        });
+    });
+    EXPECT_EQ(inner.load(), 8 * 16);
+    EXPECT_FALSE(insideParallelWorker());
+}
+
+} // namespace
+} // namespace cicero

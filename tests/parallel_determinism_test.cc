@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Determinism tests for the tile-parallel render engine: a render at
+ * CICERO_THREADS=1 and at N threads must produce bit-identical images,
+ * depth maps and StageWork counters, and the batched MLP/decoder paths
+ * must be bit-identical to their scalar counterparts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cicero/sparw.hh"
+#include "cicero/warp.hh"
+#include "common/parallel.hh"
+#include "nerf/mlp.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+void
+expectImagesIdentical(const Image &a, const Image &b)
+{
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    int mismatches = 0;
+    for (std::size_t i = 0; i < a.pixelCount(); ++i) {
+        if (a.at(i).x != b.at(i).x || a.at(i).y != b.at(i).y ||
+            a.at(i).z != b.at(i).z)
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0);
+}
+
+void
+expectDepthIdentical(const DepthMap &a, const DepthMap &b)
+{
+    ASSERT_EQ(a.width(), b.width());
+    ASSERT_EQ(a.height(), b.height());
+    int mismatches = 0;
+    for (int y = 0; y < a.height(); ++y)
+        for (int x = 0; x < a.width(); ++x) {
+            float da = a.at(x, y);
+            float db = b.at(x, y);
+            // Infinities compare equal; exact bit equality otherwise.
+            if (!(da == db))
+                ++mismatches;
+        }
+    EXPECT_EQ(mismatches, 0);
+}
+
+void
+expectWorkIdentical(const StageWork &a, const StageWork &b)
+{
+    EXPECT_EQ(a.rays, b.rays);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.indexOps, b.indexOps);
+    EXPECT_EQ(a.vertexFetches, b.vertexFetches);
+    EXPECT_EQ(a.gatherBytes, b.gatherBytes);
+    EXPECT_EQ(a.interpOps, b.interpOps);
+    EXPECT_EQ(a.mlpMacs, b.mlpMacs);
+    EXPECT_EQ(a.compositeOps, b.compositeOps);
+}
+
+TEST(ParallelDeterminismTest, RenderIsBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(48);
+
+    setParallelThreadCount(1);
+    RenderResult serial = model->render(cam);
+
+    setParallelThreadCount(4);
+    RenderResult parallel = model->render(cam);
+
+    expectImagesIdentical(serial.image, parallel.image);
+    expectDepthIdentical(serial.depth, parallel.depth);
+    expectWorkIdentical(serial.work, parallel.work);
+}
+
+TEST(ParallelDeterminismTest, GBufferRenderMatchesAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(32);
+
+    setParallelThreadCount(1);
+    RenderResult serial = model->render(cam, nullptr, true);
+    setParallelThreadCount(4);
+    RenderResult parallel = model->render(cam, nullptr, true);
+
+    expectImagesIdentical(serial.image, parallel.image);
+    int mismatches = 0;
+    for (int y = 0; y < cam.height; ++y)
+        for (int x = 0; x < cam.width; ++x) {
+            const BakedPoint &a = serial.gbuffer.at(x, y);
+            const BakedPoint &b = parallel.gbuffer.at(x, y);
+            if (a.sigma != b.sigma || a.diffuse.x != b.diffuse.x ||
+                a.normal.x != b.normal.x || a.specular != b.specular ||
+                a.shininess != b.shininess)
+                ++mismatches;
+        }
+    EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ParallelDeterminismTest, SparsePixelsMatchAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(32);
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t id = 0; id < 32 * 32; id += 3)
+        ids.push_back(id);
+
+    setParallelThreadCount(1);
+    Image img1(32, 32);
+    DepthMap dep1(32, 32);
+    StageWork w1 = model->renderPixels(cam, ids, img1, dep1);
+
+    setParallelThreadCount(4);
+    Image img4(32, 32);
+    DepthMap dep4(32, 32);
+    StageWork w4 = model->renderPixels(cam, ids, img4, dep4);
+
+    expectImagesIdentical(img1, img4);
+    expectDepthIdentical(dep1, dep4);
+    expectWorkIdentical(w1, w4);
+}
+
+TEST(ParallelDeterminismTest, WorkloadTraceMatchesAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(24);
+
+    setParallelThreadCount(1);
+    StageWork serial = model->traceWorkload(cam);
+    std::vector<Vec3> pos1 = model->collectSamplePositions(cam);
+
+    setParallelThreadCount(4);
+    StageWork parallel = model->traceWorkload(cam);
+    std::vector<Vec3> pos4 = model->collectSamplePositions(cam);
+
+    expectWorkIdentical(serial, parallel);
+
+    // Sample positions must come back in the exact serial order (they
+    // feed the Ray Index Table construction).
+    ASSERT_EQ(pos1.size(), pos4.size());
+    int mismatches = 0;
+    for (std::size_t i = 0; i < pos1.size(); ++i)
+        if (pos1[i].x != pos4[i].x || pos1[i].y != pos4[i].y ||
+            pos1[i].z != pos4[i].z)
+            ++mismatches;
+    EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ParallelDeterminismTest, WarpIsBitIdenticalAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    std::vector<Pose> traj = test::tinyOrbit(4);
+    Camera refCam = test::tinyCamera(48, &traj[0]);
+    Camera tgtCam = test::tinyCamera(48, &traj[2]);
+
+    setParallelThreadCount(1);
+    RenderResult ref1 = model->render(refCam);
+    WarpOutput w1 = warpFrame(ref1.image, ref1.depth, refCam, tgtCam,
+                              &model->occupancy(),
+                              model->scene().background, WarpParams{});
+
+    setParallelThreadCount(4);
+    RenderResult ref4 = model->render(refCam);
+    WarpOutput w4 = warpFrame(ref4.image, ref4.depth, refCam, tgtCam,
+                              &model->occupancy(),
+                              model->scene().background, WarpParams{});
+
+    expectImagesIdentical(w1.image, w4.image);
+    expectDepthIdentical(w1.depth, w4.depth);
+    EXPECT_EQ(w1.needRender, w4.needRender);
+    EXPECT_EQ(w1.stats.pointsTransformed, w4.stats.pointsTransformed);
+    EXPECT_EQ(w1.stats.angleRejected, w4.stats.angleRejected);
+    EXPECT_EQ(w1.stats.warped, w4.stats.warped);
+    EXPECT_EQ(w1.stats.disoccluded, w4.stats.disoccluded);
+    EXPECT_EQ(w1.stats.voidHoles, w4.stats.voidHoles);
+}
+
+TEST(ParallelDeterminismTest, SparwRunMatchesAcrossThreadCounts)
+{
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    std::vector<Pose> traj = test::tinyOrbit(5);
+    Camera intrinsics = test::tinyCamera(32);
+    SparwConfig cfg;
+    cfg.window = 2;
+    SparwPipeline pipeline(*model, intrinsics, cfg);
+
+    setParallelThreadCount(1);
+    SparwRun run1 = pipeline.run(traj);
+    setParallelThreadCount(4);
+    SparwRun run4 = pipeline.run(traj);
+
+    ASSERT_EQ(run1.frames.size(), run4.frames.size());
+    ASSERT_EQ(run1.references.size(), run4.references.size());
+    for (std::size_t i = 0; i < run1.frames.size(); ++i) {
+        expectImagesIdentical(run1.frames[i].image, run4.frames[i].image);
+        expectWorkIdentical(run1.frames[i].sparseWork,
+                            run4.frames[i].sparseWork);
+        EXPECT_EQ(run1.frames[i].referenceIndex,
+                  run4.frames[i].referenceIndex);
+    }
+    for (std::size_t i = 0; i < run1.references.size(); ++i)
+        expectWorkIdentical(run1.references[i].work,
+                            run4.references[i].work);
+}
+
+TEST(ParallelDeterminismTest, BatchedMlpMatchesScalarExactly)
+{
+    Mlp mlp({12, 16, 16, 4}, 99);
+    const int count = 37;
+
+    // Channel-major batch input.
+    std::vector<float> in(12 * count), outBatch(4 * count);
+    for (int c = 0; c < 12; ++c)
+        for (int b = 0; b < count; ++b)
+            in[c * count + b] =
+                0.05f * static_cast<float>((c * 31 + b * 7) % 40) - 1.0f;
+
+    mlp.forwardBatch(in.data(), outBatch.data(), count);
+
+    for (int b = 0; b < count; ++b) {
+        float one[12], res[4];
+        for (int c = 0; c < 12; ++c)
+            one[c] = in[c * count + b];
+        mlp.forward(one, res);
+        for (int o = 0; o < 4; ++o)
+            EXPECT_EQ(res[o], outBatch[o * count + b])
+                << "item " << b << " output " << o;
+    }
+}
+
+TEST(ParallelDeterminismTest, BatchedDecoderMatchesScalarExactly)
+{
+    Scene scene = test::tinyScene();
+    Decoder decoder(scene.field.lightDir());
+    Vec3 viewDir = Vec3{0.3f, -0.2f, -1.0f}.normalized();
+
+    const int count = 21;
+    std::vector<float> features(count * kFeatureDim);
+    for (int b = 0; b < count; ++b) {
+        BakedPoint pt;
+        pt.sigma = (b % 4 == 0) ? 0.0f : 1.5f * b; // include empties
+        pt.diffuse = {0.1f * (b % 10), 0.5f, 0.9f - 0.04f * b};
+        pt.normal = Vec3{0.2f, 1.0f, 0.1f * b}.normalized();
+        pt.specular = 0.02f * b;
+        pt.shininess = 4.0f + b;
+        encodeBakedPoint(pt, features.data() + b * kFeatureDim);
+    }
+
+    std::vector<DecodedSample> batch(count);
+    decoder.decodeBatch(features.data(), count, viewDir, batch.data());
+
+    for (int b = 0; b < count; ++b) {
+        DecodedSample s =
+            decoder.decode(features.data() + b * kFeatureDim, viewDir);
+        EXPECT_EQ(s.sigma, batch[b].sigma) << "item " << b;
+        EXPECT_EQ(s.rgb.x, batch[b].rgb.x) << "item " << b;
+        EXPECT_EQ(s.rgb.y, batch[b].rgb.y) << "item " << b;
+        EXPECT_EQ(s.rgb.z, batch[b].rgb.z) << "item " << b;
+    }
+}
+
+} // namespace
+} // namespace cicero
