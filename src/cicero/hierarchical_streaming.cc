@@ -1,7 +1,9 @@
 #include "cicero/hierarchical_streaming.hh"
 
+#include <memory>
 #include <stdexcept>
 
+#include "common/parallel.hh"
 #include "nerf/volume_renderer.hh"
 
 namespace cicero {
@@ -21,6 +23,21 @@ struct SampleRec
     Vec3 pn;
     float t;
     float dt;
+};
+
+/** Per-chunk partial of the parallel Stage I (marching) loop. */
+struct MarchChunk
+{
+    std::vector<SampleRec> samples;
+    std::vector<std::uint32_t> rayFirst; //!< chunk-local sample offsets
+    StageWork work;
+};
+
+/** Per-chunk partial of a dense level's parallel RIT build. */
+struct RitChunk
+{
+    std::vector<std::vector<CornerRef>> rit; //!< global sample ids
+    std::uint64_t ritEntries = 0;
 };
 
 } // namespace
@@ -52,6 +69,8 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
     out.image = Image(camera.width, camera.height);
     out.depth = DepthMap(camera.width, camera.height);
 
+    const int W = camera.width;
+    const int H = camera.height;
     const int numLevels = _grid.config().numLevels;
     const int bv = _blockVerts;
     const std::uint32_t vb = _grid.vertexBytes();
@@ -59,28 +78,46 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
         static_cast<std::uint64_t>(bv) * bv * bv * vb;
 
     // ---- Stage I: march rays once, remember samples ------------------
+    // Row-parallel; per-chunk sample lists merge in chunk order so the
+    // global sample numbering matches the serial walk exactly.
     std::vector<SampleRec> samples;
     std::vector<std::uint32_t> rayFirstSample(
-        static_cast<std::size_t>(camera.width) * camera.height + 1, 0);
+        static_cast<std::size_t>(W) * H + 1, 0);
     {
-        std::vector<RaySample> raySamples;
-        std::uint32_t rayId = 0;
-        for (int py = 0; py < camera.height; ++py) {
-            for (int px = 0; px < camera.width; ++px, ++rayId) {
-                rayFirstSample[rayId] =
-                    static_cast<std::uint32_t>(samples.size());
-                Ray ray = camera.generateRay(px, py);
-                int n = _model.sampler().sample(ray, raySamples);
-                out.work.rays += 1;
-                out.work.indexOps +=
-                    static_cast<std::uint64_t>(n) *
-                    _grid.indexOpsPerSample();
-                for (int i = 0; i < n; ++i) {
-                    samples.push_back(SampleRec{raySamples[i].pn,
-                                                raySamples[i].t,
-                                                raySamples[i].dt});
+        std::vector<MarchChunk> chunks = parallelMapChunks<MarchChunk>(
+            H, [&](MarchChunk &c, std::int64_t y0, std::int64_t y1) {
+                thread_local std::vector<RaySample> raySamples;
+                for (int py = static_cast<int>(y0); py < y1; ++py) {
+                    for (int px = 0; px < W; ++px) {
+                        c.rayFirst.push_back(static_cast<std::uint32_t>(
+                            c.samples.size()));
+                        Ray ray = camera.generateRay(px, py);
+                        int n = _model.sampler().sample(ray, raySamples);
+                        c.work.rays += 1;
+                        c.work.indexOps +=
+                            static_cast<std::uint64_t>(n) *
+                            _grid.indexOpsPerSample();
+                        for (int i = 0; i < n; ++i) {
+                            c.samples.push_back(
+                                SampleRec{raySamples[i].pn,
+                                          raySamples[i].t,
+                                          raySamples[i].dt});
+                        }
+                    }
                 }
-            }
+            });
+
+        std::size_t rayBase = 0;
+        for (MarchChunk &c : chunks) {
+            const std::uint32_t sampleBase =
+                static_cast<std::uint32_t>(samples.size());
+            for (std::size_t r = 0; r < c.rayFirst.size(); ++r)
+                rayFirstSample[rayBase + r] = sampleBase + c.rayFirst[r];
+            rayBase += c.rayFirst.size();
+            samples.insert(samples.end(), c.samples.begin(),
+                           c.samples.end());
+            out.work += c.work;
+            c = MarchChunk{};
         }
         rayFirstSample.back() =
             static_cast<std::uint32_t>(samples.size());
@@ -90,6 +127,8 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
     std::vector<float> features(samples.size() *
                                 static_cast<std::size_t>(kFeatureDim),
                                 0.0f);
+    const std::int64_t numSamples =
+        static_cast<std::int64_t>(samples.size());
 
     // ---- Stage G: level by level --------------------------------------
     for (int l = 0; l < numLevels; ++l) {
@@ -107,48 +146,70 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
 
         if (_grid.levelDense(l)) {
             ++_stats.denseLevels;
-            // Partition the level into MVoxel blocks and build its RIT.
+            // Partition the level into MVoxel blocks and build its RIT,
+            // sample-parallel: chunk-local RITs carry global sample ids
+            // and merge in chunk order, keeping every block's entry
+            // list ascending in sample id (the serial order).
             std::uint32_t blocksPerAxis = (res + 1 + bv - 1) / bv;
-            std::vector<std::vector<CornerRef>> rit(
+            const std::size_t numBlocks =
                 static_cast<std::size_t>(blocksPerAxis) * blocksPerAxis *
-                blocksPerAxis);
+                blocksPerAxis;
 
-            for (std::uint32_t s = 0;
-                 s < static_cast<std::uint32_t>(samples.size()); ++s) {
-                int c0[3];
-                float frac[3];
-                cornersOf(samples[s].pn, c0, frac);
-                std::uint32_t seen[8];
-                int nSeen = 0;
-                for (int c = 0; c < 8; ++c) {
-                    int ix = c0[0] + (c & 1);
-                    int iy = c0[1] + ((c >> 1) & 1);
-                    int iz = c0[2] + ((c >> 2) & 1);
-                    float w = ((c & 1) ? frac[0] : 1.0f - frac[0]) *
-                              (((c >> 1) & 1) ? frac[1]
-                                              : 1.0f - frac[1]) *
-                              (((c >> 2) & 1) ? frac[2]
-                                              : 1.0f - frac[2]);
-                    std::uint32_t blk =
-                        (static_cast<std::uint32_t>(iz / bv) *
-                             blocksPerAxis +
-                         iy / bv) *
-                            blocksPerAxis +
-                        ix / bv;
-                    rit[blk].push_back(CornerRef{
-                        s, static_cast<std::uint16_t>(ix),
-                        static_cast<std::uint16_t>(iy),
-                        static_cast<std::uint16_t>(iz), w});
-                    bool dup = false;
-                    for (int k = 0; k < nSeen; ++k)
-                        dup = dup || seen[k] == blk;
-                    if (!dup)
-                        seen[nSeen++] = blk;
+            std::vector<RitChunk> chunks = parallelMapChunks<RitChunk>(
+                numSamples,
+                [&](RitChunk &c, std::int64_t b, std::int64_t e) {
+                    c.rit.resize(numBlocks);
+                    for (std::int64_t si = b; si < e; ++si) {
+                        std::uint32_t s =
+                            static_cast<std::uint32_t>(si);
+                        int c0[3];
+                        float frac[3];
+                        cornersOf(samples[s].pn, c0, frac);
+                        std::uint32_t seen[8];
+                        int nSeen = 0;
+                        for (int cr = 0; cr < 8; ++cr) {
+                            int ix = c0[0] + (cr & 1);
+                            int iy = c0[1] + ((cr >> 1) & 1);
+                            int iz = c0[2] + ((cr >> 2) & 1);
+                            float w =
+                                ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
+                                (((cr >> 1) & 1) ? frac[1]
+                                                 : 1.0f - frac[1]) *
+                                (((cr >> 2) & 1) ? frac[2]
+                                                 : 1.0f - frac[2]);
+                            std::uint32_t blk =
+                                (static_cast<std::uint32_t>(iz / bv) *
+                                     blocksPerAxis +
+                                 iy / bv) *
+                                    blocksPerAxis +
+                                ix / bv;
+                            c.rit[blk].push_back(CornerRef{
+                                s, static_cast<std::uint16_t>(ix),
+                                static_cast<std::uint16_t>(iy),
+                                static_cast<std::uint16_t>(iz), w});
+                            bool dup = false;
+                            for (int k = 0; k < nSeen; ++k)
+                                dup = dup || seen[k] == blk;
+                            if (!dup)
+                                seen[nSeen++] = blk;
+                        }
+                        c.ritEntries += nSeen;
+                    }
+                });
+
+            std::vector<std::vector<CornerRef>> rit(numBlocks);
+            for (RitChunk &c : chunks) {
+                for (std::size_t blk = 0; blk < numBlocks; ++blk) {
+                    rit[blk].insert(rit[blk].end(), c.rit[blk].begin(),
+                                    c.rit[blk].end());
                 }
-                _stats.ritEntries += nSeen;
+                _stats.ritEntries += c.ritEntries;
+                c = RitChunk{};
             }
 
-            // Stream touched blocks in address order, exactly once.
+            // Stream touched blocks in address order, exactly once —
+            // serial: this walk is the trace stream, and boundary
+            // samples accumulate across blocks in block order.
             for (std::uint32_t blk = 0; blk < rit.size(); ++blk) {
                 if (rit[blk].empty())
                     continue;
@@ -173,28 +234,35 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
         } else {
             ++_stats.hashedLevels;
             // Revert to the original data flow: per-sample random
-            // fetches straight out of the hash table.
-            for (std::uint32_t s = 0;
-                 s < static_cast<std::uint32_t>(samples.size()); ++s) {
+            // fetches straight out of the hash table. Every sample
+            // owns its feature slice, so the gather is
+            // sample-parallel; when tracing, each sample records its
+            // fetches into a RayTraceBuffer slot and the replay below
+            // restores the serial per-sample emission order.
+            // One thread runs the sample loop inline in order, so the
+            // accesses can stream straight into the sink un-buffered.
+            std::unique_ptr<RayTraceBuffer> buf;
+            if (trace && parallelThreadCount() > 1)
+                buf = std::make_unique<RayTraceBuffer>(samples.size(),
+                                                       trace);
+            auto gatherSample = [&](std::uint32_t s, TraceSink *sink) {
                 int c0[3];
                 float frac[3];
                 cornersOf(samples[s].pn, c0, frac);
-                float *dst =
-                    features.data() +
-                    static_cast<std::size_t>(s) * kFeatureDim;
-                for (int c = 0; c < 8; ++c) {
-                    int ix = c0[0] + (c & 1);
-                    int iy = c0[1] + ((c >> 1) & 1);
-                    int iz = c0[2] + ((c >> 2) & 1);
-                    float w = ((c & 1) ? frac[0] : 1.0f - frac[0]) *
-                              (((c >> 1) & 1) ? frac[1]
-                                              : 1.0f - frac[1]) *
-                              (((c >> 2) & 1) ? frac[2]
-                                              : 1.0f - frac[2]);
+                float *dst = features.data() +
+                             static_cast<std::size_t>(s) * kFeatureDim;
+                for (int cr = 0; cr < 8; ++cr) {
+                    int ix = c0[0] + (cr & 1);
+                    int iy = c0[1] + ((cr >> 1) & 1);
+                    int iz = c0[2] + ((cr >> 2) & 1);
+                    float w = ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
+                              (((cr >> 1) & 1) ? frac[1]
+                                               : 1.0f - frac[1]) *
+                              (((cr >> 2) & 1) ? frac[2]
+                                               : 1.0f - frac[2]);
                     std::uint32_t slot = _grid.levelSlot(l, ix, iy, iz);
-                    _stats.randomBytes += vb;
-                    if (trace) {
-                        trace->onAccess(MemAccess{
+                    if (sink) {
+                        sink->onAccess(MemAccess{
                             _grid.levelBaseAddr(l) +
                                 static_cast<std::uint64_t>(slot) * vb,
                             vb, s});
@@ -203,7 +271,25 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
                     for (int ch = 0; ch < kFeatureDim; ++ch)
                         dst[ch] += w * v[ch];
                 }
-            }
+            };
+            parallelFor(0, numSamples, -1,
+                        [&](std::int64_t b, std::int64_t e) {
+                            for (std::int64_t si = b; si < e; ++si) {
+                                std::uint32_t s =
+                                    static_cast<std::uint32_t>(si);
+                                if (buf) {
+                                    RayTraceBuffer::SlotSink sink =
+                                        buf->sink(s);
+                                    gatherSample(s, &sink);
+                                } else {
+                                    gatherSample(s, trace);
+                                }
+                            }
+                        });
+            if (buf)
+                buf->replay();
+            _stats.randomBytes +=
+                static_cast<std::uint64_t>(samples.size()) * 8ull * vb;
         }
     }
     if (trace)
@@ -216,28 +302,43 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
     out.work.interpOps =
         samples.size() * _grid.interpOpsPerSample();
 
-    // ---- Stage F: unchanged ------------------------------------------
-    std::uint32_t rayId = 0;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px, ++rayId) {
-            Ray ray = camera.generateRay(px, py);
-            Compositor comp;
-            for (std::uint32_t s = rayFirstSample[rayId];
-                 s < rayFirstSample[rayId + 1]; ++s) {
-                const float *feat =
-                    features.data() +
-                    static_cast<std::size_t>(s) * kFeatureDim;
-                DecodedSample d =
-                    _model.decoder().decode(feat, ray.dir);
-                out.work.mlpMacs += _model.nominalMlpMacs();
-                out.work.compositeOps += 12;
-                comp.add(d.sigma, d.rgb, samples[s].t, samples[s].dt);
-            }
-            CompositeResult r = comp.finish(_model.scene().background);
-            out.image.at(px, py) = r.rgb;
-            out.depth.at(px, py) = r.depth;
-        }
-    }
+    // ---- Stage F: decode + composite ---------------------------------
+    // Row-parallel with a per-ray batched decode over the contiguous
+    // feature slice (bit-identical to scalar decode).
+    for (const StageWork &w : parallelMapChunks<StageWork>(
+             H, [&](StageWork &fw, std::int64_t y0, std::int64_t y1) {
+                 thread_local std::vector<DecodedSample> decoded;
+                 for (int py = static_cast<int>(y0); py < y1; ++py) {
+                     std::uint32_t rayId =
+                         static_cast<std::uint32_t>(py) * W;
+                     for (int px = 0; px < W; ++px, ++rayId) {
+                         Ray ray = camera.generateRay(px, py);
+                         Compositor comp;
+                         std::uint32_t s0 = rayFirstSample[rayId];
+                         std::uint32_t s1 = rayFirstSample[rayId + 1];
+                         const int m = static_cast<int>(s1 - s0);
+                         decoded.resize(m);
+                         _model.decoder().decodeBatch(
+                             features.data() +
+                                 static_cast<std::size_t>(s0) *
+                                     kFeatureDim,
+                             m, ray.dir, decoded.data());
+                         for (int i = 0; i < m; ++i) {
+                             std::uint32_t s = s0 + i;
+                             fw.mlpMacs += _model.nominalMlpMacs();
+                             fw.compositeOps += 12;
+                             comp.add(decoded[i].sigma, decoded[i].rgb,
+                                      samples[s].t, samples[s].dt);
+                         }
+                         CompositeResult r =
+                             comp.finish(_model.scene().background);
+                         out.image.at(px, py) = r.rgb;
+                         out.depth.at(px, py) = r.depth;
+                     }
+                 }
+             }))
+        out.work += w;
+
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/parallel.hh"
 #include "nerf/volume_renderer.hh"
 
 namespace cicero {
@@ -21,6 +22,17 @@ struct SampleRec
 {
     float t;
     float dt;
+};
+
+/** Per-chunk partial of the parallel Stage I (Indexing) loop. */
+struct IndexChunk
+{
+    std::vector<SampleRec> samples;
+    std::vector<std::uint32_t> rayFirst; //!< chunk-local sample offsets
+    std::vector<std::vector<CornerRef>> rit; //!< chunk-local sample ids
+    StageWork work;
+    std::uint64_t ritEntries = 0;
+    std::uint64_t boundaryEntries = 0;
 };
 
 } // namespace
@@ -48,50 +60,88 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     out.image = Image(camera.width, camera.height);
     out.depth = DepthMap(camera.width, camera.height);
 
+    const int W = camera.width;
+    const int H = camera.height;
     const int bv = _grid.blockVerts();
     const std::uint32_t numMv = _grid.numMVoxels();
 
     // ---- Stage I: ray marching + RIT construction -------------------
+    // Row-parallel with chunk-local sample lists and RITs, merged in
+    // chunk order: the global sample numbering, the per-MVoxel entry
+    // order (ascending sample id) and therefore Stage G's accumulation
+    // order are exactly those of the serial walk.
+    std::vector<IndexChunk> chunks = parallelMapChunks<IndexChunk>(
+        H, [&](IndexChunk &c, std::int64_t y0, std::int64_t y1) {
+            thread_local std::vector<RaySample> raySamples;
+            c.rit.resize(numMv);
+            for (int py = static_cast<int>(y0); py < y1; ++py) {
+                for (int px = 0; px < W; ++px) {
+                    c.rayFirst.push_back(
+                        static_cast<std::uint32_t>(c.samples.size()));
+                    Ray ray = camera.generateRay(px, py);
+                    int n = _model.sampler().sample(ray, raySamples);
+                    c.work.rays += 1;
+                    c.work.indexOps +=
+                        static_cast<std::uint64_t>(n) *
+                        _model.encoding().indexOpsPerSample();
+                    for (int i = 0; i < n; ++i) {
+                        std::uint32_t sid = static_cast<std::uint32_t>(
+                            c.samples.size());
+                        c.samples.push_back(SampleRec{raySamples[i].t,
+                                                      raySamples[i].dt});
+                        auto cs = _grid.corners(raySamples[i].pn);
+                        std::uint32_t touched[8];
+                        int nTouched = 0;
+                        for (const GridCorner &gc : cs) {
+                            c.rit[gc.mvoxel].push_back(CornerRef{
+                                sid,
+                                static_cast<std::uint8_t>(gc.ix % bv),
+                                static_cast<std::uint8_t>(gc.iy % bv),
+                                static_cast<std::uint8_t>(gc.iz % bv),
+                                gc.weight});
+                            bool dup = false;
+                            for (int k = 0; k < nTouched; ++k)
+                                dup = dup || touched[k] == gc.mvoxel;
+                            if (!dup)
+                                touched[nTouched++] = gc.mvoxel;
+                        }
+                        c.ritEntries += nTouched;
+                        if (nTouched > 1)
+                            c.boundaryEntries += nTouched - 1;
+                    }
+                }
+            }
+        });
+
     std::vector<SampleRec> samples;
     std::vector<std::uint32_t> rayFirstSample(
-        static_cast<std::size_t>(camera.width) * camera.height + 1, 0);
+        static_cast<std::size_t>(W) * H + 1, 0);
     std::vector<std::vector<CornerRef>> rit(numMv);
+    {
+        std::size_t totalSamples = 0;
+        for (const IndexChunk &c : chunks)
+            totalSamples += c.samples.size();
+        samples.reserve(totalSamples);
 
-    std::vector<RaySample> raySamples;
-    std::uint32_t rayId = 0;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px, ++rayId) {
-            rayFirstSample[rayId] =
+        std::size_t rayBase = 0;
+        for (IndexChunk &c : chunks) {
+            const std::uint32_t sampleBase =
                 static_cast<std::uint32_t>(samples.size());
-            Ray ray = camera.generateRay(px, py);
-            int n = _model.sampler().sample(ray, raySamples);
-            out.work.rays += 1;
-            out.work.indexOps +=
-                static_cast<std::uint64_t>(n) *
-                _model.encoding().indexOpsPerSample();
-            for (int i = 0; i < n; ++i) {
-                std::uint32_t sid =
-                    static_cast<std::uint32_t>(samples.size());
-                samples.push_back(
-                    SampleRec{raySamples[i].t, raySamples[i].dt});
-                auto cs = _grid.corners(raySamples[i].pn);
-                std::uint32_t touched[8];
-                int nTouched = 0;
-                for (const GridCorner &c : cs) {
-                    rit[c.mvoxel].push_back(CornerRef{
-                        sid, static_cast<std::uint8_t>(c.ix % bv),
-                        static_cast<std::uint8_t>(c.iy % bv),
-                        static_cast<std::uint8_t>(c.iz % bv), c.weight});
-                    bool dup = false;
-                    for (int k = 0; k < nTouched; ++k)
-                        dup = dup || touched[k] == c.mvoxel;
-                    if (!dup)
-                        touched[nTouched++] = c.mvoxel;
+            for (std::size_t r = 0; r < c.rayFirst.size(); ++r)
+                rayFirstSample[rayBase + r] = sampleBase + c.rayFirst[r];
+            rayBase += c.rayFirst.size();
+            samples.insert(samples.end(), c.samples.begin(),
+                           c.samples.end());
+            for (std::uint32_t mv = 0; mv < numMv; ++mv) {
+                for (CornerRef e : c.rit[mv]) {
+                    e.sample += sampleBase;
+                    rit[mv].push_back(e);
                 }
-                _stats.ritEntries += nTouched;
-                if (nTouched > 1)
-                    _stats.boundaryEntries += nTouched - 1;
             }
+            out.work += c.work;
+            _stats.ritEntries += c.ritEntries;
+            _stats.boundaryEntries += c.boundaryEntries;
+            c = IndexChunk{}; // release chunk storage as it merges
         }
     }
     rayFirstSample.back() = static_cast<std::uint32_t>(samples.size());
@@ -99,6 +149,10 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     _stats.ritBytes = _stats.ritEntries * 48;
 
     // ---- Stage G: stream MVoxels in address order --------------------
+    // Stays serial: the single-visit address-order walk *is* the trace
+    // stream, and boundary samples accumulate across MVoxels in that
+    // order (partial interpolation), so this loop defines both the
+    // access-stream and the FP-accumulation contract.
     std::vector<float> features(samples.size() *
                                 static_cast<std::size_t>(kFeatureDim),
                                 0.0f);
@@ -140,31 +194,50 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     out.work.interpOps =
         samples.size() * _model.encoding().interpOpsPerSample();
 
-    // ---- Stage F: decode + composite (unchanged) ---------------------
-    rayId = 0;
-    for (int py = 0; py < camera.height; ++py) {
-        for (int px = 0; px < camera.width; ++px, ++rayId) {
-            Ray ray = camera.generateRay(px, py);
-            Compositor comp;
-            std::uint32_t s0 = rayFirstSample[rayId];
-            std::uint32_t s1 = rayFirstSample[rayId + 1];
-            for (std::uint32_t s = s0; s < s1; ++s) {
-                const float *feat =
-                    features.data() +
-                    static_cast<std::size_t>(s) * kFeatureDim;
-                DecodedSample d =
-                    _model.decoder().decode(feat, ray.dir);
-                out.work.mlpMacs += _model.nominalMlpMacs();
-                out.work.compositeOps += 12;
-                // No early termination: the memory-centric order has
-                // already gathered every indexed sample.
-                comp.add(d.sigma, d.rgb, samples[s].t, samples[s].dt);
-            }
-            CompositeResult r = comp.finish(_model.scene().background);
-            out.image.at(px, py) = r.rgb;
-            out.depth.at(px, py) = r.depth;
-        }
-    }
+    // ---- Stage F: decode + composite ---------------------------------
+    // Row-parallel: rays write disjoint pixels and read disjoint
+    // feature slices; per-chunk work counters merge in chunk order.
+    for (const StageWork &w : parallelMapChunks<StageWork>(
+             H, [&](StageWork &fw, std::int64_t y0, std::int64_t y1) {
+                 for (int py = static_cast<int>(y0); py < y1; ++py) {
+                     std::uint32_t rayId =
+                         static_cast<std::uint32_t>(py) * W;
+                     thread_local std::vector<DecodedSample> decoded;
+                     for (int px = 0; px < W; ++px, ++rayId) {
+                         Ray ray = camera.generateRay(px, py);
+                         Compositor comp;
+                         std::uint32_t s0 = rayFirstSample[rayId];
+                         std::uint32_t s1 = rayFirstSample[rayId + 1];
+                         const int m = static_cast<int>(s1 - s0);
+                         decoded.resize(m);
+                         // The ray's features are contiguous and
+                         // sample-major: one batched decode replaces
+                         // the per-sample MLP round trips
+                         // (bit-identical to scalar decode).
+                         _model.decoder().decodeBatch(
+                             features.data() +
+                                 static_cast<std::size_t>(s0) *
+                                     kFeatureDim,
+                             m, ray.dir, decoded.data());
+                         for (int i = 0; i < m; ++i) {
+                             std::uint32_t s = s0 + i;
+                             fw.mlpMacs += _model.nominalMlpMacs();
+                             fw.compositeOps += 12;
+                             // No early termination: the memory-centric
+                             // order has already gathered every indexed
+                             // sample.
+                             comp.add(decoded[i].sigma, decoded[i].rgb,
+                                      samples[s].t, samples[s].dt);
+                         }
+                         CompositeResult r =
+                             comp.finish(_model.scene().background);
+                         out.image.at(px, py) = r.rgb;
+                         out.depth.at(px, py) = r.depth;
+                     }
+                 }
+             }))
+        out.work += w;
+
     return out;
 }
 

@@ -1,0 +1,41 @@
+#include "memory/trace.hh"
+
+namespace cicero {
+
+RayTraceBuffer::RayTraceBuffer(std::size_t slotCount,
+                               TraceSink *downstream)
+    : _slots(slotCount), _downstream(downstream)
+{
+    assert(downstream != nullptr);
+}
+
+void
+RayTraceBuffer::SlotSink::onAccess(const MemAccess &access)
+{
+    _buf->_slots[_slot].accesses.push_back(access);
+}
+
+void
+RayTraceBuffer::SlotSink::onRayEnd(std::uint32_t rayId)
+{
+    Slot &s = _buf->_slots[_slot];
+    s.endRayId = rayId;
+    s.ended = true;
+}
+
+void
+RayTraceBuffer::replay()
+{
+    for (Slot &s : _slots) {
+        for (const MemAccess &a : s.accesses)
+            _downstream->onAccess(a);
+        if (s.ended)
+            _downstream->onRayEnd(s.endRayId);
+        // Release the slot's storage as it drains so peak memory decays
+        // over the replay instead of doubling inside downstream sinks
+        // that buffer (e.g. WarpInterleaver).
+        s.accesses = std::vector<MemAccess>();
+    }
+}
+
+} // namespace cicero

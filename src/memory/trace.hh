@@ -13,6 +13,7 @@
 #define CICERO_MEMORY_TRACE_HH
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -111,7 +112,9 @@ class WarpInterleaver : public TraceSink
         (void)rayId;
         if (_current.empty())
             return;
-        _pending.push_back(std::move(_current));
+        // The group's ray id is fixed here, at enqueue time — drain()
+        // must never synthesize one for downstream sinks.
+        _pending.push_back(PendingRay{_currentRay, std::move(_current)});
         _current.clear();
         _currentRay = ~0u;
         if (_pending.size() >= _ways)
@@ -129,6 +132,13 @@ class WarpInterleaver : public TraceSink
     }
 
   private:
+    /** A completed per-ray access group awaiting interleaved replay. */
+    struct PendingRay
+    {
+        std::uint32_t rayId;
+        std::vector<MemAccess> accesses;
+    };
+
     void
     drain()
     {
@@ -137,14 +147,16 @@ class WarpInterleaver : public TraceSink
         for (std::size_t i = 0; any; ++i) {
             any = false;
             for (std::size_t r = 0; r < n; ++r) {
-                if (i < _pending[r].size()) {
-                    _out.onAccess(_pending[r][i]);
+                if (i < _pending[r].accesses.size()) {
+                    _out.onAccess(_pending[r].accesses[i]);
                     any = true;
                 }
             }
         }
-        for (std::size_t r = 0; r < n; ++r)
-            _out.onRayEnd(_pending[r].empty() ? 0 : _pending[r][0].rayId);
+        for (std::size_t r = 0; r < n; ++r) {
+            assert(!_pending[r].accesses.empty());
+            _out.onRayEnd(_pending[r].rayId);
+        }
         _pending.erase(_pending.begin(), _pending.begin() + n);
     }
 
@@ -152,7 +164,82 @@ class WarpInterleaver : public TraceSink
     TraceTee _out;
     std::uint32_t _currentRay = ~0u;
     std::vector<MemAccess> _current;
-    std::vector<std::vector<MemAccess>> _pending;
+    std::vector<PendingRay> _pending;
+};
+
+/**
+ * Deterministic parallel trace capture.
+ *
+ * A traced render used to be serial by necessity: the access-stream
+ * order is part of the memory-model contract, and a shared TraceSink
+ * cannot be fed from several workers at once. RayTraceBuffer decouples
+ * capture from delivery: each ray (more generally, each *slot* of a
+ * canonically ordered work list) records its MemAccess stream into a
+ * private buffer during a parallel render, and replay() then walks the
+ * slots in canonical order, reproducing the serial TraceSink stream
+ * byte-for-byte — accesses, onRayEnd markers and all.
+ *
+ * Concurrency contract: distinct slots may record concurrently; a
+ * single slot is only ever touched by one thread. replay() must be
+ * called after the parallel loop has completed (it is not itself
+ * thread-safe). replay() does not flush the downstream sink — the
+ * caller ends the trace with downstream->onFlush(), exactly where the
+ * serial code did.
+ */
+class RayTraceBuffer
+{
+  public:
+    /**
+     * @param slotCount  number of rays (work items) in canonical order.
+     * @param downstream sink receiving the ordered replay.
+     */
+    RayTraceBuffer(std::size_t slotCount, TraceSink *downstream);
+
+    /**
+     * Lightweight per-slot recording sink, handed to the per-ray render
+     * in place of the real downstream sink. Cheap to construct; value
+     * semantics (holds a pointer into the parent buffer).
+     */
+    class SlotSink : public TraceSink
+    {
+      public:
+        void onAccess(const MemAccess &access) override;
+        void onRayEnd(std::uint32_t rayId) override;
+
+      private:
+        friend class RayTraceBuffer;
+        SlotSink(RayTraceBuffer &buf, std::size_t slot)
+            : _buf(&buf), _slot(slot)
+        {
+        }
+        RayTraceBuffer *_buf;
+        std::size_t _slot;
+    };
+
+    /** The recording sink of slot @p slot (0 .. slotCount-1). */
+    SlotSink sink(std::size_t slot)
+    {
+        assert(slot < _slots.size());
+        return SlotSink(*this, slot);
+    }
+
+    /**
+     * Replay every slot's recorded stream into the downstream sink, in
+     * slot order: all accesses of slot 0, its onRayEnd (if recorded),
+     * then slot 1, ... Does not call onFlush().
+     */
+    void replay();
+
+  private:
+    struct Slot
+    {
+        std::vector<MemAccess> accesses;
+        std::uint32_t endRayId = 0;
+        bool ended = false;
+    };
+
+    std::vector<Slot> _slots;
+    TraceSink *_downstream;
 };
 
 /** A sink that simply stores the trace (tests and small experiments). */

@@ -160,6 +160,63 @@ DenseGridEncoding::gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
         out.push_back(MemAccess{c.addr, vertexBytes(), rayId});
 }
 
+void
+DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                      float *out) const
+{
+    // Unlike corners(), the functional batch skips the DRAM address and
+    // MVoxel computations entirely — only weights and storage indices
+    // matter — and hoists the grid constants out of the sample loop.
+    // Weight and accumulation order match gatherFeature() exactly.
+    const float scale = static_cast<float>(_n);
+    const int hi = _n - 1;
+    const float *data = _data.data();
+    const std::size_t rowStride = static_cast<std::size_t>(_v);
+    for (int s = 0; s < n; ++s) {
+        float fx = clamp(pn[s].x, 0.0f, 1.0f) * scale;
+        float fy = clamp(pn[s].y, 0.0f, 1.0f) * scale;
+        float fz = clamp(pn[s].z, 0.0f, 1.0f) * scale;
+        int x0 = std::min(static_cast<int>(fx), hi);
+        int y0 = std::min(static_cast<int>(fy), hi);
+        int z0 = std::min(static_cast<int>(fz), hi);
+        float tx = fx - x0;
+        float ty = fy - y0;
+        float tz = fz - z0;
+        float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
+        for (int ch = 0; ch < kFeatureDim; ++ch)
+            dst[ch] = 0.0f;
+        for (int c = 0; c < 8; ++c) {
+            int dx = c & 1;
+            int dy = (c >> 1) & 1;
+            int dz = (c >> 2) & 1;
+            float w = (dx ? tx : 1.0f - tx) * (dy ? ty : 1.0f - ty) *
+                      (dz ? tz : 1.0f - tz);
+            const float *v =
+                data + ((static_cast<std::size_t>(z0 + dz) * rowStride +
+                         (y0 + dy)) *
+                            rowStride +
+                        (x0 + dx)) *
+                           kFeatureDim;
+            for (int ch = 0; ch < kFeatureDim; ++ch)
+                dst[ch] += w * v[ch];
+        }
+    }
+}
+
+void
+DenseGridEncoding::gatherAccessesBatch(const Vec3 *pn, int n,
+                                       std::uint32_t rayId,
+                                       std::vector<MemAccess> &out) const
+{
+    out.reserve(out.size() + static_cast<std::size_t>(n) * 8);
+    const std::uint32_t vb = vertexBytes();
+    for (int s = 0; s < n; ++s) {
+        auto cs = corners(pn[s]);
+        for (const GridCorner &c : cs)
+            out.push_back(MemAccess{c.addr, vb, rayId});
+    }
+}
+
 StreamPlan
 DenseGridEncoding::streamingFootprint(
     const std::vector<Vec3> &positions) const

@@ -10,6 +10,13 @@
  *  - streamingFootprint(): what the fully-streaming data flow of
  *    Sec. IV-A would move for a set of sample positions (streamed MVoxel
  *    bytes, residual random bytes, RIT size).
+ *
+ * Both gather queries also come in batched form (gatherFeatureBatch /
+ * gatherAccessesBatch) over a span of sample positions — one virtual
+ * call per ray block instead of one per sample, with per-batch setup
+ * hoisted out of the per-sample loop. The base class provides fallback
+ * loops over the scalar virtuals so external encodings keep working;
+ * the in-tree encodings override both natively.
  */
 
 #ifndef CICERO_NERF_ENCODING_HH
@@ -74,9 +81,49 @@ class Encoding
      */
     virtual void gatherFeature(const Vec3 &pn, float *out) const = 0;
 
-    /** Append the DRAM accesses of gathering at @p pn to @p out. */
+    /**
+     * Append the DRAM accesses of gathering at @p pn to @p out.
+     *
+     * Contract: exactly fetchesPerSample() accesses are appended per
+     * call, in a deterministic per-sample order — callers slice batched
+     * access streams by that stride.
+     */
     virtual void gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
                                 std::vector<MemAccess> &out) const = 0;
+
+    /**
+     * Interpolate the features of @p n samples in one call.
+     *
+     * @param pn  n normalized positions (contiguous).
+     * @param out n * featureDim() floats, sample-major: sample i's
+     *            feature vector starts at out + i * featureDim().
+     *
+     * Results are bit-identical to n scalar gatherFeature() calls —
+     * implementations may reorder *across* samples (e.g. level-major
+     * SoA sweeps) but must preserve each sample's accumulation order.
+     */
+    virtual void
+    gatherFeatureBatch(const Vec3 *pn, int n, float *out) const
+    {
+        const int dim = featureDim();
+        for (int i = 0; i < n; ++i)
+            gatherFeature(pn[i], out + static_cast<std::size_t>(i) * dim);
+    }
+
+    /**
+     * Append the DRAM accesses of gathering @p n samples (all issued by
+     * ray @p rayId) to @p out, sample-major and per-sample in the exact
+     * scalar gatherAccesses() order: the appended stream is
+     * byte-identical to n scalar calls, fetchesPerSample() entries per
+     * sample.
+     */
+    virtual void
+    gatherAccessesBatch(const Vec3 *pn, int n, std::uint32_t rayId,
+                        std::vector<MemAccess> &out) const
+    {
+        for (int i = 0; i < n; ++i)
+            gatherAccesses(pn[i], rayId, out);
+    }
 
     /**
      * Compute the fully-streaming footprint for @p positions (normalized

@@ -129,6 +129,82 @@ HashGridEncoding::gatherFeature(const Vec3 &pn, float *out) const
 }
 
 void
+HashGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                     float *out) const
+{
+    // Level-major sweep: the level's metadata (res, storage kind, data
+    // pointer) is hoisted out of the sample loop, so the inner loop is
+    // pure index math + accumulation over one table. Per sample the
+    // accumulation order (levels ascending, corners ascending) matches
+    // gatherFeature() exactly, so results are bit-identical.
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
+        out[i] = 0.0f;
+    for (const Level &lvl : _levels) {
+        const float res = static_cast<float>(lvl.res);
+        const int hi = lvl.res - 1;
+        const float *data = lvl.data.data();
+        for (int s = 0; s < n; ++s) {
+            float fx = clamp(pn[s].x, 0.0f, 1.0f) * res;
+            float fy = clamp(pn[s].y, 0.0f, 1.0f) * res;
+            float fz = clamp(pn[s].z, 0.0f, 1.0f) * res;
+            int x0 = std::min(static_cast<int>(fx), hi);
+            int y0 = std::min(static_cast<int>(fy), hi);
+            int z0 = std::min(static_cast<int>(fz), hi);
+            float tx = fx - x0;
+            float ty = fy - y0;
+            float tz = fz - z0;
+            float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
+            for (int c = 0; c < 8; ++c) {
+                int dx = c & 1;
+                int dy = (c >> 1) & 1;
+                int dz = (c >> 2) & 1;
+                float w = (dx ? tx : 1.0f - tx) * (dy ? ty : 1.0f - ty) *
+                          (dz ? tz : 1.0f - tz);
+                std::uint32_t slot =
+                    slotOf(lvl, x0 + dx, y0 + dy, z0 + dz);
+                const float *v =
+                    data + static_cast<std::size_t>(slot) * kFeatureDim;
+                for (int ch = 0; ch < kFeatureDim; ++ch)
+                    dst[ch] += w * v[ch];
+            }
+        }
+    }
+}
+
+void
+HashGridEncoding::gatherAccessesBatch(const Vec3 *pn, int n,
+                                      std::uint32_t rayId,
+                                      std::vector<MemAccess> &out) const
+{
+    // The access stream is sample-major (part of the TraceSink ordering
+    // contract), so the sample loop stays outermost; the batch still
+    // amortizes the virtual dispatch and the output reallocation.
+    out.reserve(out.size() +
+                static_cast<std::size_t>(n) * fetchesPerSample());
+    const std::uint32_t vb = vertexBytes();
+    for (int s = 0; s < n; ++s) {
+        for (const Level &lvl : _levels) {
+            float fx = clamp(pn[s].x, 0.0f, 1.0f) * lvl.res;
+            float fy = clamp(pn[s].y, 0.0f, 1.0f) * lvl.res;
+            float fz = clamp(pn[s].z, 0.0f, 1.0f) * lvl.res;
+            int x0 = std::min(static_cast<int>(fx), lvl.res - 1);
+            int y0 = std::min(static_cast<int>(fy), lvl.res - 1);
+            int z0 = std::min(static_cast<int>(fz), lvl.res - 1);
+            for (int c = 0; c < 8; ++c) {
+                std::uint32_t slot = slotOf(lvl, x0 + (c & 1),
+                                            y0 + ((c >> 1) & 1),
+                                            z0 + ((c >> 2) & 1));
+                out.push_back(MemAccess{
+                    lvl.baseAddr +
+                        static_cast<std::uint64_t>(slot) * vb,
+                    vb, rayId});
+            }
+        }
+    }
+}
+
+void
 HashGridEncoding::bake(const AnalyticField &field)
 {
     // Residual-pyramid bake: level l stores (target - reconstruction of

@@ -58,6 +58,10 @@ class HashGridEncoding : public Encoding
     void gatherFeature(const Vec3 &pn, float *out) const override;
     void gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
                         std::vector<MemAccess> &out) const override;
+    void gatherFeatureBatch(const Vec3 *pn, int n,
+                            float *out) const override;
+    void gatherAccessesBatch(const Vec3 *pn, int n, std::uint32_t rayId,
+                             std::vector<MemAccess> &out) const override;
     StreamPlan
     streamingFootprint(const std::vector<Vec3> &positions) const override;
 

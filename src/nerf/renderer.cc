@@ -67,6 +67,7 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
 {
     thread_local std::vector<RaySample> samples;
     thread_local std::vector<MemAccess> accessBuf;
+    thread_local std::vector<Vec3> posBuf;
     thread_local std::vector<float> featureBuf;
     thread_local std::vector<DecodedSample> decodedBuf;
 
@@ -102,65 +103,64 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
     Compositor comp;
     int computed = 0;
 
-    if (trace) {
-        // Traced rendering stays strictly per-sample: the access
-        // stream must cover exactly the samples the compositor
-        // consumed, in consumption order (the TraceSink ordering
-        // contract the memory models rely on).
-        float feature[kFeatureDim];
-        for (int i = 0; i < n; ++i) {
-            const RaySample &s = samples[i];
+    // Block-batched sample loop, traced or not: gather a block of
+    // samples through one batched encoding call and decode it through
+    // one batched MLP pass instead of per-sample virtual-call
+    // ping-pong. Numerically identical to the per-sample loop (same
+    // per-sample accumulation order everywhere). When tracing, the
+    // block's access stream is gathered up front and emitted
+    // per-sample at consumption time, so the TraceSink still sees
+    // exactly the samples the compositor consumed, in consumption
+    // order — accesses of samples past the early-termination point are
+    // never emitted, matching the scalar walk byte-for-byte.
+    if (featureBuf.size() <
+        static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim) {
+        featureBuf.resize(
+            static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim);
+        decodedBuf.resize(kMaxDecodeBlock);
+        posBuf.resize(kMaxDecodeBlock);
+    }
+    const std::uint32_t accessesPerSample =
+        trace ? _encoding->fetchesPerSample() : 0;
+
+    int block = kFirstDecodeBlock;
+    bool stopped = false;
+    for (int base = 0; base < n && !stopped; base += block,
+             block = std::min(2 * block, kMaxDecodeBlock)) {
+        const int m = std::min(block, n - base);
+        for (int j = 0; j < m; ++j)
+            posBuf[j] = samples[base + j].pn;
+
+        if (trace) {
+            accessBuf.clear();
+            _encoding->gatherAccessesBatch(posBuf.data(), m, rayId,
+                                           accessBuf);
+        }
+
+        float *feats = featureBuf.data();
+        _encoding->gatherFeatureBatch(posBuf.data(), m, feats);
+        _decoder.decodeBatch(feats, m, ray.dir, decodedBuf.data());
+
+        for (int j = 0; j < m; ++j) {
+            const RaySample &s = samples[base + j];
+            const DecodedSample &d = decodedBuf[j];
             ++computed;
 
-            accessBuf.clear();
-            _encoding->gatherAccesses(s.pn, rayId, accessBuf);
-            for (const MemAccess &a : accessBuf)
-                trace->onAccess(a);
-
-            _encoding->gatherFeature(s.pn, feature);
-            DecodedSample d = _decoder.decode(feature, ray.dir);
+            if (trace) {
+                const MemAccess *slice =
+                    accessBuf.data() +
+                    static_cast<std::size_t>(j) * accessesPerSample;
+                for (std::uint32_t a = 0; a < accessesPerSample; ++a)
+                    trace->onAccess(slice[a]);
+            }
 
             if (gbufOut && d.sigma > 0.0f)
-                accumulateGBuffer(feature, d, s, comp.transmittance());
+                accumulateGBuffer(feats + j * kFeatureDim, d, s,
+                                  comp.transmittance());
 
-            if (!comp.add(d.sigma, d.rgb, s.t, s.dt))
+            if (!comp.add(d.sigma, d.rgb, s.t, s.dt)) {
+                stopped = true;
                 break;
-        }
-    } else {
-        // Fast path: gather a block of samples into a contiguous
-        // buffer and decode them through one batched MLP pass instead
-        // of per-sample virtual-call ping-pong. Numerically identical
-        // to the per-sample loop (same accumulation order everywhere).
-        if (featureBuf.size() <
-            static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim) {
-            featureBuf.resize(
-                static_cast<std::size_t>(kMaxDecodeBlock) * kFeatureDim);
-            decodedBuf.resize(kMaxDecodeBlock);
-        }
-        int block = kFirstDecodeBlock;
-        bool stopped = false;
-        for (int base = 0; base < n && !stopped; base += block,
-                 block = std::min(2 * block, kMaxDecodeBlock)) {
-            const int m = std::min(block, n - base);
-            float *feats = featureBuf.data();
-            for (int j = 0; j < m; ++j)
-                _encoding->gatherFeature(samples[base + j].pn,
-                                         feats + j * kFeatureDim);
-            _decoder.decodeBatch(feats, m, ray.dir, decodedBuf.data());
-
-            for (int j = 0; j < m; ++j) {
-                const RaySample &s = samples[base + j];
-                const DecodedSample &d = decodedBuf[j];
-                ++computed;
-
-                if (gbufOut && d.sigma > 0.0f)
-                    accumulateGBuffer(feats + j * kFeatureDim, d, s,
-                                      comp.transmittance());
-
-                if (!comp.add(d.sigma, d.rgb, s.t, s.dt)) {
-                    stopped = true;
-                    break;
-                }
             }
         }
     }
@@ -212,21 +212,45 @@ NerfModel::render(const Camera &camera, TraceSink *trace,
     const int H = camera.height;
 
     if (trace) {
-        // Trace-sink runs stay serial: the access-stream order is part
-        // of the memory-model contract.
-        std::uint32_t rayId = 0;
-        for (int py = 0; py < H; ++py) {
-            for (int px = 0; px < W; ++px, ++rayId) {
-                Vec3 rgb;
-                float d;
-                renderOne(camera, px, py, rayId, rgb, d, out.work,
-                          trace,
-                          wantGBuffer ? &out.gbuffer.at(px, py)
-                                      : nullptr);
-                out.image.at(px, py) = rgb;
-                out.depth.at(px, py) = d;
-            }
-        }
+        // Buffered parallel trace capture: each ray records its access
+        // stream into a private RayTraceBuffer slot while the rows run
+        // tile-parallel, and the replay below walks the slots in
+        // canonical ray-id order — the TraceSink sees a stream
+        // byte-identical to the old serial walk. With one thread the
+        // chunks already run inline in order, so rays emit straight
+        // into the sink and the trace is never materialized (the old
+        // O(1)-memory serial behavior).
+        std::unique_ptr<RayTraceBuffer> buf;
+        if (parallelThreadCount() > 1)
+            buf = std::make_unique<RayTraceBuffer>(
+                static_cast<std::size_t>(W) * H, trace);
+        out.work = accumulateWorkChunks(
+            H, [&](StageWork &w, std::int64_t y0, std::int64_t y1) {
+                for (int py = static_cast<int>(y0); py < y1; ++py) {
+                    std::uint32_t rayId =
+                        static_cast<std::uint32_t>(py) * W;
+                    for (int px = 0; px < W; ++px, ++rayId) {
+                        Vec3 rgb;
+                        float d;
+                        BakedPoint *g =
+                            wantGBuffer ? &out.gbuffer.at(px, py)
+                                        : nullptr;
+                        if (buf) {
+                            RayTraceBuffer::SlotSink sink =
+                                buf->sink(rayId);
+                            renderOne(camera, px, py, rayId, rgb, d, w,
+                                      &sink, g);
+                        } else {
+                            renderOne(camera, px, py, rayId, rgb, d, w,
+                                      trace, g);
+                        }
+                        out.image.at(px, py) = rgb;
+                        out.depth.at(px, py) = d;
+                    }
+                }
+            });
+        if (buf)
+            buf->replay();
         trace->onFlush();
         return out;
     }
@@ -262,15 +286,35 @@ NerfModel::renderPixels(const Camera &camera,
 {
     StageWork work;
     if (trace) {
-        for (std::uint32_t id : pixelIds) {
-            int px = id % camera.width;
-            int py = id / camera.width;
-            Vec3 rgb;
-            float d;
-            renderOne(camera, px, py, id, rgb, d, work, trace);
-            image.at(px, py) = rgb;
-            depth.at(px, py) = d;
-        }
+        // Buffered parallel capture over the sparse pixel list; replay
+        // follows the list order (the serial emission order), whatever
+        // the ids are. One thread emits directly (see render()).
+        std::unique_ptr<RayTraceBuffer> buf;
+        if (parallelThreadCount() > 1)
+            buf = std::make_unique<RayTraceBuffer>(pixelIds.size(),
+                                                   trace);
+        work = accumulateWorkChunks(
+            static_cast<std::int64_t>(pixelIds.size()),
+            [&](StageWork &w, std::int64_t b, std::int64_t e) {
+                for (std::int64_t k = b; k < e; ++k) {
+                    std::uint32_t id = pixelIds[k];
+                    int px = id % camera.width;
+                    int py = id / camera.width;
+                    Vec3 rgb;
+                    float d;
+                    if (buf) {
+                        RayTraceBuffer::SlotSink sink =
+                            buf->sink(static_cast<std::size_t>(k));
+                        renderOne(camera, px, py, id, rgb, d, w, &sink);
+                    } else {
+                        renderOne(camera, px, py, id, rgb, d, w, trace);
+                    }
+                    image.at(px, py) = rgb;
+                    depth.at(px, py) = d;
+                }
+            });
+        if (buf)
+            buf->replay();
         trace->onFlush();
         return work;
     }
@@ -298,6 +342,7 @@ NerfModel::traceOne(const Camera &camera, int px, int py,
 {
     thread_local std::vector<RaySample> samples;
     thread_local std::vector<MemAccess> accessBuf;
+    thread_local std::vector<Vec3> posBuf;
 
     Ray ray = camera.generateRay(px, py);
     int n = _workloadSampler.sample(ray, samples);
@@ -306,17 +351,24 @@ NerfModel::traceOne(const Camera &camera, int px, int py,
     work.indexOps += static_cast<std::uint64_t>(n) *
                      _encoding->indexOpsPerSample();
 
+    if (trace && n > 0) {
+        // Workload mode never early-terminates, so the whole ray's
+        // access stream comes from one batched gather (sample-major,
+        // identical to the scalar per-sample emission order).
+        posBuf.resize(n);
+        for (int i = 0; i < n; ++i)
+            posBuf[i] = samples[i].pn;
+        accessBuf.clear();
+        _encoding->gatherAccessesBatch(posBuf.data(), n, rayId,
+                                       accessBuf);
+        for (const MemAccess &a : accessBuf)
+            trace->onAccess(a);
+    }
+
     std::uint64_t shaded = 0;
     for (int i = 0; i < n; ++i) {
-        const RaySample &s = samples[i];
-        if (trace) {
-            accessBuf.clear();
-            _encoding->gatherAccesses(s.pn, rayId, accessBuf);
-            for (const MemAccess &a : accessBuf)
-                trace->onAccess(a);
-        }
         // Only samples in occupied space reach Feature Computation.
-        if (_occupancy.occupiedNormalized(s.pn))
+        if (_occupancy.occupiedNormalized(samples[i].pn))
             ++shaded;
     }
     if (trace)
@@ -342,10 +394,32 @@ NerfModel::traceWorkload(const Camera &camera, TraceSink *trace) const
     const int H = camera.height;
 
     if (trace) {
-        std::uint32_t rayId = 0;
-        for (int py = 0; py < H; ++py)
-            for (int px = 0; px < W; ++px, ++rayId)
-                traceOne(camera, px, py, rayId, work, trace);
+        // Buffered parallel trace: rows run tile-parallel recording
+        // into per-ray slots; the replay delivers the canonical
+        // (serial) access stream to the sink. One thread emits
+        // directly (see render()).
+        std::unique_ptr<RayTraceBuffer> buf;
+        if (parallelThreadCount() > 1)
+            buf = std::make_unique<RayTraceBuffer>(
+                static_cast<std::size_t>(W) * H, trace);
+        work = accumulateWorkChunks(
+            H, [&](StageWork &w, std::int64_t y0, std::int64_t y1) {
+                for (int py = static_cast<int>(y0); py < y1; ++py) {
+                    std::uint32_t rayId =
+                        static_cast<std::uint32_t>(py) * W;
+                    for (int px = 0; px < W; ++px, ++rayId) {
+                        if (buf) {
+                            RayTraceBuffer::SlotSink sink =
+                                buf->sink(rayId);
+                            traceOne(camera, px, py, rayId, w, &sink);
+                        } else {
+                            traceOne(camera, px, py, rayId, w, trace);
+                        }
+                    }
+                }
+            });
+        if (buf)
+            buf->replay();
         trace->onFlush();
         return work;
     }
@@ -368,10 +442,28 @@ NerfModel::traceWorkloadPixels(const Camera &camera,
 {
     StageWork work;
     if (trace) {
-        for (std::uint32_t id : pixelIds) {
-            traceOne(camera, id % camera.width, id / camera.width, id,
-                     work, trace);
-        }
+        std::unique_ptr<RayTraceBuffer> buf;
+        if (parallelThreadCount() > 1)
+            buf = std::make_unique<RayTraceBuffer>(pixelIds.size(),
+                                                   trace);
+        work = accumulateWorkChunks(
+            static_cast<std::int64_t>(pixelIds.size()),
+            [&](StageWork &w, std::int64_t b, std::int64_t e) {
+                for (std::int64_t k = b; k < e; ++k) {
+                    std::uint32_t id = pixelIds[k];
+                    if (buf) {
+                        RayTraceBuffer::SlotSink sink =
+                            buf->sink(static_cast<std::size_t>(k));
+                        traceOne(camera, id % camera.width,
+                                 id / camera.width, id, w, &sink);
+                    } else {
+                        traceOne(camera, id % camera.width,
+                                 id / camera.width, id, w, trace);
+                    }
+                }
+            });
+        if (buf)
+            buf->replay();
         trace->onFlush();
         return work;
     }

@@ -96,9 +96,11 @@ class NerfModel
      * Render a full frame, pixel-centric (the baseline order).
      *
      * Runs tile-parallel on the global pool (common/parallel.hh) with
-     * bit-identical output at any thread count; passing a @p trace
-     * sink forces the serial per-sample walk, since the access-stream
-     * order is part of the memory-model contract.
+     * bit-identical output at any thread count. Traced runs also go
+     * parallel: each ray records its gather accesses into a private
+     * RayTraceBuffer slot, and the buffer replays the slots in
+     * canonical ray-id order, so @p trace sees a stream byte-identical
+     * to the serial walk (the memory-model access-order contract).
      *
      * @param trace optional sink receiving every gather access.
      * @param wantGBuffer also accumulate the per-pixel material buffer

@@ -257,6 +257,94 @@ TensoRFEncoding::gatherFeature(const Vec3 &pn, float *out) const
 }
 
 void
+TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                    float *out) const
+{
+    // Grouping-major sweep: the (plane, line) base pointers and axis
+    // triplet of each grouping are resolved once per batch instead of
+    // once per sample. Per sample the accumulation order (groupings
+    // ascending, ranks ascending) matches gatherFeature() exactly.
+    const int res = _config.res;
+    const int R = _config.ranks;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
+        out[i] = 0.0f;
+
+    for (int g = 0; g < 3; ++g) {
+        for (int s = 0; s < n; ++s) {
+            float fu, fv, fw;
+            groupCoords(g, pn[s], fu, fv, fw);
+            int u0 = std::min(static_cast<int>(fu), res - 2);
+            int v0 = std::min(static_cast<int>(fv), res - 2);
+            int w0 = std::min(static_cast<int>(fw), res - 2);
+            float tu = fu - u0;
+            float tv = fv - v0;
+            float tw = fw - w0;
+
+            float wu[2] = {1.0f - tu, tu};
+            float wv[2] = {1.0f - tv, tv};
+            float ww[2] = {1.0f - tw, tw};
+
+            float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
+            for (int r = 0; r < R; ++r) {
+                for (int ch = 0; ch < kFeatureDim; ++ch) {
+                    float pval = 0.0f;
+                    for (int dv = 0; dv < 2; ++dv)
+                        for (int du = 0; du < 2; ++du)
+                            pval += wu[du] * wv[dv] *
+                                    planeAt(g, u0 + du, v0 + dv, r, ch);
+                    float lval = ww[0] * lineAt(g, w0, r, ch) +
+                                 ww[1] * lineAt(g, w0 + 1, r, ch);
+                    dst[ch] += pval * lval;
+                }
+            }
+        }
+    }
+}
+
+void
+TensoRFEncoding::gatherAccessesBatch(const Vec3 *pn, int n,
+                                     std::uint32_t rayId,
+                                     std::vector<MemAccess> &out) const
+{
+    // Sample-major (TraceSink ordering contract); base addresses of the
+    // three groupings are hoisted out of the sample loop.
+    out.reserve(out.size() +
+                static_cast<std::size_t>(n) * fetchesPerSample());
+    const int res = _config.res;
+    const std::uint32_t tb = texelBytes();
+    std::uint64_t pBase[3], lBase[3];
+    for (int g = 0; g < 3; ++g) {
+        pBase[g] = planeBase(g);
+        lBase[g] = lineBase(g);
+    }
+    for (int s = 0; s < n; ++s) {
+        for (int g = 0; g < 3; ++g) {
+            float fu, fv, fw;
+            groupCoords(g, pn[s], fu, fv, fw);
+            int u0 = std::min(static_cast<int>(fu), res - 2);
+            int v0 = std::min(static_cast<int>(fv), res - 2);
+            int w0 = std::min(static_cast<int>(fw), res - 2);
+            for (int dv = 0; dv < 2; ++dv) {
+                for (int du = 0; du < 2; ++du) {
+                    std::uint64_t texel =
+                        static_cast<std::uint64_t>(v0 + dv) * res +
+                        (u0 + du);
+                    out.push_back(
+                        MemAccess{pBase[g] + texel * tb, tb, rayId});
+                }
+            }
+            for (int dw = 0; dw < 2; ++dw) {
+                out.push_back(MemAccess{
+                    lBase[g] +
+                        static_cast<std::uint64_t>(w0 + dw) * tb,
+                    tb, rayId});
+            }
+        }
+    }
+}
+
+void
 TensoRFEncoding::gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
                                 std::vector<MemAccess> &out) const
 {

@@ -392,5 +392,130 @@ TEST(TensoRFTest, StreamingFootprintAllStreamable)
     EXPECT_GT(plan.streamedBytes, 0u);
 }
 
+// ---------------------------------------------------------------------
+// Batched gather: every encoding's gatherFeatureBatch must be
+// bit-identical to per-sample gatherFeature, and gatherAccessesBatch
+// must append the exact per-sample access stream (sample-major,
+// fetchesPerSample() entries per sample).
+// ---------------------------------------------------------------------
+
+void
+expectBatchMatchesScalar(const Encoding &enc, unsigned seed)
+{
+    Rng rng(seed);
+    // Deliberately awkward batch size (not a power of two) plus edge
+    // positions (corners/faces of the unit cube).
+    std::vector<Vec3> pos;
+    for (int i = 0; i < 37; ++i)
+        pos.push_back(rng.uniformVec3());
+    pos.push_back({0.0f, 0.0f, 0.0f});
+    pos.push_back({1.0f, 1.0f, 1.0f});
+    pos.push_back({0.0f, 1.0f, 0.5f});
+    const int n = static_cast<int>(pos.size());
+    const int dim = enc.featureDim();
+
+    std::vector<float> batch(static_cast<std::size_t>(n) * dim);
+    enc.gatherFeatureBatch(pos.data(), n, batch.data());
+
+    int featureMismatches = 0;
+    std::vector<float> one(dim);
+    for (int i = 0; i < n; ++i) {
+        enc.gatherFeature(pos[i], one.data());
+        for (int ch = 0; ch < dim; ++ch)
+            if (one[ch] != batch[static_cast<std::size_t>(i) * dim + ch])
+                ++featureMismatches;
+    }
+    EXPECT_EQ(featureMismatches, 0) << enc.name();
+
+    std::vector<MemAccess> scalarAcc, batchAcc;
+    for (int i = 0; i < n; ++i)
+        enc.gatherAccesses(pos[i], 42, scalarAcc);
+    enc.gatherAccessesBatch(pos.data(), n, 42, batchAcc);
+
+    ASSERT_EQ(scalarAcc.size(), batchAcc.size()) << enc.name();
+    EXPECT_EQ(scalarAcc.size(),
+              static_cast<std::size_t>(n) * enc.fetchesPerSample())
+        << enc.name();
+    int accessMismatches = 0;
+    for (std::size_t i = 0; i < scalarAcc.size(); ++i)
+        if (scalarAcc[i].addr != batchAcc[i].addr ||
+            scalarAcc[i].bytes != batchAcc[i].bytes ||
+            scalarAcc[i].rayId != batchAcc[i].rayId)
+            ++accessMismatches;
+    EXPECT_EQ(accessMismatches, 0) << enc.name();
+}
+
+TEST(BatchedGatherTest, DenseGridMatchesScalar)
+{
+    Scene s = test::tinyScene();
+    for (GridLayout layout :
+         {GridLayout::Linear, GridLayout::MVoxelBlocked}) {
+        DenseGridEncoding grid(20, layout);
+        grid.bake(s.field);
+        expectBatchMatchesScalar(grid, 11);
+    }
+}
+
+TEST(BatchedGatherTest, HashGridMatchesScalar)
+{
+    Scene s = test::tinyScene();
+    HashGridConfig cfg;
+    cfg.numLevels = 4;
+    cfg.baseRes = 6;
+    cfg.tableSize = 1u << 10; // force hashed (colliding) fine levels
+    HashGridEncoding grid(cfg);
+    grid.bake(s.field);
+    expectBatchMatchesScalar(grid, 12);
+}
+
+TEST(BatchedGatherTest, TensoRFMatchesScalar)
+{
+    Scene s = test::tinyScene();
+    TensoRFConfig cfg;
+    cfg.res = 24;
+    cfg.ranks = 2;
+    cfg.alsIters = 1;
+    TensoRFEncoding enc(cfg);
+    enc.bake(s.field);
+    expectBatchMatchesScalar(enc, 13);
+}
+
+TEST(BatchedGatherTest, BaseClassFallbackLoopsScalarVirtuals)
+{
+    // An external encoding that only implements the scalar virtuals
+    // must still work through the batch API (base-class fallback).
+    struct MinimalEncoding : public Encoding
+    {
+        std::string name() const override { return "minimal"; }
+        int featureDim() const override { return 2; }
+        std::uint64_t modelBytes() const override { return 0; }
+        std::uint32_t fetchesPerSample() const override { return 1; }
+        std::uint64_t interpOpsPerSample() const override { return 0; }
+        std::uint64_t indexOpsPerSample() const override { return 0; }
+        void bake(const AnalyticField &) override {}
+        void
+        gatherFeature(const Vec3 &pn, float *out) const override
+        {
+            out[0] = pn.x + pn.y;
+            out[1] = pn.z;
+        }
+        void
+        gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
+                       std::vector<MemAccess> &out) const override
+        {
+            out.push_back(MemAccess{
+                static_cast<std::uint64_t>(pn.x * 1000.0f), 4, rayId});
+        }
+        StreamPlan
+        streamingFootprint(const std::vector<Vec3> &) const override
+        {
+            return StreamPlan{};
+        }
+    };
+
+    MinimalEncoding enc;
+    expectBatchMatchesScalar(enc, 14);
+}
+
 } // namespace
 } // namespace cicero

@@ -13,6 +13,8 @@
 #include "cicero/sparw.hh"
 #include "cicero/warp.hh"
 #include "common/parallel.hh"
+#include "memory/cache_model.hh"
+#include "memory/dram_model.hh"
 #include "nerf/mlp.hh"
 #include "test_util.hh"
 
@@ -157,6 +159,100 @@ TEST(ParallelDeterminismTest, WorkloadTraceMatchesAcrossThreadCounts)
     for (std::size_t i = 0; i < pos1.size(); ++i)
         if (pos1[i].x != pos4[i].x || pos1[i].y != pos4[i].y ||
             pos1[i].z != pos4[i].z)
+            ++mismatches;
+    EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ParallelDeterminismTest, TracedWorkloadStreamIsByteIdentical)
+{
+    // A traced run now parallelizes through RayTraceBuffer: the
+    // TraceSink stream at N threads must equal the 1-thread stream
+    // access-by-access, and the downstream DRAM/cache models (which
+    // are order-sensitive) must land on identical counters.
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(24);
+
+    auto run = [&](TraceRecorder &rec, DramModel &dram, LruCache &cache,
+                   StageWork &work) {
+        TraceTee tee;
+        tee.addSink(&rec);
+        tee.addSink(&dram);
+        tee.addSink(&cache);
+        work = model->traceWorkload(cam, &tee);
+    };
+
+    TraceRecorder rec1, rec4;
+    DramModel dram1, dram4;
+    LruCache cache1, cache4;
+    StageWork w1, w4;
+
+    setParallelThreadCount(1);
+    run(rec1, dram1, cache1, w1);
+    setParallelThreadCount(4);
+    run(rec4, dram4, cache4, w4);
+
+    expectWorkIdentical(w1, w4);
+
+    ASSERT_EQ(rec1.trace().size(), rec4.trace().size());
+    int mismatches = 0;
+    for (std::size_t i = 0; i < rec1.trace().size(); ++i) {
+        const MemAccess &a = rec1.trace()[i];
+        const MemAccess &b = rec4.trace()[i];
+        if (a.addr != b.addr || a.bytes != b.bytes ||
+            a.rayId != b.rayId)
+            ++mismatches;
+    }
+    EXPECT_EQ(mismatches, 0);
+
+    EXPECT_EQ(dram1.stats().accesses, dram4.stats().accesses);
+    EXPECT_EQ(dram1.stats().randomAccesses, dram4.stats().randomAccesses);
+    EXPECT_EQ(dram1.stats().streamingAccesses,
+              dram4.stats().streamingAccesses);
+    EXPECT_EQ(dram1.stats().bytes, dram4.stats().bytes);
+    EXPECT_EQ(cache1.stats().accesses, cache4.stats().accesses);
+    EXPECT_EQ(cache1.stats().hits, cache4.stats().hits);
+    EXPECT_EQ(cache1.stats().misses, cache4.stats().misses);
+}
+
+TEST(ParallelDeterminismTest, TracedRenderStreamIsByteIdentical)
+{
+    // Same contract for the image-producing traced render (early
+    // termination included) and for the sparse-pixel variant.
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    Camera cam = test::tinyCamera(24);
+    std::vector<std::uint32_t> ids;
+    for (std::uint32_t id = 0; id < 24 * 24; id += 5)
+        ids.push_back(id);
+
+    setParallelThreadCount(1);
+    TraceRecorder full1, sparse1;
+    RenderResult r1 = model->render(cam, &full1);
+    Image img1(24, 24);
+    DepthMap dep1(24, 24);
+    model->renderPixels(cam, ids, img1, dep1, &sparse1);
+
+    setParallelThreadCount(4);
+    TraceRecorder full4, sparse4;
+    RenderResult r4 = model->render(cam, &full4);
+    Image img4(24, 24);
+    DepthMap dep4(24, 24);
+    model->renderPixels(cam, ids, img4, dep4, &sparse4);
+
+    expectImagesIdentical(r1.image, r4.image);
+    expectImagesIdentical(img1, img4);
+
+    ASSERT_EQ(full1.trace().size(), full4.trace().size());
+    int mismatches = 0;
+    for (std::size_t i = 0; i < full1.trace().size(); ++i)
+        if (full1.trace()[i].addr != full4.trace()[i].addr ||
+            full1.trace()[i].rayId != full4.trace()[i].rayId)
+            ++mismatches;
+    ASSERT_EQ(sparse1.trace().size(), sparse4.trace().size());
+    for (std::size_t i = 0; i < sparse1.trace().size(); ++i)
+        if (sparse1.trace()[i].addr != sparse4.trace()[i].addr ||
+            sparse1.trace()[i].rayId != sparse4.trace()[i].rayId)
             ++mismatches;
     EXPECT_EQ(mismatches, 0);
 }
