@@ -4,10 +4,16 @@
  * Feature Gathering, across NeRF algorithms. The paper assumes oracle
  * replacement and reports an average of 38% (up to 92%); we report both
  * the Belady oracle and LRU for comparison.
+ *
+ * Capture-once / replay-many: each model's gather stream is rendered
+ * once into an in-memory .ctrace (the trace persistence subsystem) and
+ * the cache stack consumes the persisted replay — the render cost is
+ * paid once however many memory configs are swept, and the replayed
+ * statistics are bit-identical to a live run.
  */
 
 #include "bench_util.hh"
-#include "memory/cache_model.hh"
+#include "memory/replay.hh"
 
 using namespace cicero;
 using namespace cicero::bench;
@@ -21,27 +27,41 @@ main()
     auto traj = sceneOrbit(scene, 2);
 
     Table table({"model", "oracle miss %", "LRU miss %", "model MB",
-                 "paper avg"});
+                 "trace %raw", "paper avg"});
     Summary mean;
     for (ModelKind kind : allModelKinds()) {
         auto model = fullModel(kind, scene, GridLayout::Linear);
         Camera cam = Camera::fromFov(64, 64, scene.fovYDeg, traj[0]);
 
-        LruCache lru;
-        BeladyCache belady;
-        WarpInterleaver interleaver(32);
-        interleaver.addSink(&lru);
-        interleaver.addSink(&belady);
-        model->traceWorkload(cam, &interleaver);
+        // Render once into a compressed in-memory trace file...
+        TraceFileMeta meta;
+        meta.scene = scene.name;
+        meta.encoding = model->encoding().name();
+        meta.model = modelName(kind);
+        meta.width = meta.height = 64;
+        meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
+        meta.featureBytes = static_cast<std::uint32_t>(
+            model->encoding().featureDim() * kBytesPerChannel);
+        std::vector<std::uint8_t> ctrace;
+        {
+            TraceFileWriter writer(ctrace, meta);
+            model->traceWorkload(cam, &writer);
+            writer.close();
+        }
 
-        double oracle = 100.0 * belady.simulate().missRate();
-        double lruPct = 100.0 * lru.stats().missRate();
+        // ...and sweep the cache stack from the persisted replay.
+        TraceFileReader reader(ctrace);
+        CacheStackResult res = runCacheStack(fileSource(reader));
+
+        double oracle = 100.0 * res.belady.missRate();
+        double lruPct = 100.0 * res.lru.missRate();
         mean.add(oracle);
         table.row()
             .cell(modelName(kind))
             .cell(oracle, 1)
             .cell(lruPct, 1)
             .cell(model->modelBytes() / 1048576.0, 1)
+            .cell(100.0 * reader.compressionRatio(), 1)
             .cell("38% (up to 92%)");
     }
     table.print();

@@ -5,10 +5,15 @@
  * plus the paper's two sensitivity observations: more concurrent rays
  * conflict more, more banks conflict less. The channel-major column
  * shows Cicero's layout eliminating conflicts outright.
+ *
+ * Capture-once / replay-many: the four bank configurations per model
+ * used to cost four full functional renders; now the gather stream is
+ * rendered once into an in-memory .ctrace and each configuration
+ * replays the persisted trace — same statistics, one render.
  */
 
 #include "bench_util.hh"
-#include "memory/sram_bank_model.hh"
+#include "memory/replay.hh"
 
 using namespace cicero;
 using namespace cicero::bench;
@@ -16,17 +21,15 @@ using namespace cicero::bench;
 namespace {
 
 double
-conflictRate(NerfModel &model, const Camera &cam, std::uint32_t banks,
+conflictRate(const TraceFileReader &trace, std::uint32_t banks,
              std::uint32_t rays, SramLayout layout)
 {
     SramBankConfig cfg;
     cfg.numBanks = banks;
     cfg.concurrentRays = rays;
-    cfg.featureBytes = model.encoding().featureDim() * kBytesPerChannel;
+    cfg.featureBytes = trace.meta().featureBytes;
     cfg.layout = layout;
-    BankConflictSim sim(cfg);
-    model.traceWorkload(cam, &sim);
-    return 100.0 * sim.stats().conflictRate();
+    return 100.0 * runBankStack(fileSource(trace), cfg).conflictRate();
 }
 
 } // namespace
@@ -46,14 +49,32 @@ main()
     for (ModelKind kind : allModelKinds()) {
         auto model = fullModel(kind, scene, GridLayout::Linear);
         Camera cam = Camera::fromFov(48, 48, scene.fovYDeg, traj[0]);
+
+        // One render per model; four configs replay the persisted trace.
+        TraceFileMeta meta;
+        meta.scene = scene.name;
+        meta.encoding = model->encoding().name();
+        meta.model = modelName(kind);
+        meta.width = meta.height = 48;
+        meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
+        meta.featureBytes = static_cast<std::uint32_t>(
+            model->encoding().featureDim() * kBytesPerChannel);
+        std::vector<std::uint8_t> ctrace;
+        {
+            TraceFileWriter writer(ctrace, meta);
+            model->traceWorkload(cam, &writer);
+            writer.close();
+        }
+        TraceFileReader trace(ctrace);
+
         double base =
-            conflictRate(*model, cam, 16, 16, SramLayout::FeatureMajor);
+            conflictRate(trace, 16, 16, SramLayout::FeatureMajor);
         double rays64 =
-            conflictRate(*model, cam, 16, 64, SramLayout::FeatureMajor);
+            conflictRate(trace, 16, 64, SramLayout::FeatureMajor);
         double banks64 =
-            conflictRate(*model, cam, 64, 16, SramLayout::FeatureMajor);
+            conflictRate(trace, 64, 16, SramLayout::FeatureMajor);
         double cm =
-            conflictRate(*model, cam, 16, 16, SramLayout::ChannelMajor);
+            conflictRate(trace, 16, 16, SramLayout::ChannelMajor);
         mean.add(base);
         table.row()
             .cell(modelName(kind))

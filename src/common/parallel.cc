@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -128,9 +130,19 @@ class Pool
     autoThreadCount()
     {
         if (const char *env = std::getenv("CICERO_THREADS")) {
-            int v = std::atoi(env);
+            int v = parallelParseThreadSpec(env);
             if (v > 0)
                 return v;
+            // Warn once: a typo'd override silently running at a
+            // different width is exactly the surprise the strict
+            // parser exists to prevent.
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true))
+                std::fprintf(stderr,
+                             "cicero: ignoring invalid CICERO_THREADS="
+                             "\"%s\" (want an integer in [1, %d]); "
+                             "falling back to hardware concurrency\n",
+                             env, kMaxParallelThreads);
         }
         unsigned hw = std::thread::hardware_concurrency();
         return hw > 0 ? static_cast<int>(hw) : 1;
@@ -247,6 +259,25 @@ pool()
 }
 
 } // namespace
+
+int
+parallelParseThreadSpec(const char *text)
+{
+    if (!text)
+        return 0;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(text, &end, 10);
+    if (end == text)
+        return 0; // empty or non-numeric
+    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r')
+        ++end;
+    if (*end != '\0')
+        return 0; // trailing garbage ("8x", "4,2", ...)
+    if (errno == ERANGE || v < 1 || v > kMaxParallelThreads)
+        return 0; // zero, negative, or absurd
+    return static_cast<int>(v);
+}
 
 int
 parallelThreadCount()

@@ -30,12 +30,26 @@
 
 namespace cicero {
 
+/** Upper bound on an explicitly requested worker count. */
+constexpr int kMaxParallelThreads = 4096;
+
 /**
  * Number of threads parallel loops use (pool workers + the calling
- * thread). Initializes the pool on first use: CICERO_THREADS if set to
- * a positive integer, otherwise std::thread::hardware_concurrency().
+ * thread). Initializes the pool on first use: CICERO_THREADS if it
+ * parses per parallelParseThreadSpec(), otherwise
+ * std::thread::hardware_concurrency() (an invalid CICERO_THREADS is
+ * reported once on stderr and then ignored).
  */
 int parallelThreadCount();
+
+/**
+ * Strict parser for a CICERO_THREADS-style thread-count spec: a
+ * decimal integer in [1, kMaxParallelThreads], surrounding whitespace
+ * allowed. Returns the count, or 0 if @p text is null, empty,
+ * non-numeric, has trailing garbage, is zero/negative, or overflows
+ * the range — callers treat 0 as "fall back to the automatic default".
+ */
+int parallelParseThreadSpec(const char *text);
 
 /**
  * Reconfigure the pool to @p n threads; n <= 0 re-applies the automatic

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Offline replay engine: run a gather access stream — live from a
+ * functional render or persisted in a trace file — through the
+ * memory-model stacks of the paper's characterization figures, and
+ * serialize the resulting statistics deterministically.
+ *
+ * Every stack takes a TraceSourceFn, a callback that emits the stream
+ * into a sink: a lambda around a render call for live runs, or
+ * fileSource() around a TraceFileReader for persisted traces. The same
+ * stack runs either way and — because a
+ * persisted trace replays byte-identically — produces bit-identical
+ * stats JSON in both modes (the capture-once / replay-many contract).
+ */
+
+#ifndef CICERO_MEMORY_REPLAY_HH
+#define CICERO_MEMORY_REPLAY_HH
+
+#include <functional>
+#include <string>
+
+#include "memory/cache_model.hh"
+#include "memory/dram_model.hh"
+#include "memory/sram_bank_model.hh"
+#include "memory/tracefile.hh"
+
+namespace cicero {
+
+/** Emits one full trace (accesses, ray ends, flush) into @p sink. */
+using TraceSourceFn = std::function<void(TraceSink *sink)>;
+
+/** Trace source that replays a persisted trace file. */
+inline TraceSourceFn
+fileSource(const TraceFileReader &reader)
+{
+    return [&reader](TraceSink *sink) { reader.replay(sink); };
+}
+
+/**
+ * Fig. 5 stack: a WarpInterleaver models GPU warp scheduling in front
+ * of an LRU and a Belady (oracle) cache sharing one stream.
+ */
+struct CacheStackConfig
+{
+    CacheConfig cache;            //!< 2 MB / 64 B lines by default
+    std::uint32_t warpWays = 32;  //!< interleaved rays
+};
+
+/** Results of the Fig. 5 cache stack. */
+struct CacheStackResult
+{
+    CacheStats lru;
+    CacheStats belady;
+};
+
+/** Run the interleaver → {LRU, Belady} stack over @p source. */
+CacheStackResult runCacheStack(const TraceSourceFn &source,
+                               const CacheStackConfig &config = {});
+
+/** Run the Fig. 6 bank-conflict simulator over @p source. */
+BankConflictStats runBankStack(const TraceSourceFn &source,
+                               const SramBankConfig &config);
+
+/** Results of the DRAM stack: classification stats plus cost. */
+struct DramStackResult
+{
+    DramStats stats;
+    double energyNj = 0.0;
+    double timeMs = 0.0;
+};
+
+/** Run the streaming-vs-random DRAM classifier over @p source. */
+DramStackResult runDramStack(const TraceSourceFn &source,
+                             const DramConfig &config = {});
+
+/**
+ * Deterministic JSON serialization of stack results: integer fields
+ * verbatim, derived rates with fixed precision — equal stats always
+ * produce byte-identical strings.
+ */
+std::string statsJson(const CacheStackResult &result);
+std::string statsJson(const BankConflictStats &stats);
+std::string statsJson(const DramStackResult &result);
+
+} // namespace cicero
+
+#endif // CICERO_MEMORY_REPLAY_HH

@@ -13,8 +13,11 @@
 #define CICERO_MEMORY_TRACE_HH
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <vector>
 
 namespace cicero {
@@ -185,6 +188,19 @@ class WarpInterleaver : public TraceSink
  * thread-safe). replay() does not flush the downstream sink — the
  * caller ends the trace with downstream->onFlush(), exactly where the
  * serial code did.
+ *
+ * Windowed prefix drain: waiting for the whole frame before replaying
+ * buffers every ray's accesses at once, so peak memory grows with the
+ * frame. Workers can instead call markCompleted(begin, end) once a
+ * chunk of slots will receive no further events; whenever the
+ * completed set forms a prefix beyond what has been delivered, one
+ * thread (guarded by a drain baton) streams those slots into the
+ * downstream sink — in canonical order, while trailing chunks still
+ * render — and frees their storage. The final replay() delivers
+ * whatever remains, so the stream stays byte-identical to the
+ * full-buffer path no matter how completions interleave. The
+ * downstream sink is only ever entered by one thread at a time, with
+ * the baton mutex ordering successive drains.
  */
 class RayTraceBuffer
 {
@@ -224,11 +240,34 @@ class RayTraceBuffer
     }
 
     /**
-     * Replay every slot's recorded stream into the downstream sink, in
-     * slot order: all accesses of slot 0, its onRayEnd (if recorded),
-     * then slot 1, ... Does not call onFlush().
+     * Note that slots [begin, end) are complete — no further events
+     * will be recorded into them — and opportunistically drain the
+     * completed prefix into the downstream sink. Thread-safe; called
+     * by workers as their chunks finish. Purely an optimization: peak
+     * buffered memory drops from the whole frame to roughly the
+     * out-of-order window, while the delivered stream is unchanged.
+     */
+    void markCompleted(std::size_t begin, std::size_t end);
+
+    /**
+     * Replay every not-yet-drained slot's recorded stream into the
+     * downstream sink, in slot order: all accesses of slot 0, its
+     * onRayEnd (if recorded), then slot 1, ... Does not call
+     * onFlush(). Call after the parallel loop; with markCompleted in
+     * play this delivers only the un-drained suffix.
      */
     void replay();
+
+    /**
+     * High-water mark of buffered accesses (windowed-drain
+     * effectiveness metric): with prefix draining this stays near the
+     * completion out-of-order window instead of the full trace size.
+     */
+    std::uint64_t
+    peakBufferedAccesses() const
+    {
+        return _peakBuffered.load(std::memory_order_relaxed);
+    }
 
   private:
     struct Slot
@@ -238,8 +277,19 @@ class RayTraceBuffer
         bool ended = false;
     };
 
+    void drainRange(std::size_t begin, std::size_t end);
+    void tryDrain();
+
     std::vector<Slot> _slots;
     TraceSink *_downstream;
+
+    std::atomic<std::uint64_t> _buffered{0};
+    std::atomic<std::uint64_t> _peakBuffered{0};
+
+    std::mutex _stateMutex; //!< guards _completed and _drained
+    std::mutex _drainMutex; //!< drain baton: one drainer at a time
+    std::map<std::size_t, std::size_t> _completed; //!< merged intervals
+    std::size_t _drained = 0; //!< slots [0, _drained) already delivered
 };
 
 /** A sink that simply stores the trace (tests and small experiments). */

@@ -1,0 +1,626 @@
+#include "memory/tracefile.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace cicero {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Event framing
+//
+// Each event starts with a tag byte. The low 2 bits are the event
+// type; access events use two more bits to elide fields that repeat
+// the previous event's value (the common case by far).
+// ---------------------------------------------------------------------
+
+constexpr std::uint8_t kEvAccess = 0;
+constexpr std::uint8_t kEvRayEnd = 1;
+constexpr std::uint8_t kEvFlush = 2;
+constexpr std::uint8_t kEvEnd = 3; //!< stream terminator
+constexpr std::uint8_t kFlagSameBytes = 1u << 2;
+constexpr std::uint8_t kFlagSameRay = 1u << 3;
+
+inline std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+void
+appendVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// ---------------------------------------------------------------------
+// Order-0 adaptive binary range coder (carry-less, byte-renormalized —
+// the classic LZMA-style coder; see /root/related Moruga for the
+// idiom). The model is a 255-node bit tree: one adaptive probability
+// per (bit position, more-significant-bits) context of a byte.
+// ---------------------------------------------------------------------
+
+constexpr std::uint32_t kProbBits = 11;
+constexpr std::uint16_t kProbInit = 1u << (kProbBits - 1);
+constexpr std::uint32_t kTopValue = 1u << 24;
+constexpr int kProbShift = 5;
+
+struct ByteModel
+{
+    std::uint16_t probs[256];
+
+    ByteModel()
+    {
+        for (auto &p : probs)
+            p = kProbInit;
+    }
+};
+
+class RangeEncoder
+{
+  public:
+    explicit RangeEncoder(std::vector<std::uint8_t> &out) : _out(out) {}
+
+    void
+    encodeByte(ByteModel &model, std::uint8_t byte)
+    {
+        std::uint32_t ctx = 1;
+        for (int bit = 7; bit >= 0; --bit) {
+            std::uint32_t b = (byte >> bit) & 1;
+            encodeBit(model.probs[ctx], b);
+            ctx = (ctx << 1) | b;
+        }
+    }
+
+    void
+    flush()
+    {
+        for (int i = 0; i < 5; ++i)
+            shiftLow();
+    }
+
+  private:
+    void
+    encodeBit(std::uint16_t &prob, std::uint32_t bit)
+    {
+        std::uint32_t bound = (_range >> kProbBits) * prob;
+        if (bit == 0) {
+            _range = bound;
+            prob += (static_cast<std::uint16_t>(1u << kProbBits) - prob) >>
+                    kProbShift;
+        } else {
+            _low += bound;
+            _range -= bound;
+            prob -= prob >> kProbShift;
+        }
+        while (_range < kTopValue) {
+            _range <<= 8;
+            shiftLow();
+        }
+    }
+
+    void
+    shiftLow()
+    {
+        if (static_cast<std::uint32_t>(_low) < 0xFF000000u ||
+            static_cast<std::uint32_t>(_low >> 32) != 0) {
+            std::uint8_t carry = static_cast<std::uint8_t>(_low >> 32);
+            _out.push_back(static_cast<std::uint8_t>(_cache + carry));
+            while (--_cacheSize)
+                _out.push_back(static_cast<std::uint8_t>(0xFF + carry));
+            _cache = static_cast<std::uint8_t>(_low >> 24);
+        }
+        ++_cacheSize;
+        _low = (_low << 8) & 0xFFFFFFFFull;
+    }
+
+    std::vector<std::uint8_t> &_out;
+    std::uint64_t _low = 0;
+    std::uint32_t _range = 0xFFFFFFFFu;
+    std::uint8_t _cache = 0;
+    std::uint64_t _cacheSize = 1;
+};
+
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const std::uint8_t *data, std::size_t size)
+        : _data(data), _size(size)
+    {
+        for (int i = 0; i < 5; ++i)
+            _code = (_code << 8) | nextByte();
+    }
+
+    std::uint8_t
+    decodeByte(ByteModel &model)
+    {
+        std::uint32_t ctx = 1;
+        for (int bit = 7; bit >= 0; --bit)
+            ctx = (ctx << 1) | decodeBit(model.probs[ctx]);
+        return static_cast<std::uint8_t>(ctx);
+    }
+
+  private:
+    std::uint32_t
+    decodeBit(std::uint16_t &prob)
+    {
+        std::uint32_t bound = (_range >> kProbBits) * prob;
+        std::uint32_t bit;
+        if (_code < bound) {
+            _range = bound;
+            prob += (static_cast<std::uint16_t>(1u << kProbBits) - prob) >>
+                    kProbShift;
+            bit = 0;
+        } else {
+            _code -= bound;
+            _range -= bound;
+            prob -= prob >> kProbShift;
+            bit = 1;
+        }
+        while (_range < kTopValue) {
+            _range <<= 8;
+            _code = (_code << 8) | nextByte();
+        }
+        return bit;
+    }
+
+    /** Past-the-end reads pad with zero, as range decoders expect. */
+    std::uint8_t
+    nextByte()
+    {
+        return _pos < _size ? _data[_pos++] : 0;
+    }
+
+    const std::uint8_t *_data;
+    std::size_t _size;
+    std::size_t _pos = 0;
+    std::uint32_t _code = 0;
+    std::uint32_t _range = 0xFFFFFFFFu;
+};
+
+std::vector<std::uint8_t>
+rangeCompress(const std::vector<std::uint8_t> &in)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(in.size() / 2 + 16);
+    ByteModel model;
+    RangeEncoder enc(out);
+    for (std::uint8_t b : in)
+        enc.encodeByte(model, b);
+    enc.flush();
+    return out;
+}
+
+std::vector<std::uint8_t>
+rangeDecompress(const std::uint8_t *data, std::size_t size,
+                std::uint64_t rawBytes)
+{
+    std::vector<std::uint8_t> out;
+    out.reserve(rawBytes);
+    ByteModel model;
+    RangeDecoder dec(data, size);
+    for (std::uint64_t i = 0; i < rawBytes; ++i)
+        out.push_back(dec.decodeByte(model));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Container header serialization
+// ---------------------------------------------------------------------
+
+constexpr char kMagic[4] = {'C', 'T', 'R', 'C'};
+
+void
+appendU16(std::vector<std::uint8_t> &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v));
+    out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void
+appendU32(std::vector<std::uint8_t> &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+appendU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+appendStr(std::vector<std::uint8_t> &out, const std::string &s)
+{
+    appendU32(out, static_cast<std::uint32_t>(s.size()));
+    out.insert(out.end(), s.begin(), s.end());
+}
+
+/** Bounds-checked cursor over a parsed container. */
+struct Cursor
+{
+    const std::uint8_t *data;
+    std::size_t size;
+    std::size_t pos = 0;
+
+    void
+    need(std::size_t n) const
+    {
+        if (size - pos < n)
+            throw std::runtime_error("truncated trace file");
+    }
+
+    std::uint16_t
+    u16()
+    {
+        need(2);
+        std::uint16_t v = static_cast<std::uint16_t>(
+            data[pos] | (data[pos + 1] << 8));
+        pos += 2;
+        return v;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return data[pos++];
+    }
+
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data[pos + i]) << (8 * i);
+        pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data[pos + i]) << (8 * i);
+        pos += 8;
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        std::uint32_t n = u32();
+        need(n);
+        std::string s(reinterpret_cast<const char *>(data + pos), n);
+        pos += n;
+        return s;
+    }
+};
+
+std::uint64_t
+readVarint(const std::vector<std::uint8_t> &events, std::size_t &pos)
+{
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        if (pos >= events.size())
+            throw std::runtime_error(
+                "corrupt trace payload: truncated varint");
+        std::uint8_t b = events[pos++];
+        v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+        if (!(b & 0x80))
+            return v;
+        shift += 7;
+        if (shift >= 64)
+            throw std::runtime_error(
+                "corrupt trace payload: varint overflow");
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// TraceFileWriter
+// ---------------------------------------------------------------------
+
+TraceFileWriter::TraceFileWriter(const std::string &path,
+                                 const TraceFileMeta &meta,
+                                 TraceCodec codec)
+    : _meta(meta), _codec(codec), _path(path)
+{
+}
+
+TraceFileWriter::TraceFileWriter(std::vector<std::uint8_t> &buffer,
+                                 const TraceFileMeta &meta,
+                                 TraceCodec codec)
+    : _meta(meta), _codec(codec), _memoryOut(&buffer)
+{
+    _memoryOut->clear();
+}
+
+TraceFileWriter::~TraceFileWriter()
+{
+    try {
+        close();
+    } catch (...) {
+        // A destructor cannot report the failure; explicit close()
+        // callers get the exception.
+    }
+}
+
+void
+TraceFileWriter::putVarint(std::uint64_t v)
+{
+    appendVarint(_payload, v);
+}
+
+void
+TraceFileWriter::putSignedDelta(std::int64_t d)
+{
+    appendVarint(_payload, zigzag(d));
+}
+
+void
+TraceFileWriter::onAccess(const MemAccess &access)
+{
+    std::uint8_t tag = kEvAccess;
+    bool sameBytes = _haveBytes && access.bytes == _lastBytes;
+    bool sameRay = access.rayId == _lastRay;
+    if (sameBytes)
+        tag |= kFlagSameBytes;
+    if (sameRay)
+        tag |= kFlagSameRay;
+
+    _payload.push_back(tag);
+    putSignedDelta(static_cast<std::int64_t>(access.addr - _lastAddr));
+    if (!sameBytes)
+        putVarint(access.bytes);
+    if (!sameRay)
+        putSignedDelta(static_cast<std::int64_t>(access.rayId) -
+                       static_cast<std::int64_t>(_lastRay));
+
+    _lastAddr = access.addr;
+    _lastBytes = access.bytes;
+    _lastRay = access.rayId;
+    _haveBytes = true;
+    ++_counts.accesses;
+}
+
+void
+TraceFileWriter::onRayEnd(std::uint32_t rayId)
+{
+    _payload.push_back(kEvRayEnd);
+    putSignedDelta(static_cast<std::int64_t>(rayId) -
+                   static_cast<std::int64_t>(_lastRay));
+    _lastRay = rayId;
+    ++_counts.rayEnds;
+}
+
+void
+TraceFileWriter::onFlush()
+{
+    _payload.push_back(kEvFlush);
+    ++_counts.flushes;
+}
+
+void
+TraceFileWriter::close()
+{
+    if (_closed)
+        return;
+    _closed = true;
+
+    _payload.push_back(kEvEnd);
+
+    std::vector<std::uint8_t> stored;
+    const std::vector<std::uint8_t> *payload = &_payload;
+    if (_codec == TraceCodec::Range) {
+        stored = rangeCompress(_payload);
+        payload = &stored;
+    }
+    _storedPayloadBytes = payload->size();
+
+    std::vector<std::uint8_t> header;
+    header.insert(header.end(), kMagic, kMagic + 4);
+    appendU16(header, kTraceFileVersion);
+    header.push_back(static_cast<std::uint8_t>(_codec));
+    header.push_back(0); // reserved
+    appendStr(header, _meta.scene);
+    appendStr(header, _meta.encoding);
+    appendStr(header, _meta.model);
+    appendU32(header, _meta.width);
+    appendU32(header, _meta.height);
+    appendU32(header, _meta.threads);
+    appendU32(header, _meta.featureBytes);
+    appendU64(header, _counts.accesses);
+    appendU64(header, _counts.rayEnds);
+    appendU64(header, _counts.flushes);
+    appendU64(header, _storedPayloadBytes);
+    appendU64(header, _payload.size());
+
+    _fileBytes = header.size() + payload->size();
+
+    if (_memoryOut) {
+        *_memoryOut = header;
+        _memoryOut->insert(_memoryOut->end(), payload->begin(),
+                           payload->end());
+    } else {
+        std::FILE *f = std::fopen(_path.c_str(), "wb");
+        if (!f)
+            throw std::runtime_error("cannot open trace file for write: " +
+                                     _path);
+        bool ok =
+            std::fwrite(header.data(), 1, header.size(), f) ==
+                header.size() &&
+            (payload->empty() ||
+             std::fwrite(payload->data(), 1, payload->size(), f) ==
+                 payload->size());
+        ok = std::fclose(f) == 0 && ok;
+        if (!ok)
+            throw std::runtime_error("short write on trace file: " + _path);
+    }
+
+    _payload = std::vector<std::uint8_t>();
+}
+
+// ---------------------------------------------------------------------
+// TraceFileReader
+// ---------------------------------------------------------------------
+
+TraceFileReader::TraceFileReader(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("cannot open trace file: " + path);
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        bytes.insert(bytes.end(), chunk, chunk + n);
+    bool readError = std::ferror(f) != 0;
+    std::fclose(f);
+    if (readError)
+        throw std::runtime_error("read error on trace file: " + path);
+    parse(bytes.data(), bytes.size());
+}
+
+TraceFileReader::TraceFileReader(const std::uint8_t *data, std::size_t size)
+{
+    parse(data, size);
+}
+
+TraceFileReader::TraceFileReader(const std::vector<std::uint8_t> &buffer)
+{
+    parse(buffer.data(), buffer.size());
+}
+
+void
+TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
+{
+    Cursor c{data, size};
+
+    c.need(4);
+    if (std::memcmp(data, kMagic, 4) != 0)
+        throw std::runtime_error("not a trace file (bad magic)");
+    c.pos = 4;
+
+    std::uint16_t version = c.u16();
+    if (version != kTraceFileVersion)
+        throw std::runtime_error(
+            "unsupported trace-file version " + std::to_string(version) +
+            " (this build reads version " +
+            std::to_string(kTraceFileVersion) + ")");
+
+    std::uint8_t codec = c.u8();
+    if (codec > static_cast<std::uint8_t>(TraceCodec::Range))
+        throw std::runtime_error("unknown trace-file codec " +
+                                 std::to_string(codec));
+    _codec = static_cast<TraceCodec>(codec);
+    c.u8(); // reserved
+
+    _meta.scene = c.str();
+    _meta.encoding = c.str();
+    _meta.model = c.str();
+    _meta.width = c.u32();
+    _meta.height = c.u32();
+    _meta.threads = c.u32();
+    _meta.featureBytes = c.u32();
+    _counts.accesses = c.u64();
+    _counts.rayEnds = c.u64();
+    _counts.flushes = c.u64();
+    _storedPayloadBytes = c.u64();
+    std::uint64_t rawPayloadBytes = c.u64();
+
+    if (size - c.pos < _storedPayloadBytes)
+        throw std::runtime_error("truncated trace file");
+    _fileBytes = c.pos + _storedPayloadBytes;
+
+    if (_codec == TraceCodec::Range) {
+        _events = rangeDecompress(data + c.pos,
+                                  static_cast<std::size_t>(
+                                      _storedPayloadBytes),
+                                  rawPayloadBytes);
+    } else {
+        if (_storedPayloadBytes != rawPayloadBytes)
+            throw std::runtime_error(
+                "corrupt trace file: payload size mismatch");
+        _events.assign(data + c.pos, data + c.pos + _storedPayloadBytes);
+    }
+    if (_events.empty() || _events.back() != kEvEnd)
+        throw std::runtime_error(
+            "corrupt trace file: missing stream terminator");
+}
+
+void
+TraceFileReader::replay(TraceSink *sink) const
+{
+    std::size_t pos = 0;
+    std::uint64_t lastAddr = 0;
+    std::uint32_t lastBytes = 0;
+    std::uint32_t lastRay = 0;
+
+    for (;;) {
+        if (pos >= _events.size())
+            throw std::runtime_error(
+                "corrupt trace payload: unterminated event stream");
+        std::uint8_t tag = _events[pos++];
+        switch (tag & 3) {
+          case kEvAccess: {
+            MemAccess a;
+            lastAddr += static_cast<std::uint64_t>(
+                unzigzag(readVarint(_events, pos)));
+            a.addr = lastAddr;
+            if (tag & kFlagSameBytes) {
+                a.bytes = lastBytes;
+            } else {
+                a.bytes = static_cast<std::uint32_t>(
+                    readVarint(_events, pos));
+                lastBytes = a.bytes;
+            }
+            if (tag & kFlagSameRay) {
+                a.rayId = lastRay;
+            } else {
+                a.rayId = static_cast<std::uint32_t>(
+                    static_cast<std::int64_t>(lastRay) +
+                    unzigzag(readVarint(_events, pos)));
+                lastRay = a.rayId;
+            }
+            sink->onAccess(a);
+            break;
+          }
+          case kEvRayEnd: {
+            lastRay = static_cast<std::uint32_t>(
+                static_cast<std::int64_t>(lastRay) +
+                unzigzag(readVarint(_events, pos)));
+            sink->onRayEnd(lastRay);
+            break;
+          }
+          case kEvFlush:
+            sink->onFlush();
+            break;
+          case kEvEnd:
+            return;
+        }
+    }
+}
+
+} // namespace cicero

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Persistent trace files: capture a gather access stream once, replay
+ * it many times.
+ *
+ * Every memory-model experiment in this repo is a function of the
+ * access stream a functional render emits into a TraceSink. A
+ * TraceFileWriter is itself a TraceSink, so it drops into any existing
+ * capture path (including the parallel RayTraceBuffer replay) and
+ * persists the stream into a versioned `.ctrace` container; a
+ * TraceFileReader replays a container into any TraceSink — so the
+ * cache, DRAM, SRAM-bank and energy models consume persisted traces
+ * with zero changes. One expensive render becomes a reusable artifact:
+ * sweep N memory configs from one capture.
+ *
+ * On-disk format (all integers little-endian):
+ *
+ *   "CTRC"  u16 version  u8 codec  u8 reserved
+ *   str scene  str encoding  str model        (u32 length + bytes)
+ *   u32 width  u32 height  u32 threads  u32 featureBytes
+ *   u64 accesses  u64 rayEnds  u64 flushes
+ *   u64 storedPayloadBytes  u64 rawPayloadBytes
+ *   payload
+ *
+ * The payload is an event stream framed to mirror the TraceSink
+ * interface exactly (onAccess / onRayEnd / onFlush), encoded with
+ * delta-of-address + zigzag varints: gather addresses are locally
+ * correlated (neighbouring grid vertices), so deltas are short, and
+ * ray ids / access sizes rarely change between events, so both are
+ * elided when repeated. With codec Range an adaptive order-0 binary
+ * range coder (the delta-filter + entropy-coding idiom of classic
+ * stream compressors) squeezes the residual varint bytes further.
+ */
+
+#ifndef CICERO_MEMORY_TRACEFILE_HH
+#define CICERO_MEMORY_TRACEFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "memory/trace.hh"
+
+namespace cicero {
+
+/** Payload compression stage. */
+enum class TraceCodec : std::uint8_t
+{
+    Varint = 0, //!< delta + zigzag-varint event stream only
+    Range = 1,  //!< varint stream re-coded by an order-0 range coder
+};
+
+/** Trace-file container version understood by this build. */
+constexpr std::uint16_t kTraceFileVersion = 1;
+
+/** Capture metadata recorded in the trace-file header. */
+struct TraceFileMeta
+{
+    std::string scene;    //!< scene name ("lego", ...)
+    std::string encoding; //!< Encoding::name() of the traced model
+    std::string model;    //!< modelName() of the traced model
+    std::uint32_t width = 0;
+    std::uint32_t height = 0;
+    std::uint32_t threads = 0;      //!< parallelThreadCount() at capture
+    std::uint32_t featureBytes = 0; //!< featureDim * kBytesPerChannel
+};
+
+/** Event counts recorded in the trace-file header. */
+struct TraceFileCounts
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t rayEnds = 0;
+    std::uint64_t flushes = 0;
+
+    /** Bytes of the equivalent raw in-memory MemAccess stream. */
+    std::uint64_t
+    rawStreamBytes() const
+    {
+        return accesses * sizeof(MemAccess);
+    }
+};
+
+/**
+ * TraceSink that persists the observed event stream into a `.ctrace`
+ * container (file or memory buffer).
+ *
+ * The encoded payload is buffered in memory (a few bytes per access —
+ * far smaller than the live stream) and finalized by close(): the
+ * optional range-coder stage runs, then header + payload are written
+ * in one pass. close() is idempotent and called by the destructor;
+ * call it explicitly to observe counts/sizes or write failures.
+ *
+ * @throws std::runtime_error if the output file cannot be opened or
+ *         written.
+ */
+class TraceFileWriter : public TraceSink
+{
+  public:
+    /** Write to @p path. */
+    TraceFileWriter(const std::string &path, const TraceFileMeta &meta,
+                    TraceCodec codec = TraceCodec::Range);
+
+    /** Write into @p buffer (cleared first); no filesystem involved. */
+    TraceFileWriter(std::vector<std::uint8_t> &buffer,
+                    const TraceFileMeta &meta,
+                    TraceCodec codec = TraceCodec::Range);
+
+    ~TraceFileWriter() override;
+
+    TraceFileWriter(const TraceFileWriter &) = delete;
+    TraceFileWriter &operator=(const TraceFileWriter &) = delete;
+
+    void onAccess(const MemAccess &access) override;
+    void onRayEnd(std::uint32_t rayId) override;
+    void onFlush() override;
+
+    /** Finalize the container. Idempotent. */
+    void close();
+
+    const TraceFileCounts &counts() const { return _counts; }
+
+    /** Container size in bytes (valid after close()). */
+    std::uint64_t fileBytes() const { return _fileBytes; }
+
+    /** Stored (post-codec) payload size in bytes (after close()). */
+    std::uint64_t payloadBytes() const { return _storedPayloadBytes; }
+
+  private:
+    void putVarint(std::uint64_t v);
+    void putSignedDelta(std::int64_t d);
+
+    TraceFileMeta _meta;
+    TraceCodec _codec;
+    TraceFileCounts _counts;
+
+    std::string _path;                     //!< empty => memory backend
+    std::vector<std::uint8_t> *_memoryOut = nullptr;
+
+    std::vector<std::uint8_t> _payload; //!< varint event stream
+    std::uint64_t _lastAddr = 0;
+    std::uint32_t _lastBytes = 0;
+    std::uint32_t _lastRay = 0;
+    bool _haveBytes = false;
+
+    bool _closed = false;
+    std::uint64_t _fileBytes = 0;
+    std::uint64_t _storedPayloadBytes = 0;
+};
+
+/**
+ * Parses a `.ctrace` container and replays it into TraceSinks.
+ *
+ * The payload is decoded to the varint stage once at construction;
+ * replay() then re-walks that stream, so a reader replays any number
+ * of times (the capture-once / replay-many pattern).
+ *
+ * @throws std::runtime_error on I/O failure, bad magic, unsupported
+ *         version or codec, and truncated or corrupt payloads.
+ */
+class TraceFileReader
+{
+  public:
+    explicit TraceFileReader(const std::string &path);
+
+    /** Parse an in-memory container (the bytes are not retained). */
+    TraceFileReader(const std::uint8_t *data, std::size_t size);
+    explicit TraceFileReader(const std::vector<std::uint8_t> &buffer);
+
+    const TraceFileMeta &meta() const { return _meta; }
+    const TraceFileCounts &counts() const { return _counts; }
+    TraceCodec codec() const { return _codec; }
+
+    /** Total container size in bytes. */
+    std::uint64_t fileBytes() const { return _fileBytes; }
+
+    /** Stored (post-codec) payload size in bytes. */
+    std::uint64_t payloadBytes() const { return _storedPayloadBytes; }
+
+    /**
+     * Compression ratio: container size over the raw
+     * sizeof(MemAccess)-stream size (smaller is better).
+     */
+    double
+    compressionRatio() const
+    {
+        std::uint64_t raw = _counts.rawStreamBytes();
+        return raw ? static_cast<double>(_fileBytes) / raw : 0.0;
+    }
+
+    /**
+     * Replay the recorded stream into @p sink: every onAccess,
+     * onRayEnd and onFlush event exactly as captured, in order.
+     * Callable any number of times.
+     */
+    void replay(TraceSink *sink) const;
+
+  private:
+    void parse(const std::uint8_t *data, std::size_t size);
+
+    TraceFileMeta _meta;
+    TraceFileCounts _counts;
+    TraceCodec _codec = TraceCodec::Varint;
+    std::uint64_t _fileBytes = 0;
+    std::uint64_t _storedPayloadBytes = 0;
+    std::vector<std::uint8_t> _events; //!< decoded varint event stream
+};
+
+} // namespace cicero
+
+#endif // CICERO_MEMORY_TRACEFILE_HH

@@ -216,10 +216,13 @@ NerfModel::render(const Camera &camera, TraceSink *trace,
         // stream into a private RayTraceBuffer slot while the rows run
         // tile-parallel, and the replay below walks the slots in
         // canonical ray-id order — the TraceSink sees a stream
-        // byte-identical to the old serial walk. With one thread the
-        // chunks already run inline in order, so rays emit straight
-        // into the sink and the trace is never materialized (the old
-        // O(1)-memory serial behavior).
+        // byte-identical to the old serial walk. Completed row chunks
+        // are marked so the buffer drains its finished prefix while
+        // trailing chunks still render (windowed replay: peak buffer
+        // memory tracks the out-of-order window, not the frame). With
+        // one thread the chunks already run inline in order, so rays
+        // emit straight into the sink and the trace is never
+        // materialized (the old O(1)-memory serial behavior).
         std::unique_ptr<RayTraceBuffer> buf;
         if (parallelThreadCount() > 1)
             buf = std::make_unique<RayTraceBuffer>(
@@ -248,6 +251,10 @@ NerfModel::render(const Camera &camera, TraceSink *trace,
                         out.depth.at(px, py) = d;
                     }
                 }
+                if (buf)
+                    buf->markCompleted(
+                        static_cast<std::size_t>(y0) * W,
+                        static_cast<std::size_t>(y1) * W);
             });
         if (buf)
             buf->replay();
@@ -288,7 +295,8 @@ NerfModel::renderPixels(const Camera &camera,
     if (trace) {
         // Buffered parallel capture over the sparse pixel list; replay
         // follows the list order (the serial emission order), whatever
-        // the ids are. One thread emits directly (see render()).
+        // the ids are, with completed chunks prefix-drained as above.
+        // One thread emits directly (see render()).
         std::unique_ptr<RayTraceBuffer> buf;
         if (parallelThreadCount() > 1)
             buf = std::make_unique<RayTraceBuffer>(pixelIds.size(),
@@ -312,6 +320,9 @@ NerfModel::renderPixels(const Camera &camera,
                     image.at(px, py) = rgb;
                     depth.at(px, py) = d;
                 }
+                if (buf)
+                    buf->markCompleted(static_cast<std::size_t>(b),
+                                       static_cast<std::size_t>(e));
             });
         if (buf)
             buf->replay();
@@ -396,8 +407,9 @@ NerfModel::traceWorkload(const Camera &camera, TraceSink *trace) const
     if (trace) {
         // Buffered parallel trace: rows run tile-parallel recording
         // into per-ray slots; the replay delivers the canonical
-        // (serial) access stream to the sink. One thread emits
-        // directly (see render()).
+        // (serial) access stream to the sink, prefix-draining
+        // completed row chunks while trailing chunks still render.
+        // One thread emits directly (see render()).
         std::unique_ptr<RayTraceBuffer> buf;
         if (parallelThreadCount() > 1)
             buf = std::make_unique<RayTraceBuffer>(
@@ -417,6 +429,10 @@ NerfModel::traceWorkload(const Camera &camera, TraceSink *trace) const
                         }
                     }
                 }
+                if (buf)
+                    buf->markCompleted(
+                        static_cast<std::size_t>(y0) * W,
+                        static_cast<std::size_t>(y1) * W);
             });
         if (buf)
             buf->replay();
@@ -461,6 +477,9 @@ NerfModel::traceWorkloadPixels(const Camera &camera,
                                  id / camera.width, id, w, trace);
                     }
                 }
+                if (buf)
+                    buf->markCompleted(static_cast<std::size_t>(b),
+                                       static_cast<std::size_t>(e));
             });
         if (buf)
             buf->replay();

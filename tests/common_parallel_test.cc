@@ -179,6 +179,30 @@ TEST(ParallelTest, ExceptionPropagatesToCaller)
                  std::logic_error);
 }
 
+TEST(ParallelTest, ThreadSpecParserAcceptsOnlyStrictPositiveIntegers)
+{
+    // Valid: decimal integers in [1, kMaxParallelThreads], surrounding
+    // whitespace tolerated.
+    EXPECT_EQ(parallelParseThreadSpec("1"), 1);
+    EXPECT_EQ(parallelParseThreadSpec("8"), 8);
+    EXPECT_EQ(parallelParseThreadSpec(" 16 "), 16);
+    EXPECT_EQ(parallelParseThreadSpec("4096"), kMaxParallelThreads);
+
+    // Invalid: anything else falls back to the automatic default.
+    EXPECT_EQ(parallelParseThreadSpec(nullptr), 0);
+    EXPECT_EQ(parallelParseThreadSpec(""), 0);
+    EXPECT_EQ(parallelParseThreadSpec("   "), 0);
+    EXPECT_EQ(parallelParseThreadSpec("0"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("-4"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("abc"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("8x"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("4,2"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("3.5"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("4097"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("99999999999999999999"), 0);
+    EXPECT_EQ(parallelParseThreadSpec("0x8"), 0);
+}
+
 TEST(ParallelTest, NestedLoopsRunInlineWithoutDeadlock)
 {
     ThreadCountGuard guard;

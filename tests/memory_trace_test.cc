@@ -232,6 +232,140 @@ TEST(RayTraceBufferTest, SerialAndParallelCaptureAreByteIdentical)
     }
 }
 
+TEST(RayTraceBufferTest, WindowedPrefixDrainMatchesFullBufferReplay)
+{
+    // The windowed drain (markCompleted) must deliver a stream
+    // byte-identical to the full-buffer replay no matter how chunk
+    // completions interleave with slot order.
+    const int numRays = 96;
+    const int accessesOf[5] = {2, 0, 5, 1, 3};
+
+    auto record = [&](RayTraceBuffer &buf, std::uint32_t ray) {
+        RayTraceBuffer::SlotSink sink = buf.sink(ray);
+        int n = accessesOf[ray % 5];
+        for (int i = 0; i < n; ++i)
+            sink.onAccess(acc(ray * 500ull + i * 64, 64, ray));
+        sink.onRayEnd(ray);
+    };
+
+    // Reference: full-buffer replay, no windowing.
+    EventRecorder full;
+    {
+        RayTraceBuffer buf(numRays, &full);
+        for (std::uint32_t r = 0; r < numRays; ++r)
+            record(buf, r);
+        buf.replay();
+        full.onFlush();
+    }
+
+    // Windowed: chunks complete out of order (middle, tail, head...),
+    // so some marks extend no drainable prefix and the final replay
+    // has to pick up the remainder.
+    EventRecorder windowed;
+    {
+        RayTraceBuffer buf(numRays, &windowed);
+        for (std::uint32_t r = 0; r < numRays; ++r)
+            record(buf, r);
+        buf.markCompleted(32, 64); // no prefix yet — nothing drains
+        buf.markCompleted(80, 96);
+        buf.markCompleted(0, 32);  // prefix [0, 64) becomes drainable
+        buf.replay();              // delivers [64, 96)
+        windowed.onFlush();
+    }
+    EXPECT_EQ(full.events, windowed.events);
+}
+
+TEST(RayTraceBufferTest, WindowedDrainBoundsPeakBufferedAccesses)
+{
+    // In-order completion drains as it goes: the high-water mark stays
+    // near one chunk's worth of accesses instead of the whole trace.
+    const std::uint32_t numRays = 64;
+    const std::uint32_t chunk = 8;
+    const int perRay = 4;
+
+    EventRecorder rec;
+    RayTraceBuffer buf(numRays, &rec);
+    for (std::uint32_t c = 0; c < numRays / chunk; ++c) {
+        for (std::uint32_t r = c * chunk; r < (c + 1) * chunk; ++r) {
+            RayTraceBuffer::SlotSink sink = buf.sink(r);
+            for (int i = 0; i < perRay; ++i)
+                sink.onAccess(acc(r * 100ull + i, 64, r));
+            sink.onRayEnd(r);
+        }
+        buf.markCompleted(c * chunk, (c + 1) * chunk);
+    }
+    buf.replay();
+    rec.onFlush();
+
+    EXPECT_EQ(rec.accesses.size(), std::size_t(numRays) * perRay);
+    // Every chunk drained before the next recorded: peak == one chunk.
+    EXPECT_EQ(buf.peakBufferedAccesses(),
+              std::uint64_t(chunk) * perRay);
+}
+
+TEST(RayTraceBufferTest, DuplicateCompletionMarksNeverReplayDrainedSlots)
+{
+    // Regression: a markCompleted covering already-drained slots must
+    // not rewind the drained prefix and re-deliver events.
+    EventRecorder rec;
+    RayTraceBuffer buf(8, &rec);
+    for (std::uint32_t r = 0; r < 8; ++r) {
+        RayTraceBuffer::SlotSink sink = buf.sink(r);
+        sink.onAccess(acc(r * 64, 64, r));
+        sink.onRayEnd(r);
+    }
+    buf.markCompleted(0, 8); // drains everything
+    std::size_t drainedEvents = rec.events.size();
+    buf.markCompleted(0, 4); // stray duplicate — must be a no-op
+    buf.markCompleted(2, 6);
+    buf.replay();
+    rec.onFlush();
+    EXPECT_EQ(rec.events.size(), drainedEvents + 1); // just the flush
+}
+
+TEST(RayTraceBufferTest, WindowedDrainUnderParallelRecordingIsIdentical)
+{
+    // Full contract under a real parallel loop: concurrent recording +
+    // concurrent markCompleted calls still reproduce the serial stream.
+    const int numRays = 256;
+    const int accessesOf[4] = {3, 0, 7, 1};
+
+    auto emitRay = [&](std::uint32_t ray, TraceSink *sink) {
+        int n = accessesOf[ray % 4];
+        for (int i = 0; i < n; ++i)
+            sink->onAccess(acc(ray * 1000ull + i * 64, 64, ray));
+        sink->onRayEnd(ray);
+    };
+
+    EventRecorder serial;
+    for (std::uint32_t r = 0; r < numRays; ++r)
+        emitRay(r, &serial);
+    serial.onFlush();
+
+    setParallelThreadCount(4);
+    EventRecorder windowed;
+    {
+        RayTraceBuffer buf(numRays, &windowed);
+        parallelFor(0, numRays, 16,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t r = b; r < e; ++r) {
+                            RayTraceBuffer::SlotSink sink =
+                                buf.sink(static_cast<std::size_t>(r));
+                            emitRay(static_cast<std::uint32_t>(r),
+                                    &sink);
+                        }
+                        buf.markCompleted(
+                            static_cast<std::size_t>(b),
+                            static_cast<std::size_t>(e));
+                    });
+        buf.replay();
+        windowed.onFlush();
+    }
+    setParallelThreadCount(0);
+
+    EXPECT_EQ(serial.events, windowed.events);
+}
+
 TEST(RayTraceBufferTest, FeedsBufferingSinksCorrectly)
 {
     // Replay through a WarpInterleaver: the interleaver must see the

@@ -1,0 +1,541 @@
+/**
+ * @file
+ * `cicero_trace` — trace-file workbench for the capture-once /
+ * replay-many workflow:
+ *
+ *   cicero_trace capture --scene lego --model dvgo --res 64 -o t.ctrace
+ *       Render (workload-trace) a scene frame and persist the gather
+ *       access stream as a compressed .ctrace file.
+ *
+ *   cicero_trace replay t.ctrace --stack cache
+ *       Stream a persisted trace through a memory-model stack (cache,
+ *       bank or dram) and print its stats JSON. Replaying a capture
+ *       reproduces the live-render statistics bit-identically.
+ *
+ *   cicero_trace stats t.ctrace
+ *       Ray/access counts, address histogram, compression ratio.
+ *
+ *   cicero_trace diff a.ctrace b.ctrace
+ *       Event-level comparison of two traces; exit 1 on mismatch.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "memory/replay.hh"
+#include "memory/tracefile.hh"
+#include "nerf/models.hh"
+#include "scene/trajectory.hh"
+
+using namespace cicero;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cicero_trace <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  capture -o FILE [--scene NAME] [--model ngp|dvgo|tensorf|enerf]\n"
+        "          [--res N] [--frame K] [--preset fast|full]\n"
+        "          [--layout linear|mvoxel] [--codec range|varint]\n"
+        "          [--mode workload|render]\n"
+        "      render one frame and persist its gather access stream\n"
+        "  replay FILE [--stack cache|bank|dram] [--ways N]\n"
+        "          [--capacity-mb N] [--banks N] [--rays N]\n"
+        "          [--sram-layout feature|channel]\n"
+        "      run a persisted trace through a memory-model stack,\n"
+        "      print stats JSON\n"
+        "  stats FILE\n"
+        "      counts, address histogram, compression ratio\n"
+        "  diff FILE_A FILE_B\n"
+        "      compare two traces event by event; exit 1 if they differ\n");
+    return 2;
+}
+
+/** Value of option --name in argv, or nullptr. */
+const char *
+optValue(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+const char *
+optValueOr(int argc, char **argv, const char *name, const char *fallback)
+{
+    const char *v = optValue(argc, argv, name);
+    return v ? v : fallback;
+}
+
+/**
+ * Strict numeric option: absent -> @p fallback; present -> must parse
+ * as a decimal integer in [@p minV, @p maxV] (atoi-style silent
+ * garbage = 0 is exactly the failure mode the memory-model configs
+ * cannot tolerate: 0 banks is a division by zero, 0 rays a livelock).
+ */
+bool
+optUint(int argc, char **argv, const char *name, std::uint32_t fallback,
+        std::uint32_t minV, std::uint32_t maxV, std::uint32_t &out)
+{
+    const char *v = optValue(argc, argv, name);
+    if (!v) {
+        out = fallback;
+        return true;
+    }
+    char *end = nullptr;
+    errno = 0;
+    unsigned long parsed = std::strtoul(v, &end, 10);
+    if (end == v || *end != '\0' || errno == ERANGE || parsed < minV ||
+        parsed > maxV) {
+        std::fprintf(stderr,
+                     "%s: want an integer in [%u, %u], got \"%s\"\n",
+                     name, minV, maxV, v);
+        return false;
+    }
+    out = static_cast<std::uint32_t>(parsed);
+    return true;
+}
+
+/** First non-option argument after the command, or nullptr. */
+const char *
+positional(int argc, char **argv, int index)
+{
+    int seen = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (argv[i][0] == '-' && argv[i][1] == '-') {
+            ++i; // skip the option's value
+            continue;
+        }
+        if (seen++ == index)
+            return argv[i];
+    }
+    return nullptr;
+}
+
+bool
+parseModelKind(const std::string &name, ModelKind &kind)
+{
+    std::string s;
+    for (char c : name)
+        if (c != '-' && c != '_')
+            s += static_cast<char>(std::tolower(c));
+    if (s == "ngp" || s == "instantngp")
+        kind = ModelKind::InstantNgp;
+    else if (s == "dvgo" || s == "directvoxgo")
+        kind = ModelKind::DirectVoxGO;
+    else if (s == "tensorf")
+        kind = ModelKind::TensoRF;
+    else if (s == "enerf" || s == "efficientnerf")
+        kind = ModelKind::EfficientNeRF;
+    else
+        return false;
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+metaJson(const TraceFileReader &reader)
+{
+    const TraceFileMeta &m = reader.meta();
+    const TraceFileCounts &c = reader.counts();
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"width\": %u, \"height\": %u, \"threads\": %u, "
+                  "\"feature_bytes\": %u, \"accesses\": %llu, "
+                  "\"ray_ends\": %llu, \"flushes\": %llu",
+                  m.width, m.height, m.threads, m.featureBytes,
+                  static_cast<unsigned long long>(c.accesses),
+                  static_cast<unsigned long long>(c.rayEnds),
+                  static_cast<unsigned long long>(c.flushes));
+    return "{\"scene\": \"" + jsonEscape(m.scene) + "\", \"encoding\": \"" +
+           jsonEscape(m.encoding) + "\", \"model\": \"" +
+           jsonEscape(m.model) + "\", " + buf + "}";
+}
+
+// ---------------------------------------------------------------------
+// capture
+// ---------------------------------------------------------------------
+
+int
+cmdCapture(int argc, char **argv)
+{
+    const char *out = optValue(argc, argv, "-o");
+    if (!out)
+        out = optValue(argc, argv, "--out");
+    if (!out) {
+        std::fprintf(stderr, "capture: missing -o FILE\n");
+        return usage();
+    }
+
+    ModelKind kind = ModelKind::DirectVoxGO;
+    if (!parseModelKind(optValueOr(argc, argv, "--model", "dvgo"), kind)) {
+        std::fprintf(stderr, "capture: unknown --model\n");
+        return usage();
+    }
+    std::string sceneName = optValueOr(argc, argv, "--scene", "lego");
+    std::uint32_t res, frame;
+    if (!optUint(argc, argv, "--res", 64, 1, 4096, res) ||
+        !optUint(argc, argv, "--frame", 0, 0, 100000, frame))
+        return usage();
+    std::string presetStr = optValueOr(argc, argv, "--preset", "fast");
+    std::string layoutStr = optValueOr(argc, argv, "--layout", "linear");
+    std::string codecStr = optValueOr(argc, argv, "--codec", "range");
+    std::string mode = optValueOr(argc, argv, "--mode", "workload");
+
+    ModelBuildOptions opts;
+    opts.preset =
+        presetStr == "full" ? ModelPreset::Full : ModelPreset::Fast;
+    opts.gridLayout = layoutStr == "mvoxel" ? GridLayout::MVoxelBlocked
+                                            : GridLayout::Linear;
+    TraceCodec codec =
+        codecStr == "varint" ? TraceCodec::Varint : TraceCodec::Range;
+
+    Scene scene = makeScene(sceneName);
+    auto model = buildModel(kind, scene, opts);
+
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    std::vector<Pose> traj = orbitTrajectory(orbit, frame + 1);
+    Camera cam = Camera::fromFov(res, res, scene.fovYDeg, traj[frame]);
+
+    TraceFileMeta meta;
+    meta.scene = scene.name;
+    meta.encoding = model->encoding().name();
+    meta.model = modelName(kind);
+    meta.width = static_cast<std::uint32_t>(res);
+    meta.height = static_cast<std::uint32_t>(res);
+    meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
+    meta.featureBytes = static_cast<std::uint32_t>(
+        model->encoding().featureDim() * kBytesPerChannel);
+
+    TraceFileWriter writer(out, meta, codec);
+    if (mode == "render")
+        model->render(cam, &writer);
+    else
+        model->traceWorkload(cam, &writer);
+    writer.close();
+
+    double ratio =
+        writer.counts().rawStreamBytes()
+            ? static_cast<double>(writer.fileBytes()) /
+                  writer.counts().rawStreamBytes()
+            : 0.0;
+    std::printf("captured %s: %llu accesses, %llu rays, %llu bytes "
+                "(%.1f%% of raw %llu-byte stream)\n",
+                out,
+                static_cast<unsigned long long>(writer.counts().accesses),
+                static_cast<unsigned long long>(writer.counts().rayEnds),
+                static_cast<unsigned long long>(writer.fileBytes()),
+                100.0 * ratio,
+                static_cast<unsigned long long>(
+                    writer.counts().rawStreamBytes()));
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// replay
+// ---------------------------------------------------------------------
+
+int
+cmdReplay(int argc, char **argv)
+{
+    const char *file = positional(argc, argv, 0);
+    if (!file) {
+        std::fprintf(stderr, "replay: missing trace file\n");
+        return usage();
+    }
+    std::string stack = optValueOr(argc, argv, "--stack", "cache");
+    if (stack != "cache" && stack != "bank" && stack != "dram") {
+        std::fprintf(stderr, "replay: unknown --stack '%s'\n",
+                     stack.c_str());
+        return usage();
+    }
+
+    TraceFileReader reader(file);
+
+    // Validate everything and run the stack *before* printing, so
+    // stdout carries either one complete JSON object or nothing.
+    std::string stats;
+    if (stack == "cache") {
+        CacheStackConfig cfg;
+        std::uint32_t capacityMb;
+        if (!optUint(argc, argv, "--ways", 32, 1, 4096, cfg.warpWays) ||
+            !optUint(argc, argv, "--capacity-mb", 2, 1, 65536,
+                     capacityMb))
+            return usage();
+        cfg.cache.capacityBytes = static_cast<std::uint64_t>(capacityMb)
+                                  << 20;
+        stats = statsJson(runCacheStack(fileSource(reader), cfg));
+    } else if (stack == "bank") {
+        SramBankConfig cfg;
+        if (!optUint(argc, argv, "--banks", 16, 1, 65536, cfg.numBanks) ||
+            !optUint(argc, argv, "--rays", 16, 1, 65536,
+                     cfg.concurrentRays))
+            return usage();
+        cfg.featureBytes = reader.meta().featureBytes
+                               ? reader.meta().featureBytes
+                               : cfg.featureBytes;
+        cfg.layout = std::string(optValueOr(argc, argv, "--sram-layout",
+                                            "feature")) == "channel"
+                         ? SramLayout::ChannelMajor
+                         : SramLayout::FeatureMajor;
+        stats = statsJson(runBankStack(fileSource(reader), cfg));
+    } else {
+        stats = statsJson(runDramStack(fileSource(reader)));
+    }
+
+    std::printf("{\"meta\": %s,\n \"stats\": %s}\n",
+                metaJson(reader).c_str(), stats.c_str());
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// stats
+// ---------------------------------------------------------------------
+
+/** Streaming min/max/bytes scan — never materializes the trace. */
+struct RangeScan : public TraceSink
+{
+    std::uint64_t minAddr = ~0ull;
+    std::uint64_t maxAddr = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t accesses = 0;
+
+    void
+    onAccess(const MemAccess &a) override
+    {
+        minAddr = std::min(minAddr, a.addr);
+        maxAddr = std::max(maxAddr, a.addr);
+        bytes += a.bytes;
+        ++accesses;
+    }
+};
+
+/** Streaming fixed-bucket address histogram (second pass). */
+struct HistogramScan : public TraceSink
+{
+    static constexpr int kBuckets = 16;
+    std::uint64_t base = 0;
+    std::uint64_t bucketWidth = 1;
+    std::uint64_t hist[kBuckets] = {};
+
+    void
+    onAccess(const MemAccess &a) override
+    {
+        ++hist[(a.addr - base) / bucketWidth];
+    }
+};
+
+int
+cmdStats(int argc, char **argv)
+{
+    const char *file = positional(argc, argv, 0);
+    if (!file) {
+        std::fprintf(stderr, "stats: missing trace file\n");
+        return usage();
+    }
+    TraceFileReader reader(file);
+
+    // Two streaming replays (range, then histogram) keep memory O(1)
+    // however long the trace is — the whole point of sink plumbing.
+    RangeScan range;
+    reader.replay(&range);
+    std::uint64_t minAddr = range.minAddr, maxAddr = range.maxAddr,
+                  bytes = range.bytes;
+
+    const TraceFileMeta &m = reader.meta();
+    std::printf("trace %s\n", file);
+    std::printf("  scene=%s encoding=%s model=%s %ux%u threads=%u\n",
+                m.scene.c_str(), m.encoding.c_str(), m.model.c_str(),
+                m.width, m.height, m.threads);
+    std::printf("  codec=%s\n",
+                reader.codec() == TraceCodec::Range ? "range" : "varint");
+    std::printf("  accesses=%llu rayEnds=%llu flushes=%llu "
+                "bytesAccessed=%llu\n",
+                static_cast<unsigned long long>(reader.counts().accesses),
+                static_cast<unsigned long long>(reader.counts().rayEnds),
+                static_cast<unsigned long long>(reader.counts().flushes),
+                static_cast<unsigned long long>(bytes));
+    std::printf("  file=%llu B payload=%llu B raw-stream=%llu B "
+                "ratio=%.1f%%\n",
+                static_cast<unsigned long long>(reader.fileBytes()),
+                static_cast<unsigned long long>(reader.payloadBytes()),
+                static_cast<unsigned long long>(
+                    reader.counts().rawStreamBytes()),
+                100.0 * reader.compressionRatio());
+
+    if (range.accesses > 0) {
+        HistogramScan histo;
+        histo.base = minAddr;
+        std::uint64_t span = maxAddr - minAddr + 1;
+        histo.bucketWidth =
+            (span + HistogramScan::kBuckets - 1) / HistogramScan::kBuckets;
+        reader.replay(&histo);
+        std::uint64_t peak = *std::max_element(
+            histo.hist, histo.hist + HistogramScan::kBuckets);
+        std::printf("  address histogram [0x%llx .. 0x%llx], %llu B "
+                    "buckets:\n",
+                    static_cast<unsigned long long>(minAddr),
+                    static_cast<unsigned long long>(maxAddr),
+                    static_cast<unsigned long long>(histo.bucketWidth));
+        for (int b = 0; b < HistogramScan::kBuckets; ++b) {
+            int bars =
+                peak ? static_cast<int>(40 * histo.hist[b] / peak) : 0;
+            std::printf("    [%2d] %10llu %.*s\n", b,
+                        static_cast<unsigned long long>(histo.hist[b]),
+                        bars,
+                        "########################################");
+        }
+    }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------
+
+/** Flattens a replay into a comparable event list. */
+struct EventLog : public TraceSink
+{
+    struct Event
+    {
+        std::uint8_t kind; // 0 access, 1 rayEnd, 2 flush
+        MemAccess access;
+        std::uint32_t rayId = 0;
+
+        bool
+        operator==(const Event &o) const
+        {
+            if (kind != o.kind)
+                return false;
+            if (kind == 0)
+                return access.addr == o.access.addr &&
+                       access.bytes == o.access.bytes &&
+                       access.rayId == o.access.rayId;
+            if (kind == 1)
+                return rayId == o.rayId;
+            return true;
+        }
+    };
+
+    std::vector<Event> events;
+
+    void
+    onAccess(const MemAccess &a) override
+    {
+        events.push_back(Event{0, a, 0});
+    }
+    void
+    onRayEnd(std::uint32_t rayId) override
+    {
+        events.push_back(Event{1, MemAccess{}, rayId});
+    }
+    void onFlush() override { events.push_back(Event{2, MemAccess{}, 0}); }
+};
+
+std::string
+describe(const EventLog::Event &e)
+{
+    char buf[96];
+    if (e.kind == 0)
+        std::snprintf(buf, sizeof(buf),
+                      "access addr=0x%llx bytes=%u ray=%u",
+                      static_cast<unsigned long long>(e.access.addr),
+                      e.access.bytes, e.access.rayId);
+    else if (e.kind == 1)
+        std::snprintf(buf, sizeof(buf), "rayEnd ray=%u", e.rayId);
+    else
+        std::snprintf(buf, sizeof(buf), "flush");
+    return buf;
+}
+
+int
+cmdDiff(int argc, char **argv)
+{
+    const char *fileA = positional(argc, argv, 0);
+    const char *fileB = positional(argc, argv, 1);
+    if (!fileA || !fileB) {
+        std::fprintf(stderr, "diff: need two trace files\n");
+        return usage();
+    }
+
+    TraceFileReader readerA(fileA), readerB(fileB);
+    EventLog a, b;
+    readerA.replay(&a);
+    readerB.replay(&b);
+
+    std::size_t n = std::min(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!(a.events[i] == b.events[i])) {
+            std::printf("traces differ at event %llu:\n  %s: %s\n  %s: "
+                        "%s\n",
+                        static_cast<unsigned long long>(i), fileA,
+                        describe(a.events[i]).c_str(), fileB,
+                        describe(b.events[i]).c_str());
+            return 1;
+        }
+    }
+    if (a.events.size() != b.events.size()) {
+        std::printf("traces differ in length: %s has %llu events, %s has "
+                    "%llu\n",
+                    fileA,
+                    static_cast<unsigned long long>(a.events.size()),
+                    fileB,
+                    static_cast<unsigned long long>(b.events.size()));
+        return 1;
+    }
+    std::printf("traces identical: %llu events\n",
+                static_cast<unsigned long long>(a.events.size()));
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    try {
+        if (cmd == "capture")
+            return cmdCapture(argc, argv);
+        if (cmd == "replay")
+            return cmdReplay(argc, argv);
+        if (cmd == "stats")
+            return cmdStats(argc, argv);
+        if (cmd == "diff")
+            return cmdDiff(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cicero_trace: %s\n", e.what());
+        return 3;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+}
