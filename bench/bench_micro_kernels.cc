@@ -3,15 +3,27 @@
  * Micro-benchmarks (google-benchmark) for the hot kernels of the
  * functional stack: feature gathers per encoding, the decoder MLP,
  * warping, compositing and the memory-model sinks.
+ *
+ * The JSON context carries a "simd_backend" key (avx2|neon|scalar —
+ * the backend the process actually dispatches to, so a
+ * CICERO_SIMD=scalar run is labeled scalar) and the batched-kernel
+ * benchmarks report samples/s ("items_per_second") plus a GFLOP/s
+ * counter, so BENCH trajectories are comparable across machines and
+ * backends: run once natively and once under CICERO_SIMD=scalar to get
+ * the kernel speedup on a given host.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "cicero/warp.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "memory/cache_model.hh"
 #include "memory/dram_model.hh"
 #include "memory/sram_bank_model.hh"
+#include "nerf/dense_grid.hh"
 #include "nerf/hash_grid.hh"
 #include "nerf/models.hh"
 #include "nerf/tensorf.hh"
@@ -22,6 +34,49 @@
 namespace {
 
 using namespace cicero;
+
+/** Register the active backend into the benchmark context once. */
+[[maybe_unused]] const bool kContextRegistered = [] {
+    benchmark::AddCustomContext(
+        "simd_backend", simd::backendName(simd::activeBackend()));
+    return true;
+}();
+
+/** Positions a batched-gather benchmark sweeps. */
+const std::vector<Vec3> &
+benchPositions()
+{
+    static const std::vector<Vec3> pos = [] {
+        Rng rng(7);
+        std::vector<Vec3> p(65536);
+        for (Vec3 &v : p)
+            v = rng.uniformVec3();
+        return p;
+    }();
+    return pos;
+}
+
+/**
+ * Run one batched-gather benchmark: samples/s via items_per_second,
+ * GFLOP/s from the encoding's own interpolation-op accounting.
+ */
+void
+runGatherBatch(benchmark::State &state, const Encoding &enc)
+{
+    const std::vector<Vec3> &pos = benchPositions();
+    const int n = static_cast<int>(pos.size());
+    std::vector<float> out(static_cast<std::size_t>(n) *
+                           enc.featureDim());
+    for (auto _ : state) {
+        enc.gatherFeatureBatch(pos.data(), n, out.data());
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.counters["gflops"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * n *
+            static_cast<double>(enc.interpOpsPerSample()) * 1e-9,
+        benchmark::Counter::kIsRate);
+}
 
 Scene &
 benchScene()
@@ -82,6 +137,86 @@ BM_TensoRFGather(benchmark::State &state)
     }
 }
 BENCHMARK(BM_TensoRFGather);
+
+void
+BM_DenseGridGatherBatch(benchmark::State &state)
+{
+    static DenseGridEncoding grid = [] {
+        DenseGridEncoding g(64);
+        g.bake(benchScene().field);
+        return g;
+    }();
+    runGatherBatch(state, grid);
+}
+BENCHMARK(BM_DenseGridGatherBatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_HashGridGatherBatch(benchmark::State &state)
+{
+    static HashGridEncoding grid = [] {
+        HashGridEncoding g;
+        g.bake(benchScene().field);
+        return g;
+    }();
+    runGatherBatch(state, grid);
+}
+BENCHMARK(BM_HashGridGatherBatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_TensoRFGatherBatch(benchmark::State &state)
+{
+    static TensoRFEncoding enc = [] {
+        TensoRFConfig cfg;
+        cfg.res = 64;
+        TensoRFEncoding e(cfg);
+        e.bake(benchScene().field);
+        return e;
+    }();
+    runGatherBatch(state, enc);
+}
+BENCHMARK(BM_TensoRFGatherBatch)->Unit(benchmark::kMillisecond);
+
+/**
+ * The decoder-shaped MLP GEMM at a frame-like batch size — fp32 and
+ * fp16 weight storage. 2 FLOPs per MAC.
+ */
+void
+runMlpForwardBatch(benchmark::State &state, bool fp16)
+{
+    Mlp mlp({kFeatureDim + 3, 16, 16, 4}, 1);
+    if (fp16)
+        mlp.quantizeWeightsFp16();
+    const int count = 16384;
+    std::vector<float> in(static_cast<std::size_t>(mlp.inputDim()) *
+                          count);
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = 0.001f * static_cast<float>(i % 997) - 0.5f;
+    std::vector<float> out(static_cast<std::size_t>(mlp.outputDim()) *
+                           count);
+    for (auto _ : state) {
+        mlp.forwardBatch(in.data(), out.data(), count);
+        benchmark::DoNotOptimize(out[0]);
+    }
+    state.SetItemsProcessed(state.iterations() * count);
+    state.counters["gflops"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * count * 2.0 *
+            static_cast<double>(mlp.macsPerInference()) * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+
+void
+BM_MlpForwardBatch(benchmark::State &state)
+{
+    runMlpForwardBatch(state, /*fp16=*/false);
+}
+BENCHMARK(BM_MlpForwardBatch)->Unit(benchmark::kMillisecond);
+
+void
+BM_MlpForwardBatchFp16(benchmark::State &state)
+{
+    runMlpForwardBatch(state, /*fp16=*/true);
+}
+BENCHMARK(BM_MlpForwardBatchFp16)->Unit(benchmark::kMillisecond);
 
 void
 BM_DecoderDecode(benchmark::State &state)

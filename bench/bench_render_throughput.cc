@@ -12,8 +12,17 @@
  *  - traced-run rays/s, 1 thread vs N threads through RayTraceBuffer,
  *    with the trace streams checked byte-identical.
  *
+ * Since PR 4 the object carries a "simd_backend" field (the backend
+ * the process dispatches to by default) and a "simd" section:
+ * compiled-backend-vs-forced-scalar samples/s and GFLOP/s for the MLP
+ * forwardBatch kernel and each encoding's batched gather (single
+ * process, runtime backend override — the same binary measures both
+ * sides), with the fp32 outputs checked bit-identical across backends.
+ *
  * The speedups scale with physical cores; on a single-core runner the
- * paths time alike and the bench degenerates to a smoke test.
+ * parallel paths time alike and those sections degenerate to a smoke
+ * test (the SIMD section is single-core by construction and measures
+ * real kernel speedup everywhere).
  */
 
 #include <algorithm>
@@ -25,6 +34,7 @@
 #include "bench_util.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "nerf/dense_grid.hh"
 #include "nerf/hash_grid.hh"
 #include "nerf/tensorf.hh"
@@ -103,7 +113,52 @@ benchGather(const Encoding &enc, const std::vector<Vec3> &pos, int reps)
     r.batchS = secondsOf(
         [&] { enc.gatherFeatureBatch(pos.data(), n, batchOut.data()); },
         reps);
-    r.identical = scalarOut == batchOut;
+    // The batch buffer is channel-major; line the scalar results up
+    // before the bit-compare.
+    std::vector<float> scalarSoA(scalarOut.size());
+    simd::transposeToChannelMajor(scalarOut.data(), n, dim,
+                                  scalarSoA.data());
+    r.identical = scalarSoA == batchOut;
+    return r;
+}
+
+/** One kernel's SIMD-vs-forced-scalar measurement. */
+struct SimdKernelResult
+{
+    std::string name;
+    double simdS = 0.0;
+    double scalarS = 0.0;
+    double items = 0.0;
+    double flopsPerItem = 0.0;
+    bool identical = false;
+};
+
+/**
+ * Time @p run under the compiled backend (forced explicitly, so a
+ * CICERO_SIMD=scalar environment cannot turn the "simd" leg into a
+ * second scalar measurement) and under the forced-scalar override,
+ * bit-comparing the @p check buffer between the two.
+ */
+SimdKernelResult
+benchSimdKernel(const std::string &name, double items,
+                double flopsPerItem,
+                const std::function<void()> &run,
+                const std::vector<float> &check, int reps)
+{
+    SimdKernelResult r;
+    r.name = name;
+    r.items = items;
+    r.flopsPerItem = flopsPerItem;
+    simd::setSimdBackendOverride(false); // compiled backend
+    run(); // warm up + populate check
+    std::vector<float> simdOut = check;
+    r.simdS = secondsOf(run, reps);
+    simd::setSimdBackendOverride(true); // scalar reference
+    run();
+    std::vector<float> scalarOut = check;
+    r.scalarS = secondsOf(run, reps);
+    simd::setSimdBackendOverride(false, /*reset=*/true);
+    r.identical = simdOut == scalarOut;
     return r;
 }
 
@@ -189,6 +244,7 @@ main()
     }
 
     std::vector<GatherResult> gathers;
+    std::vector<SimdKernelResult> simdKernels;
     {
         DenseGridEncoding dense(96, GridLayout::MVoxelBlocked);
         dense.bake(scene.field);
@@ -205,13 +261,54 @@ main()
         TensoRFEncoding tensorf(tcfg);
         tensorf.bake(scene.field);
         gathers.push_back(benchGather(tensorf, positions, 3));
+
+        // ---- SIMD kernel layer: compiled backend vs forced scalar ---
+        // Same binary, runtime override: measures the explicit vector
+        // kernels against their scalar references and proves the fp32
+        // outputs bit-identical across backends.
+        const int n = static_cast<int>(positions.size());
+        const Encoding *encs[] = {&dense, &hash, &tensorf};
+        std::vector<float> featOut(static_cast<std::size_t>(n) *
+                                   kFeatureDim);
+        for (const Encoding *enc : encs) {
+            simdKernels.push_back(benchSimdKernel(
+                "gather_" + enc->name(), n,
+                static_cast<double>(enc->interpOpsPerSample()),
+                [&] {
+                    enc->gatherFeatureBatch(positions.data(), n,
+                                            featOut.data());
+                },
+                featOut, 3));
+        }
+
+        // The decoder-shaped MLP (12 -> 16 -> 16 -> 4) at a frame-like
+        // batch size; 2 FLOPs per MAC.
+        Mlp mlp({kFeatureDim + 3, 16, 16, 4}, 1);
+        const int mlpCount = 16384;
+        std::vector<float> mlpIn(static_cast<std::size_t>(mlp.inputDim()) *
+                                 mlpCount);
+        for (std::size_t i = 0; i < mlpIn.size(); ++i)
+            mlpIn[i] = 0.001f * static_cast<float>(i % 997) - 0.5f;
+        std::vector<float> mlpOut(
+            static_cast<std::size_t>(mlp.outputDim()) * mlpCount);
+        simdKernels.push_back(benchSimdKernel(
+            "mlp_forward_batch", mlpCount,
+            2.0 * static_cast<double>(mlp.macsPerInference()),
+            [&] {
+                mlp.forwardBatch(mlpIn.data(), mlpOut.data(), mlpCount);
+            },
+            mlpOut, 5));
     }
     bool gatherIdentical = true;
     for (const GatherResult &g : gathers)
         gatherIdentical = gatherIdentical && g.identical;
+    bool simdIdentical = true;
+    for (const SimdKernelResult &k : simdKernels)
+        simdIdentical = simdIdentical && k.identical;
 
     // ---- JSON -------------------------------------------------------
     std::printf("{\"bench\": \"render_throughput\", "
+                "\"simd_backend\": \"%s\", "
                 "\"resolution\": %d, "
                 "\"threads\": %d, "
                 "\"serial_s\": %.6f, "
@@ -226,7 +323,8 @@ main()
                 "\"rays_per_s_parallel\": %.1f, "
                 "\"speedup\": %.3f, \"stream_identical\": %s}, "
                 "\"gather\": {",
-                res, threads, serialS, parallelS, rays / serialS,
+                simd::backendName(simd::activeBackend()), res, threads,
+                serialS, parallelS, rays / serialS,
                 rays / parallelS, speedup,
                 bitIdentical ? "true" : "false", traceRes, tracedSerialS,
                 tracedParallelS, traceRays / tracedSerialS,
@@ -244,12 +342,29 @@ main()
                     g.batchS > 0.0 ? g.scalarS / g.batchS : 0.0,
                     g.identical ? "true" : "false");
     }
+    std::printf("}, \"simd\": {");
+    for (std::size_t i = 0; i < simdKernels.size(); ++i) {
+        const SimdKernelResult &k = simdKernels[i];
+        const double flops = k.items * k.flopsPerItem;
+        std::printf("%s\"%s\": {\"samples_per_s_simd\": %.1f, "
+                    "\"samples_per_s_scalar\": %.1f, "
+                    "\"gflops_simd\": %.3f, "
+                    "\"gflops_scalar\": %.3f, "
+                    "\"speedup\": %.3f, "
+                    "\"bit_identical\": %s}",
+                    i ? ", " : "", k.name.c_str(), k.items / k.simdS,
+                    k.items / k.scalarS, flops / k.simdS / 1e9,
+                    flops / k.scalarS / 1e9,
+                    k.simdS > 0.0 ? k.scalarS / k.simdS : 0.0,
+                    k.identical ? "true" : "false");
+    }
     std::printf("}}\n");
 
     setParallelThreadCount(0);
     // The exit code gates only on correctness (bit/stream identity);
     // perf ratios live in the JSON for the BENCH trajectory to track —
     // a noisy runner must not turn a timing wobble into a red build.
-    const bool ok = bitIdentical && traceIdentical && gatherIdentical;
+    const bool ok = bitIdentical && traceIdentical && gatherIdentical &&
+                    simdIdentical;
     return ok ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "nerf/volume_renderer.hh"
 
 namespace cicero {
@@ -124,9 +125,12 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
     }
     _stats.samples = samples.size();
 
-    std::vector<float> features(samples.size() *
-                                static_cast<std::size_t>(kFeatureDim),
-                                0.0f);
+    // Sample-major accumulation (each corner update touches one
+    // sample's contiguous 36 B); a bulk transposition before Stage F
+    // hands the SoA batched decode its channel-major layout.
+    const std::size_t S = samples.size();
+    std::vector<float> features(
+        S * static_cast<std::size_t>(kFeatureDim), 0.0f);
     const std::int64_t numSamples =
         static_cast<std::int64_t>(samples.size());
 
@@ -302,9 +306,17 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
     out.work.interpOps =
         samples.size() * _grid.interpOpsPerSample();
 
+    // One pass into the channel-major layout (channel ch of sample s
+    // at [ch * S + s]) the SoA batched decode consumes; the
+    // sample-major accumulation buffer is released immediately after.
+    std::vector<float> featuresSoA(features.size());
+    simd::transposeToChannelMajor(features.data(), static_cast<int>(S),
+                                  kFeatureDim, featuresSoA.data());
+    std::vector<float>().swap(features);
+
     // ---- Stage F: decode + composite ---------------------------------
-    // Row-parallel with a per-ray batched decode over the contiguous
-    // feature slice (bit-identical to scalar decode).
+    // Row-parallel with a per-ray batched SoA decode over the ray's
+    // feature columns (bit-identical to scalar decode).
     for (const StageWork &w : parallelMapChunks<StageWork>(
              H, [&](StageWork &fw, std::int64_t y0, std::int64_t y1) {
                  thread_local std::vector<DecodedSample> decoded;
@@ -318,11 +330,9 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
                          std::uint32_t s1 = rayFirstSample[rayId + 1];
                          const int m = static_cast<int>(s1 - s0);
                          decoded.resize(m);
-                         _model.decoder().decodeBatch(
-                             features.data() +
-                                 static_cast<std::size_t>(s0) *
-                                     kFeatureDim,
-                             m, ray.dir, decoded.data());
+                         _model.decoder().decodeBatchSoA(
+                             featuresSoA.data() + s0, S, m, ray.dir,
+                             decoded.data());
                          for (int i = 0; i < m; ++i) {
                              std::uint32_t s = s0 + i;
                              fw.mlpMacs += _model.nominalMlpMacs();

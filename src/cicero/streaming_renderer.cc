@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "nerf/volume_renderer.hh"
 
 namespace cicero {
@@ -153,9 +154,14 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     // stream, and boundary samples accumulate across MVoxels in that
     // order (partial interpolation), so this loop defines both the
     // access-stream and the FP-accumulation contract.
-    std::vector<float> features(samples.size() *
-                                static_cast<std::size_t>(kFeatureDim),
-                                0.0f);
+    //
+    // Accumulation is sample-major (each corner update touches one
+    // sample's contiguous 36 B, not kFeatureDim strided cache lines);
+    // one bulk transposition below hands Stage F the channel-major
+    // layout the SoA batched decode consumes.
+    const std::size_t S = samples.size();
+    std::vector<float> features(
+        S * static_cast<std::size_t>(kFeatureDim), 0.0f);
     for (std::uint32_t mv = 0; mv < numMv; ++mv) {
         const auto &entries = rit[mv];
         if (entries.empty())
@@ -194,6 +200,14 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     out.work.interpOps =
         samples.size() * _model.encoding().interpOpsPerSample();
 
+    // One pass into the channel-major layout (channel ch of sample s
+    // at [ch * S + s]) the SoA batched decode consumes; the
+    // sample-major accumulation buffer is released immediately after.
+    std::vector<float> featuresSoA(features.size());
+    simd::transposeToChannelMajor(features.data(), static_cast<int>(S),
+                                  kFeatureDim, featuresSoA.data());
+    std::vector<float>().swap(features);
+
     // ---- Stage F: decode + composite ---------------------------------
     // Row-parallel: rays write disjoint pixels and read disjoint
     // feature slices; per-chunk work counters merge in chunk order.
@@ -210,15 +224,14 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
                          std::uint32_t s1 = rayFirstSample[rayId + 1];
                          const int m = static_cast<int>(s1 - s0);
                          decoded.resize(m);
-                         // The ray's features are contiguous and
-                         // sample-major: one batched decode replaces
-                         // the per-sample MLP round trips
-                         // (bit-identical to scalar decode).
-                         _model.decoder().decodeBatch(
-                             features.data() +
-                                 static_cast<std::size_t>(s0) *
-                                     kFeatureDim,
-                             m, ray.dir, decoded.data());
+                         // The ray's feature columns start at s0 with
+                         // the frame-wide channel stride: one batched
+                         // SoA decode replaces the per-sample MLP
+                         // round trips (bit-identical to scalar
+                         // decode).
+                         _model.decoder().decodeBatchSoA(
+                             featuresSoA.data() + s0, S, m, ray.dir,
+                             decoded.data());
                          for (int i = 0; i < m; ++i) {
                              std::uint32_t s = s0 + i;
                              fw.mlpMacs += _model.nominalMlpMacs();

@@ -1,0 +1,118 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cicero {
+namespace simd {
+
+const char *
+backendName(Backend b)
+{
+    switch (b) {
+    case Backend::Avx2:
+        return "avx2";
+    case Backend::Neon:
+        return "neon";
+    case Backend::Scalar:
+        return "scalar";
+    }
+    return "scalar";
+}
+
+namespace {
+
+/** -1 = follow environment, 0 = native, 1 = scalar. */
+std::atomic<int> gOverride{-1};
+
+Backend
+backendFromEnv()
+{
+    const char *env = std::getenv("CICERO_SIMD");
+    if (!env || !*env || std::strcmp(env, "native") == 0)
+        return kCompiledBackend;
+    if (std::strcmp(env, "scalar") == 0)
+        return Backend::Scalar;
+    std::fprintf(stderr,
+                 "cicero: ignoring invalid CICERO_SIMD='%s' "
+                 "(expected scalar|native)\n",
+                 env);
+    return kCompiledBackend;
+}
+
+} // namespace
+
+Backend
+activeBackend()
+{
+    const int ov = gOverride.load(std::memory_order_relaxed);
+    if (ov == 0)
+        return kCompiledBackend;
+    if (ov == 1)
+        return Backend::Scalar;
+    static const Backend env = backendFromEnv();
+    return env;
+}
+
+void
+setSimdBackendOverride(bool forceScalar, bool reset)
+{
+    gOverride.store(reset ? -1 : (forceScalar ? 1 : 0),
+                    std::memory_order_relaxed);
+}
+
+void
+convertF16ToF32(const std::uint16_t *src, float *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    if (simdActive()) {
+        for (; i + VecF::kLanes <= n; i += VecF::kLanes)
+            loadF16(src + i).store(dst + i);
+    }
+    for (; i < n; ++i)
+        dst[i] = f16ToF32(src[i]);
+}
+
+void
+convertF32ToF16(const float *src, std::uint16_t *dst, std::size_t n)
+{
+    std::size_t i = 0;
+    if (simdActive()) {
+        for (; i + VecF::kLanes <= n; i += VecF::kLanes)
+            storeF16(dst + i, VecF::load(src + i));
+    }
+    for (; i < n; ++i)
+        dst[i] = f32ToF16(src[i]);
+}
+
+void
+roundBufferThroughFp16(float *p, std::size_t n)
+{
+    // Scalar on purpose: runs once at quantization time, and the scalar
+    // conversions are the reference the vector paths are tested against.
+    for (std::size_t i = 0; i < n; ++i)
+        p[i] = f16ToF32(f32ToF16(p[i]));
+}
+
+void
+transposeToChannelMajor(const float *aos, int n, int dim, float *soa)
+{
+    for (int i = 0; i < n; ++i)
+        for (int c = 0; c < dim; ++c)
+            soa[static_cast<std::size_t>(c) * n + i] =
+                aos[static_cast<std::size_t>(i) * dim + c];
+}
+
+void
+transposeToSampleMajor(const float *soa, int n, int dim, float *aos)
+{
+    for (int i = 0; i < n; ++i)
+        for (int c = 0; c < dim; ++c)
+            aos[static_cast<std::size_t>(i) * dim + c] =
+                soa[static_cast<std::size_t>(c) * n + i];
+}
+
+} // namespace simd
+} // namespace cicero

@@ -1,7 +1,10 @@
 #include "nerf/decoder.hh"
 
 #include <cmath>
+#include <cstdlib>
 #include <vector>
+
+#include "common/simd.hh"
 
 namespace cicero {
 
@@ -88,34 +91,48 @@ Decoder::decode(const float *feature, const Vec3 &viewDir) const
 }
 
 void
-Decoder::decodeBatch(const float *features, int count,
-                     const Vec3 &viewDir, DecodedSample *out) const
+Decoder::quantizeWeightsFp16()
 {
-    if (count <= 0)
-        return;
+    _mlp.quantizeWeightsFp16();
+}
 
-    // Transpose the gathered sample-major features into the
-    // channel-major (SoA) layout the batched MLP kernel consumes, and
-    // broadcast the (normalized) view direction channels.
-    const int inDim = kFeatureDim + 3;
-    const std::size_t n = static_cast<std::size_t>(count);
-    thread_local std::vector<float> mlpIn, mlpOut;
-    if (mlpIn.size() < static_cast<std::size_t>(inDim) * n)
-        mlpIn.resize(static_cast<std::size_t>(inDim) * n);
-    if (mlpOut.size() < 4 * n)
-        mlpOut.resize(4 * n);
+void
+Decoder::decodeChunk(const float *features, std::size_t featureStride,
+                     int count, const Vec3 &viewDir,
+                     const Vec3 &viewNorm, DecodedSample *out) const
+{
+    // Fixed-capacity TLS scratch: sized once for kDecodeChunk items and
+    // hard-checked against, never silently regrown — a chunked caller
+    // that outgrew it would otherwise reallocate on every hot-loop call
+    // (the fp16 weight path already pays a per-call widening pass; an
+    // allocation on top would dwarf the kernel). The check is
+    // unconditional, not an assert: release builds (-DNDEBUG) are the
+    // only builds this project ships, and overflowing the scratch
+    // would be silent heap corruption.
+    if (count < 1 || count > kDecodeChunk)
+        std::abort();
+    constexpr int inDim = kFeatureDim + 3;
+    thread_local std::vector<float> mlpIn(
+        static_cast<std::size_t>(inDim) * kDecodeChunk);
+    thread_local std::vector<float> mlpOut(
+        static_cast<std::size_t>(4) * kDecodeChunk);
 
-    Vec3 v = viewDir.normalized();
+    // The gathered features are already channel-major: one contiguous
+    // copy per channel (the old sample-major layout needed a full
+    // strided transposition here), then the normalized view direction
+    // broadcast into the last three channels.
+    const std::size_t nC = static_cast<std::size_t>(count);
     for (int c = 0; c < kFeatureDim; ++c) {
-        float *col = mlpIn.data() + static_cast<std::size_t>(c) * n;
-        const float *src = features + c;
+        const float *src = features + static_cast<std::size_t>(c) *
+                                          featureStride;
+        float *dst = mlpIn.data() + static_cast<std::size_t>(c) * nC;
         for (int b = 0; b < count; ++b)
-            col[b] = src[static_cast<std::size_t>(b) * kFeatureDim];
+            dst[b] = src[b];
     }
     for (int b = 0; b < count; ++b) {
-        mlpIn[(kFeatureDim + 0) * n + b] = v.x;
-        mlpIn[(kFeatureDim + 1) * n + b] = v.y;
-        mlpIn[(kFeatureDim + 2) * n + b] = v.z;
+        mlpIn[(kFeatureDim + 0) * nC + b] = viewNorm.x;
+        mlpIn[(kFeatureDim + 1) * nC + b] = viewNorm.y;
+        mlpIn[(kFeatureDim + 2) * nC + b] = viewNorm.z;
     }
 
     // One blocked pass instead of count virtual-call round trips. The
@@ -124,9 +141,11 @@ Decoder::decodeBatch(const float *features, int count,
     // early return.
     _mlp.forwardBatch(mlpIn.data(), mlpOut.data(), count);
 
+    float feature[kFeatureDim];
     for (int b = 0; b < count; ++b) {
-        const float *feature =
-            features + static_cast<std::size_t>(b) * kFeatureDim;
+        for (int c = 0; c < kFeatureDim; ++c)
+            feature[c] =
+                features[static_cast<std::size_t>(c) * featureStride + b];
         BakedPoint pt = decodeBakedFeature(feature);
 
         DecodedSample d;
@@ -134,16 +153,54 @@ Decoder::decodeBatch(const float *features, int count,
         if (pt.sigma > 0.0f) {
             d.rgb = shadePoint(pt, viewDir, _lightDir);
             d.rgb.x = clamp(d.rgb.x +
-                                _residualAmp * std::tanh(mlpOut[1 * n + b]),
+                                _residualAmp * std::tanh(mlpOut[1 * nC + b]),
                             0.0f, 1.0f);
             d.rgb.y = clamp(d.rgb.y +
-                                _residualAmp * std::tanh(mlpOut[2 * n + b]),
+                                _residualAmp * std::tanh(mlpOut[2 * nC + b]),
                             0.0f, 1.0f);
             d.rgb.z = clamp(d.rgb.z +
-                                _residualAmp * std::tanh(mlpOut[3 * n + b]),
+                                _residualAmp * std::tanh(mlpOut[3 * nC + b]),
                             0.0f, 1.0f);
         }
         out[b] = d;
+    }
+}
+
+void
+Decoder::decodeBatchSoA(const float *features, std::size_t featureStride,
+                        int count, const Vec3 &viewDir,
+                        DecodedSample *out) const
+{
+    if (count <= 0)
+        return;
+    const Vec3 viewNorm = viewDir.normalized();
+    for (int b0 = 0; b0 < count; b0 += kDecodeChunk)
+        decodeChunk(features + b0, featureStride,
+                    std::min(kDecodeChunk, count - b0), viewDir, viewNorm,
+                    out + b0);
+}
+
+void
+Decoder::decodeBatch(const float *features, int count,
+                     const Vec3 &viewDir, DecodedSample *out) const
+{
+    if (count <= 0)
+        return;
+
+    // Sample-major entry point (streaming renderers scatter-accumulate
+    // their feature buffers per sample): transpose chunk-wise into the
+    // channel-major layout the core consumes. Results are bit-identical
+    // to decodeBatchSoA — the layouts hold the same values.
+    thread_local std::vector<float> soa(
+        static_cast<std::size_t>(kFeatureDim) * kDecodeChunk);
+    const Vec3 viewNorm = viewDir.normalized();
+    for (int b0 = 0; b0 < count; b0 += kDecodeChunk) {
+        const int bn = std::min(kDecodeChunk, count - b0);
+        simd::transposeToChannelMajor(
+            features + static_cast<std::size_t>(b0) * kFeatureDim, bn,
+            kFeatureDim, soa.data());
+        decodeChunk(soa.data(), static_cast<std::size_t>(bn), bn, viewDir,
+                    viewNorm, out + b0);
     }
 }
 

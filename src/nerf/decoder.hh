@@ -21,6 +21,7 @@
 #ifndef CICERO_NERF_DECODER_HH
 #define CICERO_NERF_DECODER_HH
 
+#include <cstddef>
 #include <memory>
 
 #include "common/math.hh"
@@ -52,6 +53,14 @@ struct DecodedSample
 };
 
 /**
+ * Items per internal decode chunk: both batched decoder entry points
+ * process at most this many samples per kernel pass through
+ * fixed-capacity thread-local scratch (allocated once, hard-checked
+ * against — never silently regrown in the hot loop).
+ */
+constexpr int kDecodeChunk = 256;
+
+/**
  * The decoder: analytic shading head plus an executed-MLP residual.
  */
 class Decoder
@@ -75,13 +84,35 @@ class Decoder
     DecodedSample decode(const float *feature, const Vec3 &viewDir) const;
 
     /**
-     * Decode @p count feature vectors sharing one ray direction in a
-     * single batched MLP pass. @p features is sample-major
-     * (count x kFeatureDim, as gathered); results are bit-identical to
-     * @p count scalar decode() calls. Thread-safe.
+     * Decode @p count feature vectors sharing one ray direction in
+     * batched MLP passes. @p features is sample-major
+     * (count x kFeatureDim); results are bit-identical to @p count
+     * scalar decode() calls. Thread-safe.
      */
     void decodeBatch(const float *features, int count,
                      const Vec3 &viewDir, DecodedSample *out) const;
+
+    /**
+     * Channel-major (SoA) batched decode: channel c of sample i lives
+     * at features[c * featureStride + i] — the layout
+     * Encoding::gatherFeatureBatch produces (featureStride = block
+     * size) and the layout the batched MLP kernel consumes, so the
+     * per-call feature transposition of the sample-major entry point
+     * disappears. Results are bit-identical to scalar decode().
+     * Thread-safe.
+     */
+    void decodeBatchSoA(const float *features, std::size_t featureStride,
+                        int count, const Vec3 &viewDir,
+                        DecodedSample *out) const;
+
+    /**
+     * Switch the residual MLP to fp16 (2-byte) weight storage — see
+     * Mlp::quantizeWeightsFp16().
+     */
+    void quantizeWeightsFp16();
+
+    /** Whether the residual MLP reads fp16 weight storage. */
+    bool fp16Weights() const { return _mlp.fp16Weights(); }
 
     /** MACs/sample to account for Feature Computation. */
     std::uint64_t nominalMacs() const { return _nominalMacs; }
@@ -92,6 +123,11 @@ class Decoder
     std::uint64_t weightBytes() const { return _mlp.weightBytes(); }
 
   private:
+    /** One <= kDecodeChunk chunk through the fixed-capacity scratch. */
+    void decodeChunk(const float *features, std::size_t featureStride,
+                     int count, const Vec3 &viewDir, const Vec3 &viewNorm,
+                     DecodedSample *out) const;
+
     Vec3 _lightDir;
     Mlp _mlp;
     std::uint64_t _nominalMacs;

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include <vector>
+
+#include "common/simd.hh"
 
 namespace cicero {
 
@@ -54,6 +57,8 @@ DenseGridEncoding::bake(const AnalyticField &field)
             }
         }
     }
+    if (_featuresFp16)
+        quantizeFeaturesFp16(); // sticky: re-bakes stay 2-byte-valued
 }
 
 std::uint32_t
@@ -161,8 +166,8 @@ DenseGridEncoding::gatherAccesses(const Vec3 &pn, std::uint32_t rayId,
 }
 
 void
-DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
-                                      float *out) const
+DenseGridEncoding::gatherBatchScalar(const Vec3 *pn, int s0, int s1,
+                                     int n, float *out) const
 {
     // Unlike corners(), the functional batch skips the DRAM address and
     // MVoxel computations entirely — only weights and storage indices
@@ -172,7 +177,7 @@ DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
     const int hi = _n - 1;
     const float *data = _data.data();
     const std::size_t rowStride = static_cast<std::size_t>(_v);
-    for (int s = 0; s < n; ++s) {
+    for (int s = s0; s < s1; ++s) {
         float fx = clamp(pn[s].x, 0.0f, 1.0f) * scale;
         float fy = clamp(pn[s].y, 0.0f, 1.0f) * scale;
         float fz = clamp(pn[s].z, 0.0f, 1.0f) * scale;
@@ -182,9 +187,6 @@ DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
         float tx = fx - x0;
         float ty = fy - y0;
         float tz = fz - z0;
-        float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
-        for (int ch = 0; ch < kFeatureDim; ++ch)
-            dst[ch] = 0.0f;
         for (int c = 0; c < 8; ++c) {
             int dx = c & 1;
             int dy = (c >> 1) & 1;
@@ -198,9 +200,105 @@ DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
                         (x0 + dx)) *
                            kFeatureDim;
             for (int ch = 0; ch < kFeatureDim; ++ch)
-                dst[ch] += w * v[ch];
+                out[static_cast<std::size_t>(ch) * n + s] += w * v[ch];
         }
     }
+}
+
+void
+DenseGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                      float *out) const
+{
+    using simd::VecF;
+    using simd::VecI;
+    constexpr int L = VecF::kLanes;
+
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
+        out[i] = 0.0f;
+
+    // The vector kernel indexes with int32 lanes: grids whose scaled
+    // vertex index could exceed INT32_MAX (res >= ~644) must take the
+    // scalar path, which indexes with size_t.
+    const bool indexable =
+        static_cast<std::uint64_t>(_v) * _v * _v * kFeatureDim <=
+        0x7fffffffull;
+
+    if (!simd::simdActive() || n < L || !indexable) {
+        gatherBatchScalar(pn, 0, n, n, out);
+        return;
+    }
+
+    // Vectorized 8-corner trilinear kernel, one lane per sample: the
+    // corner weights and storage indices of L samples are computed at
+    // once, then each channel's lane sweep gathers the corner values
+    // and accumulates with unfused madds. Arithmetic expressions and
+    // per-sample accumulation order match gatherFeature() exactly —
+    // results are bit-identical.
+    const PositionsSoA pos = transposePositionsSoA(pn, n);
+    const float *px = pos.x;
+    const float *py = pos.y;
+    const float *pz = pos.z;
+
+    const int nBlocks = n / L * L;
+    const VecF vZero = VecF::zero();
+    const VecF vOne = VecF::broadcast(1.0f);
+    const VecF vScale = VecF::broadcast(static_cast<float>(_n));
+    const VecI vHi = VecI::broadcast(_n - 1);
+    const VecI vRow = VecI::broadcast(_v);
+    const VecI vDim = VecI::broadcast(kFeatureDim);
+    const VecI vOneI = VecI::broadcast(1);
+    const float *data = _data.data();
+
+    for (int s0 = 0; s0 < nBlocks; s0 += L) {
+        const VecF fx =
+            vmin(vmax(VecF::load(px + s0), vZero), vOne) * vScale;
+        const VecF fy =
+            vmin(vmax(VecF::load(py + s0), vZero), vOne) * vScale;
+        const VecF fz =
+            vmin(vmax(VecF::load(pz + s0), vZero), vOne) * vScale;
+        const VecI x0 = vmin(truncToInt(fx), vHi);
+        const VecI y0 = vmin(truncToInt(fy), vHi);
+        const VecI z0 = vmin(truncToInt(fz), vHi);
+        const VecF tx = fx - toFloat(x0);
+        const VecF ty = fy - toFloat(y0);
+        const VecF tz = fz - toFloat(z0);
+        const VecF mx = vOne - tx;
+        const VecF my = vOne - ty;
+        const VecF mz = vOne - tz;
+
+        VecF w[8];
+        VecI idx[8];
+        for (int c = 0; c < 8; ++c) {
+            const bool dx = c & 1;
+            const bool dy = (c >> 1) & 1;
+            const bool dz = (c >> 2) & 1;
+            w[c] = ((dx ? tx : mx) * (dy ? ty : my)) * (dz ? tz : mz);
+            const VecI cx = dx ? x0 + vOneI : x0;
+            const VecI cy = dy ? y0 + vOneI : y0;
+            const VecI cz = dz ? z0 + vOneI : z0;
+            idx[c] = ((cz * vRow + cy) * vRow + cx) * vDim;
+        }
+
+        for (int ch = 0; ch < kFeatureDim; ++ch) {
+            float *o = out + static_cast<std::size_t>(ch) * n + s0;
+            VecF acc = VecF::load(o);
+            for (int c = 0; c < 8; ++c)
+                acc = simd::madd(w[c], simd::gather(data + ch, idx[c]),
+                                 acc);
+            acc.store(o);
+        }
+    }
+
+    if (nBlocks < n)
+        gatherBatchScalar(pn, nBlocks, n, n, out);
+}
+
+void
+DenseGridEncoding::quantizeFeaturesFp16()
+{
+    _featuresFp16 = true;
+    simd::roundBufferThroughFp16(_data.data(), _data.size());
 }
 
 void

@@ -85,6 +85,17 @@ class DenseGridEncoding : public Encoding
         return kFeatureDim * kBytesPerChannel;
     }
 
+    /**
+     * Round every stored feature channel to its nearest fp16 value —
+     * after this the functional grid holds exactly what the 2-byte
+     * DRAM storage priced by vertexBytes() holds. Sticky across
+     * re-bakes. Idempotent.
+     */
+    void quantizeFeaturesFp16();
+
+    /** Whether feature storage has been quantized to fp16 values. */
+    bool featuresFp16() const { return _featuresFp16; }
+
     /** The 8 corners (with weights/addresses) of the voxel at @p pn. */
     std::array<GridCorner, 8> corners(const Vec3 &pn) const;
 
@@ -110,11 +121,16 @@ class DenseGridEncoding : public Encoding
   private:
     std::size_t storageIndex(int ix, int iy, int iz) const;
 
+    /** Scalar sweep of samples [s0, s1) into channel-major @p out. */
+    void gatherBatchScalar(const Vec3 *pn, int s0, int s1, int n,
+                           float *out) const;
+
     int _n;          //!< voxels per axis
     int _v;          //!< vertices per axis (= _n + 1)
     GridLayout _layout;
     int _blockVerts; //!< MVoxel edge in vertices
     std::uint32_t _blocksPerAxis;
+    bool _featuresFp16 = false;
     std::vector<float> _data; //!< (V^3) x featureDim, x-fastest
 };
 

@@ -14,9 +14,13 @@
  * Both gather queries also come in batched form (gatherFeatureBatch /
  * gatherAccessesBatch) over a span of sample positions — one virtual
  * call per ray block instead of one per sample, with per-batch setup
- * hoisted out of the per-sample loop. The base class provides fallback
- * loops over the scalar virtuals so external encodings keep working;
- * the in-tree encodings override both natively.
+ * hoisted out of the per-sample loop. The batched feature buffer is
+ * channel-major (SoA): channel c of sample i lives at out[c * n + i],
+ * so one vector lane sweep covers a whole ray block — the layout the
+ * SIMD 8-corner kernels (src/common/simd.hh) and the batched decoder
+ * consume directly. The base class provides fallback loops over the
+ * scalar virtuals so external encodings keep working; the in-tree
+ * encodings override both natively.
  */
 
 #ifndef CICERO_NERF_ENCODING_HH
@@ -34,6 +38,40 @@ namespace cicero {
 
 /** Feature channels are stored as 2-byte (fp16-class) values in DRAM. */
 constexpr std::uint32_t kBytesPerChannel = 2;
+
+/** featureDim() values up to this bound use stack temporaries in the
+ *  batched-gather fallback paths; wider encodings take a heap path. */
+constexpr int kMaxFeatureDim = 32;
+
+/** A position span transposed into SoA axis arrays (thread-local
+ *  backing — valid until the calling thread's next transpose). */
+struct PositionsSoA
+{
+    const float *x;
+    const float *y;
+    const float *z;
+};
+
+/**
+ * Transpose @p n positions into thread-local SoA axis arrays so a
+ * vector kernel can lane-sweep one coordinate at a time.
+ */
+inline PositionsSoA
+transposePositionsSoA(const Vec3 *pn, int n)
+{
+    thread_local std::vector<float> buf;
+    if (buf.size() < 3 * static_cast<std::size_t>(n))
+        buf.resize(3 * static_cast<std::size_t>(n));
+    float *x = buf.data();
+    float *y = x + n;
+    float *z = y + n;
+    for (int i = 0; i < n; ++i) {
+        x[i] = pn[i].x;
+        y[i] = pn[i].y;
+        z[i] = pn[i].z;
+    }
+    return {x, y, z};
+}
 
 /**
  * What the fully-streaming data flow moves for a workload. All byte
@@ -95,19 +133,30 @@ class Encoding
      * Interpolate the features of @p n samples in one call.
      *
      * @param pn  n normalized positions (contiguous).
-     * @param out n * featureDim() floats, sample-major: sample i's
-     *            feature vector starts at out + i * featureDim().
+     * @param out n * featureDim() floats, channel-major (SoA): channel
+     *            c of sample i lives at out[c * n + i].
      *
      * Results are bit-identical to n scalar gatherFeature() calls —
-     * implementations may reorder *across* samples (e.g. level-major
-     * SoA sweeps) but must preserve each sample's accumulation order.
+     * implementations may reorder *across* samples (level-major or
+     * grouping-major sweeps, vector lane blocks) but must preserve
+     * each sample's accumulation order.
      */
     virtual void
     gatherFeatureBatch(const Vec3 *pn, int n, float *out) const
     {
         const int dim = featureDim();
-        for (int i = 0; i < n; ++i)
-            gatherFeature(pn[i], out + static_cast<std::size_t>(i) * dim);
+        float stackTmp[kMaxFeatureDim];
+        std::vector<float> heapTmp;
+        float *tmp = stackTmp;
+        if (dim > kMaxFeatureDim) { // wide external encodings
+            heapTmp.resize(dim);
+            tmp = heapTmp.data();
+        }
+        for (int i = 0; i < n; ++i) {
+            gatherFeature(pn[i], tmp);
+            for (int c = 0; c < dim; ++c)
+                out[static_cast<std::size_t>(c) * n + i] = tmp[c];
+        }
     }
 
     /**

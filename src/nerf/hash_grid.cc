@@ -3,18 +3,27 @@
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include <vector>
+
+#include "common/simd.hh"
 
 namespace cicero {
 
 namespace {
 
-/** The spatial hash of Instant-NGP (Teschner et al. primes). */
+/** The Instant-NGP spatial-hash primes (Teschner et al.) — one
+ *  definition shared by the scalar hash and the vector kernel, so the
+ *  two paths cannot silently diverge. */
+constexpr std::uint32_t kHashPrimeY = 2654435761u;
+constexpr std::uint32_t kHashPrimeZ = 805459861u;
+
+/** The spatial hash of Instant-NGP. */
 inline std::uint32_t
 spatialHash(int ix, int iy, int iz)
 {
     return static_cast<std::uint32_t>(ix) * 1u ^
-           static_cast<std::uint32_t>(iy) * 2654435761u ^
-           static_cast<std::uint32_t>(iz) * 805459861u;
+           static_cast<std::uint32_t>(iy) * kHashPrimeY ^
+           static_cast<std::uint32_t>(iz) * kHashPrimeZ;
 }
 
 } // namespace
@@ -129,22 +138,19 @@ HashGridEncoding::gatherFeature(const Vec3 &pn, float *out) const
 }
 
 void
-HashGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
-                                     float *out) const
+HashGridEncoding::gatherBatchScalar(const Vec3 *pn, int s0, int s1,
+                                    int n, float *out) const
 {
     // Level-major sweep: the level's metadata (res, storage kind, data
     // pointer) is hoisted out of the sample loop, so the inner loop is
     // pure index math + accumulation over one table. Per sample the
     // accumulation order (levels ascending, corners ascending) matches
     // gatherFeature() exactly, so results are bit-identical.
-    for (std::size_t i = 0;
-         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
-        out[i] = 0.0f;
     for (const Level &lvl : _levels) {
         const float res = static_cast<float>(lvl.res);
         const int hi = lvl.res - 1;
         const float *data = lvl.data.data();
-        for (int s = 0; s < n; ++s) {
+        for (int s = s0; s < s1; ++s) {
             float fx = clamp(pn[s].x, 0.0f, 1.0f) * res;
             float fy = clamp(pn[s].y, 0.0f, 1.0f) * res;
             float fz = clamp(pn[s].z, 0.0f, 1.0f) * res;
@@ -154,7 +160,6 @@ HashGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
             float tx = fx - x0;
             float ty = fy - y0;
             float tz = fz - z0;
-            float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
             for (int c = 0; c < 8; ++c) {
                 int dx = c & 1;
                 int dy = (c >> 1) & 1;
@@ -166,10 +171,143 @@ HashGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
                 const float *v =
                     data + static_cast<std::size_t>(slot) * kFeatureDim;
                 for (int ch = 0; ch < kFeatureDim; ++ch)
-                    dst[ch] += w * v[ch];
+                    out[static_cast<std::size_t>(ch) * n + s] +=
+                        w * v[ch];
             }
         }
     }
+}
+
+void
+HashGridEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                     float *out) const
+{
+    using simd::VecF;
+    using simd::VecI;
+    constexpr int L = VecF::kLanes;
+
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
+        out[i] = 0.0f;
+
+    // The vector kernel indexes with int32 lanes: a table whose scaled
+    // element index could exceed INT32_MAX must take the scalar path
+    // (slots is bounded by tableSize, so this only triggers on extreme
+    // configurations).
+    bool indexable = true;
+    for (const Level &lvl : _levels)
+        indexable = indexable &&
+                    static_cast<std::uint64_t>(lvl.slots) * kFeatureDim <=
+                        0x7fffffffull;
+
+    if (!simd::simdActive() || n < L || !indexable) {
+        gatherBatchScalar(pn, 0, n, n, out);
+        return;
+    }
+
+    // Vectorized level-major 8-corner kernel: one lane per sample. Per
+    // corner the kernel computes the trilinear weight and the table
+    // slot for L samples at once, then per channel gathers the L
+    // vertex values and accumulates into the channel-major output with
+    // an unfused madd — per (sample, channel) the accumulation order
+    // (levels ascending, corners ascending) and every arithmetic
+    // expression match gatherFeature() exactly, so results are
+    // bit-identical to the scalar sweep.
+    const PositionsSoA pos = transposePositionsSoA(pn, n);
+    const int nBlocks = n / L * L;
+    const VecF vZero = VecF::zero();
+    const VecF vOne = VecF::broadcast(1.0f);
+
+    for (const Level &lvl : _levels) {
+        const VecF vRes = VecF::broadcast(static_cast<float>(lvl.res));
+        const VecI vHi = VecI::broadcast(lvl.res - 1);
+        const VecI vDim = VecI::broadcast(kFeatureDim);
+        const VecI vV = VecI::broadcast(lvl.res + 1);
+        const VecI vOneI = VecI::broadcast(1);
+        const float *data = lvl.data.data();
+        const bool slotsPow2 = (lvl.slots & (lvl.slots - 1)) == 0;
+        const VecI vSlotMask =
+            VecI::broadcast(static_cast<std::int32_t>(lvl.slots - 1));
+
+        for (int s0 = 0; s0 < nBlocks; s0 += L) {
+            // fx = clamp(p, 0, 1) * res; x0 = min(int(fx), res - 1);
+            // tx = fx - x0 — identical expressions, lane-wise.
+            const VecF fx =
+                vmin(vmax(VecF::load(pos.x + s0), vZero), vOne) * vRes;
+            const VecF fy =
+                vmin(vmax(VecF::load(pos.y + s0), vZero), vOne) * vRes;
+            const VecF fz =
+                vmin(vmax(VecF::load(pos.z + s0), vZero), vOne) * vRes;
+            const VecI x0 = vmin(truncToInt(fx), vHi);
+            const VecI y0 = vmin(truncToInt(fy), vHi);
+            const VecI z0 = vmin(truncToInt(fz), vHi);
+            const VecF tx = fx - toFloat(x0);
+            const VecF ty = fy - toFloat(y0);
+            const VecF tz = fz - toFloat(z0);
+            const VecF mx = vOne - tx;
+            const VecF my = vOne - ty;
+            const VecF mz = vOne - tz;
+
+            VecF w[8];
+            VecI idx[8];
+            for (int c = 0; c < 8; ++c) {
+                const bool dx = c & 1;
+                const bool dy = (c >> 1) & 1;
+                const bool dz = (c >> 2) & 1;
+                w[c] = ((dx ? tx : mx) * (dy ? ty : my)) *
+                       (dz ? tz : mz);
+                const VecI cx = dx ? x0 + vOneI : x0;
+                const VecI cy = dy ? y0 + vOneI : y0;
+                const VecI cz = dz ? z0 + vOneI : z0;
+                VecI slot;
+                if (lvl.dense) {
+                    slot = (cz * vV + cy) * vV + cx;
+                } else {
+                    const VecI h =
+                        cx ^
+                        cy * VecI::broadcast(
+                                 static_cast<std::int32_t>(kHashPrimeY)) ^
+                        cz * VecI::broadcast(
+                                 static_cast<std::int32_t>(kHashPrimeZ));
+                    if (slotsPow2) {
+                        slot = h & vSlotMask;
+                    } else {
+                        // Non-power-of-two tables: unsigned modulo has
+                        // no vector form — round-trip through a lane
+                        // array.
+                        std::int32_t lanes[VecI::kLanes];
+                        h.store(lanes);
+                        for (std::int32_t &lv : lanes)
+                            lv = static_cast<std::int32_t>(
+                                static_cast<std::uint32_t>(lv) %
+                                lvl.slots);
+                        slot = VecI::load(lanes);
+                    }
+                }
+                idx[c] = slot * vDim;
+            }
+
+            for (int ch = 0; ch < kFeatureDim; ++ch) {
+                float *o = out + static_cast<std::size_t>(ch) * n + s0;
+                VecF acc = VecF::load(o);
+                for (int c = 0; c < 8; ++c)
+                    acc = simd::madd(w[c], simd::gather(data + ch, idx[c]),
+                                     acc);
+                acc.store(o);
+            }
+        }
+    }
+
+    if (nBlocks < n)
+        gatherBatchScalar(pn, nBlocks, n, n, out);
+}
+
+void
+HashGridEncoding::quantizeFeaturesFp16()
+{
+    _featuresFp16 = true;
+    for (Level &lvl : _levels)
+        simd::roundBufferThroughFp16(lvl.data.data(), lvl.data.size());
 }
 
 void
@@ -257,6 +395,9 @@ HashGridEncoding::bake(const AnalyticField &field)
                 dst[ch] = src[ch] * inv;
         }
     }
+
+    if (_featuresFp16)
+        quantizeFeaturesFp16(); // sticky: re-bakes stay 2-byte-valued
 }
 
 void

@@ -82,6 +82,17 @@ class HashGridEncoding : public Encoding
         return kFeatureDim * kBytesPerChannel;
     }
 
+    /**
+     * Round every stored feature channel to its nearest fp16 value —
+     * after this the functional tables hold exactly what the 2-byte
+     * DRAM storage priced by modelBytes()/vertexBytes() holds. Sticky
+     * across re-bakes. Idempotent.
+     */
+    void quantizeFeaturesFp16();
+
+    /** Whether feature storage has been quantized to fp16 values. */
+    bool featuresFp16() const { return _featuresFp16; }
+
     // --- Level internals exposed for the hierarchical streaming
     // --- renderer (Sec. IV-A "Accommodating Hierarchical Data
     // --- Encodings").
@@ -124,8 +135,13 @@ class HashGridEncoding : public Encoding
     /** Accumulate the interpolation of levels [0, uptoLevel) at @p pn. */
     void gatherUpto(const Vec3 &pn, int uptoLevel, float *out) const;
 
+    /** Level-major scalar sweep of samples [s0, s1) into SoA @p out. */
+    void gatherBatchScalar(const Vec3 *pn, int s0, int s1, int n,
+                           float *out) const;
+
     HashGridConfig _config;
     std::vector<Level> _levels;
+    bool _featuresFp16 = false;
 };
 
 } // namespace cicero

@@ -1,16 +1,25 @@
 /**
  * @file
  * A small fully-connected network with ReLU hidden activations — the
- * "Feature Computation" MLP of NeRF models. Weight storage is plain
- * row-major float; the forward pass reports its multiply-accumulate
- * count so timing models can price it.
+ * "Feature Computation" MLP of NeRF models. The forward pass reports
+ * its multiply-accumulate count so timing models can price it.
  *
  * Two entry points exist: the scalar forward() and the batched
  * forwardBatch(), which evaluates many inputs through one blocked,
- * auto-vectorizable kernel. Both accumulate in the same order, so a
- * batched evaluation is bit-identical to the scalar one. Scratch
+ * register-tiled SIMD GEMM microkernel (src/common/simd.hh; scalar
+ * reference under CICERO_SIMD=scalar). Both accumulate input channels
+ * in the same ascending order with unfused multiply-adds, so every
+ * path — scalar, SIMD, any batch size — is bit-identical. Scratch
  * buffers live in thread-local storage: concurrent forward passes on
  * one model from many threads are safe.
+ *
+ * Weight storage is row-major fp32 by default; quantizeWeightsFp16()
+ * switches the model to 2-byte (IEEE binary16) weight storage matching
+ * the DRAM model priced by weightBytes(). In fp16 mode the kernel
+ * widens the stored halves to fp32 on load (F16C/NEON or the exact
+ * scalar conversion) and computes in fp32: scalar and SIMD stay
+ * bit-identical to each other, while outputs differ from the fp32
+ * model only by the weight quantization (|dw/w| <= 2^-11 per weight).
  */
 
 #ifndef CICERO_NERF_MLP_HH
@@ -55,11 +64,23 @@ class Mlp
      * Batched forward pass over @p count inputs in channel-major (SoA)
      * layout: channel c of item b lives at [c * count + b], for both
      * @p in (inputDim() x count floats) and @p out (outputDim() x count
-     * floats). The contiguous item axis is what lets the compiler
-     * vectorize the inner accumulation loop. Results are bit-identical
-     * to @p count scalar forward() calls.
+     * floats). The contiguous item axis is what the vector kernel's
+     * lane sweep runs over. Results are bit-identical to @p count
+     * scalar forward() calls.
      */
     void forwardBatch(const float *in, float *out, int count) const;
+
+    /**
+     * Requantize the weights and biases to fp16 (round-to-nearest-even)
+     * and switch the forward kernels to 2-byte weight storage. The fp32
+     * arrays are replaced by the dequantized values, so tests and
+     * direct weight access observe exactly what the kernel computes
+     * with. Idempotent.
+     */
+    void quantizeWeightsFp16();
+
+    /** Whether the kernels read fp16 weight storage. */
+    bool fp16Weights() const { return _fp16; }
 
     /** Direct access for tests. */
     std::vector<std::vector<float>> &weights() { return _weights; }
@@ -70,6 +91,10 @@ class Mlp
     // _weights[l] is row-major (dims[l+1] x dims[l]).
     std::vector<std::vector<float>> _weights;
     std::vector<std::vector<float>> _biases;
+    // fp16 mode: the storage of record the kernels load from.
+    std::vector<std::vector<std::uint16_t>> _weightsH;
+    std::vector<std::vector<std::uint16_t>> _biasesH;
+    bool _fp16 = false;
     std::uint64_t _macs = 0;
     int _maxWidth = 0;
 };

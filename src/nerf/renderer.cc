@@ -87,11 +87,17 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
     gAcc.specular = 0.0f;
     gAcc.shininess = 0.0f;
 
-    auto accumulateGBuffer = [&](const float *feature,
+    // Reads one sample's channels out of the channel-major block
+    // (stride = block size) — only on the rare G-buffer path.
+    auto accumulateGBuffer = [&](const float *feats, int stride, int j,
                                  const DecodedSample &d,
                                  const RaySample &s, float tBefore) {
         float alpha = 1.0f - std::exp(-d.sigma * s.dt);
         float w = tBefore * alpha;
+        float feature[kFeatureDim];
+        for (int ch = 0; ch < kFeatureDim; ++ch)
+            feature[ch] =
+                feats[static_cast<std::size_t>(ch) * stride + j];
         BakedPoint bp = decodeBakedFeature(feature);
         gAcc.diffuse += bp.diffuse * w;
         gNormal += bp.normal * w;
@@ -137,9 +143,13 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
                                            accessBuf);
         }
 
+        // Channel-major block: gatherFeatureBatch writes channel c of
+        // sample j at feats[c * m + j], and the SoA decode consumes it
+        // without any transposition.
         float *feats = featureBuf.data();
         _encoding->gatherFeatureBatch(posBuf.data(), m, feats);
-        _decoder.decodeBatch(feats, m, ray.dir, decodedBuf.data());
+        _decoder.decodeBatchSoA(feats, static_cast<std::size_t>(m), m,
+                                ray.dir, decodedBuf.data());
 
         for (int j = 0; j < m; ++j) {
             const RaySample &s = samples[base + j];
@@ -155,7 +165,7 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
             }
 
             if (gbufOut && d.sigma > 0.0f)
-                accumulateGBuffer(feats + j * kFeatureDim, d, s,
+                accumulateGBuffer(feats, m, j, d, s,
                                   comp.transmittance());
 
             if (!comp.add(d.sigma, d.rgb, s.t, s.dt)) {

@@ -3,6 +3,9 @@
 #include <cassert>
 #include <cmath>
 #include <unordered_set>
+#include <vector>
+
+#include "common/simd.hh"
 
 namespace cicero {
 
@@ -217,6 +220,9 @@ TensoRFEncoding::bake(const AnalyticField &field)
             }
         }
     }
+
+    if (_featuresFp16)
+        applyFp16Quantization(); // sticky: re-bakes stay 2-byte-valued
 }
 
 void
@@ -257,8 +263,8 @@ TensoRFEncoding::gatherFeature(const Vec3 &pn, float *out) const
 }
 
 void
-TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
-                                    float *out) const
+TensoRFEncoding::gatherBatchScalar(const Vec3 *pn, int s0, int s1,
+                                   int n, float *out) const
 {
     // Grouping-major sweep: the (plane, line) base pointers and axis
     // triplet of each grouping are resolved once per batch instead of
@@ -266,12 +272,9 @@ TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
     // ascending, ranks ascending) matches gatherFeature() exactly.
     const int res = _config.res;
     const int R = _config.ranks;
-    for (std::size_t i = 0;
-         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
-        out[i] = 0.0f;
 
     for (int g = 0; g < 3; ++g) {
-        for (int s = 0; s < n; ++s) {
+        for (int s = s0; s < s1; ++s) {
             float fu, fv, fw;
             groupCoords(g, pn[s], fu, fv, fw);
             int u0 = std::min(static_cast<int>(fu), res - 2);
@@ -285,7 +288,6 @@ TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
             float wv[2] = {1.0f - tv, tv};
             float ww[2] = {1.0f - tw, tw};
 
-            float *dst = out + static_cast<std::size_t>(s) * kFeatureDim;
             for (int r = 0; r < R; ++r) {
                 for (int ch = 0; ch < kFeatureDim; ++ch) {
                     float pval = 0.0f;
@@ -295,10 +297,175 @@ TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
                                     planeAt(g, u0 + du, v0 + dv, r, ch);
                     float lval = ww[0] * lineAt(g, w0, r, ch) +
                                  ww[1] * lineAt(g, w0 + 1, r, ch);
-                    dst[ch] += pval * lval;
+                    out[static_cast<std::size_t>(ch) * n + s] +=
+                        pval * lval;
                 }
             }
         }
+    }
+}
+
+void
+TensoRFEncoding::gatherFeatureBatch(const Vec3 *pn, int n,
+                                    float *out) const
+{
+    using simd::VecF;
+    using simd::VecI;
+    constexpr int L = VecF::kLanes;
+
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(n) * kFeatureDim; ++i)
+        out[i] = 0.0f;
+
+    // The vector kernel indexes with int32 lanes: factorizations whose
+    // scaled plane-texel index could exceed INT32_MAX must take the
+    // scalar path, which indexes with size_t.
+    const bool indexable =
+        static_cast<std::uint64_t>(_config.res) * _config.res *
+            _config.ranks * kFeatureDim <=
+        0x7fffffffull;
+
+    if (!simd::simdActive() || n < L || !indexable) {
+        gatherBatchScalar(pn, 0, n, n, out);
+        return;
+    }
+
+    // Vectorized grouping-major sweep, one lane per sample: per block
+    // the four bilinear plane weights, the scaled texel indices and the
+    // two line indices are computed once, then each (rank, channel)
+    // slice runs 4 plane + 2 line gathers and accumulates with the
+    // exact scalar expressions ((wu*wv)*P summed dv-major,
+    // ww0*l0 + ww1*l1, out += pval*lval) — bit-identical to
+    // gatherFeature().
+    const PositionsSoA pos = transposePositionsSoA(pn, n);
+    const float *axes[3] = {pos.x, pos.y, pos.z};
+
+    const int res = _config.res;
+    const int R = _config.ranks;
+    const int texelElems = R * kFeatureDim;
+    const int nBlocks = n / L * L;
+    const VecF vZero = VecF::zero();
+    const VecF vOne = VecF::broadcast(1.0f);
+    const VecF vScale = VecF::broadcast(static_cast<float>(res - 1));
+    const VecI vHi = VecI::broadcast(res - 2);
+    const VecI vRes = VecI::broadcast(res);
+    const VecI vTexel = VecI::broadcast(texelElems);
+
+    for (int g = 0; g < 3; ++g) {
+        const float *pu = axes[kAxisU[g]];
+        const float *pv = axes[kAxisV[g]];
+        const float *pw = axes[kAxisW[g]];
+        const float *plane = _planes[g].data();
+        const float *line = _lines[g].data();
+
+        for (int s0 = 0; s0 < nBlocks; s0 += L) {
+            const VecF fu =
+                vmin(vmax(VecF::load(pu + s0), vZero), vOne) * vScale;
+            const VecF fv =
+                vmin(vmax(VecF::load(pv + s0), vZero), vOne) * vScale;
+            const VecF fw =
+                vmin(vmax(VecF::load(pw + s0), vZero), vOne) * vScale;
+            const VecI u0 = vmin(truncToInt(fu), vHi);
+            const VecI v0 = vmin(truncToInt(fv), vHi);
+            const VecI w0 = vmin(truncToInt(fw), vHi);
+            const VecF tu = fu - toFloat(u0);
+            const VecF tv = fv - toFloat(v0);
+            const VecF tw = fw - toFloat(w0);
+
+            const VecF wu[2] = {vOne - tu, tu};
+            const VecF wv[2] = {vOne - tv, tv};
+            const VecF ww0 = vOne - tw;
+            const VecF ww1 = tw;
+
+            // Scaled element indices of the 4 plane texels (dv-major,
+            // matching the scalar accumulation order) and 2 line taps.
+            VecF wuv[4];
+            VecI tIdx[4];
+            for (int dv = 0; dv < 2; ++dv)
+                for (int du = 0; du < 2; ++du) {
+                    wuv[dv * 2 + du] = wu[du] * wv[dv];
+                    const VecI u = du ? u0 + VecI::broadcast(1) : u0;
+                    const VecI v = dv ? v0 + VecI::broadcast(1) : v0;
+                    tIdx[dv * 2 + du] = (v * vRes + u) * vTexel;
+                }
+            const VecI lIdx0 = w0 * vTexel;
+            const VecI lIdx1 = lIdx0 + vTexel;
+
+            for (int r = 0; r < R; ++r) {
+                for (int ch = 0; ch < kFeatureDim; ++ch) {
+                    const int off = r * kFeatureDim + ch;
+                    VecF pval = VecF::zero();
+                    for (int t = 0; t < 4; ++t)
+                        pval = simd::madd(
+                            wuv[t], simd::gather(plane + off, tIdx[t]),
+                            pval);
+                    const VecF lval =
+                        ww0 * simd::gather(line + off, lIdx0) +
+                        ww1 * simd::gather(line + off, lIdx1);
+                    float *o =
+                        out + static_cast<std::size_t>(ch) * n + s0;
+                    simd::madd(pval, lval, VecF::load(o)).store(o);
+                }
+            }
+        }
+    }
+
+    if (nBlocks < n)
+        gatherBatchScalar(pn, nBlocks, n, n, out);
+}
+
+void
+TensoRFEncoding::quantizeFeaturesFp16()
+{
+    // Unlike the grids' plain rounding, the rebalance below is not a
+    // no-op on already-quantized tables (the factor re-derived from
+    // rounded maxima is ~1 but not exactly 1), so idempotency comes
+    // from the flag: quantized tables are only re-processed after a
+    // re-bake refreshes them.
+    if (_featuresFp16)
+        return;
+    _featuresFp16 = true;
+    applyFp16Quantization();
+}
+
+void
+TensoRFEncoding::applyFp16Quantization()
+{
+    const int res = _config.res;
+    const int R = _config.ranks;
+
+    // The ALS fit leaves rank-1 components with wildly unbalanced
+    // magnitudes (a huge line against a tiny plane) whose larger half
+    // overflows fp16 to inf — and inf * 0 turns gathers into NaN. A
+    // rank-1 outer product is invariant under (plane * a, line / a),
+    // so rebalance each (grouping, rank, channel) component to equal
+    // peak magnitudes before rounding; both halves then land well
+    // inside the fp16 range (their geometric mean is a feature-scale
+    // value).
+    for (int g = 0; g < 3; ++g) {
+        for (int r = 0; r < R; ++r) {
+            for (int ch = 0; ch < kFeatureDim; ++ch) {
+                float maxP = 0.0f, maxL = 0.0f;
+                for (int v = 0; v < res; ++v)
+                    for (int u = 0; u < res; ++u)
+                        maxP = std::max(
+                            maxP, std::fabs(planeAt(g, u, v, r, ch)));
+                for (int w = 0; w < res; ++w)
+                    maxL =
+                        std::max(maxL, std::fabs(lineAt(g, w, r, ch)));
+                if (maxP <= 0.0f || maxL <= 0.0f)
+                    continue;
+                const float a = std::sqrt(maxL / maxP);
+                const float inv = 1.0f / a;
+                for (int v = 0; v < res; ++v)
+                    for (int u = 0; u < res; ++u)
+                        planeAt(g, u, v, r, ch) *= a;
+                for (int w = 0; w < res; ++w)
+                    lineAt(g, w, r, ch) *= inv;
+            }
+        }
+        simd::roundBufferThroughFp16(_planes[g].data(), _planes[g].size());
+        simd::roundBufferThroughFp16(_lines[g].data(), _lines[g].size());
     }
 }
 

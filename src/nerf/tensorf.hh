@@ -57,6 +57,17 @@ class TensoRFEncoding : public Encoding
 
     const TensoRFConfig &config() const { return _config; }
 
+    /**
+     * Round every stored plane/line channel to its nearest fp16 value —
+     * after this the functional tensors hold exactly what the 2-byte
+     * DRAM storage priced by texelBytes() holds. Sticky across
+     * re-bakes. Idempotent.
+     */
+    void quantizeFeaturesFp16();
+
+    /** Whether feature storage has been quantized to fp16 values. */
+    bool featuresFp16() const { return _featuresFp16; }
+
   private:
     /** Bytes of one plane texel (ranks x channels). */
     std::uint32_t texelBytes() const
@@ -76,7 +87,15 @@ class TensoRFEncoding : public Encoding
     void groupCoords(int g, const Vec3 &pn, float &u, float &v,
                      float &w) const;
 
+    /** Grouping-major scalar sweep of samples [s0, s1) into SoA out. */
+    void gatherBatchScalar(const Vec3 *pn, int s0, int s1, int n,
+                           float *out) const;
+
+    /** Rebalance rank-1 component scales and round through fp16. */
+    void applyFp16Quantization();
+
     TensoRFConfig _config;
+    bool _featuresFp16 = false;
     // _planes[g]: res*res texels x ranks x channels (texel-major).
     std::vector<float> _planes[3];
     // _lines[g]: res entries x ranks x channels.

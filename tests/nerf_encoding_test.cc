@@ -1,6 +1,8 @@
 /**
  * @file
- * Unit and property tests for the three feature encodings.
+ * Unit and property tests for the three feature encodings, including
+ * the SIMD-vs-scalar batched-gather identity contract and fp16 feature
+ * quantization.
  */
 
 #include <gtest/gtest.h>
@@ -8,6 +10,7 @@
 #include <unordered_set>
 
 #include "common/rng.hh"
+#include "common/simd.hh"
 #include "nerf/dense_grid.hh"
 #include "nerf/hash_grid.hh"
 #include "nerf/tensorf.hh"
@@ -394,17 +397,20 @@ TEST(TensoRFTest, StreamingFootprintAllStreamable)
 
 // ---------------------------------------------------------------------
 // Batched gather: every encoding's gatherFeatureBatch must be
-// bit-identical to per-sample gatherFeature, and gatherAccessesBatch
-// must append the exact per-sample access stream (sample-major,
-// fetchesPerSample() entries per sample).
+// bit-identical to per-sample gatherFeature — under the SIMD backend
+// and under the forced-scalar backend — writing the channel-major
+// (SoA) layout, and gatherAccessesBatch must append the exact
+// per-sample access stream (sample-major, fetchesPerSample() entries
+// per sample).
 // ---------------------------------------------------------------------
 
 void
 expectBatchMatchesScalar(const Encoding &enc, unsigned seed)
 {
     Rng rng(seed);
-    // Deliberately awkward batch size (not a power of two) plus edge
-    // positions (corners/faces of the unit cube).
+    // Deliberately awkward batch size (not a multiple of any vector
+    // width, exercising both the lane blocks and the scalar tail) plus
+    // edge positions (corners/faces of the unit cube).
     std::vector<Vec3> pos;
     for (int i = 0; i < 37; ++i)
         pos.push_back(rng.uniformVec3());
@@ -414,18 +420,24 @@ expectBatchMatchesScalar(const Encoding &enc, unsigned seed)
     const int n = static_cast<int>(pos.size());
     const int dim = enc.featureDim();
 
-    std::vector<float> batch(static_cast<std::size_t>(n) * dim);
-    enc.gatherFeatureBatch(pos.data(), n, batch.data());
+    for (bool forceScalar : {false, true}) {
+        simd::setSimdBackendOverride(forceScalar);
+        std::vector<float> batch(static_cast<std::size_t>(n) * dim);
+        enc.gatherFeatureBatch(pos.data(), n, batch.data());
 
-    int featureMismatches = 0;
-    std::vector<float> one(dim);
-    for (int i = 0; i < n; ++i) {
-        enc.gatherFeature(pos[i], one.data());
-        for (int ch = 0; ch < dim; ++ch)
-            if (one[ch] != batch[static_cast<std::size_t>(i) * dim + ch])
-                ++featureMismatches;
+        int featureMismatches = 0;
+        std::vector<float> one(dim);
+        for (int i = 0; i < n; ++i) {
+            enc.gatherFeature(pos[i], one.data());
+            for (int ch = 0; ch < dim; ++ch)
+                if (one[ch] !=
+                    batch[static_cast<std::size_t>(ch) * n + i])
+                    ++featureMismatches;
+        }
+        EXPECT_EQ(featureMismatches, 0)
+            << enc.name() << (forceScalar ? " (scalar)" : " (simd)");
     }
-    EXPECT_EQ(featureMismatches, 0) << enc.name();
+    simd::setSimdBackendOverride(false, /*reset=*/true);
 
     std::vector<MemAccess> scalarAcc, batchAcc;
     for (int i = 0; i < n; ++i)
@@ -466,6 +478,68 @@ TEST(BatchedGatherTest, HashGridMatchesScalar)
     HashGridEncoding grid(cfg);
     grid.bake(s.field);
     expectBatchMatchesScalar(grid, 12);
+}
+
+TEST(BatchedGatherTest, HashGridNonPowerOfTwoTableMatchesScalar)
+{
+    // A non-power-of-two table cannot use the vector AND-mask modulo —
+    // the kernel's per-lane fallback must still match the scalar hash.
+    Scene s = test::tinyScene();
+    HashGridConfig cfg;
+    cfg.numLevels = 4;
+    cfg.baseRes = 6;
+    cfg.tableSize = 1000;
+    HashGridEncoding grid(cfg);
+    grid.bake(s.field);
+    expectBatchMatchesScalar(grid, 15);
+}
+
+TEST(BatchedGatherTest, Fp16QuantizedFeaturesStayBitIdentical)
+{
+    // Quantizing feature storage to fp16 changes the stored values
+    // (provably: re-rounding is then a no-op) but must not break the
+    // batch/scalar identity — all paths read the same quantized table.
+    Scene s = test::tinyScene();
+
+    DenseGridEncoding dense(20);
+    dense.bake(s.field);
+    std::vector<float> before(kFeatureDim);
+    Vec3 probe{0.37f, 0.52f, 0.81f};
+    dense.gatherFeature(probe, before.data());
+    EXPECT_FALSE(dense.featuresFp16());
+    dense.quantizeFeaturesFp16();
+    EXPECT_TRUE(dense.featuresFp16());
+    std::vector<float> after(kFeatureDim);
+    dense.gatherFeature(probe, after.data());
+    EXPECT_NE(before, after); // baked values are not fp16-exact
+    expectBatchMatchesScalar(dense, 21);
+
+    // Re-baking keeps the quantization sticky.
+    dense.bake(s.field);
+    EXPECT_TRUE(dense.featuresFp16());
+    std::vector<float> rebaked(kFeatureDim);
+    dense.gatherFeature(probe, rebaked.data());
+    EXPECT_EQ(after, rebaked);
+
+    HashGridConfig cfg;
+    cfg.numLevels = 4;
+    cfg.baseRes = 6;
+    cfg.tableSize = 1u << 10;
+    HashGridEncoding hash(cfg);
+    hash.bake(s.field);
+    hash.quantizeFeaturesFp16();
+    EXPECT_TRUE(hash.featuresFp16());
+    expectBatchMatchesScalar(hash, 22);
+
+    TensoRFConfig tcfg;
+    tcfg.res = 24;
+    tcfg.ranks = 2;
+    tcfg.alsIters = 1;
+    TensoRFEncoding tensorf(tcfg);
+    tensorf.bake(s.field);
+    tensorf.quantizeFeaturesFp16();
+    EXPECT_TRUE(tensorf.featuresFp16());
+    expectBatchMatchesScalar(tensorf, 23);
 }
 
 TEST(BatchedGatherTest, TensoRFMatchesScalar)

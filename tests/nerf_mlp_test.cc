@@ -1,15 +1,42 @@
 /**
  * @file
- * Unit tests for the MLP and the feature decoder.
+ * Unit tests for the MLP and the feature decoder, including the
+ * SIMD-vs-scalar kernel identity contract and the fp16 weight-storage
+ * mode.
  */
+
+#include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/simd.hh"
 #include "nerf/decoder.hh"
 #include "nerf/mlp.hh"
 
 namespace cicero {
 namespace {
+
+/** RAII scalar-backend override for A/B kernel comparisons. */
+struct ScopedScalarBackend
+{
+    ScopedScalarBackend() { simd::setSimdBackendOverride(true); }
+    ~ScopedScalarBackend()
+    {
+        simd::setSimdBackendOverride(false, /*reset=*/true);
+    }
+};
+
+std::vector<float>
+testBatchInput(int dim, int count)
+{
+    std::vector<float> in(static_cast<std::size_t>(dim) * count);
+    for (int c = 0; c < dim; ++c)
+        for (int b = 0; b < count; ++b)
+            in[static_cast<std::size_t>(c) * count + b] =
+                0.05f * static_cast<float>((c * 31 + b * 7) % 40) - 1.0f;
+    return in;
+}
 
 TEST(MlpTest, HandComputedForward)
 {
@@ -76,6 +103,137 @@ TEST(MlpTest, DeterministicInit)
     b.forward(in, ob);
     for (int i = 0; i < 3; ++i)
         EXPECT_FLOAT_EQ(oa[i], ob[i]);
+}
+
+// ---------------------------------------------------------------------
+// Kernel identity: the SIMD forwardBatch must be bit-identical to the
+// scalar backend at every batch size — full vector tiles, partial
+// tiles, scalar tails, and multi-block batches.
+// ---------------------------------------------------------------------
+
+TEST(MlpTest, SimdMatchesScalarBitExactly)
+{
+    const std::vector<std::vector<int>> shapes = {
+        {12, 16, 16, 4}, {9, 32, 4}, {3, 5, 7, 2}, {17, 1, 17}, {2, 64}};
+    const int counts[] = {1,  3,  simd::VecF::kLanes,
+                          simd::VecF::kLanes + 1,
+                          2 * simd::VecF::kLanes + 3,
+                          64, 127, 128, 129, 300};
+    for (const auto &dims : shapes) {
+        Mlp mlp(dims, 1234);
+        for (int count : counts) {
+            std::vector<float> in = testBatchInput(dims.front(), count);
+            std::vector<float> simdOut(
+                static_cast<std::size_t>(dims.back()) * count, -9.0f);
+            std::vector<float> scalarOut(simdOut.size(), 9.0f);
+
+            mlp.forwardBatch(in.data(), simdOut.data(), count);
+            {
+                ScopedScalarBackend scalar;
+                mlp.forwardBatch(in.data(), scalarOut.data(), count);
+            }
+            int mismatches = 0;
+            for (std::size_t i = 0; i < simdOut.size(); ++i)
+                if (simdOut[i] != scalarOut[i])
+                    ++mismatches;
+            ASSERT_EQ(mismatches, 0)
+                << "dims[0]=" << dims.front() << " count=" << count;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// fp16 weight storage.
+// ---------------------------------------------------------------------
+
+TEST(MlpTest, Fp16QuantizationRoundsWeightsThroughHalf)
+{
+    Mlp mlp({12, 16, 4}, 7);
+    std::vector<float> before = mlp.weights()[0];
+    EXPECT_FALSE(mlp.fp16Weights());
+    mlp.quantizeWeightsFp16();
+    EXPECT_TRUE(mlp.fp16Weights());
+    // The fp32 mirror now holds exactly the dequantized halves:
+    // re-rounding through fp16 changes nothing, and each weight moved
+    // by at most half an fp16 ulp (2^-11 relative).
+    int changed = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        const float q = mlp.weights()[0][i];
+        EXPECT_EQ(simd::f16ToF32(simd::f32ToF16(q)), q) << i;
+        EXPECT_LE(std::fabs(q - before[i]),
+                  std::ldexp(std::fabs(before[i]), -11) +
+                      std::ldexp(1.0f, -24))
+            << i;
+        changed += q != before[i];
+    }
+    EXPECT_GT(changed, 0); // Xavier-random weights are not fp16 values
+    mlp.quantizeWeightsFp16(); // idempotent
+    EXPECT_TRUE(mlp.fp16Weights());
+}
+
+TEST(MlpTest, Fp16SimdMatchesFp16ScalarBitExactly)
+{
+    Mlp mlp({12, 16, 16, 4}, 77);
+    mlp.quantizeWeightsFp16();
+    for (int count : {1, 7, 64, 129}) {
+        std::vector<float> in = testBatchInput(12, count);
+        std::vector<float> simdOut(static_cast<std::size_t>(4) * count);
+        std::vector<float> scalarOut(simdOut.size());
+        mlp.forwardBatch(in.data(), simdOut.data(), count);
+        {
+            ScopedScalarBackend scalar;
+            mlp.forwardBatch(in.data(), scalarOut.data(), count);
+        }
+        for (std::size_t i = 0; i < simdOut.size(); ++i)
+            ASSERT_EQ(simdOut[i], scalarOut[i]) << "count=" << count
+                                                << " i=" << i;
+    }
+}
+
+TEST(MlpTest, Fp16OutputsWithinQuantizationBound)
+{
+    // The fp16 model differs from fp32 only by weight quantization:
+    // |dw| <= 2^-11 |w|, so a layer's output error is bounded by
+    // sum_i |x_i| * |w_i| * 2^-11 (amplified layer to layer). Check
+    // against a conservative per-output bound computed from the fp32
+    // weights, and make sure the paths do differ (the bound is live).
+    Mlp fp32({12, 16, 16, 4}, 321);
+    Mlp fp16({12, 16, 16, 4}, 321);
+    fp16.quantizeWeightsFp16();
+
+    const int count = 33;
+    std::vector<float> in = testBatchInput(12, count);
+    std::vector<float> out32(static_cast<std::size_t>(4) * count);
+    std::vector<float> out16(out32.size());
+    fp32.forwardBatch(in.data(), out32.data(), count);
+    fp16.forwardBatch(in.data(), out16.data(), count);
+
+    // Worst-case activation magnitude per layer: |x|_inf * sum|w| + |b|.
+    float actBound = 1.0f; // inputs are in [-1, 1]
+    float errBound = 0.0f;
+    for (std::size_t l = 0; l < fp32.weights().size(); ++l) {
+        float rowSum = 0.0f;
+        const int ni = l == 0 ? 12 : 16;
+        const std::size_t rows = fp32.weights()[l].size() / ni;
+        for (std::size_t r = 0; r < rows; ++r) {
+            float s = 0.0f;
+            for (int i = 0; i < ni; ++i)
+                s += std::fabs(
+                    fp32.weights()[l][r * ni + i]);
+            rowSum = std::max(rowSum, s);
+        }
+        // Error through this layer: propagated input error plus fresh
+        // quantization error of this layer's weights.
+        errBound = errBound * rowSum +
+                   actBound * rowSum * std::ldexp(1.0f, -11);
+        actBound = actBound * rowSum;
+    }
+    int diff = 0;
+    for (std::size_t i = 0; i < out32.size(); ++i) {
+        EXPECT_LE(std::fabs(out32[i] - out16[i]), errBound) << i;
+        diff += out32[i] != out16[i];
+    }
+    EXPECT_GT(diff, 0);
 }
 
 TEST(DecoderTest, BakedPointRoundTrip)

@@ -13,6 +13,7 @@
 #include "cicero/sparw.hh"
 #include "cicero/warp.hh"
 #include "common/parallel.hh"
+#include "common/simd.hh"
 #include "memory/cache_model.hh"
 #include "memory/dram_model.hh"
 #include "nerf/mlp.hh"
@@ -362,6 +363,65 @@ TEST(ParallelDeterminismTest, BatchedDecoderMatchesScalarExactly)
     std::vector<DecodedSample> batch(count);
     decoder.decodeBatch(features.data(), count, viewDir, batch.data());
 
+    for (int b = 0; b < count; ++b) {
+        DecodedSample s =
+            decoder.decode(features.data() + b * kFeatureDim, viewDir);
+        EXPECT_EQ(s.sigma, batch[b].sigma) << "item " << b;
+        EXPECT_EQ(s.rgb.x, batch[b].rgb.x) << "item " << b;
+        EXPECT_EQ(s.rgb.y, batch[b].rgb.y) << "item " << b;
+        EXPECT_EQ(s.rgb.z, batch[b].rgb.z) << "item " << b;
+    }
+
+    // The channel-major entry point must agree exactly too — same
+    // values, transposed layout, wider-than-buffer stride, and a count
+    // above kDecodeChunk to cross the internal chunking boundary.
+    const int big = kDecodeChunk + 37;
+    std::vector<float> featBig(static_cast<std::size_t>(big) *
+                               kFeatureDim);
+    for (int b = 0; b < big; ++b)
+        for (int c = 0; c < kFeatureDim; ++c)
+            featBig[static_cast<std::size_t>(b) * kFeatureDim + c] =
+                features[static_cast<std::size_t>(b % count) *
+                             kFeatureDim +
+                         c];
+    std::vector<float> soa(featBig.size());
+    simd::transposeToChannelMajor(featBig.data(), big, kFeatureDim,
+                                  soa.data());
+    std::vector<DecodedSample> aosOut(big), soaOut(big);
+    decoder.decodeBatch(featBig.data(), big, viewDir, aosOut.data());
+    decoder.decodeBatchSoA(soa.data(), static_cast<std::size_t>(big),
+                           big, viewDir, soaOut.data());
+    for (int b = 0; b < big; ++b) {
+        EXPECT_EQ(aosOut[b].sigma, soaOut[b].sigma) << "item " << b;
+        EXPECT_EQ(aosOut[b].rgb.x, soaOut[b].rgb.x) << "item " << b;
+        EXPECT_EQ(aosOut[b].rgb.y, soaOut[b].rgb.y) << "item " << b;
+        EXPECT_EQ(aosOut[b].rgb.z, soaOut[b].rgb.z) << "item " << b;
+    }
+}
+
+TEST(ParallelDeterminismTest, Fp16DecoderStaysBatchScalarIdentical)
+{
+    // Quantizing the residual MLP must not break the batch == scalar
+    // contract: both paths read the same fp16 weight storage.
+    Scene scene = test::tinyScene();
+    Decoder decoder(scene.field.lightDir());
+    decoder.quantizeWeightsFp16();
+    ASSERT_TRUE(decoder.fp16Weights());
+    Vec3 viewDir = Vec3{-0.1f, 0.4f, -1.0f}.normalized();
+
+    const int count = 19;
+    std::vector<float> features(count * kFeatureDim);
+    for (int b = 0; b < count; ++b) {
+        BakedPoint pt;
+        pt.sigma = 0.5f + b;
+        pt.diffuse = {0.08f * (b % 12), 0.3f, 0.75f};
+        pt.normal = Vec3{-0.3f, 0.9f, 0.05f * b}.normalized();
+        pt.specular = 0.4f;
+        pt.shininess = 2.0f + b;
+        encodeBakedPoint(pt, features.data() + b * kFeatureDim);
+    }
+    std::vector<DecodedSample> batch(count);
+    decoder.decodeBatch(features.data(), count, viewDir, batch.data());
     for (int b = 0; b < count; ++b) {
         DecodedSample s =
             decoder.decode(features.data() + b * kFeatureDim, viewDir);

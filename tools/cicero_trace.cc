@@ -374,6 +374,16 @@ cmdStats(int argc, char **argv)
     std::printf("  scene=%s encoding=%s model=%s %ux%u threads=%u\n",
                 m.scene.c_str(), m.encoding.c_str(), m.model.c_str(),
                 m.width, m.height, m.threads);
+    // featureBytes distinguishes capture-time feature storage at a
+    // glance: fp16-class 2 B/channel captures decompose cleanly.
+    if (m.featureBytes % kBytesPerChannel == 0)
+        std::printf("  featureBytes=%u (%u channels x %u B, "
+                    "fp16-class storage)\n",
+                    m.featureBytes, m.featureBytes / kBytesPerChannel,
+                    kBytesPerChannel);
+    else
+        std::printf("  featureBytes=%u (not %u B/channel)\n",
+                    m.featureBytes, kBytesPerChannel);
     std::printf("  codec=%s\n",
                 reader.codec() == TraceCodec::Range ? "range" : "varint");
     std::printf("  accesses=%llu rayEnds=%llu flushes=%llu "
