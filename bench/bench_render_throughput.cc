@@ -19,6 +19,12 @@
  * process, runtime backend override — the same binary measures both
  * sides), with the fp32 outputs checked bit-identical across backends.
  *
+ * Since PR 5 a "pipeline" section reports SPARW frames/s under the
+ * two-phase vs the pipelined (Fig. 11b overlap) batch schedule on the
+ * work-stealing scheduler, tagged with the scheduler mode, plus an
+ * idle-time-fraction estimate per schedule; the two schedules' frames
+ * are checked bit-identical.
+ *
  * The speedups scale with physical cores; on a single-core runner the
  * parallel paths time alike and those sections degenerate to a smoke
  * test (the SIMD section is single-core by construction and measures
@@ -32,6 +38,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "cicero/sparw.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
@@ -306,6 +313,67 @@ main()
     for (const SimdKernelResult &k : simdKernels)
         simdIdentical = simdIdentical && k.identical;
 
+    // ---- SPARW batch schedule: two-phase vs pipelined ---------------
+    // Same trajectory through both schedules of the work-stealing
+    // scheduler: the pipelined one overlaps window w+1's reference
+    // render with window w's warp + sparse frames (Fig. 11b), so its
+    // frames/s should beat the two-phase barrier walk on a multi-core
+    // runner (a 1-thread serial run supplies the total-work baseline
+    // for the idle-fraction estimate). Output is checked bit-identical
+    // between the schedules — overlap must never change pixels.
+    setParallelThreadCount(0);
+    const int sparwThreads = parallelThreadCount();
+    const int sparwRes = 64;
+    SparwConfig twoPhaseCfg;
+    twoPhaseCfg.window = 2;
+    twoPhaseCfg.schedule = SparwSchedule::TwoPhase;
+    SparwConfig pipelinedCfg = twoPhaseCfg;
+    pipelinedCfg.schedule = SparwSchedule::Pipelined;
+    // At least two pool-width window batches, so the pipeline has a
+    // next batch to overlap with for most of the run.
+    const int sparwFrames =
+        std::max(8, 2 * sparwThreads * twoPhaseCfg.window);
+    std::vector<Pose> sparwTraj = sceneOrbit(scene, sparwFrames);
+    Camera sparwCam =
+        Camera::fromFov(sparwRes, sparwRes, scene.fovYDeg, sparwTraj[0]);
+    SparwPipeline twoPhase(*model, sparwCam, twoPhaseCfg);
+    SparwPipeline pipelined(*model, sparwCam, pipelinedCfg);
+
+    setParallelThreadCount(1);
+    SparwRun sparwSerial = twoPhase.run(sparwTraj);
+    double sparwSerialS = secondsOf([&] { twoPhase.run(sparwTraj); }, 2);
+
+    setParallelThreadCount(0);
+    SparwRun sparwTwoPhase = twoPhase.run(sparwTraj);
+    double twoPhaseS = secondsOf([&] { twoPhase.run(sparwTraj); }, 2);
+    SparwRun sparwPipelined = pipelined.run(sparwTraj);
+    double pipelinedS = secondsOf([&] { pipelined.run(sparwTraj); }, 2);
+
+    bool sparwIdentical =
+        sparwSerial.frames.size() == sparwTwoPhase.frames.size() &&
+        sparwSerial.frames.size() == sparwPipelined.frames.size();
+    for (std::size_t i = 0; sparwIdentical && i < sparwSerial.frames.size();
+         ++i)
+        sparwIdentical =
+            identical(sparwSerial.frames[i].image,
+                      sparwTwoPhase.frames[i].image) &&
+            identical(sparwSerial.frames[i].image,
+                      sparwPipelined.frames[i].image);
+
+    // Idle-time fraction of the pool during a run: 1 - busy/capacity,
+    // with the 1-thread wall time as the total-work estimate. Lower is
+    // better; the pipelined schedule's gain is two-phase idle reclaimed
+    // by overlap.
+    auto idleFraction = [&](double wallS) {
+        if (wallS <= 0.0 || sparwThreads <= 0)
+            return 0.0;
+        double frac = 1.0 - sparwSerialS / (sparwThreads * wallS);
+        return std::min(1.0, std::max(0.0, frac));
+    };
+    auto fps = [&](double wallS) {
+        return wallS > 0.0 ? sparwFrames / wallS : 0.0;
+    };
+
     // ---- JSON -------------------------------------------------------
     std::printf("{\"bench\": \"render_throughput\", "
                 "\"simd_backend\": \"%s\", "
@@ -342,7 +410,25 @@ main()
                     g.batchS > 0.0 ? g.scalarS / g.batchS : 0.0,
                     g.identical ? "true" : "false");
     }
-    std::printf("}, \"simd\": {");
+    std::printf("}, \"pipeline\": {\"scheduler\": \"%s\", "
+                "\"resolution\": %d, \"frames\": %d, \"window\": %d, "
+                "\"threads\": %d, "
+                "\"serial_s\": %.6f, "
+                "\"two_phase_s\": %.6f, \"pipelined_s\": %.6f, "
+                "\"fps_serial\": %.2f, "
+                "\"fps_two_phase\": %.2f, \"fps_pipelined\": %.2f, "
+                "\"pipeline_speedup\": %.3f, "
+                "\"idle_frac_two_phase\": %.3f, "
+                "\"idle_frac_pipelined\": %.3f, "
+                "\"bit_identical\": %s}",
+                parallelSchedulerName(), sparwRes, sparwFrames,
+                twoPhaseCfg.window, sparwThreads, sparwSerialS,
+                twoPhaseS, pipelinedS, fps(sparwSerialS),
+                fps(twoPhaseS), fps(pipelinedS),
+                pipelinedS > 0.0 ? twoPhaseS / pipelinedS : 0.0,
+                idleFraction(twoPhaseS), idleFraction(pipelinedS),
+                sparwIdentical ? "true" : "false");
+    std::printf(", \"simd\": {");
     for (std::size_t i = 0; i < simdKernels.size(); ++i) {
         const SimdKernelResult &k = simdKernels[i];
         const double flops = k.items * k.flopsPerItem;
@@ -365,6 +451,6 @@ main()
     // perf ratios live in the JSON for the BENCH trajectory to track —
     // a noisy runner must not turn a timing wobble into a red build.
     const bool ok = bitIdentical && traceIdentical && gatherIdentical &&
-                    simdIdentical;
+                    simdIdentical && sparwIdentical;
     return ok ? 0 : 1;
 }

@@ -1,11 +1,59 @@
 #include "cicero/sparw.hh"
 
 #include <algorithm>
+#include <functional>
 
 #include "cicero/pose_extrapolation.hh"
 #include "common/parallel.hh"
 
 namespace cicero {
+
+namespace {
+
+/**
+ * Window-batch driver shared by run() and runDownsampled(): walks
+ * [0, numWindows) in batches of @p batch windows, calling
+ * renderRefs(w0, w1) and then processFrames(w0, w1) per batch.
+ *
+ * Pipelined (Fig. 11b), the next batch's renderRefs is submitted as a
+ * scheduler task *before* the current batch's processFrames runs, so
+ * reference rendering overlaps the in-flight warp + sparse-render
+ * frames; the group wait after processFrames is the only barrier. The
+ * lookahead is exactly one batch, so at most two batches of references
+ * are alive at once. Both stages write disjoint slots and all merges
+ * inside them are chunk-indexed, so the output is bit-identical to the
+ * two-phase walk — scheduling is the only thing that changes.
+ */
+void
+runWindowBatches(int numWindows, int batch, SparwSchedule schedule,
+                 const std::function<void(int, int)> &renderRefs,
+                 const std::function<void(int, int)> &processFrames)
+{
+    batch = std::max(1, batch);
+    if (schedule == SparwSchedule::TwoPhase) {
+        for (int w0 = 0; w0 < numWindows; w0 += batch) {
+            const int w1 = std::min(w0 + batch, numWindows);
+            renderRefs(w0, w1);
+            processFrames(w0, w1);
+        }
+        return;
+    }
+
+    if (numWindows > 0)
+        renderRefs(0, std::min(batch, numWindows));
+    for (int w0 = 0; w0 < numWindows; w0 += batch) {
+        const int w1 = std::min(w0 + batch, numWindows);
+        TaskGroup lookahead;
+        if (w1 < numWindows) {
+            const int n1 = std::min(w1 + batch, numWindows);
+            lookahead.run([&renderRefs, w1, n1] { renderRefs(w1, n1); });
+        }
+        processFrames(w0, w1);
+        lookahead.wait();
+    }
+}
+
+} // namespace
 
 double
 SparwRun::meanOverlap() const
@@ -99,27 +147,33 @@ SparwPipeline::run(const std::vector<Pose> &trajectory) const
         out.references[wi] = SparwReference{refPose, StageWork{}, onTraj};
     }
 
-    // Work through windows in pool-width batches: render the batch's
-    // references (one heavy unit per window; parallelForOuter picks
-    // window- vs row-level parallelism), process the batch's target
-    // frames — warp from the window's reference, then sparse NeRF
-    // rendering of the disocclusions (Eq. 4) — and release the
-    // reference images before the next batch, so peak memory stays
-    // O(threads) full-resolution references instead of O(numWindows).
+    // Work through windows in pool-width batches: render a batch's
+    // references (one heavy unit per window; nested row loops share
+    // the pool via work stealing), process the batch's target frames —
+    // warp from the window's reference, then sparse NeRF rendering of
+    // the disocclusions (Eq. 4) — and release each batch's reference
+    // images once its frames are done, so peak memory stays O(threads)
+    // full-resolution references instead of O(numWindows). Under the
+    // pipelined schedule the driver below overlaps the next batch's
+    // reference rendering with this batch's frames (Fig. 11b); the
+    // slots the two stages touch are disjoint, so output matches the
+    // two-phase walk bit for bit.
     out.frames.resize(n);
     const int batch = std::max(1, parallelThreadCount());
-    for (int w0 = 0; w0 < numWindows; w0 += batch) {
-        const int w1 = std::min(w0 + batch, numWindows);
-        parallelForOuter(w1 - w0, [&](std::int64_t k) {
+
+    auto renderRefs = [&](int w0, int w1) {
+        parallelForOuter(w1 - w0, [&, w0](std::int64_t k) {
             const std::int64_t wi = w0 + k;
             refRenders[wi] = _model.render(refCams[wi]);
         });
         for (int wi = w0; wi < w1; ++wi)
             out.references[wi].work = refRenders[wi].work;
+    };
 
+    auto processFrames = [&](int w0, int w1) {
         const int f0 = w0 * window;
         const int f1 = std::min(w1 * window, n);
-        parallelForOuter(f1 - f0, [&](std::int64_t k) {
+        parallelForOuter(f1 - f0, [&, f0](std::int64_t k) {
             const std::int64_t i = f0 + k;
             const int wi = static_cast<int>(i) / window;
             Camera tgtCam = cameraAt(trajectory[i]);
@@ -139,10 +193,12 @@ SparwPipeline::run(const std::vector<Pose> &trajectory) const
             frame.depth = std::move(w.depth);
             out.frames[i] = std::move(frame);
         });
-
         for (int wi = w0; wi < w1; ++wi)
             refRenders[wi] = RenderResult{};
-    }
+    };
+
+    runWindowBatches(numWindows, batch, _config.schedule, renderRefs,
+                     processFrames);
     return out;
 }
 
@@ -222,26 +278,45 @@ SparwPipeline::runDownsampled(const std::vector<Pose> &trajectory,
     low.cx = _intrinsics.cx / factor;
     low.cy = _intrinsics.cy / factor;
 
-    // Every frame is an independent downsampled render + upsample.
+    // Every frame is an independent downsampled render + upsample: a
+    // degenerate SPARW window whose reference *is* the displayed frame
+    // (upsampling stands in for the frame stage). Scheduling goes
+    // through the same window-batch driver as run(), so DS-k inherits
+    // the pipelined overlap instead of duplicating batch logic.
     const int n = static_cast<int>(trajectory.size());
     out.references.resize(n);
     out.frames.resize(n);
-    parallelForOuter(n, [&](std::int64_t i) {
-        Camera cam = low;
-        cam.pose = trajectory[i];
-        RenderResult r = _model.render(cam);
-        out.references[i] = SparwReference{trajectory[i], r.work, true};
+    std::vector<RenderResult> renders(n);
 
-        SparwFrame frame;
-        frame.referenceIndex = static_cast<int>(i);
-        frame.warpStats.totalPixels =
-            static_cast<std::uint64_t>(_intrinsics.width) *
-            _intrinsics.height;
-        frame.image = r.image.upsampleBilinear(_intrinsics.width,
-                                               _intrinsics.height);
-        frame.depth = DepthMap(_intrinsics.width, _intrinsics.height);
-        out.frames[i] = std::move(frame);
-    });
+    auto renderRefs = [&](int w0, int w1) {
+        parallelForOuter(w1 - w0, [&, w0](std::int64_t k) {
+            const std::int64_t i = w0 + k;
+            Camera cam = low;
+            cam.pose = trajectory[i];
+            renders[i] = _model.render(cam);
+            out.references[i] =
+                SparwReference{trajectory[i], renders[i].work, true};
+        });
+    };
+
+    auto processFrames = [&](int w0, int w1) {
+        parallelForOuter(w1 - w0, [&, w0](std::int64_t k) {
+            const std::int64_t i = w0 + k;
+            SparwFrame frame;
+            frame.referenceIndex = static_cast<int>(i);
+            frame.warpStats.totalPixels =
+                static_cast<std::uint64_t>(_intrinsics.width) *
+                _intrinsics.height;
+            frame.image = renders[i].image.upsampleBilinear(
+                _intrinsics.width, _intrinsics.height);
+            frame.depth = DepthMap(_intrinsics.width, _intrinsics.height);
+            out.frames[i] = std::move(frame);
+            renders[i] = RenderResult{};
+        });
+    };
+
+    runWindowBatches(n, parallelThreadCount(), _config.schedule,
+                     renderRefs, processFrames);
     return out;
 }
 

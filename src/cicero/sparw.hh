@@ -26,12 +26,35 @@
 
 namespace cicero {
 
+/**
+ * Batch schedule of the Cicero strategy's window loop. Both schedules
+ * produce bit-identical output — only the overlap structure differs.
+ */
+enum class SparwSchedule
+{
+    /**
+     * Fig. 11b overlap: while window w's target frames (warp + sparse
+     * re-render) are still in flight, window w+1's reference render is
+     * already submitted to the scheduler. Bounded lookahead of one
+     * batch keeps at most 2 x threads full-resolution references
+     * alive.
+     */
+    Pipelined,
+    /**
+     * The pre-pipelining baseline: per batch, render every reference,
+     * barrier, then process every target frame. Kept selectable for
+     * the throughput bench and the bit-identity tests.
+     */
+    TwoPhase,
+};
+
 /** SPARW configuration. */
 struct SparwConfig
 {
     int window = 6;    //!< N: target frames sharing one reference
     WarpParams warp;   //!< warping heuristic parameters
     float dtSeconds = 1.0f / 30.0f; //!< trajectory frame interval
+    SparwSchedule schedule = SparwSchedule::Pipelined;
 };
 
 /** Everything produced for one displayed (target) frame. */

@@ -6,52 +6,303 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
+#include <deque>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace cicero {
 
-namespace {
+namespace detail {
 
-thread_local bool tInsideWorker = false;
-
-/** One chunked loop in flight. */
-struct Job
+/**
+ * Completion tracking shared by one loop or one TaskGroup: how many
+ * tasks are outstanding, whether one failed (remaining tasks are then
+ * skipped best-effort), and the first captured exception.
+ */
+struct ParallelTaskState
 {
-    std::int64_t begin = 0;
-    std::int64_t grain = 1;
-    std::int64_t end = 0;
-    std::size_t chunkCount = 0;
-    const std::function<void(std::size_t, std::int64_t, std::int64_t)>
-        *fn = nullptr;
-
-    std::atomic<std::size_t> nextChunk{0};
     std::atomic<std::size_t> pending{0};
     std::atomic<bool> failed{false};
 
     std::mutex doneMutex;
     std::condition_variable doneCv;
-    std::exception_ptr error; //!< guarded by doneMutex
+    std::exception_ptr error;  //!< guarded by doneMutex
+    std::uint64_t epoch = 0;   //!< bumped per submission; guarded by doneMutex
+};
+
+} // namespace detail
+
+namespace {
+
+using detail::ParallelTaskState;
+
+thread_local bool tInsideWorker = false;
+
+/** One schedulable unit: a loop chunk or a TaskGroup function. */
+struct Task
+{
+    std::shared_ptr<ParallelTaskState> state;
+    std::function<void()> fn;
 };
 
 /**
- * The global pool. Workers sleep until a job generation is published;
- * the submitting thread participates in chunk execution, so a pool of
- * N threads runs N-1 workers.
+ * A per-thread work deque. The owning thread pushes and pops at the
+ * back (newest-first, so nested submissions drain help-first); thieves
+ * take from the front (oldest-first). A mutex per lane keeps the
+ * implementation obviously correct — tasks are coarse (a chunk spans
+ * many items), so the lock is cold.
+ */
+struct Lane
+{
+    std::mutex m;
+    std::deque<Task> q;
+};
+
+/**
+ * Global registry of lanes thieves may scan, plus the sleep/wake
+ * channel for idle workers. Held via shared_ptr by the pool, every
+ * worker, and every submitting thread's thread-local handle, so static
+ * destruction order cannot leave a dangling reference.
+ */
+struct LaneRegistry
+{
+    std::mutex m;
+    std::vector<std::shared_ptr<Lane>> lanes; //!< guarded by m
+    std::shared_ptr<Lane> overflow;           //!< never unregistered
+
+    std::condition_variable cv;
+    std::atomic<std::uint64_t> version{0}; //!< bumped on every push
+    bool stop = false;                     //!< guarded by m
+
+    LaneRegistry() : overflow(std::make_shared<Lane>())
+    {
+        lanes.push_back(overflow);
+    }
+};
+
+std::shared_ptr<LaneRegistry>
+laneRegistry()
+{
+    static std::shared_ptr<LaneRegistry> reg =
+        std::make_shared<LaneRegistry>();
+    return reg;
+}
+
+/**
+ * Registers the calling thread's lane for the life of the thread.
+ * Should a thread exit with queued tasks (a TaskGroup submitter that
+ * never waited), the leftovers migrate to the overflow lane so they
+ * are still stolen and the group's waiter cannot hang.
+ */
+struct LaneHandle
+{
+    std::shared_ptr<LaneRegistry> reg = laneRegistry();
+    std::shared_ptr<Lane> lane = std::make_shared<Lane>();
+
+    LaneHandle()
+    {
+        std::lock_guard<std::mutex> lk(reg->m);
+        reg->lanes.push_back(lane);
+    }
+
+    ~LaneHandle()
+    {
+        std::deque<Task> leftovers;
+        {
+            std::lock_guard<std::mutex> lk(lane->m);
+            leftovers.swap(lane->q);
+        }
+        {
+            std::lock_guard<std::mutex> lk(reg->m);
+            auto &ls = reg->lanes;
+            ls.erase(std::remove(ls.begin(), ls.end(), lane), ls.end());
+            if (!leftovers.empty()) {
+                std::lock_guard<std::mutex> olk(reg->overflow->m);
+                for (Task &t : leftovers)
+                    reg->overflow->q.push_back(std::move(t));
+            }
+        }
+        reg->version.fetch_add(1);
+        reg->cv.notify_all();
+    }
+};
+
+LaneHandle &
+myLane()
+{
+    static thread_local LaneHandle handle;
+    return handle;
+}
+
+/** Execute one task, capturing its error into the shared state. */
+void
+runTask(Task &task)
+{
+    ParallelTaskState &state = *task.state;
+    bool wasInside = tInsideWorker;
+    tInsideWorker = true;
+    if (!state.failed.load(std::memory_order_acquire)) {
+        try {
+            task.fn();
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(state.doneMutex);
+            if (!state.error)
+                state.error = std::current_exception();
+            state.failed.store(true, std::memory_order_release);
+        }
+    }
+    tInsideWorker = wasInside;
+    task.fn = nullptr; // drop captures before signalling completion
+    if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(state.doneMutex);
+        state.doneCv.notify_all();
+    }
+}
+
+bool
+popLocal(Lane &lane, Task &out)
+{
+    std::lock_guard<std::mutex> lk(lane.m);
+    if (lane.q.empty())
+        return false;
+    out = std::move(lane.q.back());
+    lane.q.pop_back();
+    return true;
+}
+
+std::vector<std::shared_ptr<Lane>>
+snapshotLanes(LaneRegistry &reg)
+{
+    std::lock_guard<std::mutex> lk(reg.m);
+    return reg.lanes;
+}
+
+/** Steal the oldest task of any lane but @p own. */
+bool
+stealAny(LaneRegistry &reg, const Lane *own, Task &out)
+{
+    static thread_local std::size_t rr = 0;
+    std::vector<std::shared_ptr<Lane>> lanes = snapshotLanes(reg);
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+        Lane &lane = *lanes[(rr + i) % lanes.size()];
+        if (&lane == own)
+            continue;
+        std::lock_guard<std::mutex> lk(lane.m);
+        if (lane.q.empty())
+            continue;
+        out = std::move(lane.q.front());
+        lane.q.pop_front();
+        ++rr;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Steal the oldest task *belonging to @p state* from any lane. Used by
+ * waiters: tasks of the awaited group may sit in other threads' lanes
+ * (pushed there by other submitters), and a waiter that only popped
+ * locally could sleep while no pool worker is free to steal them.
+ */
+bool
+stealForState(LaneRegistry &reg, const ParallelTaskState *state, Task &out)
+{
+    std::vector<std::shared_ptr<Lane>> lanes = snapshotLanes(reg);
+    for (const std::shared_ptr<Lane> &laneP : lanes) {
+        Lane &lane = *laneP;
+        std::lock_guard<std::mutex> lk(lane.m);
+        for (auto it = lane.q.begin(); it != lane.q.end(); ++it) {
+            if (it->state.get() != state)
+                continue;
+            out = std::move(*it);
+            lane.q.erase(it);
+            return true;
+        }
+    }
+    return false;
+}
+
+/**
+ * Publish @p tasks on the calling thread's lane and wake sleepers.
+ * pending must have been raised before the push: a thief may run a
+ * task the instant it is visible.
+ */
+void
+pushTasks(LaneHandle &h, std::vector<Task> &&tasks,
+          ParallelTaskState &state)
+{
+    {
+        std::lock_guard<std::mutex> lk(h.lane->m);
+        for (Task &t : tasks)
+            h.lane->q.push_back(std::move(t));
+    }
+    {
+        std::lock_guard<std::mutex> lk(state.doneMutex);
+        ++state.epoch;
+    }
+    h.reg->version.fetch_add(1);
+    h.reg->cv.notify_all();
+    state.doneCv.notify_all();
+}
+
+/**
+ * Help-first drain: execute local tasks (newest-first — the just-
+ * pushed loop's chunks), then tasks of @p state wherever they queue,
+ * and finally sleep until the state's stragglers (running on other
+ * threads) complete or new same-state work is submitted.
+ */
+void
+helpUntilDone(LaneHandle &h, ParallelTaskState &state)
+{
+    for (;;) {
+        if (state.pending.load(std::memory_order_acquire) == 0)
+            return;
+        std::uint64_t epoch0;
+        {
+            std::lock_guard<std::mutex> lk(state.doneMutex);
+            epoch0 = state.epoch;
+        }
+        Task task;
+        if (popLocal(*h.lane, task) ||
+            stealForState(*h.reg, &state, task)) {
+            runTask(task);
+            continue;
+        }
+        std::unique_lock<std::mutex> lk(state.doneMutex);
+        state.doneCv.wait(lk, [&state, epoch0] {
+            return state.pending.load(std::memory_order_acquire) == 0 ||
+                   state.epoch != epoch0;
+        });
+    }
+}
+
+/**
+ * The global scheduler: owns the worker threads. Workers execute any
+ * task from any lane; submitting threads (external callers and
+ * workers issuing nested loops alike) push to their own lane and
+ * drain help-first. There is no per-loop submit lock — concurrent
+ * top-level submitters run on the pool simultaneously.
  */
 class Pool
 {
   public:
-    ~Pool() { shutdown(); }
+    ~Pool()
+    {
+        std::lock_guard<std::mutex> lk(_configMutex);
+        stopWorkersLocked();
+        _threads.store(1, std::memory_order_relaxed);
+    }
 
     int
     threadCount()
     {
+        int n = _threads.load(std::memory_order_acquire);
+        if (n != 0)
+            return n;
         std::lock_guard<std::mutex> lk(_configMutex);
         ensureStartedLocked();
-        return _threads;
+        return _threads.load(std::memory_order_relaxed);
     }
 
     void
@@ -59,7 +310,8 @@ class Pool
     {
         std::lock_guard<std::mutex> lk(_configMutex);
         stopWorkersLocked();
-        _threads = n > 0 ? n : autoThreadCount();
+        _threads.store(n > 0 ? n : autoThreadCount(),
+                       std::memory_order_release);
         startWorkersLocked();
     }
 
@@ -70,13 +322,12 @@ class Pool
     {
         std::int64_t n = end - begin;
         std::int64_t g = parallelResolveGrain(n, grain);
-        std::size_t chunks =
-            static_cast<std::size_t>((n + g - 1) / g);
+        std::size_t chunks = static_cast<std::size_t>((n + g - 1) / g);
 
-        // Serial fallback: one chunk, a one-thread pool, or a nested
-        // call from inside a worker (running inline avoids deadlock and
-        // oversubscription).
-        if (chunks <= 1 || tInsideWorker || threadCount() <= 1) {
+        // Serial fallback: one chunk or a one-thread pool. (A nested
+        // call no longer runs inline — its chunks are scheduled and
+        // stolen like any other work.)
+        if (chunks <= 1 || threadCount() <= 1) {
             for (std::size_t c = 0; c < chunks; ++c) {
                 std::int64_t b = begin + static_cast<std::int64_t>(c) * g;
                 std::int64_t e = std::min(b + g, end);
@@ -85,44 +336,30 @@ class Pool
             return;
         }
 
-        // One loop at a time: concurrent top-level submitters queue up.
-        std::lock_guard<std::mutex> submit(_submitMutex);
+        auto state = std::make_shared<ParallelTaskState>();
+        state->pending.store(chunks, std::memory_order_relaxed);
 
-        // shared_ptr keeps the job alive for workers that observe it
-        // after the last chunk drained (their late nextChunk fetch).
-        auto job = std::make_shared<Job>();
-        job->begin = begin;
-        job->end = end;
-        job->grain = g;
-        job->chunkCount = chunks;
-        job->fn = &fn;
-        job->pending.store(chunks, std::memory_order_relaxed);
-
-        {
-            std::lock_guard<std::mutex> lk(_jobMutex);
-            _job = job;
-            ++_generation;
+        // One task per chunk. The decomposition is pure arithmetic on
+        // (begin, end, g) — scheduling decides only who runs a chunk.
+        std::vector<Task> tasks;
+        tasks.reserve(chunks);
+        for (std::size_t c = 0; c < chunks; ++c) {
+            tasks.push_back(Task{
+                state, [&fn, begin, end, g, c] {
+                    std::int64_t b =
+                        begin + static_cast<std::int64_t>(c) * g;
+                    std::int64_t e = std::min(b + g, end);
+                    fn(c, b, e);
+                }});
         }
-        _jobCv.notify_all();
 
-        // The caller works too (flagged as a worker so nested loops
-        // from these chunks run inline).
-        tInsideWorker = true;
-        drain(*job);
-        tInsideWorker = false;
+        LaneHandle &h = myLane();
+        pushTasks(h, std::move(tasks), *state);
+        helpUntilDone(h, *state);
 
-        {
-            std::unique_lock<std::mutex> lk(job->doneMutex);
-            job->doneCv.wait(lk, [&job] {
-                return job->pending.load(std::memory_order_acquire) == 0;
-            });
-        }
-        {
-            std::lock_guard<std::mutex> lk(_jobMutex);
-            _job.reset();
-        }
-        if (job->error)
-            std::rethrow_exception(job->error);
+        std::lock_guard<std::mutex> lk(state->doneMutex);
+        if (state->error)
+            std::rethrow_exception(state->error);
     }
 
   private:
@@ -151,8 +388,8 @@ class Pool
     void
     ensureStartedLocked()
     {
-        if (_threads == 0) {
-            _threads = autoThreadCount();
+        if (_threads.load(std::memory_order_relaxed) == 0) {
+            _threads.store(autoThreadCount(), std::memory_order_release);
             startWorkersLocked();
         }
     }
@@ -160,8 +397,12 @@ class Pool
     void
     startWorkersLocked()
     {
-        _stop = false;
-        for (int i = 0; i + 1 < _threads; ++i)
+        {
+            std::lock_guard<std::mutex> lk(_reg->m);
+            _reg->stop = false;
+        }
+        int n = _threads.load(std::memory_order_relaxed);
+        for (int i = 0; i + 1 < n; ++i)
             _workers.emplace_back([this] { workerLoop(); });
     }
 
@@ -169,86 +410,45 @@ class Pool
     stopWorkersLocked()
     {
         {
-            std::lock_guard<std::mutex> lk(_jobMutex);
-            _stop = true;
-            ++_generation;
+            std::lock_guard<std::mutex> lk(_reg->m);
+            _reg->stop = true;
         }
-        _jobCv.notify_all();
+        _reg->version.fetch_add(1);
+        _reg->cv.notify_all();
         for (std::thread &t : _workers)
             t.join();
         _workers.clear();
     }
 
     void
-    shutdown()
-    {
-        std::lock_guard<std::mutex> lk(_configMutex);
-        stopWorkersLocked();
-        _threads = 1;
-    }
-
-    void
     workerLoop()
     {
         tInsideWorker = true;
-        std::uint64_t seen = 0;
+        LaneHandle &h = myLane();
+        LaneRegistry &reg = *h.reg;
         for (;;) {
-            std::shared_ptr<Job> job;
-            {
-                std::unique_lock<std::mutex> lk(_jobMutex);
-                _jobCv.wait(lk, [this, seen] {
-                    return _stop || _generation != seen;
-                });
-                if (_stop)
-                    return;
-                seen = _generation;
-                job = _job;
+            std::uint64_t version0 = reg.version.load();
+            Task task;
+            if (popLocal(*h.lane, task) ||
+                stealAny(reg, h.lane.get(), task)) {
+                runTask(task);
+                continue;
             }
-            if (job)
-                drain(*job);
-        }
-    }
-
-    /** Execute chunks of @p job until none remain. */
-    void
-    drain(Job &job)
-    {
-        for (;;) {
-            std::size_t c =
-                job.nextChunk.fetch_add(1, std::memory_order_relaxed);
-            if (c >= job.chunkCount)
+            std::unique_lock<std::mutex> lk(reg.m);
+            if (reg.stop)
                 return;
-            if (!job.failed.load(std::memory_order_acquire)) {
-                try {
-                    std::int64_t b =
-                        job.begin +
-                        static_cast<std::int64_t>(c) * job.grain;
-                    std::int64_t e = std::min(b + job.grain, job.end);
-                    (*job.fn)(c, b, e);
-                } catch (...) {
-                    std::lock_guard<std::mutex> lk(job.doneMutex);
-                    if (!job.error)
-                        job.error = std::current_exception();
-                    job.failed.store(true, std::memory_order_release);
-                }
-            }
-            if (job.pending.fetch_sub(1, std::memory_order_acq_rel) ==
-                1) {
-                std::lock_guard<std::mutex> lk(job.doneMutex);
-                job.doneCv.notify_all();
-            }
+            reg.cv.wait(lk, [&reg, version0] {
+                return reg.stop || reg.version.load() != version0;
+            });
+            if (reg.stop)
+                return;
         }
     }
 
-    std::mutex _configMutex;  //!< guards _threads/_workers lifecycle
-    std::mutex _submitMutex;  //!< serializes top-level loops
-    std::mutex _jobMutex;     //!< guards _job/_generation/_stop
-    std::condition_variable _jobCv;
+    std::mutex _configMutex; //!< guards worker lifecycle + _threads init
+    std::shared_ptr<LaneRegistry> _reg = laneRegistry();
     std::vector<std::thread> _workers;
-    std::shared_ptr<Job> _job;
-    std::uint64_t _generation = 0;
-    bool _stop = false;
-    int _threads = 0; //!< 0 = not yet initialized
+    std::atomic<int> _threads{0}; //!< 0 = not yet initialized
 };
 
 Pool &
@@ -289,6 +489,12 @@ void
 setParallelThreadCount(int n)
 {
     pool().configure(n);
+}
+
+const char *
+parallelSchedulerName()
+{
+    return "work-stealing";
 }
 
 std::int64_t
@@ -341,21 +547,58 @@ parallelForOuter(std::int64_t n,
 {
     if (n <= 0)
         return;
-    if (n >= parallelThreadCount()) {
-        parallelFor(0, n, 1, [&fn](std::int64_t b, std::int64_t e) {
-            for (std::int64_t i = b; i < e; ++i)
-                fn(i);
-        });
-    } else {
-        for (std::int64_t i = 0; i < n; ++i)
+    parallelFor(0, n, 1, [&fn](std::int64_t b, std::int64_t e) {
+        for (std::int64_t i = b; i < e; ++i)
             fn(i);
-    }
+    });
 }
 
 bool
 insideParallelWorker()
 {
     return tInsideWorker;
+}
+
+// ---------------------------------------------------------------------
+// TaskGroup
+// ---------------------------------------------------------------------
+
+TaskGroup::TaskGroup() : _state(std::make_shared<ParallelTaskState>()) {}
+
+TaskGroup::~TaskGroup()
+{
+    // Outstanding tasks capture state owned by the caller — they must
+    // finish before destruction. Errors are dropped here; wait()
+    // observes them.
+    helpUntilDone(myLane(), *_state);
+}
+
+void
+TaskGroup::run(std::function<void()> fn)
+{
+    _state->pending.fetch_add(1, std::memory_order_acq_rel);
+    Task task{_state, std::move(fn)};
+    if (pool().threadCount() <= 1) {
+        runTask(task); // single-thread runs never touch the pool
+        return;
+    }
+    LaneHandle &h = myLane();
+    std::vector<Task> tasks;
+    tasks.push_back(std::move(task));
+    pushTasks(h, std::move(tasks), *_state);
+}
+
+void
+TaskGroup::wait()
+{
+    helpUntilDone(myLane(), *_state);
+    std::lock_guard<std::mutex> lk(_state->doneMutex);
+    if (_state->error) {
+        std::exception_ptr error = _state->error;
+        _state->error = nullptr;
+        _state->failed.store(false, std::memory_order_release);
+        std::rethrow_exception(error);
+    }
 }
 
 } // namespace cicero

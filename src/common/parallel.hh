@@ -1,24 +1,36 @@
 /**
  * @file
- * The parallel execution subsystem: a lazily-initialized global thread
- * pool and a chunked parallel-for on top of it.
+ * The parallel execution subsystem: a lazily-initialized global
+ * work-stealing task scheduler and a chunked parallel-for on top of it.
  *
  * Design contract (see README "Threading model"):
  *  - Work is split into contiguous chunks of a deterministic size; the
  *    chunk decomposition depends only on (range, grain, thread count),
  *    never on scheduling. Callers that must merge per-chunk results in
  *    a deterministic order index them by chunk id via
- *    parallelForChunks() / parallelChunkCount().
+ *    parallelForChunks() / parallelChunkCount(). Work stealing moves
+ *    *which thread* runs a chunk, never *what* the chunk is.
  *  - The worker count comes from CICERO_THREADS (default:
  *    hardware_concurrency) and can be overridden programmatically with
  *    setParallelThreadCount(); with one thread every loop runs serially
  *    inline, so single-thread runs never touch the pool.
- *  - Nested parallelFor calls (a loop issued from inside a worker) run
- *    serially inline — callers can parallelize at whatever level is
- *    outermost without risking deadlock or oversubscription.
- *  - The first exception thrown by a chunk is captured and rethrown to
- *    the caller once the loop has drained; remaining chunks are skipped
- *    on a best-effort basis.
+ *  - Every thread that submits work owns a deque of tasks. A submitter
+ *    pushes its chunks there and drains them help-first (newest-first,
+ *    so a nested loop's chunks run before the enclosing level's), while
+ *    idle pool workers steal oldest-first from any thread's deque.
+ *    Concurrent top-level submitters therefore make progress
+ *    simultaneously, and a nested parallelFor issued from inside a
+ *    worker participates in the pool instead of degrading to
+ *    inline-serial: the submitting worker executes chunks of its own
+ *    loop while thieves take the rest.
+ *  - TaskGroup is the async-submit primitive the loops are built from:
+ *    run() enqueues a task and returns immediately; wait() helps
+ *    execute the group's tasks, then blocks until all complete.
+ *  - The first exception thrown by a chunk (or group task) is captured
+ *    and rethrown to the waiter once the loop has drained; remaining
+ *    chunks are skipped on a best-effort basis.
+ *  - A task must not block waiting on work that only runs after its
+ *    own loop returns (the usual help-first scheduler caveat).
  */
 
 #ifndef CICERO_COMMON_PARALLEL_HH
@@ -26,9 +38,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace cicero {
+
+namespace detail {
+struct ParallelTaskState;
+} // namespace detail
 
 /** Upper bound on an explicitly requested worker count. */
 constexpr int kMaxParallelThreads = 4096;
@@ -58,6 +75,9 @@ int parallelParseThreadSpec(const char *text);
  */
 void setParallelThreadCount(int n);
 
+/** Scheduler identifier for bench/CI tagging ("work-stealing"). */
+const char *parallelSchedulerName();
+
 /**
  * Resolve the chunk size a loop over @p n items with requested grain
  * @p grain will use. grain > 0 is honored as-is; grain <= 0 picks a
@@ -76,6 +96,9 @@ std::size_t parallelChunkCount(std::int64_t begin, std::int64_t end,
  * Chunked parallel loop: invokes @p fn(chunkBegin, chunkEnd) for each
  * chunk of [@p begin, @p end), concurrently on the global pool. The
  * calling thread participates. Returns when every chunk completed.
+ * May be called from inside a worker: the nested loop's chunks are
+ * scheduled like any other work (and stolen by idle threads) while the
+ * submitter drains them help-first.
  */
 void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)> &fn);
@@ -92,17 +115,53 @@ void parallelForChunks(
 
 /**
  * Outer-level loop over @p n independent heavy units (frames, windows,
- * whole renders): invokes @p fn(i) for i in [0, n). Runs item-parallel
- * only when n >= parallelThreadCount(); narrower loops run serially so
- * each unit's *internal* parallelFor can use the whole pool (a nested
- * loop runs inline-serial — going wide over a handful of units would
- * idle most threads).
+ * whole renders): invokes @p fn(i) for i in [0, n). One chunk per unit;
+ * the units' *internal* parallelFor loops participate in the pool via
+ * work stealing, so going wide over even a handful of units no longer
+ * idles the remaining threads.
  */
 void parallelForOuter(std::int64_t n,
                       const std::function<void(std::int64_t)> &fn);
 
-/** True while the current thread is executing a pool chunk. */
+/** True while the current thread is executing a scheduled task. */
 bool insideParallelWorker();
+
+/**
+ * A set of asynchronously submitted tasks: run() enqueues work on the
+ * scheduler and returns immediately; wait() helps execute the group's
+ * tasks, blocks until all have completed, and rethrows the first
+ * captured exception. Usable from any thread, including from inside a
+ * worker (the tasks are then stolen by idle threads — this is how
+ * frame-level pipelines overlap independent stages). The destructor
+ * waits for outstanding tasks but discards their errors; call wait()
+ * to observe them. A group is reusable after wait() returns. Not
+ * thread-safe: external synchronization is required to call run()/
+ * wait() on one group from several threads at once.
+ *
+ * With a one-thread pool run() executes the task inline (single-thread
+ * runs never touch the pool); the error still surfaces at wait().
+ */
+class TaskGroup
+{
+  public:
+    TaskGroup();
+    ~TaskGroup();
+
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /** Enqueue @p fn; returns without waiting for it to run. */
+    void run(std::function<void()> fn);
+
+    /**
+     * Help-execute and then block until every submitted task has
+     * completed; rethrows the first exception a task threw.
+     */
+    void wait();
+
+  private:
+    std::shared_ptr<detail::ParallelTaskState> _state;
+};
 
 /**
  * Run @p fn(part, begin, end) over chunks of [0, n) and return the

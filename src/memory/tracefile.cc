@@ -338,6 +338,37 @@ readVarint(const std::vector<std::uint8_t> &events, std::size_t &pos)
 
 } // namespace
 
+const char *
+traceStorageModeName(TraceStorageMode mode)
+{
+    switch (mode) {
+      case TraceStorageMode::Fp32:
+        return "fp32";
+      case TraceStorageMode::Fp16:
+        return "fp16";
+      case TraceStorageMode::Unknown:
+        break;
+    }
+    return "unknown";
+}
+
+bool
+traceMetaStorageConsistent(const TraceFileMeta &meta)
+{
+    switch (meta.storageMode) {
+      case TraceStorageMode::Fp16:
+        // 2 B/channel accounting must decompose into whole channels.
+        return meta.featureBytes % 2 == 0;
+      case TraceStorageMode::Fp32:
+        // The trace's featureBytes assumes fp16-class storage, but the
+        // capture-time encoding held 4-byte floats.
+        return false;
+      case TraceStorageMode::Unknown:
+        break;
+    }
+    return true; // legacy capture: nothing recorded, nothing to check
+}
+
 // ---------------------------------------------------------------------
 // TraceFileWriter
 // ---------------------------------------------------------------------
@@ -443,7 +474,7 @@ TraceFileWriter::close()
     header.insert(header.end(), kMagic, kMagic + 4);
     appendU16(header, kTraceFileVersion);
     header.push_back(static_cast<std::uint8_t>(_codec));
-    header.push_back(0); // reserved
+    header.push_back(static_cast<std::uint8_t>(_meta.storageMode));
     appendStr(header, _meta.scene);
     appendStr(header, _meta.encoding);
     appendStr(header, _meta.model);
@@ -535,7 +566,11 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
         throw std::runtime_error("unknown trace-file codec " +
                                  std::to_string(codec));
     _codec = static_cast<TraceCodec>(codec);
-    c.u8(); // reserved
+    std::uint8_t storage = c.u8();
+    _meta.storageMode =
+        storage <= static_cast<std::uint8_t>(TraceStorageMode::Fp16)
+            ? static_cast<TraceStorageMode>(storage)
+            : TraceStorageMode::Unknown;
 
     _meta.scene = c.str();
     _meta.encoding = c.str();

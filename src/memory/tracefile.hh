@@ -15,7 +15,7 @@
  *
  * On-disk format (all integers little-endian):
  *
- *   "CTRC"  u16 version  u8 codec  u8 reserved
+ *   "CTRC"  u16 version  u8 codec  u8 storageMode
  *   str scene  str encoding  str model        (u32 length + bytes)
  *   u32 width  u32 height  u32 threads  u32 featureBytes
  *   u64 accesses  u64 rayEnds  u64 flushes
@@ -53,6 +53,22 @@ enum class TraceCodec : std::uint8_t
 /** Trace-file container version understood by this build. */
 constexpr std::uint16_t kTraceFileVersion = 1;
 
+/**
+ * Capture-time feature storage of the traced encoding. Occupies the
+ * byte that was reserved in the original version-1 header, so legacy
+ * files read back as Unknown and new files stay readable by old
+ * builds.
+ */
+enum class TraceStorageMode : std::uint8_t
+{
+    Unknown = 0, //!< legacy capture; storage mode not recorded
+    Fp32 = 1,    //!< functional arrays held 4-byte floats
+    Fp16 = 2,    //!< quantizeFeaturesFp16() storage (2-byte values)
+};
+
+/** Human-readable name of a storage mode ("fp32", "fp16", "unknown"). */
+const char *traceStorageModeName(TraceStorageMode mode);
+
 /** Capture metadata recorded in the trace-file header. */
 struct TraceFileMeta
 {
@@ -63,7 +79,20 @@ struct TraceFileMeta
     std::uint32_t height = 0;
     std::uint32_t threads = 0;      //!< parallelThreadCount() at capture
     std::uint32_t featureBytes = 0; //!< featureDim * kBytesPerChannel
+    TraceStorageMode storageMode = TraceStorageMode::Unknown;
 };
+
+/**
+ * Whether @p meta's featureBytes accounting is consistent with its
+ * recorded capture-time storage mode. featureBytes is written as
+ * featureDim x kBytesPerChannel — the 2-byte-per-channel DRAM model of
+ * the paper — which is only faithful to the functional run when the
+ * encoding's storage really was fp16 (featuresFp16() set) at capture:
+ * an Fp32 capture moved 4-byte channels the trace under-counts.
+ * Unknown (legacy files) is vacuously consistent. `cicero_trace
+ * stats`/`replay` flag inconsistent captures.
+ */
+bool traceMetaStorageConsistent(const TraceFileMeta &meta);
 
 /** Event counts recorded in the trace-file header. */
 struct TraceFileCounts

@@ -114,6 +114,22 @@ class Encoding
     virtual void bake(const AnalyticField &field) = 0;
 
     /**
+     * True when feature storage is fp16-quantized — i.e. the functional
+     * arrays really hold 2-byte-valued channels, matching the
+     * kBytesPerChannel DRAM accounting. Trace captures record this so
+     * offline tools can tell whether a trace's featureBytes reflects
+     * the capture-time storage (see TraceFileMeta::storageMode).
+     */
+    virtual bool featuresFp16() const { return false; }
+
+    /**
+     * Round feature storage to fp16 values (sticky across re-bakes).
+     * Default no-op for external encodings without a 2-byte mode; the
+     * in-tree encodings all override.
+     */
+    virtual void quantizeFeaturesFp16() {}
+
+    /**
      * Interpolate the feature at normalized position @p pn in [0,1]^3.
      * @param out featureDim() floats.
      */

@@ -1,15 +1,20 @@
 /**
  * @file
  * Tests for the parallel execution subsystem: chunk decomposition,
- * pool reuse and reconfiguration, exception propagation, nested-loop
- * inlining and grain edge cases.
+ * pool reuse and reconfiguration, exception propagation, work-stealing
+ * scheduling (nested loops, concurrent top-level submitters, the
+ * TaskGroup async API) and grain edge cases.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/parallel.hh"
@@ -22,6 +27,24 @@ struct ThreadCountGuard
 {
     ~ThreadCountGuard() { setParallelThreadCount(0); }
 };
+
+/**
+ * Yielding wait with a generous deadline: scheduling tests interlock
+ * threads, and a lost-progress bug must surface as a test failure, not
+ * a hung binary. Returns false on timeout.
+ */
+bool
+waitUntil(const std::function<bool()> &cond)
+{
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(60);
+    while (!cond()) {
+        if (std::chrono::steady_clock::now() > deadline)
+            return false;
+        std::this_thread::yield();
+    }
+    return true;
+}
 
 TEST(ParallelTest, EveryIndexVisitedExactlyOnce)
 {
@@ -203,25 +226,213 @@ TEST(ParallelTest, ThreadSpecParserAcceptsOnlyStrictPositiveIntegers)
     EXPECT_EQ(parallelParseThreadSpec("0x8"), 0);
 }
 
-TEST(ParallelTest, NestedLoopsRunInlineWithoutDeadlock)
+TEST(ParallelTest, NestedLoopsCompleteUnderStealing)
 {
     ThreadCountGuard guard;
     setParallelThreadCount(4);
 
     EXPECT_FALSE(insideParallelWorker());
 
+    // Nested loops participate in the pool: their chunks are scheduled
+    // (and may be stolen by any thread) rather than running inline on
+    // the submitter. Totals must stay exact regardless of who ran what.
     std::atomic<int> inner{0};
+    std::mutex idsMutex;
+    std::set<std::thread::id> innerThreads;
     parallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
         EXPECT_TRUE(insideParallelWorker());
-        const std::thread::id outer = std::this_thread::get_id();
-        // A nested loop must execute inline on the same thread.
-        parallelFor(0, 16, 1, [&](std::int64_t b, std::int64_t e) {
-            EXPECT_EQ(std::this_thread::get_id(), outer);
+        parallelFor(0, 256, 4, [&](std::int64_t b, std::int64_t e) {
+            EXPECT_TRUE(insideParallelWorker());
+            {
+                std::lock_guard<std::mutex> lk(idsMutex);
+                innerThreads.insert(std::this_thread::get_id());
+            }
             inner.fetch_add(static_cast<int>(e - b));
         });
     });
-    EXPECT_EQ(inner.load(), 8 * 16);
+    EXPECT_EQ(inner.load(), 8 * 256);
+    EXPECT_GE(innerThreads.size(), 1u);
     EXPECT_FALSE(insideParallelWorker());
+
+    // Three levels deep still drains.
+    std::atomic<int> deep{0};
+    parallelFor(0, 4, 1, [&](std::int64_t, std::int64_t) {
+        parallelFor(0, 4, 1, [&](std::int64_t, std::int64_t) {
+            parallelFor(0, 16, 2, [&](std::int64_t b, std::int64_t e) {
+                deep.fetch_add(static_cast<int>(e - b));
+            });
+        });
+    });
+    EXPECT_EQ(deep.load(), 4 * 4 * 16);
+}
+
+TEST(ParallelTest, NestedChunkDecompositionMatchesTopLevel)
+{
+    // The determinism contract: chunk decomposition is a pure function
+    // of (range, grain, thread count) — submitting from inside a
+    // worker must produce exactly the chunks a top-level call would.
+    ThreadCountGuard guard;
+    setParallelThreadCount(3);
+
+    const std::int64_t begin = 5, end = 103, grain = 10;
+    const std::size_t count = parallelChunkCount(begin, end, grain);
+    ASSERT_GT(count, 1u);
+
+    std::vector<std::pair<std::int64_t, std::int64_t>> ranges(count);
+    std::vector<std::atomic<int>> seen(count);
+    parallelFor(0, 2, 1, [&](std::int64_t b, std::int64_t) {
+        if (b != 0)
+            return;
+        parallelForChunks(begin, end, grain,
+                          [&](std::size_t c, std::int64_t cb,
+                              std::int64_t ce) {
+                              ranges[c] = {cb, ce};
+                              seen[c].fetch_add(1);
+                          });
+    });
+
+    std::int64_t expectB = begin;
+    for (std::size_t c = 0; c < count; ++c) {
+        EXPECT_EQ(seen[c].load(), 1);
+        EXPECT_EQ(ranges[c].first, expectB);
+        EXPECT_LE(ranges[c].second - ranges[c].first, grain);
+        expectB = ranges[c].second;
+    }
+    EXPECT_EQ(expectB, end);
+}
+
+TEST(ParallelTest, ConcurrentTopLevelSubmittersBothProgress)
+{
+    // Two threads submit independent top-level loops. The second loop
+    // must complete *while the first is still in flight* — with a
+    // serializing submit lock (the pre-work-stealing pool) this test
+    // times out, because loop B could never start until loop A
+    // drained, and loop A only drains once B has run.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    std::atomic<bool> aStarted{false};
+    std::atomic<bool> bDone{false};
+    std::atomic<bool> timedOut{false};
+
+    std::thread submitterB([&] {
+        if (!waitUntil([&] { return aStarted.load(); })) {
+            timedOut.store(true);
+            return;
+        }
+        std::atomic<std::int64_t> sum{0};
+        parallelFor(0, 64, 8, [&](std::int64_t b, std::int64_t e) {
+            for (std::int64_t i = b; i < e; ++i)
+                sum.fetch_add(i);
+        });
+        EXPECT_EQ(sum.load(), 63 * 64 / 2);
+        bDone.store(true);
+    });
+
+    parallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
+        aStarted.store(true);
+        if (!waitUntil([&] { return bDone.load() || timedOut.load(); }))
+            timedOut.store(true);
+    });
+    submitterB.join();
+
+    EXPECT_FALSE(timedOut.load());
+    EXPECT_TRUE(bDone.load());
+}
+
+TEST(ParallelTest, TaskGroupRunsAsyncAndCompletesAtWait)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup group;
+    std::atomic<bool> go{false};
+    std::atomic<int> ran{0};
+    std::atomic<bool> timedOut{false};
+    for (int i = 0; i < 4; ++i) {
+        group.run([&] {
+            if (!waitUntil([&] { return go.load(); }))
+                timedOut.store(true);
+            ran.fetch_add(1);
+        });
+    }
+    // run() must not execute the (blocked) tasks inline — reaching
+    // this line at all proves submission is asynchronous.
+    EXPECT_EQ(ran.load(), 0);
+    go.store(true);
+    group.wait();
+    EXPECT_EQ(ran.load(), 4);
+    EXPECT_FALSE(timedOut.load());
+
+    // A group is reusable after wait().
+    std::atomic<int> again{0};
+    group.run([&] { again.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(again.load(), 1);
+}
+
+TEST(ParallelTest, TaskGroupOverlapsWithSubmitterLoop)
+{
+    // The Fig. 11b pipelining shape: a group task runs concurrently
+    // with a parallel loop the submitting thread executes afterwards.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup group;
+    std::atomic<bool> taskDone{false};
+    group.run([&] { taskDone.store(true); });
+
+    std::atomic<int> loop{0};
+    parallelFor(0, 128, 8, [&](std::int64_t b, std::int64_t e) {
+        loop.fetch_add(static_cast<int>(e - b));
+    });
+    group.wait();
+    EXPECT_TRUE(taskDone.load());
+    EXPECT_EQ(loop.load(), 128);
+}
+
+TEST(ParallelTest, TaskGroupPropagatesExceptions)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup group;
+    group.run([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(group.wait(), std::runtime_error);
+
+    // The error is consumed: the group keeps working afterwards.
+    std::atomic<int> ok{0};
+    group.run([&] { ok.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ok.load(), 1);
+
+    // Single-thread pools execute inline but still defer the error to
+    // wait().
+    setParallelThreadCount(1);
+    TaskGroup inlineGroup;
+    inlineGroup.run([] { throw std::logic_error("inline"); });
+    EXPECT_THROW(inlineGroup.wait(), std::logic_error);
+}
+
+TEST(ParallelTest, TaskGroupFromInsideWorker)
+{
+    // Groups submitted from inside a worker chunk (how the SPARW
+    // pipeline overlaps a lookahead stage) drain without deadlock.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    std::atomic<int> total{0};
+    parallelFor(0, 4, 1, [&](std::int64_t, std::int64_t) {
+        TaskGroup group;
+        group.run([&] {
+            parallelFor(0, 64, 8, [&](std::int64_t b, std::int64_t e) {
+                total.fetch_add(static_cast<int>(e - b));
+            });
+        });
+        group.run([&] { total.fetch_add(1); });
+        group.wait();
+    });
+    EXPECT_EQ(total.load(), 4 * (64 + 1));
 }
 
 } // namespace

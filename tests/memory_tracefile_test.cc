@@ -199,6 +199,8 @@ TEST(TraceFileTest, MetadataAndCountsRoundTrip)
     EXPECT_EQ(reader.meta().height, 2u);
     EXPECT_EQ(reader.meta().threads, 3u);
     EXPECT_EQ(reader.meta().featureBytes, 16u);
+    // Default-constructed meta: no storage mode recorded.
+    EXPECT_EQ(reader.meta().storageMode, TraceStorageMode::Unknown);
     EXPECT_EQ(reader.counts().accesses, 3u);
     EXPECT_EQ(reader.counts().rayEnds, 2u);
     EXPECT_EQ(reader.counts().flushes, 1u);
@@ -212,6 +214,82 @@ TEST(TraceFileTest, MetadataAndCountsRoundTrip)
                                        "E0", "A1048576:32:r7", "E7",
                                        "F"};
     EXPECT_EQ(rec.events, expect);
+}
+
+TEST(TraceFileTest, StorageModeRoundTripsAndFlagsMismatch)
+{
+    // The capture-time feature-storage mode travels in the header byte
+    // that used to be reserved, and the consistency helper ties the
+    // 2 B/channel featureBytes accounting to it: only fp16-quantized
+    // captures (featuresFp16() set) are faithfully accounted; legacy
+    // files (byte = 0) are vacuously consistent.
+    for (TraceStorageMode mode :
+         {TraceStorageMode::Unknown, TraceStorageMode::Fp32,
+          TraceStorageMode::Fp16}) {
+        TraceFileMeta meta;
+        meta.scene = "synthetic";
+        meta.featureBytes = 18; // 9 channels x 2 B
+        meta.storageMode = mode;
+
+        std::vector<std::uint8_t> buf;
+        TraceFileWriter writer(buf, meta, TraceCodec::Varint);
+        writer.onAccess(MemAccess{64, 16, 0});
+        writer.close();
+
+        TraceFileReader reader(buf);
+        EXPECT_EQ(reader.meta().storageMode, mode);
+        EXPECT_EQ(traceMetaStorageConsistent(reader.meta()),
+                  mode != TraceStorageMode::Fp32);
+    }
+
+    EXPECT_STREQ(traceStorageModeName(TraceStorageMode::Unknown),
+                 "unknown");
+    EXPECT_STREQ(traceStorageModeName(TraceStorageMode::Fp32), "fp32");
+    EXPECT_STREQ(traceStorageModeName(TraceStorageMode::Fp16), "fp16");
+
+    // An unrecognized byte value (a future mode) degrades to Unknown
+    // instead of poisoning the parse.
+    TraceFileMeta meta;
+    meta.storageMode = static_cast<TraceStorageMode>(250);
+    std::vector<std::uint8_t> buf;
+    TraceFileWriter writer(buf, meta, TraceCodec::Varint);
+    writer.close();
+    TraceFileReader reader(buf);
+    EXPECT_EQ(reader.meta().storageMode, TraceStorageMode::Unknown);
+}
+
+TEST(TraceFileTest, QuantizedEncodingTagsCaptureFp16)
+{
+    // End-to-end: a capture over an fp16-quantized encoding records
+    // Fp16 and is consistent; the same capture without quantization
+    // records Fp32 and is flagged.
+    ThreadCountGuard guard;
+    setParallelThreadCount(1);
+    auto model = test::tinyModel();
+
+    auto capture = [&](TraceStorageMode tagged) {
+        TraceFileMeta meta = metaFor(*model, "tiny", 12);
+        meta.storageMode = model->encoding().featuresFp16()
+                               ? TraceStorageMode::Fp16
+                               : TraceStorageMode::Fp32;
+        EXPECT_EQ(meta.storageMode, tagged);
+        std::vector<std::uint8_t> buf;
+        TraceFileWriter writer(buf, meta, TraceCodec::Varint);
+        Camera cam = test::tinyCamera(12);
+        model->traceWorkload(cam, &writer);
+        writer.close();
+        return buf;
+    };
+
+    std::vector<std::uint8_t> fp32Buf = capture(TraceStorageMode::Fp32);
+    EXPECT_FALSE(traceMetaStorageConsistent(
+        TraceFileReader(fp32Buf).meta()));
+
+    model->encoding().quantizeFeaturesFp16();
+    ASSERT_TRUE(model->encoding().featuresFp16());
+    std::vector<std::uint8_t> fp16Buf = capture(TraceStorageMode::Fp16);
+    EXPECT_TRUE(traceMetaStorageConsistent(
+        TraceFileReader(fp16Buf).meta()));
 }
 
 TEST(TraceFileTest, EmptyTraceAndRepeatedFlushesRoundTrip)

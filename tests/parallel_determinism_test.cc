@@ -288,6 +288,23 @@ TEST(ParallelDeterminismTest, WarpIsBitIdenticalAcrossThreadCounts)
     EXPECT_EQ(w1.stats.voidHoles, w4.stats.voidHoles);
 }
 
+void
+expectSparwRunsIdentical(const SparwRun &a, const SparwRun &b)
+{
+    ASSERT_EQ(a.frames.size(), b.frames.size());
+    ASSERT_EQ(a.references.size(), b.references.size());
+    for (std::size_t i = 0; i < a.frames.size(); ++i) {
+        expectImagesIdentical(a.frames[i].image, b.frames[i].image);
+        expectDepthIdentical(a.frames[i].depth, b.frames[i].depth);
+        expectWorkIdentical(a.frames[i].sparseWork,
+                            b.frames[i].sparseWork);
+        EXPECT_EQ(a.frames[i].referenceIndex, b.frames[i].referenceIndex);
+        EXPECT_EQ(a.frames[i].warpStats.warped, b.frames[i].warpStats.warped);
+    }
+    for (std::size_t i = 0; i < a.references.size(); ++i)
+        expectWorkIdentical(a.references[i].work, b.references[i].work);
+}
+
 TEST(ParallelDeterminismTest, SparwRunMatchesAcrossThreadCounts)
 {
     ThreadCountGuard guard;
@@ -303,18 +320,39 @@ TEST(ParallelDeterminismTest, SparwRunMatchesAcrossThreadCounts)
     setParallelThreadCount(4);
     SparwRun run4 = pipeline.run(traj);
 
-    ASSERT_EQ(run1.frames.size(), run4.frames.size());
-    ASSERT_EQ(run1.references.size(), run4.references.size());
-    for (std::size_t i = 0; i < run1.frames.size(); ++i) {
-        expectImagesIdentical(run1.frames[i].image, run4.frames[i].image);
-        expectWorkIdentical(run1.frames[i].sparseWork,
-                            run4.frames[i].sparseWork);
-        EXPECT_EQ(run1.frames[i].referenceIndex,
-                  run4.frames[i].referenceIndex);
+    expectSparwRunsIdentical(run1, run4);
+}
+
+TEST(ParallelDeterminismTest, SparwPipelinedMatchesTwoPhaseAtAnyThreadCount)
+{
+    // The Fig. 11b pipelined schedule overlaps window w+1's reference
+    // render with window w's frames — scheduling only. Its output must
+    // be byte-identical to the two-phase barrier walk at every thread
+    // count (including widths that don't divide the window count).
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    std::vector<Pose> traj = test::tinyOrbit(9);
+    Camera intrinsics = test::tinyCamera(32);
+
+    SparwConfig twoPhaseCfg;
+    twoPhaseCfg.window = 2;
+    twoPhaseCfg.schedule = SparwSchedule::TwoPhase;
+    SparwConfig pipelinedCfg = twoPhaseCfg;
+    pipelinedCfg.schedule = SparwSchedule::Pipelined;
+
+    SparwPipeline twoPhase(*model, intrinsics, twoPhaseCfg);
+    SparwPipeline pipelined(*model, intrinsics, pipelinedCfg);
+
+    setParallelThreadCount(1);
+    SparwRun baseline = twoPhase.run(traj);
+
+    for (int threads : {1, 4, 7}) {
+        setParallelThreadCount(threads);
+        SparwRun p = pipelined.run(traj);
+        expectSparwRunsIdentical(baseline, p);
+        SparwRun t = twoPhase.run(traj);
+        expectSparwRunsIdentical(baseline, t);
     }
-    for (std::size_t i = 0; i < run1.references.size(); ++i)
-        expectWorkIdentical(run1.references[i].work,
-                            run4.references[i].work);
 }
 
 TEST(ParallelDeterminismTest, BatchedMlpMatchesScalarExactly)

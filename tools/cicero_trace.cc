@@ -51,8 +51,10 @@ usage()
         "  capture -o FILE [--scene NAME] [--model ngp|dvgo|tensorf|enerf]\n"
         "          [--res N] [--frame K] [--preset fast|full]\n"
         "          [--layout linear|mvoxel] [--codec range|varint]\n"
-        "          [--mode workload|render]\n"
-        "      render one frame and persist its gather access stream\n"
+        "          [--mode workload|render] [--fp16]\n"
+        "      render one frame and persist its gather access stream;\n"
+        "      --fp16 quantizes feature storage first, so the trace's\n"
+        "      2 B/channel featureBytes accounting matches the run\n"
         "  replay FILE [--stack cache|bank|dram] [--ways N]\n"
         "          [--capacity-mb N] [--banks N] [--rays N]\n"
         "          [--sram-layout feature|channel]\n"
@@ -80,6 +82,16 @@ optValueOr(int argc, char **argv, const char *name, const char *fallback)
 {
     const char *v = optValue(argc, argv, name);
     return v ? v : fallback;
+}
+
+/** True when valueless flag --name appears in argv. */
+bool
+optFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
 }
 
 /**
@@ -164,12 +176,15 @@ metaJson(const TraceFileReader &reader)
 {
     const TraceFileMeta &m = reader.meta();
     const TraceFileCounts &c = reader.counts();
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "\"width\": %u, \"height\": %u, \"threads\": %u, "
-                  "\"feature_bytes\": %u, \"accesses\": %llu, "
+                  "\"feature_bytes\": %u, \"storage\": \"%s\", "
+                  "\"storage_consistent\": %s, \"accesses\": %llu, "
                   "\"ray_ends\": %llu, \"flushes\": %llu",
                   m.width, m.height, m.threads, m.featureBytes,
+                  traceStorageModeName(m.storageMode),
+                  traceMetaStorageConsistent(m) ? "true" : "false",
                   static_cast<unsigned long long>(c.accesses),
                   static_cast<unsigned long long>(c.rayEnds),
                   static_cast<unsigned long long>(c.flushes));
@@ -207,6 +222,7 @@ cmdCapture(int argc, char **argv)
     std::string layoutStr = optValueOr(argc, argv, "--layout", "linear");
     std::string codecStr = optValueOr(argc, argv, "--codec", "range");
     std::string mode = optValueOr(argc, argv, "--mode", "workload");
+    bool fp16 = optFlag(argc, argv, "--fp16");
 
     ModelBuildOptions opts;
     opts.preset =
@@ -218,6 +234,8 @@ cmdCapture(int argc, char **argv)
 
     Scene scene = makeScene(sceneName);
     auto model = buildModel(kind, scene, opts);
+    if (fp16)
+        model->encoding().quantizeFeaturesFp16();
 
     OrbitParams orbit;
     orbit.radius = scene.cameraDistance;
@@ -233,6 +251,9 @@ cmdCapture(int argc, char **argv)
     meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
     meta.featureBytes = static_cast<std::uint32_t>(
         model->encoding().featureDim() * kBytesPerChannel);
+    meta.storageMode = model->encoding().featuresFp16()
+                           ? TraceStorageMode::Fp16
+                           : TraceStorageMode::Fp32;
 
     TraceFileWriter writer(out, meta, codec);
     if (mode == "render")
@@ -278,6 +299,14 @@ cmdReplay(int argc, char **argv)
     }
 
     TraceFileReader reader(file);
+    if (!traceMetaStorageConsistent(reader.meta()))
+        std::fprintf(stderr,
+                     "cicero_trace: warning: %s was captured with %s "
+                     "feature storage but its featureBytes accounting "
+                     "assumes fp16-class 2 B/channel — replayed byte "
+                     "counts under-count the functional run\n",
+                     file,
+                     traceStorageModeName(reader.meta().storageMode));
 
     // Validate everything and run the stack *before* printing, so
     // stdout carries either one complete JSON object or nothing.
@@ -378,12 +407,29 @@ cmdStats(int argc, char **argv)
     // glance: fp16-class 2 B/channel captures decompose cleanly.
     if (m.featureBytes % kBytesPerChannel == 0)
         std::printf("  featureBytes=%u (%u channels x %u B, "
-                    "fp16-class storage)\n",
+                    "fp16-class storage) storage=%s\n",
                     m.featureBytes, m.featureBytes / kBytesPerChannel,
-                    kBytesPerChannel);
+                    kBytesPerChannel,
+                    traceStorageModeName(m.storageMode));
     else
-        std::printf("  featureBytes=%u (not %u B/channel)\n",
-                    m.featureBytes, kBytesPerChannel);
+        std::printf("  featureBytes=%u (not %u B/channel) storage=%s\n",
+                    m.featureBytes, kBytesPerChannel,
+                    traceStorageModeName(m.storageMode));
+    if (!traceMetaStorageConsistent(m)) {
+        if (m.storageMode == TraceStorageMode::Fp32)
+            std::printf("  STORAGE MISMATCH: featureBytes assumes "
+                        "%u B/channel but the capture-time encoding "
+                        "stored fp32 features (featuresFp16() not set) "
+                        "— byte accounting under-counts; recapture "
+                        "with --fp16 to quantize storage to match\n",
+                        kBytesPerChannel);
+        else
+            std::printf("  STORAGE MISMATCH: storage recorded as %s "
+                        "but featureBytes=%u does not decompose into "
+                        "%u B channels\n",
+                        traceStorageModeName(m.storageMode),
+                        m.featureBytes, kBytesPerChannel);
+    }
     std::printf("  codec=%s\n",
                 reader.codec() == TraceCodec::Range ? "range" : "varint");
     std::printf("  accesses=%llu rayEnds=%llu flushes=%llu "
