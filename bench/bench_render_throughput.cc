@@ -20,10 +20,23 @@
  * sides), with the fp32 outputs checked bit-identical across backends.
  *
  * Since PR 5 a "pipeline" section reports SPARW frames/s under the
- * two-phase vs the pipelined (Fig. 11b overlap) batch schedule on the
- * work-stealing scheduler, tagged with the scheduler mode, plus an
- * idle-time-fraction estimate per schedule; the two schedules' frames
- * are checked bit-identical.
+ * window-loop schedules on the work-stealing scheduler, tagged with
+ * the scheduler mode; all schedules' frames are checked bit-identical.
+ *
+ * Since PR 6 the pipeline section runs on a *straggler* trajectory
+ * (one window's reference ~4x costlier than the rest — the case that
+ * separates the per-window dependency-graph schedule from the batch
+ * pipeline), adds the dependency-graph leg, replaces the wall-clock
+ * idle-time estimates with measured scheduler counters (steals, idle
+ * wakeups, measured idle fraction, overflow migrations,
+ * dependency-stall time; the old estimate fields remain one release,
+ * marked deprecated), and adds a "realtime" subsection: deadline-miss
+ * and fallback rates of runRealtime() at a zero, a frame-paced, and an
+ * unlimited budget, with the two deterministic extremes bit-compared
+ * against runDownsampled() and run().
+ *
+ * --quick cuts repetitions and kernel batch sizes for the CI smoke
+ * step; every bit-identity check still runs.
  *
  * The speedups scale with physical cores; on a single-core runner the
  * parallel paths time alike and those sections degenerate to a smoke
@@ -33,8 +46,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "bench_util.hh"
@@ -172,10 +187,17 @@ benchSimdKernel(const std::string &name, double items,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::string(argv[i]) == "--quick")
+            quick = true;
+
     banner("throughput",
            "tile-parallel render engine + batched gather, 128x128");
+
+    const int reps = quick ? 1 : 3;
 
     Scene scene = makeScene("lego");
     auto model = buildModel(ModelKind::DirectVoxGO, scene);
@@ -193,13 +215,13 @@ main()
     setParallelThreadCount(1);
     RenderResult serialOut = model->render(cam);
     double serialS =
-        secondsOf([&] { serialOut = model->render(cam); }, 3);
+        secondsOf([&] { serialOut = model->render(cam); }, reps);
 
     setParallelThreadCount(0); // CICERO_THREADS / hardware_concurrency
     const int threads = parallelThreadCount();
     RenderResult parallelOut = model->render(cam);
     double parallelS =
-        secondsOf([&] { parallelOut = model->render(cam); }, 3);
+        secondsOf([&] { parallelOut = model->render(cam); }, reps);
 
     const bool bitIdentical =
         identical(serialOut.image, parallelOut.image) &&
@@ -221,7 +243,7 @@ main()
             TraceRecorder rec;
             model->traceWorkload(traceCam, &rec);
         },
-        3);
+        reps);
 
     setParallelThreadCount(0);
     TraceRecorder traceParallel;
@@ -231,7 +253,7 @@ main()
             TraceRecorder rec;
             model->traceWorkload(traceCam, &rec);
         },
-        3);
+        reps);
 
     const bool traceIdentical =
         identicalTraces(traceSerial.trace(), traceParallel.trace());
@@ -245,7 +267,7 @@ main()
     std::vector<Vec3> positions;
     {
         Rng rng(17);
-        positions.resize(200000);
+        positions.resize(quick ? 50000 : 200000);
         for (Vec3 &p : positions)
             p = rng.uniformVec3();
     }
@@ -255,11 +277,11 @@ main()
     {
         DenseGridEncoding dense(96, GridLayout::MVoxelBlocked);
         dense.bake(scene.field);
-        gathers.push_back(benchGather(dense, positions, 3));
+        gathers.push_back(benchGather(dense, positions, reps));
 
         HashGridEncoding hash{HashGridConfig{}};
         hash.bake(scene.field);
-        gathers.push_back(benchGather(hash, positions, 3));
+        gathers.push_back(benchGather(hash, positions, reps));
 
         TensoRFConfig tcfg;
         tcfg.res = 64;
@@ -267,7 +289,7 @@ main()
         tcfg.alsIters = 1;
         TensoRFEncoding tensorf(tcfg);
         tensorf.bake(scene.field);
-        gathers.push_back(benchGather(tensorf, positions, 3));
+        gathers.push_back(benchGather(tensorf, positions, reps));
 
         // ---- SIMD kernel layer: compiled backend vs forced scalar ---
         // Same binary, runtime override: measures the explicit vector
@@ -285,13 +307,13 @@ main()
                     enc->gatherFeatureBatch(positions.data(), n,
                                             featOut.data());
                 },
-                featOut, 3));
+                featOut, reps));
         }
 
         // The decoder-shaped MLP (12 -> 16 -> 16 -> 4) at a frame-like
         // batch size; 2 FLOPs per MAC.
         Mlp mlp({kFeatureDim + 3, 16, 16, 4}, 1);
-        const int mlpCount = 16384;
+        const int mlpCount = quick ? 4096 : 16384;
         std::vector<float> mlpIn(static_cast<std::size_t>(mlp.inputDim()) *
                                  mlpCount);
         for (std::size_t i = 0; i < mlpIn.size(); ++i)
@@ -304,7 +326,7 @@ main()
             [&] {
                 mlp.forwardBatch(mlpIn.data(), mlpOut.data(), mlpCount);
             },
-            mlpOut, 5));
+            mlpOut, quick ? 1 : 5));
     }
     bool gatherIdentical = true;
     for (const GatherResult &g : gathers)
@@ -313,14 +335,16 @@ main()
     for (const SimdKernelResult &k : simdKernels)
         simdIdentical = simdIdentical && k.identical;
 
-    // ---- SPARW batch schedule: two-phase vs pipelined ---------------
-    // Same trajectory through both schedules of the work-stealing
-    // scheduler: the pipelined one overlaps window w+1's reference
-    // render with window w's warp + sparse frames (Fig. 11b), so its
-    // frames/s should beat the two-phase barrier walk on a multi-core
-    // runner (a 1-thread serial run supplies the total-work baseline
-    // for the idle-fraction estimate). Output is checked bit-identical
-    // between the schedules — overlap must never change pixels.
+    // ---- SPARW schedules on a straggler trajectory ------------------
+    // Same trajectory through all three window-loop schedules of the
+    // work-stealing scheduler. The trajectory dips toward the scene for
+    // the two poses one mid-run window extrapolates its reference from,
+    // making that window's reference render several times costlier than
+    // the rest: under the batch pipeline the straggler gates the whole
+    // next batch's lookahead, while the dependency-graph schedule lets
+    // every other window stream past it. Output is checked
+    // bit-identical across all schedules and the serial run — overlap
+    // must never change pixels.
     setParallelThreadCount(0);
     const int sparwThreads = parallelThreadCount();
     const int sparwRes = 64;
@@ -329,41 +353,114 @@ main()
     twoPhaseCfg.schedule = SparwSchedule::TwoPhase;
     SparwConfig pipelinedCfg = twoPhaseCfg;
     pipelinedCfg.schedule = SparwSchedule::Pipelined;
+    SparwConfig depGraphCfg = twoPhaseCfg;
+    depGraphCfg.schedule = SparwSchedule::DependencyGraph;
     // At least two pool-width window batches, so the pipeline has a
     // next batch to overlap with for most of the run.
     const int sparwFrames =
         std::max(8, 2 * sparwThreads * twoPhaseCfg.window);
     std::vector<Pose> sparwTraj = sceneOrbit(scene, sparwFrames);
+    const int numWindows =
+        (sparwFrames + twoPhaseCfg.window - 1) / twoPhaseCfg.window;
+    // Pull the two poses that window `stragglerWindow` extrapolates its
+    // reference from to ~0.22x the orbit radius: the predicted
+    // reference lands close to the scene, where rays collect several
+    // times more samples.
+    const int stragglerWindow = numWindows / 2;
+    for (int k = stragglerWindow * twoPhaseCfg.window - 2;
+         k < stragglerWindow * twoPhaseCfg.window; ++k)
+        if (k >= 0)
+            sparwTraj[k].pos = sparwTraj[k].pos * 0.22f;
     Camera sparwCam =
         Camera::fromFov(sparwRes, sparwRes, scene.fovYDeg, sparwTraj[0]);
     SparwPipeline twoPhase(*model, sparwCam, twoPhaseCfg);
     SparwPipeline pipelined(*model, sparwCam, pipelinedCfg);
+    SparwPipeline depGraph(*model, sparwCam, depGraphCfg);
+    const int sparwReps = quick ? 1 : 2;
 
     setParallelThreadCount(1);
     SparwRun sparwSerial = twoPhase.run(sparwTraj);
-    double sparwSerialS = secondsOf([&] { twoPhase.run(sparwTraj); }, 2);
+    double sparwSerialS =
+        secondsOf([&] { twoPhase.run(sparwTraj); }, sparwReps);
+
+    // Each leg is timed (best of reps), then bracketed once between a
+    // counter reset and a snapshot so the JSON reports *measured*
+    // scheduler behaviour for exactly one run of that schedule.
+    struct SchedMeasure
+    {
+        double wallS = 0.0;
+        SchedulerCounters c;
+    };
+    auto measureCounters = [&](const std::function<void()> &fn) {
+        SchedMeasure m;
+        parallelResetSchedulerCounters();
+        auto t0 = std::chrono::steady_clock::now();
+        fn();
+        auto t1 = std::chrono::steady_clock::now();
+        m.wallS = std::chrono::duration<double>(t1 - t0).count();
+        m.c = parallelSchedulerCounters();
+        return m;
+    };
+    auto idleFracMeasured = [&](const SchedMeasure &m) {
+        if (m.wallS <= 0.0 || sparwThreads <= 0)
+            return 0.0;
+        double capacityNs = sparwThreads * m.wallS * 1e9;
+        return std::min(1.0, static_cast<double>(m.c.idleNanos) /
+                                 capacityNs);
+    };
 
     setParallelThreadCount(0);
     SparwRun sparwTwoPhase = twoPhase.run(sparwTraj);
-    double twoPhaseS = secondsOf([&] { twoPhase.run(sparwTraj); }, 2);
+    double twoPhaseS =
+        secondsOf([&] { twoPhase.run(sparwTraj); }, sparwReps);
+    SchedMeasure twoPhaseM =
+        measureCounters([&] { twoPhase.run(sparwTraj); });
     SparwRun sparwPipelined = pipelined.run(sparwTraj);
-    double pipelinedS = secondsOf([&] { pipelined.run(sparwTraj); }, 2);
+    double pipelinedS =
+        secondsOf([&] { pipelined.run(sparwTraj); }, sparwReps);
+    SchedMeasure pipelinedM =
+        measureCounters([&] { pipelined.run(sparwTraj); });
+    SparwRun sparwDepGraph = depGraph.run(sparwTraj);
+    double depGraphS =
+        secondsOf([&] { depGraph.run(sparwTraj); }, sparwReps);
+    SchedMeasure depGraphM =
+        measureCounters([&] { depGraph.run(sparwTraj); });
 
     bool sparwIdentical =
         sparwSerial.frames.size() == sparwTwoPhase.frames.size() &&
-        sparwSerial.frames.size() == sparwPipelined.frames.size();
+        sparwSerial.frames.size() == sparwPipelined.frames.size() &&
+        sparwSerial.frames.size() == sparwDepGraph.frames.size();
     for (std::size_t i = 0; sparwIdentical && i < sparwSerial.frames.size();
          ++i)
         sparwIdentical =
             identical(sparwSerial.frames[i].image,
                       sparwTwoPhase.frames[i].image) &&
             identical(sparwSerial.frames[i].image,
-                      sparwPipelined.frames[i].image);
+                      sparwPipelined.frames[i].image) &&
+            identical(sparwSerial.frames[i].image,
+                      sparwDepGraph.frames[i].image);
 
-    // Idle-time fraction of the pool during a run: 1 - busy/capacity,
-    // with the 1-thread wall time as the total-work estimate. Lower is
-    // better; the pipelined schedule's gain is two-phase idle reclaimed
-    // by overlap.
+    // How much costlier the straggler reference really was (median
+    // reference = 1.0).
+    double stragglerCost = 0.0;
+    {
+        std::vector<std::uint64_t> refSamples;
+        for (const SparwReference &r : sparwSerial.references)
+            refSamples.push_back(r.work.samples);
+        if (!refSamples.empty()) {
+            std::vector<std::uint64_t> sorted = refSamples;
+            std::sort(sorted.begin(), sorted.end());
+            double median =
+                static_cast<double>(sorted[sorted.size() / 2]);
+            if (median > 0.0)
+                stragglerCost = static_cast<double>(
+                                    refSamples[stragglerWindow]) /
+                                median;
+        }
+    }
+
+    // DEPRECATED wall-clock idle estimate (counter-based fractions
+    // above replace it); kept one release for BENCH trajectories.
     auto idleFraction = [&](double wallS) {
         if (wallS <= 0.0 || sparwThreads <= 0)
             return 0.0;
@@ -373,6 +470,45 @@ main()
     auto fps = [&](double wallS) {
         return wallS > 0.0 ? sparwFrames / wallS : 0.0;
     };
+
+    // ---- real-time mode: deadline-driven SPARW ----------------------
+    // Three budgets through runRealtime(): unlimited (must reproduce
+    // run() bit for bit — every reference lands in time), zero (must
+    // reproduce runDownsampled() frame images bit for bit — every
+    // window falls back), and a paced budget near the measured
+    // per-frame cost (the interesting regime: miss/fallback rates are
+    // machine-dependent and reported, not gated).
+    SparwRun dsBaseline = depGraph.runDownsampled(
+        sparwTraj, SparwRealtimeConfig{}.fallbackFactor);
+
+    SparwRealtimeConfig rtUnlimitedCfg;
+    rtUnlimitedCfg.frameBudgetS = 1e9f;
+    SparwRealtimeRun rtUnlimited =
+        depGraph.runRealtime(sparwTraj, rtUnlimitedCfg);
+    bool rtUnlimitedIdentical =
+        rtUnlimited.run.frames.size() == sparwSerial.frames.size();
+    for (std::size_t i = 0;
+         rtUnlimitedIdentical && i < sparwSerial.frames.size(); ++i)
+        rtUnlimitedIdentical = identical(rtUnlimited.run.frames[i].image,
+                                         sparwSerial.frames[i].image);
+
+    SparwRealtimeConfig rtZeroCfg;
+    rtZeroCfg.frameBudgetS = 0.0f;
+    SparwRealtimeRun rtZero = depGraph.runRealtime(sparwTraj, rtZeroCfg);
+    bool rtZeroMatchesDs =
+        rtZero.run.frames.size() == dsBaseline.frames.size() &&
+        rtZero.deadline.fallbackFrames == sparwFrames;
+    for (std::size_t i = 0;
+         rtZeroMatchesDs && i < dsBaseline.frames.size(); ++i)
+        rtZeroMatchesDs = identical(rtZero.run.frames[i].image,
+                                    dsBaseline.frames[i].image);
+
+    SparwRealtimeConfig rtPacedCfg;
+    rtPacedCfg.frameBudgetS = static_cast<float>(
+        twoPhaseS > 0.0 ? 0.9 * twoPhaseS / sparwFrames : 1.0 / 30.0);
+    SparwRealtimeRun rtPaced = depGraph.runRealtime(sparwTraj, rtPacedCfg);
+
+    const bool realtimeOk = rtUnlimitedIdentical && rtZeroMatchesDs;
 
     // ---- JSON -------------------------------------------------------
     std::printf("{\"bench\": \"render_throughput\", "
@@ -413,21 +549,78 @@ main()
     std::printf("}, \"pipeline\": {\"scheduler\": \"%s\", "
                 "\"resolution\": %d, \"frames\": %d, \"window\": %d, "
                 "\"threads\": %d, "
+                "\"straggler_window\": %d, "
+                "\"straggler_ref_cost\": %.2f, "
                 "\"serial_s\": %.6f, "
                 "\"two_phase_s\": %.6f, \"pipelined_s\": %.6f, "
+                "\"dep_graph_s\": %.6f, "
                 "\"fps_serial\": %.2f, "
                 "\"fps_two_phase\": %.2f, \"fps_pipelined\": %.2f, "
+                "\"fps_dep_graph\": %.2f, "
                 "\"pipeline_speedup\": %.3f, "
+                "\"dep_graph_speedup_vs_pipelined\": %.3f, "
                 "\"idle_frac_two_phase\": %.3f, "
                 "\"idle_frac_pipelined\": %.3f, "
-                "\"bit_identical\": %s}",
+                "\"wall_clock_idle_estimates_deprecated\": true, "
+                "\"bit_identical\": %s",
                 parallelSchedulerName(), sparwRes, sparwFrames,
-                twoPhaseCfg.window, sparwThreads, sparwSerialS,
-                twoPhaseS, pipelinedS, fps(sparwSerialS),
-                fps(twoPhaseS), fps(pipelinedS),
+                twoPhaseCfg.window, sparwThreads, stragglerWindow,
+                stragglerCost, sparwSerialS,
+                twoPhaseS, pipelinedS, depGraphS, fps(sparwSerialS),
+                fps(twoPhaseS), fps(pipelinedS), fps(depGraphS),
                 pipelinedS > 0.0 ? twoPhaseS / pipelinedS : 0.0,
+                depGraphS > 0.0 ? pipelinedS / depGraphS : 0.0,
                 idleFraction(twoPhaseS), idleFraction(pipelinedS),
                 sparwIdentical ? "true" : "false");
+    // Counter-based breakdown of one measured run per schedule: these
+    // are what the scheduler actually did, replacing the wall-clock
+    // idle estimates above.
+    {
+        struct NamedMeasure
+        {
+            const char *name;
+            const SchedMeasure *m;
+        } legs[] = {{"two_phase", &twoPhaseM},
+                    {"pipelined", &pipelinedM},
+                    {"dep_graph", &depGraphM}};
+        std::printf(", \"counters\": {");
+        for (std::size_t i = 0; i < 3; ++i) {
+            const SchedulerCounters &c = legs[i].m->c;
+            std::printf(
+                "%s\"%s\": {\"wall_s\": %.6f, "
+                "\"idle_frac\": %.3f, "
+                "\"steals\": %llu, \"idle_wakeups\": %llu, "
+                "\"idle_ms\": %.3f, "
+                "\"overflow_migrations\": %llu, "
+                "\"tasks\": %llu, \"dep_tasks\": %llu, "
+                "\"dep_stall_ms\": %.3f}",
+                i ? ", " : "", legs[i].name, legs[i].m->wallS,
+                idleFracMeasured(*legs[i].m),
+                static_cast<unsigned long long>(c.steals),
+                static_cast<unsigned long long>(c.idleWakeups),
+                c.idleNanos / 1e6,
+                static_cast<unsigned long long>(c.overflowMigrations),
+                static_cast<unsigned long long>(c.tasksExecuted),
+                static_cast<unsigned long long>(c.depTasksSubmitted),
+                c.depStallNanos / 1e6);
+        }
+        std::printf("}");
+    }
+    std::printf(
+        ", \"realtime\": {"
+        "\"unlimited_budget_matches_run\": %s, "
+        "\"zero_budget_matches_downsampled\": %s, "
+        "\"frame_budget_ms\": %.3f, "
+        "\"frames\": %d, \"deadline_misses\": %d, "
+        "\"miss_rate\": %.3f, \"fallback_frames\": %d, "
+        "\"fallback_rate\": %.3f, \"predicted_refs\": %d, "
+        "\"wall_s\": %.6f}}",
+        rtUnlimitedIdentical ? "true" : "false",
+        rtZeroMatchesDs ? "true" : "false",
+        rtPacedCfg.frameBudgetS * 1e3, rtPaced.deadline.frames,
+        rtPaced.deadline.deadlineMisses, rtPaced.deadline.missRate(),
+        rtPaced.deadline.fallbackFrames, rtPaced.deadline.fallbackRate(),
+        rtPaced.deadline.predictedReferences, rtPaced.deadline.wallS);
     std::printf(", \"simd\": {");
     for (std::size_t i = 0; i < simdKernels.size(); ++i) {
         const SimdKernelResult &k = simdKernels[i];
@@ -451,6 +644,6 @@ main()
     // perf ratios live in the JSON for the BENCH trajectory to track —
     // a noisy runner must not turn a timing wobble into a red build.
     const bool ok = bitIdentical && traceIdentical && gatherIdentical &&
-                    simdIdentical && sparwIdentical;
+                    simdIdentical && sparwIdentical && realtimeOk;
     return ok ? 0 : 1;
 }

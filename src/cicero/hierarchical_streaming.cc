@@ -135,166 +135,203 @@ HierarchicalStreamingRenderer::render(const Camera &camera,
         static_cast<std::int64_t>(samples.size());
 
     // ---- Stage G: level by level --------------------------------------
-    for (int l = 0; l < numLevels; ++l) {
+    // A dense level's RIT build is a pure function of the sample list:
+    // it touches neither `features`, the trace stream, nor the stats
+    // members the accumulation walk writes. The loop below therefore
+    // builds level l+1's RIT on the scheduler *while* level l streams
+    // blocks and accumulates (the cross-level extension of the SPARW
+    // dependency overlap). Accumulation itself stays strictly
+    // level-ordered on the driver thread, so features sums and the
+    // trace stream are bit-identical to the serial walk; two builds
+    // never run concurrently (one lookahead task at a time), and the
+    // build/accumulate pair of a level touches disjoint Stats members.
+    auto cornersOf = [&](int res, const Vec3 &pn, int (&c0)[3],
+                         float (&frac)[3]) {
+        float f[3] = {clamp(pn.x, 0.0f, 1.0f) * res,
+                      clamp(pn.y, 0.0f, 1.0f) * res,
+                      clamp(pn.z, 0.0f, 1.0f) * res};
+        for (int a = 0; a < 3; ++a) {
+            c0[a] = std::min(static_cast<int>(f[a]), res - 1);
+            frac[a] = f[a] - c0[a];
+        }
+    };
+
+    // Prebuilt, accumulation-independent part of one dense level.
+    struct LevelBuild
+    {
+        std::uint32_t blocksPerAxis = 0;
+        std::vector<std::vector<CornerRef>> rit;
+    };
+
+    auto buildLevel = [&](int l, LevelBuild &lb) {
+        if (!_grid.levelDense(l))
+            return; // hashed gather has no accumulation-free prefix
         const int res = _grid.levelRes(l);
-        auto cornersOf = [&](const Vec3 &pn, int (&c0)[3],
-                             float (&frac)[3]) {
-            float f[3] = {clamp(pn.x, 0.0f, 1.0f) * res,
-                          clamp(pn.y, 0.0f, 1.0f) * res,
-                          clamp(pn.z, 0.0f, 1.0f) * res};
-            for (int a = 0; a < 3; ++a) {
-                c0[a] = std::min(static_cast<int>(f[a]), res - 1);
-                frac[a] = f[a] - c0[a];
+        // Partition the level into MVoxel blocks and build its RIT,
+        // sample-parallel: chunk-local RITs carry global sample ids
+        // and merge in chunk order, keeping every block's entry
+        // list ascending in sample id (the serial order).
+        lb.blocksPerAxis = (res + 1 + bv - 1) / bv;
+        const std::uint32_t blocksPerAxis = lb.blocksPerAxis;
+        const std::size_t numBlocks =
+            static_cast<std::size_t>(blocksPerAxis) * blocksPerAxis *
+            blocksPerAxis;
+
+        std::vector<RitChunk> chunks = parallelMapChunks<RitChunk>(
+            numSamples, [&](RitChunk &c, std::int64_t b, std::int64_t e) {
+                c.rit.resize(numBlocks);
+                for (std::int64_t si = b; si < e; ++si) {
+                    std::uint32_t s = static_cast<std::uint32_t>(si);
+                    int c0[3];
+                    float frac[3];
+                    cornersOf(res, samples[s].pn, c0, frac);
+                    std::uint32_t seen[8];
+                    int nSeen = 0;
+                    for (int cr = 0; cr < 8; ++cr) {
+                        int ix = c0[0] + (cr & 1);
+                        int iy = c0[1] + ((cr >> 1) & 1);
+                        int iz = c0[2] + ((cr >> 2) & 1);
+                        float w =
+                            ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
+                            (((cr >> 1) & 1) ? frac[1] : 1.0f - frac[1]) *
+                            (((cr >> 2) & 1) ? frac[2] : 1.0f - frac[2]);
+                        std::uint32_t blk =
+                            (static_cast<std::uint32_t>(iz / bv) *
+                                 blocksPerAxis +
+                             iy / bv) *
+                                blocksPerAxis +
+                            ix / bv;
+                        c.rit[blk].push_back(CornerRef{
+                            s, static_cast<std::uint16_t>(ix),
+                            static_cast<std::uint16_t>(iy),
+                            static_cast<std::uint16_t>(iz), w});
+                        bool dup = false;
+                        for (int k = 0; k < nSeen; ++k)
+                            dup = dup || seen[k] == blk;
+                        if (!dup)
+                            seen[nSeen++] = blk;
+                    }
+                    c.ritEntries += nSeen;
+                }
+            });
+
+        lb.rit.assign(numBlocks, {});
+        for (RitChunk &c : chunks) {
+            for (std::size_t blk = 0; blk < numBlocks; ++blk) {
+                lb.rit[blk].insert(lb.rit[blk].end(), c.rit[blk].begin(),
+                                   c.rit[blk].end());
+            }
+            _stats.ritEntries += c.ritEntries;
+            c = RitChunk{};
+        }
+    };
+
+    auto accumulateDense = [&](int l, LevelBuild &lb) {
+        ++_stats.denseLevels;
+        // Stream touched blocks in address order, exactly once —
+        // serial: this walk is the trace stream, and boundary
+        // samples accumulate across blocks in block order.
+        for (std::uint32_t blk = 0; blk < lb.rit.size(); ++blk) {
+            if (lb.rit[blk].empty())
+                continue;
+            ++_stats.blocksLoaded;
+            _stats.streamedBytes += blockBytes;
+            if (trace) {
+                trace->onAccess(MemAccess{
+                    _grid.levelBaseAddr(l) + blk * blockBytes,
+                    static_cast<std::uint32_t>(blockBytes), blk});
+            }
+            for (const CornerRef &c : lb.rit[blk]) {
+                std::uint32_t slot = _grid.levelSlot(l, c.ix, c.iy, c.iz);
+                const float *v = _grid.levelData(l, slot);
+                float *dst =
+                    features.data() +
+                    static_cast<std::size_t>(c.sample) * kFeatureDim;
+                for (int ch = 0; ch < kFeatureDim; ++ch)
+                    dst[ch] += c.weight * v[ch];
+            }
+        }
+    };
+
+    auto accumulateHashed = [&](int l) {
+        const int res = _grid.levelRes(l);
+        ++_stats.hashedLevels;
+        // Revert to the original data flow: per-sample random
+        // fetches straight out of the hash table. Every sample
+        // owns its feature slice, so the gather is
+        // sample-parallel; when tracing, each sample records its
+        // fetches into a RayTraceBuffer slot and the replay below
+        // restores the serial per-sample emission order.
+        // One thread runs the sample loop inline in order, so the
+        // accesses can stream straight into the sink un-buffered.
+        std::unique_ptr<RayTraceBuffer> buf;
+        if (trace && parallelThreadCount() > 1)
+            buf = std::make_unique<RayTraceBuffer>(samples.size(), trace);
+        auto gatherSample = [&](std::uint32_t s, TraceSink *sink) {
+            int c0[3];
+            float frac[3];
+            cornersOf(res, samples[s].pn, c0, frac);
+            float *dst = features.data() +
+                         static_cast<std::size_t>(s) * kFeatureDim;
+            for (int cr = 0; cr < 8; ++cr) {
+                int ix = c0[0] + (cr & 1);
+                int iy = c0[1] + ((cr >> 1) & 1);
+                int iz = c0[2] + ((cr >> 2) & 1);
+                float w = ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
+                          (((cr >> 1) & 1) ? frac[1] : 1.0f - frac[1]) *
+                          (((cr >> 2) & 1) ? frac[2] : 1.0f - frac[2]);
+                std::uint32_t slot = _grid.levelSlot(l, ix, iy, iz);
+                if (sink) {
+                    sink->onAccess(MemAccess{
+                        _grid.levelBaseAddr(l) +
+                            static_cast<std::uint64_t>(slot) * vb,
+                        vb, s});
+                }
+                const float *v = _grid.levelData(l, slot);
+                for (int ch = 0; ch < kFeatureDim; ++ch)
+                    dst[ch] += w * v[ch];
             }
         };
-
-        if (_grid.levelDense(l)) {
-            ++_stats.denseLevels;
-            // Partition the level into MVoxel blocks and build its RIT,
-            // sample-parallel: chunk-local RITs carry global sample ids
-            // and merge in chunk order, keeping every block's entry
-            // list ascending in sample id (the serial order).
-            std::uint32_t blocksPerAxis = (res + 1 + bv - 1) / bv;
-            const std::size_t numBlocks =
-                static_cast<std::size_t>(blocksPerAxis) * blocksPerAxis *
-                blocksPerAxis;
-
-            std::vector<RitChunk> chunks = parallelMapChunks<RitChunk>(
-                numSamples,
-                [&](RitChunk &c, std::int64_t b, std::int64_t e) {
-                    c.rit.resize(numBlocks);
-                    for (std::int64_t si = b; si < e; ++si) {
-                        std::uint32_t s =
-                            static_cast<std::uint32_t>(si);
-                        int c0[3];
-                        float frac[3];
-                        cornersOf(samples[s].pn, c0, frac);
-                        std::uint32_t seen[8];
-                        int nSeen = 0;
-                        for (int cr = 0; cr < 8; ++cr) {
-                            int ix = c0[0] + (cr & 1);
-                            int iy = c0[1] + ((cr >> 1) & 1);
-                            int iz = c0[2] + ((cr >> 2) & 1);
-                            float w =
-                                ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
-                                (((cr >> 1) & 1) ? frac[1]
-                                                 : 1.0f - frac[1]) *
-                                (((cr >> 2) & 1) ? frac[2]
-                                                 : 1.0f - frac[2]);
-                            std::uint32_t blk =
-                                (static_cast<std::uint32_t>(iz / bv) *
-                                     blocksPerAxis +
-                                 iy / bv) *
-                                    blocksPerAxis +
-                                ix / bv;
-                            c.rit[blk].push_back(CornerRef{
-                                s, static_cast<std::uint16_t>(ix),
-                                static_cast<std::uint16_t>(iy),
-                                static_cast<std::uint16_t>(iz), w});
-                            bool dup = false;
-                            for (int k = 0; k < nSeen; ++k)
-                                dup = dup || seen[k] == blk;
-                            if (!dup)
-                                seen[nSeen++] = blk;
-                        }
-                        c.ritEntries += nSeen;
-                    }
-                });
-
-            std::vector<std::vector<CornerRef>> rit(numBlocks);
-            for (RitChunk &c : chunks) {
-                for (std::size_t blk = 0; blk < numBlocks; ++blk) {
-                    rit[blk].insert(rit[blk].end(), c.rit[blk].begin(),
-                                    c.rit[blk].end());
-                }
-                _stats.ritEntries += c.ritEntries;
-                c = RitChunk{};
-            }
-
-            // Stream touched blocks in address order, exactly once —
-            // serial: this walk is the trace stream, and boundary
-            // samples accumulate across blocks in block order.
-            for (std::uint32_t blk = 0; blk < rit.size(); ++blk) {
-                if (rit[blk].empty())
-                    continue;
-                ++_stats.blocksLoaded;
-                _stats.streamedBytes += blockBytes;
-                if (trace) {
-                    trace->onAccess(MemAccess{
-                        _grid.levelBaseAddr(l) + blk * blockBytes,
-                        static_cast<std::uint32_t>(blockBytes), blk});
-                }
-                for (const CornerRef &c : rit[blk]) {
-                    std::uint32_t slot =
-                        _grid.levelSlot(l, c.ix, c.iy, c.iz);
-                    const float *v = _grid.levelData(l, slot);
-                    float *dst =
-                        features.data() +
-                        static_cast<std::size_t>(c.sample) * kFeatureDim;
-                    for (int ch = 0; ch < kFeatureDim; ++ch)
-                        dst[ch] += c.weight * v[ch];
-                }
-            }
-        } else {
-            ++_stats.hashedLevels;
-            // Revert to the original data flow: per-sample random
-            // fetches straight out of the hash table. Every sample
-            // owns its feature slice, so the gather is
-            // sample-parallel; when tracing, each sample records its
-            // fetches into a RayTraceBuffer slot and the replay below
-            // restores the serial per-sample emission order.
-            // One thread runs the sample loop inline in order, so the
-            // accesses can stream straight into the sink un-buffered.
-            std::unique_ptr<RayTraceBuffer> buf;
-            if (trace && parallelThreadCount() > 1)
-                buf = std::make_unique<RayTraceBuffer>(samples.size(),
-                                                       trace);
-            auto gatherSample = [&](std::uint32_t s, TraceSink *sink) {
-                int c0[3];
-                float frac[3];
-                cornersOf(samples[s].pn, c0, frac);
-                float *dst = features.data() +
-                             static_cast<std::size_t>(s) * kFeatureDim;
-                for (int cr = 0; cr < 8; ++cr) {
-                    int ix = c0[0] + (cr & 1);
-                    int iy = c0[1] + ((cr >> 1) & 1);
-                    int iz = c0[2] + ((cr >> 2) & 1);
-                    float w = ((cr & 1) ? frac[0] : 1.0f - frac[0]) *
-                              (((cr >> 1) & 1) ? frac[1]
-                                               : 1.0f - frac[1]) *
-                              (((cr >> 2) & 1) ? frac[2]
-                                               : 1.0f - frac[2]);
-                    std::uint32_t slot = _grid.levelSlot(l, ix, iy, iz);
-                    if (sink) {
-                        sink->onAccess(MemAccess{
-                            _grid.levelBaseAddr(l) +
-                                static_cast<std::uint64_t>(slot) * vb,
-                            vb, s});
-                    }
-                    const float *v = _grid.levelData(l, slot);
-                    for (int ch = 0; ch < kFeatureDim; ++ch)
-                        dst[ch] += w * v[ch];
-                }
-            };
-            parallelFor(0, numSamples, -1,
-                        [&](std::int64_t b, std::int64_t e) {
-                            for (std::int64_t si = b; si < e; ++si) {
-                                std::uint32_t s =
-                                    static_cast<std::uint32_t>(si);
-                                if (buf) {
-                                    RayTraceBuffer::SlotSink sink =
-                                        buf->sink(s);
-                                    gatherSample(s, &sink);
-                                } else {
-                                    gatherSample(s, trace);
-                                }
+        parallelFor(0, numSamples, -1,
+                    [&](std::int64_t b, std::int64_t e) {
+                        for (std::int64_t si = b; si < e; ++si) {
+                            std::uint32_t s =
+                                static_cast<std::uint32_t>(si);
+                            if (buf) {
+                                RayTraceBuffer::SlotSink sink =
+                                    buf->sink(s);
+                                gatherSample(s, &sink);
+                            } else {
+                                gatherSample(s, trace);
                             }
-                        });
-            if (buf)
-                buf->replay();
-            _stats.randomBytes +=
-                static_cast<std::uint64_t>(samples.size()) * 8ull * vb;
+                        }
+                    });
+        if (buf)
+            buf->replay();
+        _stats.randomBytes +=
+            static_cast<std::uint64_t>(samples.size()) * 8ull * vb;
+    };
+
+    // Drive the levels with a one-level build lookahead: submit level
+    // l+1's RIT build to the scheduler, accumulate level l, then wait.
+    // The wait (plus the alternating double-buffer slot) is what keeps
+    // at most one prebuilt level alive beyond the one accumulating.
+    LevelBuild builds[2];
+    if (numLevels > 0)
+        buildLevel(0, builds[0]);
+    for (int l = 0; l < numLevels; ++l) {
+        TaskGroup lookahead;
+        if (l + 1 < numLevels) {
+            LevelBuild &next = builds[(l + 1) & 1];
+            lookahead.run(
+                [&buildLevel, &next, l] { buildLevel(l + 1, next); });
         }
+        if (_grid.levelDense(l))
+            accumulateDense(l, builds[l & 1]);
+        else
+            accumulateHashed(l);
+        lookahead.wait();
+        builds[l & 1] = LevelBuild{};
     }
     if (trace)
         trace->onFlush();

@@ -8,6 +8,13 @@
  * pose, projected half a window ahead), which breaks the
  * reference-to-target dependency and lets reference rendering overlap
  * target rendering (Fig. 11b).
+ *
+ * The real-time SPARW mode extends the same idea to the per-frame
+ * level: it estimates a PoseVelocity from the last two delivered poses
+ * and renders ahead of the *predicted* pose so a frame is ready by its
+ * deadline. estimatePoseVelocity/extrapolatePose are that reusable
+ * core; extrapolateReferencePose is the window-level convenience the
+ * offline pipeline uses.
  */
 
 #ifndef CICERO_CICERO_POSE_EXTRAPOLATION_HH
@@ -16,6 +23,46 @@
 #include "common/math.hh"
 
 namespace cicero {
+
+/**
+ * Smallest frame interval estimatePoseVelocity will divide by. Pose
+ * deltas over intervals shorter than this (duplicate timestamps,
+ * clock glitches) would explode the velocity estimate; the dt is
+ * clamped up to this floor instead.
+ */
+constexpr float kMinPoseDtSeconds = 1e-4f;
+
+/**
+ * First-order rigid-body velocity estimated from two poses: linear
+ * velocity plus an axis/angular-rate decomposition of the relative
+ * rotation (Eq. 5). `axis` is unit length, or zero when the two poses
+ * share an orientation (angularRadPerS is then zero too).
+ */
+struct PoseVelocity
+{
+    Vec3 linear;                 //!< m/s
+    Vec3 axis;                   //!< unit rotation axis (world frame)
+    float angularRadPerS = 0.0f; //!< signed rate about `axis`
+};
+
+/**
+ * Estimate the velocity carrying @p prev to @p curr over @p dtSeconds.
+ * dtSeconds is clamped to kMinPoseDtSeconds so degenerate intervals
+ * cannot produce NaN/inf velocities.
+ */
+PoseVelocity estimatePoseVelocity(const Pose &prev, const Pose &curr,
+                                  float dtSeconds);
+
+/**
+ * Project @p curr forward by @p aheadSeconds at velocity @p vel
+ * (Eq. 6: constant linear velocity, constant-rate rotation about the
+ * estimated axis). When @p maxAheadSeconds is non-negative the horizon
+ * is clamped to it — long prediction horizons amplify velocity noise,
+ * so real-time callers bound them; window-level extrapolation passes a
+ * negative value and keeps the full horizon.
+ */
+Pose extrapolatePose(const Pose &curr, const PoseVelocity &vel,
+                     float aheadSeconds, float maxAheadSeconds = -1.0f);
 
 /**
  * Extrapolate the reference pose for the *next* warping window.
@@ -29,8 +76,9 @@ namespace cicero {
  *
  * Position follows Eq. 6: R = T_k + v * t_r with v = (T_k - T_{k-1})/Δt
  * and t_r = (leadFrames + N/2) * Δt, placing the reference near the
- * center of its window. Orientation is slerp-extrapolated at the same
- * rate.
+ * center of its window. Orientation extrapolates the relative rotation
+ * at its estimated angular rate. The horizon is *not* clamped here —
+ * large windows legitimately look many frames ahead.
  */
 Pose extrapolateReferencePose(const Pose &prev, const Pose &curr,
                               float dtSeconds, int window,

@@ -1,6 +1,7 @@
 #include "cicero/sparw.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 #include "cicero/pose_extrapolation.hh"
@@ -9,6 +10,39 @@
 namespace cicero {
 
 namespace {
+
+/**
+ * Per-window dependency-graph driver (SparwSchedule::DependencyGraph):
+ * for every window wi, frameTask(wi) depends on refTask(wi) and on
+ * nothing else, so a straggling reference delays only its own window.
+ * References stream ahead continuously; the edge
+ * refTask(wi) -> after frameTask(wi - cap) bounds the number of
+ * windows whose reference can be alive at once to cap = max(2,
+ * 2 x threads), keeping peak memory O(threads) instead of O(windows).
+ *
+ * Tasks are submitted in topological order (frame wi-cap before ref
+ * wi before frame wi), so on a one-thread pool the graph degenerates
+ * to the serial ref/frames walk. Both callbacks write disjoint slots,
+ * making output bit-identical to every other schedule.
+ */
+void
+runWindowGraph(int numWindows, const std::function<void(int)> &renderRef,
+               const std::function<void(int)> &processWindow)
+{
+    const int cap = std::max(2, 2 * parallelThreadCount());
+    TaskGroup graph;
+    std::vector<TaskHandle> frameTasks(numWindows);
+    for (int wi = 0; wi < numWindows; ++wi) {
+        std::vector<TaskHandle> refDeps;
+        if (wi >= cap)
+            refDeps.push_back(frameTasks[wi - cap]);
+        TaskHandle ref = graph.runAfter(
+            refDeps, [&renderRef, wi] { renderRef(wi); });
+        frameTasks[wi] = graph.runAfter(
+            {ref}, [&processWindow, wi] { processWindow(wi); });
+    }
+    graph.wait();
+}
 
 /**
  * Window-batch driver shared by run() and runDownsampled(): walks
@@ -53,7 +87,37 @@ runWindowBatches(int numWindows, int batch, SparwSchedule schedule,
     }
 }
 
+/**
+ * Fallback camera of the DS-k paths. runDownsampled() and
+ * runRealtime()'s deadline fallback must construct the *same* camera
+ * so a budget-exhausted real-time run reproduces runDownsampled
+ * images bit for bit.
+ */
+Camera
+downsampledCamera(const Camera &intrinsics, int factor)
+{
+    Camera low = intrinsics;
+    low.width = std::max(1, intrinsics.width / factor);
+    low.height = std::max(1, intrinsics.height / factor);
+    low.focal = intrinsics.focal / factor;
+    low.cx = intrinsics.cx / factor;
+    low.cy = intrinsics.cy / factor;
+    return low;
+}
+
 } // namespace
+
+double
+SparwDeadlineStats::missRate() const
+{
+    return frames > 0 ? static_cast<double>(deadlineMisses) / frames : 0.0;
+}
+
+double
+SparwDeadlineStats::fallbackRate() const
+{
+    return frames > 0 ? static_cast<double>(fallbackFrames) / frames : 0.0;
+}
 
 double
 SparwRun::meanOverlap() const
@@ -197,8 +261,13 @@ SparwPipeline::run(const std::vector<Pose> &trajectory) const
             refRenders[wi] = RenderResult{};
     };
 
-    runWindowBatches(numWindows, batch, _config.schedule, renderRefs,
-                     processFrames);
+    if (_config.schedule == SparwSchedule::DependencyGraph)
+        runWindowGraph(
+            numWindows, [&](int wi) { renderRefs(wi, wi + 1); },
+            [&](int wi) { processFrames(wi, wi + 1); });
+    else
+        runWindowBatches(numWindows, batch, _config.schedule, renderRefs,
+                         processFrames);
     return out;
 }
 
@@ -271,12 +340,7 @@ SparwPipeline::runDownsampled(const std::vector<Pose> &trajectory,
                               int factor) const
 {
     SparwRun out;
-    Camera low = _intrinsics;
-    low.width = std::max(1, _intrinsics.width / factor);
-    low.height = std::max(1, _intrinsics.height / factor);
-    low.focal = _intrinsics.focal / factor;
-    low.cx = _intrinsics.cx / factor;
-    low.cy = _intrinsics.cy / factor;
+    Camera low = downsampledCamera(_intrinsics, factor);
 
     // Every frame is an independent downsampled render + upsample: a
     // degenerate SPARW window whose reference *is* the displayed frame
@@ -315,8 +379,147 @@ SparwPipeline::runDownsampled(const std::vector<Pose> &trajectory,
         });
     };
 
-    runWindowBatches(n, parallelThreadCount(), _config.schedule,
-                     renderRefs, processFrames);
+    if (_config.schedule == SparwSchedule::DependencyGraph)
+        runWindowGraph(
+            n, [&](int i) { renderRefs(i, i + 1); },
+            [&](int i) { processFrames(i, i + 1); });
+    else
+        runWindowBatches(n, parallelThreadCount(), _config.schedule,
+                         renderRefs, processFrames);
+    return out;
+}
+
+SparwRealtimeRun
+SparwPipeline::runRealtime(const std::vector<Pose> &trajectory,
+                           const SparwRealtimeConfig &rt) const
+{
+    SparwRealtimeRun out;
+    const int n = static_cast<int>(trajectory.size());
+    const int window = std::max(1, _config.window);
+    if (n == 0)
+        return out;
+    const int numWindows = (n + window - 1) / window;
+
+    // Reference poses exactly as run() resolves them — an unlimited
+    // budget must reproduce run()'s frames bit for bit.
+    std::vector<Camera> refCams(numWindows);
+    std::vector<SparwReference> refMeta(numWindows);
+    for (int wi = 0; wi < numWindows; ++wi) {
+        const int i = wi * window;
+        Pose refPose;
+        bool onTraj = false;
+        if (i >= 2) {
+            refPose = extrapolateReferencePose(trajectory[i - 2],
+                                               trajectory[i - 1],
+                                               _config.dtSeconds, window);
+        } else {
+            refPose = trajectory[0];
+            onTraj = true;
+        }
+        refCams[wi] = cameraAt(refPose);
+        refMeta[wi] = SparwReference{refPose, StageWork{}, onTraj};
+    }
+
+    const Camera low =
+        downsampledCamera(_intrinsics, std::max(1, rt.fallbackFactor));
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point t0 = Clock::now();
+    auto elapsedS = [t0] {
+        return std::chrono::duration<double>(Clock::now() - t0).count();
+    };
+    const double budget = rt.frameBudgetS;
+    auto deadlineOf = [budget](int frame) { return (frame + 1) * budget; };
+
+    out.run.frames.resize(n);
+    SparwDeadlineStats &dl = out.deadline;
+
+    // One-window render-ahead: while window wi's frames are warped and
+    // sparse-rendered, window wi+1's reference renders concurrently at
+    // its *predicted* (extrapolated) pose. Two alternating groups +
+    // render slots double-buffer the lookahead.
+    TaskGroup groups[2];
+    RenderResult renders[2];
+    std::vector<char> refLive(numWindows, 0);
+
+    auto startRef = [&](int wi) {
+        refLive[wi] = 1;
+        groups[wi & 1].run([this, &renders, &refCams, wi] {
+            renders[wi & 1] = _model.render(refCams[wi]);
+        });
+    };
+
+    if (elapsedS() < deadlineOf(0))
+        startRef(0);
+
+    for (int wi = 0; wi < numWindows; ++wi) {
+        const int f0 = wi * window;
+        const int f1 = std::min(f0 + window, n);
+
+        // Decide on the next window's reference *before* processing
+        // this window's frames (that ordering is the overlap). Skip it
+        // when the next window's first-frame deadline has already
+        // passed — a reference that cannot be ready in time is pure
+        // wasted work; those frames take the fallback path instead.
+        if (wi + 1 < numWindows &&
+            elapsedS() < deadlineOf((wi + 1) * window))
+            startRef(wi + 1);
+
+        if (refLive[wi]) {
+            groups[wi & 1].wait();
+            RenderResult &ref = renders[wi & 1];
+            const int refIndex =
+                static_cast<int>(out.run.references.size());
+            refMeta[wi].work = ref.work;
+            out.run.references.push_back(refMeta[wi]);
+            if (!refMeta[wi].onTrajectory)
+                ++dl.predictedReferences;
+            for (int i = f0; i < f1; ++i) {
+                Camera tgtCam = cameraAt(trajectory[i]);
+                WarpOutput w = warpFrame(ref.image, ref.depth,
+                                         refCams[wi], tgtCam,
+                                         &_model.occupancy(),
+                                         _model.scene().background,
+                                         _config.warp);
+                SparwFrame frame;
+                frame.warpStats = w.stats;
+                frame.warpPoints = w.stats.pointsTransformed;
+                frame.referenceIndex = refIndex;
+                frame.sparseWork = _model.renderPixels(
+                    tgtCam, w.needRender, w.image, w.depth);
+                frame.image = std::move(w.image);
+                frame.depth = std::move(w.depth);
+                out.run.frames[i] = std::move(frame);
+                if (elapsedS() > deadlineOf(i))
+                    ++dl.deadlineMisses;
+            }
+            ref = RenderResult{};
+        } else {
+            for (int i = f0; i < f1; ++i) {
+                Camera cam = low;
+                cam.pose = trajectory[i];
+                RenderResult r = _model.render(cam);
+                SparwFrame frame;
+                frame.referenceIndex =
+                    static_cast<int>(out.run.references.size());
+                frame.warpStats.totalPixels =
+                    static_cast<std::uint64_t>(_intrinsics.width) *
+                    _intrinsics.height;
+                frame.image = r.image.upsampleBilinear(
+                    _intrinsics.width, _intrinsics.height);
+                frame.depth =
+                    DepthMap(_intrinsics.width, _intrinsics.height);
+                out.run.references.push_back(
+                    SparwReference{trajectory[i], r.work, true});
+                out.run.frames[i] = std::move(frame);
+                ++dl.fallbackFrames;
+                if (elapsedS() > deadlineOf(i))
+                    ++dl.deadlineMisses;
+            }
+        }
+    }
+    dl.frames = n;
+    dl.wallS = elapsedS();
     return out;
 }
 

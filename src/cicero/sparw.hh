@@ -27,17 +27,27 @@
 namespace cicero {
 
 /**
- * Batch schedule of the Cicero strategy's window loop. Both schedules
- * produce bit-identical output — only the overlap structure differs.
+ * Schedule of the Cicero strategy's window loop. All schedules produce
+ * bit-identical output — only the overlap structure differs.
  */
 enum class SparwSchedule
 {
     /**
-     * Fig. 11b overlap: while window w's target frames (warp + sparse
-     * re-render) are still in flight, window w+1's reference render is
-     * already submitted to the scheduler. Bounded lookahead of one
-     * batch keeps at most 2 x threads full-resolution references
-     * alive.
+     * Per-window dependency graph (the full Fig. 11b overlap): each
+     * window's warp + sparse frames depend only on *its own*
+     * reference, so one straggling reference render no longer gates
+     * any other window's lookahead. Reference renders stream ahead
+     * continuously, bounded by a live-reference cap of max(2, 2 x
+     * threads) windows (a frame->future-reference dependency edge), so
+     * peak memory stays O(threads) full-resolution references.
+     */
+    DependencyGraph,
+    /**
+     * The PR 5 batch overlap: while a batch of windows' target frames
+     * is in flight, the *whole next batch* of references is submitted
+     * as one task — a single slow reference delays every window in
+     * the batch. Kept selectable for the throughput bench and the
+     * bit-identity tests.
      */
     Pipelined,
     /**
@@ -54,7 +64,7 @@ struct SparwConfig
     int window = 6;    //!< N: target frames sharing one reference
     WarpParams warp;   //!< warping heuristic parameters
     float dtSeconds = 1.0f / 30.0f; //!< trajectory frame interval
-    SparwSchedule schedule = SparwSchedule::Pipelined;
+    SparwSchedule schedule = SparwSchedule::DependencyGraph;
 };
 
 /** Everything produced for one displayed (target) frame. */
@@ -76,6 +86,35 @@ struct SparwReference
     bool onTrajectory = false;
 };
 
+/** Real-time (deadline-driven) SPARW configuration. */
+struct SparwRealtimeConfig
+{
+    /**
+     * Per-frame wall-clock budget: frame i must be delivered by
+     * (i+1) * frameBudgetS after the run starts. Windows whose
+     * first-frame deadline has already passed when their reference
+     * *would* be submitted fall back to downsampled rendering instead
+     * of rendering a reference they cannot use in time.
+     */
+    float frameBudgetS = 1.0f / 30.0f;
+
+    /** Downsample factor of the fallback path (the DS-k baseline). */
+    int fallbackFactor = 2;
+};
+
+/** Deadline accounting of one real-time SPARW run. */
+struct SparwDeadlineStats
+{
+    int frames = 0;          //!< frames delivered
+    int deadlineMisses = 0;  //!< frames completed after their deadline
+    int fallbackFrames = 0;  //!< frames that took the downsampled path
+    int predictedReferences = 0; //!< references rendered at extrapolated poses
+    double wallS = 0.0;      //!< wall time of the whole run
+
+    double missRate() const;
+    double fallbackRate() const;
+};
+
 /** Output of running SPARW over a trajectory. */
 struct SparwRun
 {
@@ -93,6 +132,13 @@ struct SparwRun
 
     /** Total full-frame work across references. */
     StageWork totalReferenceWork() const;
+};
+
+/** Output of a real-time SPARW run: the frames plus deadline stats. */
+struct SparwRealtimeRun
+{
+    SparwRun run;
+    SparwDeadlineStats deadline;
 };
 
 /**
@@ -117,6 +163,21 @@ class SparwPipeline
     /** DS-k strategy: downsampled full rendering, no warping. */
     SparwRun runDownsampled(const std::vector<Pose> &trajectory,
                             int factor) const;
+
+    /**
+     * Real-time mode: the Cicero strategy driven by per-frame
+     * deadlines. References are rendered one window ahead at
+     * pose-extrapolated (predicted) positions while the current
+     * window's frames are processed; when the deadline budget is
+     * exhausted a window falls back to downsampled rendering
+     * (runDownsampled math, bit for bit). At the extremes the output
+     * is deterministic: an effectively infinite budget reproduces
+     * run() exactly, a zero budget reproduces runDownsampled(
+     * fallbackFactor) frame images exactly — in between, which windows
+     * fall back depends on measured wall time.
+     */
+    SparwRealtimeRun runRealtime(const std::vector<Pose> &trajectory,
+                                 const SparwRealtimeConfig &rt) const;
 
     const SparwConfig &config() const { return _config; }
 

@@ -114,10 +114,13 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
             }
         });
 
+    // Sample/ray merges stay serial up front (they are cheap); per-chunk
+    // sample bases are recorded so the RIT merge below can run
+    // MVoxel-major on the scheduler.
     std::vector<SampleRec> samples;
     std::vector<std::uint32_t> rayFirstSample(
         static_cast<std::size_t>(W) * H + 1, 0);
-    std::vector<std::vector<CornerRef>> rit(numMv);
+    std::vector<std::uint32_t> chunkSampleBase(chunks.size(), 0);
     {
         std::size_t totalSamples = 0;
         for (const IndexChunk &c : chunks)
@@ -125,35 +128,39 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
         samples.reserve(totalSamples);
 
         std::size_t rayBase = 0;
-        for (IndexChunk &c : chunks) {
+        for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+            IndexChunk &c = chunks[ci];
             const std::uint32_t sampleBase =
                 static_cast<std::uint32_t>(samples.size());
+            chunkSampleBase[ci] = sampleBase;
             for (std::size_t r = 0; r < c.rayFirst.size(); ++r)
                 rayFirstSample[rayBase + r] = sampleBase + c.rayFirst[r];
             rayBase += c.rayFirst.size();
             samples.insert(samples.end(), c.samples.begin(),
                            c.samples.end());
-            for (std::uint32_t mv = 0; mv < numMv; ++mv) {
-                for (CornerRef e : c.rit[mv]) {
-                    e.sample += sampleBase;
-                    rit[mv].push_back(e);
-                }
-            }
             out.work += c.work;
             _stats.ritEntries += c.ritEntries;
             _stats.boundaryEntries += c.boundaryEntries;
-            c = IndexChunk{}; // release chunk storage as it merges
         }
     }
     rayFirstSample.back() = static_cast<std::uint32_t>(samples.size());
     _stats.samples = samples.size();
     _stats.ritBytes = _stats.ritEntries * 48;
 
-    // ---- Stage G: stream MVoxels in address order --------------------
-    // Stays serial: the single-visit address-order walk *is* the trace
-    // stream, and boundary samples accumulate across MVoxels in that
-    // order (partial interpolation), so this loop defines both the
-    // access-stream and the FP-accumulation contract.
+    // ---- RIT merge + Stage G: a merge/walk dependency chain ----------
+    // The MVoxel range is cut into segments. Each segment's RIT merge
+    // (concatenate the chunks' per-MVoxel entry lists in chunk order —
+    // the serial order) is independent of every other segment and runs
+    // in parallel; the address-order walk of segment s depends on its
+    // own merge *and* on walk s-1, so walks execute strictly in MVoxel
+    // order: the single-visit walk *is* the trace stream, and boundary
+    // samples accumulate across MVoxels in that order (partial
+    // interpolation). Later merges overlap earlier walks, but neither
+    // the trace stream nor any accumulation order changes — output is
+    // bit-identical to the serial pipeline. Segment count only shapes
+    // task granularity, never results. The Stage I chunks must stay
+    // alive until the whole chain drains (a modest peak-memory cost
+    // over the old merge-then-release loop).
     //
     // Accumulation is sample-major (each corner update touches one
     // sample's contiguous 36 B, not kFeatureDim strided cache lines);
@@ -162,33 +169,72 @@ StreamingRenderer::render(const Camera &camera, TraceSink *trace) const
     const std::size_t S = samples.size();
     std::vector<float> features(
         S * static_cast<std::size_t>(kFeatureDim), 0.0f);
-    for (std::uint32_t mv = 0; mv < numMv; ++mv) {
-        const auto &entries = rit[mv];
-        if (entries.empty())
-            continue;
-        ++_stats.mvoxelsLoaded;
-        _stats.streamedBytes += _grid.mvoxelBytes();
-        if (trace) {
-            trace->onAccess(MemAccess{
-                _grid.mvoxelBaseAddr(mv),
-                static_cast<std::uint32_t>(_grid.mvoxelBytes()), mv});
-        }
+    std::vector<std::vector<CornerRef>> rit(numMv);
+    {
+        auto mergeSegment = [&](std::uint32_t mv0, std::uint32_t mv1) {
+            for (std::uint32_t mv = mv0; mv < mv1; ++mv) {
+                for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+                    for (CornerRef e : chunks[ci].rit[mv]) {
+                        e.sample += chunkSampleBase[ci];
+                        rit[mv].push_back(e);
+                    }
+                }
+            }
+        };
 
-        // Recover the block's global vertex origin from its id.
-        std::uint32_t bpa = _grid.blocksPerAxis();
-        int bx = static_cast<int>(mv % bpa);
-        int by = static_cast<int>((mv / bpa) % bpa);
-        int bz = static_cast<int>(mv / (bpa * bpa));
+        auto walkSegment = [&](std::uint32_t mv0, std::uint32_t mv1) {
+            for (std::uint32_t mv = mv0; mv < mv1; ++mv) {
+                const auto &entries = rit[mv];
+                if (entries.empty())
+                    continue;
+                ++_stats.mvoxelsLoaded;
+                _stats.streamedBytes += _grid.mvoxelBytes();
+                if (trace) {
+                    trace->onAccess(MemAccess{
+                        _grid.mvoxelBaseAddr(mv),
+                        static_cast<std::uint32_t>(_grid.mvoxelBytes()),
+                        mv});
+                }
 
-        for (const CornerRef &c : entries) {
-            const float *v =
-                _grid.vertexData(bx * bv + c.ix, by * bv + c.iy,
-                                 bz * bv + c.iz);
-            float *dst = features.data() +
-                         static_cast<std::size_t>(c.sample) * kFeatureDim;
-            for (int ch = 0; ch < kFeatureDim; ++ch)
-                dst[ch] += c.weight * v[ch];
+                // Recover the block's global vertex origin from its id.
+                std::uint32_t bpa = _grid.blocksPerAxis();
+                int bx = static_cast<int>(mv % bpa);
+                int by = static_cast<int>((mv / bpa) % bpa);
+                int bz = static_cast<int>(mv / (bpa * bpa));
+
+                for (const CornerRef &c : entries) {
+                    const float *v =
+                        _grid.vertexData(bx * bv + c.ix, by * bv + c.iy,
+                                         bz * bv + c.iz);
+                    float *dst =
+                        features.data() +
+                        static_cast<std::size_t>(c.sample) * kFeatureDim;
+                    for (int ch = 0; ch < kFeatureDim; ++ch)
+                        dst[ch] += c.weight * v[ch];
+                }
+            }
+        };
+
+        const std::uint32_t numSegs = std::min<std::uint32_t>(
+            std::max(1u, numMv),
+            static_cast<std::uint32_t>(
+                std::max(1, 4 * parallelThreadCount())));
+        const std::uint32_t segLen = (numMv + numSegs - 1) / numSegs;
+        TaskGroup graph;
+        TaskHandle prevWalk;
+        for (std::uint32_t mv0 = 0; mv0 < numMv; mv0 += segLen) {
+            const std::uint32_t mv1 = std::min(mv0 + segLen, numMv);
+            TaskHandle merge = graph.run(
+                [&mergeSegment, mv0, mv1] { mergeSegment(mv0, mv1); });
+            std::vector<TaskHandle> deps{merge};
+            if (prevWalk.valid())
+                deps.push_back(prevWalk);
+            prevWalk = graph.runAfter(
+                deps, [&walkSegment, mv0, mv1] { walkSegment(mv0, mv1); });
         }
+        graph.wait();
+        for (IndexChunk &c : chunks)
+            c = IndexChunk{}; // release Stage I storage
     }
     if (trace)
         trace->onFlush();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -31,20 +32,88 @@ struct ParallelTaskState
     std::uint64_t epoch = 0;   //!< bumped per submission; guarded by doneMutex
 };
 
+/**
+ * One task submitted through a TaskGroup, possibly dormant behind
+ * dependencies. `waits` counts unresolved dependencies plus one
+ * submission latch (held by runAfter() while it registers with each
+ * dependency, so a dep completing mid-registration cannot fire the
+ * task early); whoever drops `waits` to zero enqueues the task.
+ * Completion — including the skipped-by-failure case — sets `done`
+ * under `m` and fires the collected successors, so a failed graph
+ * always drains.
+ */
+struct DepTaskNode
+{
+    std::shared_ptr<ParallelTaskState> state;
+    std::function<void()> fn;
+
+    std::mutex m;
+    bool done = false;                                    //!< guarded by m
+    std::vector<std::shared_ptr<DepTaskNode>> successors; //!< guarded by m
+    std::atomic<std::size_t> waits{0};
+
+    //! Set when submitted with >=1 live dependency; submitTime then
+    //! feeds the dependency-stall counter once the task becomes ready.
+    bool stalled = false;
+    std::chrono::steady_clock::time_point submitTime;
+};
+
 } // namespace detail
 
 namespace {
 
+using detail::DepTaskNode;
 using detail::ParallelTaskState;
 
 thread_local bool tInsideWorker = false;
+
+/**
+ * Process-global scheduler counters. Plain atomics bumped with relaxed
+ * ordering — they are statistics, not synchronization.
+ */
+struct CounterBlock
+{
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> idleWakeups{0};
+    std::atomic<std::uint64_t> idleNanos{0};
+    std::atomic<std::uint64_t> overflowMigrations{0};
+    std::atomic<std::uint64_t> tasksExecuted{0};
+    std::atomic<std::uint64_t> depTasksSubmitted{0};
+    std::atomic<std::uint64_t> depStallNanos{0};
+};
+
+CounterBlock &
+counters()
+{
+    static CounterBlock c;
+    return c;
+}
+
+inline void
+bump(std::atomic<std::uint64_t> &c, std::uint64_t n = 1)
+{
+    c.fetch_add(n, std::memory_order_relaxed);
+}
+
+inline std::uint64_t
+nanosSince(std::chrono::steady_clock::time_point t0)
+{
+    auto dt = std::chrono::steady_clock::now() - t0;
+    auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count();
+    return ns > 0 ? static_cast<std::uint64_t>(ns) : 0;
+}
 
 /** One schedulable unit: a loop chunk or a TaskGroup function. */
 struct Task
 {
     std::shared_ptr<ParallelTaskState> state;
     std::function<void()> fn;
+    std::shared_ptr<DepTaskNode> node; //!< null for loop chunks
 };
+
+/** Enqueue a dependency node whose `waits` just reached zero. */
+void enqueueReady(std::shared_ptr<DepTaskNode> node);
 
 /**
  * A per-thread work deque. The owning thread pushes and pops at the
@@ -118,6 +187,7 @@ struct LaneHandle
             auto &ls = reg->lanes;
             ls.erase(std::remove(ls.begin(), ls.end(), lane), ls.end());
             if (!leftovers.empty()) {
+                bump(counters().overflowMigrations, leftovers.size());
                 std::lock_guard<std::mutex> olk(reg->overflow->m);
                 for (Task &t : leftovers)
                     reg->overflow->q.push_back(std::move(t));
@@ -133,6 +203,25 @@ myLane()
 {
     static thread_local LaneHandle handle;
     return handle;
+}
+
+/**
+ * Mark a dependency node complete and fire its successors. Runs even
+ * when the node's fn was skipped by a failed group, so dormant
+ * dependents never leak and a failed graph drains.
+ */
+void
+finishNode(std::shared_ptr<DepTaskNode> node)
+{
+    std::vector<std::shared_ptr<DepTaskNode>> succs;
+    {
+        std::lock_guard<std::mutex> lk(node->m);
+        node->done = true;
+        succs.swap(node->successors);
+    }
+    for (std::shared_ptr<DepTaskNode> &s : succs)
+        if (s->waits.fetch_sub(1, std::memory_order_acq_rel) == 1)
+            enqueueReady(std::move(s));
 }
 
 /** Execute one task, capturing its error into the shared state. */
@@ -154,6 +243,9 @@ runTask(Task &task)
     }
     tInsideWorker = wasInside;
     task.fn = nullptr; // drop captures before signalling completion
+    bump(counters().tasksExecuted);
+    if (task.node)
+        finishNode(std::move(task.node));
     if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lk(state.doneMutex);
         state.doneCv.notify_all();
@@ -194,6 +286,7 @@ stealAny(LaneRegistry &reg, const Lane *own, Task &out)
         out = std::move(lane.q.front());
         lane.q.pop_front();
         ++rr;
+        bump(counters().steals);
         return true;
     }
     return false;
@@ -206,7 +299,8 @@ stealAny(LaneRegistry &reg, const Lane *own, Task &out)
  * locally could sleep while no pool worker is free to steal them.
  */
 bool
-stealForState(LaneRegistry &reg, const ParallelTaskState *state, Task &out)
+stealForState(LaneRegistry &reg, const Lane *own,
+              const ParallelTaskState *state, Task &out)
 {
     std::vector<std::shared_ptr<Lane>> lanes = snapshotLanes(reg);
     for (const std::shared_ptr<Lane> &laneP : lanes) {
@@ -217,6 +311,8 @@ stealForState(LaneRegistry &reg, const ParallelTaskState *state, Task &out)
                 continue;
             out = std::move(*it);
             lane.q.erase(it);
+            if (&lane != own)
+                bump(counters().steals);
             return true;
         }
     }
@@ -265,15 +361,21 @@ helpUntilDone(LaneHandle &h, ParallelTaskState &state)
         }
         Task task;
         if (popLocal(*h.lane, task) ||
-            stealForState(*h.reg, &state, task)) {
+            stealForState(*h.reg, h.lane.get(), &state, task)) {
             runTask(task);
             continue;
         }
-        std::unique_lock<std::mutex> lk(state.doneMutex);
-        state.doneCv.wait(lk, [&state, epoch0] {
-            return state.pending.load(std::memory_order_acquire) == 0 ||
-                   state.epoch != epoch0;
-        });
+        auto t0 = std::chrono::steady_clock::now();
+        {
+            std::unique_lock<std::mutex> lk(state.doneMutex);
+            state.doneCv.wait(lk, [&state, epoch0] {
+                return state.pending.load(std::memory_order_acquire) ==
+                           0 ||
+                       state.epoch != epoch0;
+            });
+        }
+        bump(counters().idleWakeups);
+        bump(counters().idleNanos, nanosSince(t0));
     }
 }
 
@@ -434,14 +536,19 @@ class Pool
                 runTask(task);
                 continue;
             }
-            std::unique_lock<std::mutex> lk(reg.m);
-            if (reg.stop)
-                return;
-            reg.cv.wait(lk, [&reg, version0] {
-                return reg.stop || reg.version.load() != version0;
-            });
-            if (reg.stop)
-                return;
+            auto t0 = std::chrono::steady_clock::now();
+            {
+                std::unique_lock<std::mutex> lk(reg.m);
+                if (reg.stop)
+                    return;
+                reg.cv.wait(lk, [&reg, version0] {
+                    return reg.stop || reg.version.load() != version0;
+                });
+                if (reg.stop)
+                    return;
+            }
+            bump(counters().idleWakeups);
+            bump(counters().idleNanos, nanosSince(t0));
         }
     }
 
@@ -456,6 +563,26 @@ pool()
 {
     static Pool p;
     return p;
+}
+
+void
+enqueueReady(std::shared_ptr<DepTaskNode> node)
+{
+    if (node->stalled)
+        bump(counters().depStallNanos, nanosSince(node->submitTime));
+    std::shared_ptr<ParallelTaskState> state = node->state;
+    Task task{state, std::move(node->fn), std::move(node)};
+    if (pool().threadCount() <= 1) {
+        // Single-thread runs never touch the pool: a task whose deps
+        // are satisfied executes inline, so a graph submitted in
+        // topological order runs serially in submission order.
+        runTask(task);
+        return;
+    }
+    LaneHandle &h = myLane();
+    std::vector<Task> tasks;
+    tasks.push_back(std::move(task));
+    pushTasks(h, std::move(tasks), *state);
 }
 
 } // namespace
@@ -495,6 +622,36 @@ const char *
 parallelSchedulerName()
 {
     return "work-stealing";
+}
+
+SchedulerCounters
+parallelSchedulerCounters()
+{
+    CounterBlock &c = counters();
+    SchedulerCounters out;
+    out.steals = c.steals.load(std::memory_order_relaxed);
+    out.idleWakeups = c.idleWakeups.load(std::memory_order_relaxed);
+    out.idleNanos = c.idleNanos.load(std::memory_order_relaxed);
+    out.overflowMigrations =
+        c.overflowMigrations.load(std::memory_order_relaxed);
+    out.tasksExecuted = c.tasksExecuted.load(std::memory_order_relaxed);
+    out.depTasksSubmitted =
+        c.depTasksSubmitted.load(std::memory_order_relaxed);
+    out.depStallNanos = c.depStallNanos.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+parallelResetSchedulerCounters()
+{
+    CounterBlock &c = counters();
+    c.steals.store(0, std::memory_order_relaxed);
+    c.idleWakeups.store(0, std::memory_order_relaxed);
+    c.idleNanos.store(0, std::memory_order_relaxed);
+    c.overflowMigrations.store(0, std::memory_order_relaxed);
+    c.tasksExecuted.store(0, std::memory_order_relaxed);
+    c.depTasksSubmitted.store(0, std::memory_order_relaxed);
+    c.depStallNanos.store(0, std::memory_order_relaxed);
 }
 
 std::int64_t
@@ -573,19 +730,57 @@ TaskGroup::~TaskGroup()
     helpUntilDone(myLane(), *_state);
 }
 
-void
+TaskHandle
 TaskGroup::run(std::function<void()> fn)
 {
+    auto node = std::make_shared<DepTaskNode>();
+    node->state = _state;
+    node->fn = std::move(fn);
     _state->pending.fetch_add(1, std::memory_order_acq_rel);
-    Task task{_state, std::move(fn)};
-    if (pool().threadCount() <= 1) {
-        runTask(task); // single-thread runs never touch the pool
-        return;
+    TaskHandle handle;
+    handle._node = node;
+    enqueueReady(std::move(node));
+    return handle;
+}
+
+TaskHandle
+TaskGroup::runAfter(const std::vector<TaskHandle> &deps,
+                    std::function<void()> fn)
+{
+    auto node = std::make_shared<DepTaskNode>();
+    node->state = _state;
+    node->fn = std::move(fn);
+    _state->pending.fetch_add(1, std::memory_order_acq_rel);
+
+    // Register with each still-live dependency while a submission
+    // latch (the initial 1) keeps `waits` above zero: a dep completing
+    // between two registrations then cannot fire the task early.
+    node->waits.store(1, std::memory_order_relaxed);
+    std::size_t live = 0;
+    for (const TaskHandle &d : deps) {
+        if (!d._node)
+            continue;
+        DepTaskNode &dep = *d._node;
+        std::lock_guard<std::mutex> lk(dep.m);
+        if (dep.done)
+            continue;
+        node->waits.fetch_add(1, std::memory_order_relaxed);
+        dep.successors.push_back(node);
+        ++live;
     }
-    LaneHandle &h = myLane();
-    std::vector<Task> tasks;
-    tasks.push_back(std::move(task));
-    pushTasks(h, std::move(tasks), *_state);
+    if (live > 0) {
+        node->stalled = true;
+        node->submitTime = std::chrono::steady_clock::now();
+        bump(counters().depTasksSubmitted);
+    }
+
+    TaskHandle handle;
+    handle._node = node;
+    // Release the latch; if every dep already resolved this enqueues
+    // (and on a one-thread pool runs) the task right here.
+    if (node->waits.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        enqueueReady(std::move(node));
+    return handle;
 }
 
 void

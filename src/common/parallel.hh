@@ -26,11 +26,24 @@
  *  - TaskGroup is the async-submit primitive the loops are built from:
  *    run() enqueues a task and returns immediately; wait() helps
  *    execute the group's tasks, then blocks until all complete.
+ *    runAfter() is the continuation/dependency layer on top: a task may
+ *    be submitted with predecessor handles and stays dormant until its
+ *    last dependency completes — dependency-graph pipelines (SPARW's
+ *    per-window schedule, the streaming renderers' stage overlap) are
+ *    built from it.
  *  - The first exception thrown by a chunk (or group task) is captured
  *    and rethrown to the waiter once the loop has drained; remaining
- *    chunks are skipped on a best-effort basis.
+ *    chunks are skipped on a best-effort basis. Dormant dependency
+ *    tasks still fire (and are then skipped), so a failed graph always
+ *    drains.
  *  - A task must not block waiting on work that only runs after its
- *    own loop returns (the usual help-first scheduler caveat).
+ *    own loop returns (the usual help-first scheduler caveat), and a
+ *    dependency edge must never point forward to a task submitted
+ *    later from inside the dependent's own subgraph (cycles deadlock).
+ *  - The scheduler keeps process-global counters (steals, idle
+ *    wakeups, measured idle time, overflow-lane migrations,
+ *    dependency-stall time) so benches report *measured* idle
+ *    breakdowns instead of wall-clock estimates.
  */
 
 #ifndef CICERO_COMMON_PARALLEL_HH
@@ -45,6 +58,7 @@ namespace cicero {
 
 namespace detail {
 struct ParallelTaskState;
+struct DepTaskNode;
 } // namespace detail
 
 /** Upper bound on an explicitly requested worker count. */
@@ -77,6 +91,33 @@ void setParallelThreadCount(int n);
 
 /** Scheduler identifier for bench/CI tagging ("work-stealing"). */
 const char *parallelSchedulerName();
+
+/**
+ * Process-global scheduler counters, cumulative since process start (or
+ * the last parallelResetSchedulerCounters()). These are *measured*
+ * quantities — benches report them instead of estimating idle time
+ * from wall clocks.
+ */
+struct SchedulerCounters
+{
+    std::uint64_t steals = 0;          //!< tasks taken from another thread's lane
+    std::uint64_t idleWakeups = 0;     //!< times a sleeping thread was woken
+    std::uint64_t idleNanos = 0;       //!< wall time threads spent asleep waiting for work
+    std::uint64_t overflowMigrations = 0; //!< tasks migrated to the overflow lane at thread exit
+    std::uint64_t tasksExecuted = 0;   //!< tasks (chunks + group tasks) run
+    std::uint64_t depTasksSubmitted = 0; //!< tasks submitted via TaskGroup::runAfter with live deps
+    std::uint64_t depStallNanos = 0;   //!< dormant time: submission until the last dependency resolved
+};
+
+/** Snapshot the scheduler counters (safe concurrently with running work). */
+SchedulerCounters parallelSchedulerCounters();
+
+/**
+ * Zero the scheduler counters. Meant for bench bracketing; calling it
+ * while loops are in flight is harmless but splits their counts across
+ * the reset.
+ */
+void parallelResetSchedulerCounters();
 
 /**
  * Resolve the chunk size a loop over @p n items with requested grain
@@ -127,6 +168,25 @@ void parallelForOuter(std::int64_t n,
 bool insideParallelWorker();
 
 /**
+ * Handle to a task submitted through a TaskGroup, usable as a
+ * dependency of a later TaskGroup::runAfter() submission. Copyable and
+ * cheap; a default-constructed handle is invalid and is ignored when
+ * passed as a dependency (treated as already satisfied).
+ */
+class TaskHandle
+{
+  public:
+    TaskHandle() = default;
+
+    /** True if this handle refers to a submitted task. */
+    bool valid() const { return _node != nullptr; }
+
+  private:
+    friend class TaskGroup;
+    std::shared_ptr<detail::DepTaskNode> _node;
+};
+
+/**
  * A set of asynchronously submitted tasks: run() enqueues work on the
  * scheduler and returns immediately; wait() helps execute the group's
  * tasks, blocks until all have completed, and rethrows the first
@@ -138,8 +198,19 @@ bool insideParallelWorker();
  * thread-safe: external synchronization is required to call run()/
  * wait() on one group from several threads at once.
  *
- * With a one-thread pool run() executes the task inline (single-thread
- * runs never touch the pool); the error still surfaces at wait().
+ * runAfter() adds the continuation layer: the task is enqueued with a
+ * predecessor count and stays dormant until its last dependency
+ * completes, at which point it becomes stealable like any other task.
+ * Dependencies may come from any group (the handle carries its own
+ * group's bookkeeping), may already be complete (the task then fires
+ * immediately), and fire their dependents even when they were skipped
+ * by a failure — a graph always drains. Cycles are the caller's bug
+ * and deadlock.
+ *
+ * With a one-thread pool a task whose dependencies are all complete
+ * executes inline at submission (single-thread runs never touch the
+ * pool), so a graph submitted in topological order runs serially in
+ * submission order; the error still surfaces at wait().
  */
 class TaskGroup
 {
@@ -151,7 +222,14 @@ class TaskGroup
     TaskGroup &operator=(const TaskGroup &) = delete;
 
     /** Enqueue @p fn; returns without waiting for it to run. */
-    void run(std::function<void()> fn);
+    TaskHandle run(std::function<void()> fn);
+
+    /**
+     * Enqueue @p fn to run once every task in @p deps has completed;
+     * returns without waiting. Invalid handles in @p deps are ignored.
+     */
+    TaskHandle runAfter(const std::vector<TaskHandle> &deps,
+                        std::function<void()> fn);
 
     /**
      * Help-execute and then block until every submitted task has

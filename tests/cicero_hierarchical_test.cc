@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "cicero/hierarchical_streaming.hh"
+#include "common/parallel.hh"
 #include "memory/dram_model.hh"
 #include "test_util.hh"
 
@@ -130,6 +131,56 @@ TEST(HierarchicalStreamingTest, AllDenseConfigFullyStreams)
     streaming.render(test::tinyCamera(32));
     EXPECT_EQ(streaming.lastStats().randomBytes, 0u);
     EXPECT_EQ(streaming.lastStats().hashedLevels, 0);
+}
+
+TEST_F(HierFixture, BitIdenticalAcrossThreadCounts)
+{
+    // The level-build lookahead overlaps level l+1's RIT construction
+    // with level l's accumulation; accumulation itself stays
+    // level-ordered on the driver thread, so image, stats and the
+    // trace stream must be byte-identical to the 1-thread run.
+    struct Guard
+    {
+        ~Guard() { setParallelThreadCount(0); }
+    } guard;
+
+    HierarchicalStreamingRenderer streaming(*model);
+    setParallelThreadCount(1);
+    TraceRecorder rec1;
+    RenderResult serial = streaming.render(cam, &rec1);
+    HierarchicalStreamingRenderer::Stats stats1 = streaming.lastStats();
+
+    for (int threads : {4, 7}) {
+        setParallelThreadCount(threads);
+        TraceRecorder recN;
+        RenderResult parallel = streaming.render(cam, &recN);
+        const HierarchicalStreamingRenderer::Stats &statsN =
+            streaming.lastStats();
+
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < serial.image.pixelCount(); ++i)
+            if (serial.image.at(i).x != parallel.image.at(i).x ||
+                serial.image.at(i).y != parallel.image.at(i).y ||
+                serial.image.at(i).z != parallel.image.at(i).z)
+                ++mismatches;
+        EXPECT_EQ(mismatches, 0u) << threads << " threads";
+
+        EXPECT_EQ(stats1.samples, statsN.samples);
+        EXPECT_EQ(stats1.streamedBytes, statsN.streamedBytes);
+        EXPECT_EQ(stats1.randomBytes, statsN.randomBytes);
+        EXPECT_EQ(stats1.ritEntries, statsN.ritEntries);
+        EXPECT_EQ(stats1.blocksLoaded, statsN.blocksLoaded);
+        EXPECT_EQ(stats1.denseLevels, statsN.denseLevels);
+        EXPECT_EQ(stats1.hashedLevels, statsN.hashedLevels);
+
+        ASSERT_EQ(rec1.trace().size(), recN.trace().size());
+        std::size_t traceMismatches = 0;
+        for (std::size_t i = 0; i < rec1.trace().size(); ++i)
+            if (rec1.trace()[i].addr != recN.trace()[i].addr ||
+                rec1.trace()[i].bytes != recN.trace()[i].bytes)
+                ++traceMismatches;
+        EXPECT_EQ(traceMismatches, 0u) << threads << " threads";
+    }
 }
 
 } // namespace

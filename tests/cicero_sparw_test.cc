@@ -265,6 +265,187 @@ TEST_F(SparwFixture, DownsampledSharesPipelinedSchedule)
     }
 }
 
+TEST_F(SparwFixture, DependencyGraphScheduleBitIdenticalToTwoPhase)
+{
+    // The dependency-graph schedule streams references ahead of any
+    // window barrier (bounded by the live-reference cap); like the
+    // batch pipeline it must never change a pixel, a depth sample or a
+    // work counter at any thread width — for run() and for the
+    // runDownsampled path, which routes through the same drivers.
+    struct Guard
+    {
+        ~Guard() { setParallelThreadCount(0); }
+    } guard;
+
+    SparwConfig twoPhaseCfg = config(4);
+    twoPhaseCfg.schedule = SparwSchedule::TwoPhase;
+    SparwConfig depGraphCfg = config(4);
+    depGraphCfg.schedule = SparwSchedule::DependencyGraph;
+    SparwPipeline twoPhase(*model, intrinsics, twoPhaseCfg);
+    SparwPipeline depGraph(*model, intrinsics, depGraphCfg);
+
+    setParallelThreadCount(1);
+    SparwRun baseline = twoPhase.run(traj);
+    SparwRun dsBaseline = twoPhase.runDownsampled(traj, 2);
+
+    for (int threads : {1, 4, 7}) {
+        setParallelThreadCount(threads);
+        SparwRun run = depGraph.run(traj);
+        ASSERT_EQ(run.frames.size(), baseline.frames.size());
+        ASSERT_EQ(run.references.size(), baseline.references.size());
+        for (std::size_t i = 0; i < run.frames.size(); ++i) {
+            const SparwFrame &a = baseline.frames[i];
+            const SparwFrame &b = run.frames[i];
+            EXPECT_EQ(a.referenceIndex, b.referenceIndex);
+            EXPECT_EQ(a.warpStats.warped, b.warpStats.warped);
+            EXPECT_EQ(a.sparseWork.samples, b.sparseWork.samples);
+            std::size_t mismatches = 0;
+            for (std::size_t p = 0; p < a.image.pixelCount(); ++p)
+                if (a.image.at(p).x != b.image.at(p).x ||
+                    a.image.at(p).y != b.image.at(p).y ||
+                    a.image.at(p).z != b.image.at(p).z)
+                    ++mismatches;
+            EXPECT_EQ(mismatches, 0u) << "frame " << i << " at "
+                                      << threads << " threads";
+        }
+        for (std::size_t i = 0; i < run.references.size(); ++i)
+            EXPECT_EQ(run.references[i].work.samples,
+                      baseline.references[i].work.samples);
+
+        SparwRun ds = depGraph.runDownsampled(traj, 2);
+        ASSERT_EQ(ds.frames.size(), dsBaseline.frames.size());
+        for (std::size_t i = 0; i < ds.frames.size(); ++i) {
+            std::size_t mismatches = 0;
+            const Image &a = dsBaseline.frames[i].image;
+            const Image &b = ds.frames[i].image;
+            ASSERT_EQ(a.pixelCount(), b.pixelCount());
+            for (std::size_t p = 0; p < a.pixelCount(); ++p)
+                if (a.at(p).x != b.at(p).x || a.at(p).y != b.at(p).y ||
+                    a.at(p).z != b.at(p).z)
+                    ++mismatches;
+            EXPECT_EQ(mismatches, 0u) << "ds frame " << i << " at "
+                                      << threads << " threads";
+        }
+    }
+}
+
+TEST_F(SparwFixture, RealtimeUnlimitedBudgetReproducesRun)
+{
+    // With an effectively infinite budget no deadline can pass:
+    // every window gets its predicted reference and the real-time
+    // driver must reproduce run() bit for bit — same frames, same
+    // references in the same order, zero misses, zero fallbacks.
+    struct Guard
+    {
+        ~Guard() { setParallelThreadCount(0); }
+    } guard;
+
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRealtimeConfig rt;
+    rt.frameBudgetS = 1e9f;
+
+    setParallelThreadCount(1);
+    SparwRun baseline = pipe.run(traj);
+
+    for (int threads : {1, 4}) {
+        setParallelThreadCount(threads);
+        SparwRealtimeRun rr = pipe.runRealtime(traj, rt);
+        EXPECT_EQ(rr.deadline.frames, 12);
+        EXPECT_EQ(rr.deadline.deadlineMisses, 0);
+        EXPECT_EQ(rr.deadline.fallbackFrames, 0);
+        EXPECT_EQ(rr.deadline.predictedReferences, 2);
+        EXPECT_EQ(rr.deadline.missRate(), 0.0);
+        EXPECT_EQ(rr.deadline.fallbackRate(), 0.0);
+        ASSERT_EQ(rr.run.frames.size(), baseline.frames.size());
+        ASSERT_EQ(rr.run.references.size(), baseline.references.size());
+        for (std::size_t i = 0; i < rr.run.frames.size(); ++i) {
+            const SparwFrame &a = baseline.frames[i];
+            const SparwFrame &b = rr.run.frames[i];
+            EXPECT_EQ(a.referenceIndex, b.referenceIndex);
+            std::size_t mismatches = 0;
+            for (std::size_t p = 0; p < a.image.pixelCount(); ++p)
+                if (a.image.at(p).x != b.image.at(p).x ||
+                    a.image.at(p).y != b.image.at(p).y ||
+                    a.image.at(p).z != b.image.at(p).z)
+                    ++mismatches;
+            EXPECT_EQ(mismatches, 0u) << "frame " << i << " at "
+                                      << threads << " threads";
+        }
+        for (std::size_t i = 0; i < rr.run.references.size(); ++i)
+            EXPECT_EQ(rr.run.references[i].work.samples,
+                      baseline.references[i].work.samples);
+    }
+}
+
+TEST_F(SparwFixture, RealtimeZeroBudgetReproducesDownsampled)
+{
+    // With a zero budget every deadline has passed before any
+    // reference could be submitted: every window falls back, and the
+    // frame images must equal runDownsampled(fallbackFactor) bit for
+    // bit. Every frame also lands after its (already-expired)
+    // deadline.
+    struct Guard
+    {
+        ~Guard() { setParallelThreadCount(0); }
+    } guard;
+
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRealtimeConfig rt;
+    rt.frameBudgetS = 0.0f;
+
+    setParallelThreadCount(1);
+    SparwRun dsBaseline = pipe.runDownsampled(traj, rt.fallbackFactor);
+
+    for (int threads : {1, 4}) {
+        setParallelThreadCount(threads);
+        SparwRealtimeRun rr = pipe.runRealtime(traj, rt);
+        EXPECT_EQ(rr.deadline.frames, 12);
+        EXPECT_EQ(rr.deadline.fallbackFrames, 12);
+        EXPECT_EQ(rr.deadline.deadlineMisses, 12);
+        EXPECT_EQ(rr.deadline.predictedReferences, 0);
+        EXPECT_EQ(rr.deadline.fallbackRate(), 1.0);
+        EXPECT_EQ(rr.deadline.missRate(), 1.0);
+        ASSERT_EQ(rr.run.frames.size(), dsBaseline.frames.size());
+        for (std::size_t i = 0; i < rr.run.frames.size(); ++i) {
+            const Image &a = dsBaseline.frames[i].image;
+            const Image &b = rr.run.frames[i].image;
+            ASSERT_EQ(a.pixelCount(), b.pixelCount());
+            std::size_t mismatches = 0;
+            for (std::size_t p = 0; p < a.pixelCount(); ++p)
+                if (a.at(p).x != b.at(p).x || a.at(p).y != b.at(p).y ||
+                    a.at(p).z != b.at(p).z)
+                    ++mismatches;
+            EXPECT_EQ(mismatches, 0u) << "frame " << i << " at "
+                                      << threads << " threads";
+        }
+    }
+}
+
+TEST_F(SparwFixture, RealtimeStatsAreConsistent)
+{
+    // Whatever the budget, the accounting must add up: frames equals
+    // the trajectory length, fallbacks and misses stay within it, and
+    // every frame got an image of full resolution.
+    SparwPipeline pipe(*model, intrinsics, config(4));
+    SparwRealtimeConfig rt;
+    rt.frameBudgetS = 0.005f;
+    SparwRealtimeRun rr = pipe.runRealtime(traj, rt);
+    EXPECT_EQ(rr.deadline.frames, 12);
+    EXPECT_GE(rr.deadline.deadlineMisses, 0);
+    EXPECT_LE(rr.deadline.deadlineMisses, 12);
+    EXPECT_GE(rr.deadline.fallbackFrames, 0);
+    EXPECT_LE(rr.deadline.fallbackFrames, 12);
+    EXPECT_GT(rr.deadline.wallS, 0.0);
+    ASSERT_EQ(rr.run.frames.size(), 12u);
+    for (const SparwFrame &f : rr.run.frames) {
+        EXPECT_EQ(f.image.width(), intrinsics.width);
+        EXPECT_EQ(f.image.height(), intrinsics.height);
+        EXPECT_GE(f.referenceIndex, 0);
+        EXPECT_LT(f.referenceIndex,
+                  static_cast<int>(rr.run.references.size()));
+    }
+}
+
 TEST_F(SparwFixture, RunStatsAggregates)
 {
     SparwPipeline pipe(*model, intrinsics, config(3));

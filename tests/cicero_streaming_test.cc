@@ -10,6 +10,7 @@
 #include <unordered_set>
 
 #include "cicero/streaming_renderer.hh"
+#include "common/parallel.hh"
 #include "memory/dram_model.hh"
 #include "nerf/hash_grid.hh"
 #include "test_util.hh"
@@ -177,6 +178,60 @@ TEST(StreamingRendererTest, FewerBytesThanPixelCentricMisses)
     StageWork w = model->traceWorkload(cam);
     // Pixel-centric touches gatherBytes total (before any cache).
     EXPECT_LT(streamed, w.gatherBytes / 4);
+}
+
+TEST_F(StreamingFixture, BitIdenticalAcrossThreadCounts)
+{
+    // The merge/walk dependency chain parallelizes RIT merging while
+    // walks stay MVoxel-ordered: image, depth, stats and the trace
+    // stream must all be byte-identical to the 1-thread run at any
+    // pool width.
+    struct Guard
+    {
+        ~Guard() { setParallelThreadCount(0); }
+    } guard;
+
+    StreamingRenderer streaming(*model);
+    setParallelThreadCount(1);
+    TraceRecorder rec1;
+    RenderResult serial = streaming.render(cam, &rec1);
+    StreamingRenderer::Stats stats1 = streaming.lastStats();
+
+    for (int threads : {4, 7}) {
+        setParallelThreadCount(threads);
+        TraceRecorder recN;
+        RenderResult parallel = streaming.render(cam, &recN);
+        const StreamingRenderer::Stats &statsN = streaming.lastStats();
+
+        std::size_t mismatches = 0;
+        for (std::size_t i = 0; i < serial.image.pixelCount(); ++i)
+            if (serial.image.at(i).x != parallel.image.at(i).x ||
+                serial.image.at(i).y != parallel.image.at(i).y ||
+                serial.image.at(i).z != parallel.image.at(i).z)
+                ++mismatches;
+        EXPECT_EQ(mismatches, 0u) << threads << " threads";
+        for (int y = 0; y < cam.height; ++y)
+            for (int x = 0; x < cam.width; ++x) {
+                float a = serial.depth.at(x, y);
+                float b = parallel.depth.at(x, y);
+                EXPECT_TRUE(a == b || (a != a && b != b))
+                    << x << "," << y << " at " << threads;
+            }
+
+        EXPECT_EQ(stats1.mvoxelsLoaded, statsN.mvoxelsLoaded);
+        EXPECT_EQ(stats1.streamedBytes, statsN.streamedBytes);
+        EXPECT_EQ(stats1.ritEntries, statsN.ritEntries);
+        EXPECT_EQ(stats1.samples, statsN.samples);
+        EXPECT_EQ(stats1.boundaryEntries, statsN.boundaryEntries);
+
+        ASSERT_EQ(rec1.trace().size(), recN.trace().size());
+        std::size_t traceMismatches = 0;
+        for (std::size_t i = 0; i < rec1.trace().size(); ++i)
+            if (rec1.trace()[i].addr != recN.trace()[i].addr ||
+                rec1.trace()[i].bytes != recN.trace()[i].bytes)
+                ++traceMismatches;
+        EXPECT_EQ(traceMismatches, 0u) << threads << " threads";
+    }
 }
 
 } // namespace

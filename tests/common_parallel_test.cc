@@ -414,6 +414,216 @@ TEST(ParallelTest, TaskGroupPropagatesExceptions)
     EXPECT_THROW(inlineGroup.wait(), std::logic_error);
 }
 
+TEST(ParallelTest, RunAfterChainExecutesInOrder)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup group;
+    std::mutex m;
+    std::vector<int> order;
+    auto record = [&](int id) {
+        std::lock_guard<std::mutex> lk(m);
+        order.push_back(id);
+    };
+    TaskHandle a = group.run([&] { record(0); });
+    TaskHandle b = group.runAfter({a}, [&] { record(1); });
+    TaskHandle c = group.runAfter({b}, [&] { record(2); });
+    (void)c;
+    group.wait();
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+}
+
+TEST(ParallelTest, RunAfterDiamondJoinsBothBranches)
+{
+    // a -> {b, c} -> d: d must observe both branches' writes, however
+    // the scheduler interleaves them.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    for (int iter = 0; iter < 50; ++iter) {
+        TaskGroup group;
+        std::atomic<int> aDone{0}, bDone{0}, cDone{0};
+        std::atomic<bool> joinSawBoth{false};
+        TaskHandle a = group.run([&] { aDone.store(1); });
+        TaskHandle b = group.runAfter({a}, [&] {
+            EXPECT_EQ(aDone.load(), 1);
+            bDone.store(1);
+        });
+        TaskHandle c = group.runAfter({a}, [&] {
+            EXPECT_EQ(aDone.load(), 1);
+            cDone.store(1);
+        });
+        group.runAfter({b, c}, [&] {
+            joinSawBoth.store(bDone.load() == 1 && cDone.load() == 1);
+        });
+        group.wait();
+        EXPECT_TRUE(joinSawBoth.load()) << "iter " << iter;
+    }
+}
+
+TEST(ParallelTest, RunAfterCompletedOrInvalidDepsRunImmediately)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    // A dependency that already finished must not block the successor.
+    TaskGroup group;
+    std::atomic<int> first{0};
+    TaskHandle a = group.run([&] { first.store(1); });
+    group.wait();
+    EXPECT_EQ(first.load(), 1);
+
+    std::atomic<int> second{0};
+    group.runAfter({a}, [&] { second.store(1); });
+    group.wait();
+    EXPECT_EQ(second.load(), 1);
+
+    // Default-constructed (invalid) handles count as satisfied, as does
+    // an empty dependency list.
+    EXPECT_FALSE(TaskHandle{}.valid());
+    EXPECT_TRUE(a.valid());
+    std::atomic<int> third{0};
+    group.runAfter({TaskHandle{}, a, TaskHandle{}},
+                   [&] { third.fetch_add(1); });
+    group.runAfter({}, [&] { third.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(third.load(), 2);
+}
+
+TEST(ParallelTest, RunAfterDependenciesAcrossGroups)
+{
+    // Dependencies may come from a different TaskGroup: each group's
+    // wait() covers only its own tasks, but edges span groups.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup producers, consumers;
+    std::atomic<bool> go{false};
+    std::atomic<bool> timedOut{false};
+    std::atomic<int> produced{0};
+    TaskHandle p = producers.run([&] {
+        if (!waitUntil([&] { return go.load(); }))
+            timedOut.store(true);
+        produced.store(1);
+    });
+    std::atomic<int> consumed{0};
+    consumers.runAfter({p}, [&] {
+        EXPECT_EQ(produced.load(), 1);
+        consumed.store(1);
+    });
+    go.store(true);
+    consumers.wait();
+    EXPECT_EQ(consumed.load(), 1);
+    producers.wait();
+    EXPECT_FALSE(timedOut.load());
+}
+
+TEST(ParallelTest, RunAfterFailedGraphDrains)
+{
+    // A failing task must not strand its successors: the graph drains,
+    // wait() reports the error, and the group stays usable.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    TaskGroup group;
+    TaskHandle a =
+        group.run([] { throw std::runtime_error("root failed"); });
+    TaskHandle b = group.runAfter({a}, [] {});
+    group.runAfter({b}, [] {});
+    EXPECT_THROW(group.wait(), std::runtime_error);
+
+    std::atomic<int> ok{0};
+    group.run([&] { ok.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(ParallelTest, RunAfterSingleThreadRunsInlineInSubmissionOrder)
+{
+    // On a 1-thread pool every dependency-satisfied task executes
+    // inline at submission on the caller — the topological-submission
+    // contract keeps graphs deadlock-free without workers.
+    ThreadCountGuard guard;
+    setParallelThreadCount(1);
+
+    const std::thread::id caller = std::this_thread::get_id();
+    TaskGroup group;
+    std::vector<int> order;
+    TaskHandle a = group.run([&] {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(0);
+    });
+    TaskHandle b = group.runAfter({a}, [&] {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(1);
+    });
+    group.runAfter({a, b}, [&] { order.push_back(2); });
+    // Inline execution means the tasks already ran before wait().
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1);
+    EXPECT_EQ(order[2], 2);
+    group.wait();
+}
+
+TEST(ParallelTest, SchedulerCountersAdvanceAndReset)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    parallelResetSchedulerCounters();
+    std::atomic<int> n{0};
+    parallelFor(0, 256, 4, [&](std::int64_t b, std::int64_t e) {
+        n.fetch_add(static_cast<int>(e - b));
+    });
+    EXPECT_EQ(n.load(), 256);
+    SchedulerCounters afterLoop = parallelSchedulerCounters();
+    EXPECT_GT(afterLoop.tasksExecuted, 0u);
+
+    parallelResetSchedulerCounters();
+    SchedulerCounters zeroed = parallelSchedulerCounters();
+    EXPECT_EQ(zeroed.tasksExecuted, 0u);
+    EXPECT_EQ(zeroed.steals, 0u);
+    EXPECT_EQ(zeroed.idleWakeups, 0u);
+    EXPECT_EQ(zeroed.idleNanos, 0u);
+    EXPECT_EQ(zeroed.overflowMigrations, 0u);
+    EXPECT_EQ(zeroed.depTasksSubmitted, 0u);
+    EXPECT_EQ(zeroed.depStallNanos, 0u);
+}
+
+TEST(ParallelTest, DependencyStallCountersMeasureDormantTasks)
+{
+    // A successor submitted behind a blocked dependency is dormant: it
+    // must be counted as a dep-task and accrue stall time from
+    // submission until the dependency resolves.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    parallelResetSchedulerCounters();
+    TaskGroup group;
+    std::atomic<bool> go{false};
+    std::atomic<bool> timedOut{false};
+    TaskHandle a = group.run([&] {
+        if (!waitUntil([&] { return go.load(); }))
+            timedOut.store(true);
+    });
+    std::atomic<int> ran{0};
+    group.runAfter({a}, [&] { ran.fetch_add(1); });
+    SchedulerCounters submitted = parallelSchedulerCounters();
+    EXPECT_EQ(submitted.depTasksSubmitted, 1u);
+    go.store(true);
+    group.wait();
+    EXPECT_FALSE(timedOut.load());
+    EXPECT_EQ(ran.load(), 1);
+    SchedulerCounters done = parallelSchedulerCounters();
+    EXPECT_EQ(done.depTasksSubmitted, 1u);
+    EXPECT_GT(done.depStallNanos, 0u);
+}
+
 TEST(ParallelTest, TaskGroupFromInsideWorker)
 {
     // Groups submitted from inside a worker chunk (how the SPARW

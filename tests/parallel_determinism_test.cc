@@ -355,6 +355,50 @@ TEST(ParallelDeterminismTest, SparwPipelinedMatchesTwoPhaseAtAnyThreadCount)
     }
 }
 
+TEST(ParallelDeterminismTest, SparwDependencyGraphMatchesAllSchedules)
+{
+    // The per-window dependency-graph schedule reorders work the most
+    // aggressively (references stream ahead of any window barrier). It
+    // must still be byte-identical to the two-phase baseline and the
+    // batch pipeline at every thread count — including widths that
+    // don't divide the window count.
+    ThreadCountGuard guard;
+    auto model = test::tinyModel();
+    std::vector<Pose> traj = test::tinyOrbit(9);
+    Camera intrinsics = test::tinyCamera(32);
+
+    SparwConfig twoPhaseCfg;
+    twoPhaseCfg.window = 2;
+    twoPhaseCfg.schedule = SparwSchedule::TwoPhase;
+    SparwConfig pipelinedCfg = twoPhaseCfg;
+    pipelinedCfg.schedule = SparwSchedule::Pipelined;
+    SparwConfig depGraphCfg = twoPhaseCfg;
+    depGraphCfg.schedule = SparwSchedule::DependencyGraph;
+
+    SparwPipeline twoPhase(*model, intrinsics, twoPhaseCfg);
+    SparwPipeline pipelined(*model, intrinsics, pipelinedCfg);
+    SparwPipeline depGraph(*model, intrinsics, depGraphCfg);
+
+    setParallelThreadCount(1);
+    SparwRun baseline = twoPhase.run(traj);
+    SparwRun dsBaseline = twoPhase.runDownsampled(traj, 2);
+
+    for (int threads : {1, 4, 7}) {
+        setParallelThreadCount(threads);
+        SparwRun d = depGraph.run(traj);
+        expectSparwRunsIdentical(baseline, d);
+        SparwRun p = pipelined.run(traj);
+        expectSparwRunsIdentical(baseline, p);
+
+        // runDownsampled routes through the same window drivers; its
+        // output must not depend on the schedule either.
+        SparwRun dsD = depGraph.runDownsampled(traj, 2);
+        expectSparwRunsIdentical(dsBaseline, dsD);
+        SparwRun dsP = pipelined.runDownsampled(traj, 2);
+        expectSparwRunsIdentical(dsBaseline, dsP);
+    }
+}
+
 TEST(ParallelDeterminismTest, BatchedMlpMatchesScalarExactly)
 {
     Mlp mlp({12, 16, 16, 4}, 99);
