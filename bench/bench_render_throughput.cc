@@ -384,8 +384,12 @@ main(int argc, char **argv)
         secondsOf([&] { twoPhase.run(sparwTraj); }, sparwReps);
 
     // Each leg is timed (best of reps), then bracketed once between a
-    // counter reset and a snapshot so the JSON reports *measured*
+    // counter snapshot and a delta so the JSON reports *measured*
     // scheduler behaviour for exactly one run of that schedule.
+    // Snapshot-delta (not reset-snapshot): concurrent measurers — a
+    // bench_serve in the same process, another bench thread — can't
+    // yank this bracket's baseline, and this bracket can't zero
+    // theirs.
     struct SchedMeasure
     {
         double wallS = 0.0;
@@ -393,12 +397,12 @@ main(int argc, char **argv)
     };
     auto measureCounters = [&](const std::function<void()> &fn) {
         SchedMeasure m;
-        parallelResetSchedulerCounters();
+        const SchedulerCounters base = parallelSchedulerCounters();
         auto t0 = std::chrono::steady_clock::now();
         fn();
         auto t1 = std::chrono::steady_clock::now();
         m.wallS = std::chrono::duration<double>(t1 - t0).count();
-        m.c = parallelSchedulerCounters();
+        m.c = parallelSchedulerCountersSince(base);
         return m;
     };
     auto idleFracMeasured = [&](const SchedMeasure &m) {
@@ -459,14 +463,6 @@ main(int argc, char **argv)
         }
     }
 
-    // DEPRECATED wall-clock idle estimate (counter-based fractions
-    // above replace it); kept one release for BENCH trajectories.
-    auto idleFraction = [&](double wallS) {
-        if (wallS <= 0.0 || sparwThreads <= 0)
-            return 0.0;
-        double frac = 1.0 - sparwSerialS / (sparwThreads * wallS);
-        return std::min(1.0, std::max(0.0, frac));
-    };
     auto fps = [&](double wallS) {
         return wallS > 0.0 ? sparwFrames / wallS : 0.0;
     };
@@ -559,9 +555,6 @@ main(int argc, char **argv)
                 "\"fps_dep_graph\": %.2f, "
                 "\"pipeline_speedup\": %.3f, "
                 "\"dep_graph_speedup_vs_pipelined\": %.3f, "
-                "\"idle_frac_two_phase\": %.3f, "
-                "\"idle_frac_pipelined\": %.3f, "
-                "\"wall_clock_idle_estimates_deprecated\": true, "
                 "\"bit_identical\": %s",
                 parallelSchedulerName(), sparwRes, sparwFrames,
                 twoPhaseCfg.window, sparwThreads, stragglerWindow,
@@ -570,7 +563,6 @@ main(int argc, char **argv)
                 fps(twoPhaseS), fps(pipelinedS), fps(depGraphS),
                 pipelinedS > 0.0 ? twoPhaseS / pipelinedS : 0.0,
                 depGraphS > 0.0 ? pipelinedS / depGraphS : 0.0,
-                idleFraction(twoPhaseS), idleFraction(pipelinedS),
                 sparwIdentical ? "true" : "false");
     // Counter-based breakdown of one measured run per schedule: these
     // are what the scheduler actually did, replacing the wall-clock

@@ -242,7 +242,6 @@ runTask(Task &task)
         }
     }
     tInsideWorker = wasInside;
-    task.fn = nullptr; // drop captures before signalling completion
     bump(counters().tasksExecuted);
     if (task.node)
         finishNode(std::move(task.node));
@@ -250,6 +249,12 @@ runTask(Task &task)
         std::lock_guard<std::mutex> lk(state.doneMutex);
         state.doneCv.notify_all();
     }
+    // Drop the captures only after the decrement is published: a
+    // capture may hold the last reference to the object that owns this
+    // task's own TaskGroup, and the group destructor re-enters
+    // helpUntilDone — it must observe pending == 0 rather than wait
+    // forever on the very task that is destroying it.
+    task.fn = nullptr;
 }
 
 bool
@@ -638,6 +643,29 @@ parallelSchedulerCounters()
     out.depTasksSubmitted =
         c.depTasksSubmitted.load(std::memory_order_relaxed);
     out.depStallNanos = c.depStallNanos.load(std::memory_order_relaxed);
+    return out;
+}
+
+SchedulerCounters
+parallelSchedulerCountersSince(const SchedulerCounters &base)
+{
+    // Saturating per-field subtraction: a counter below its baseline
+    // means someone reset the globals mid-bracket — report 0 for that
+    // field instead of a wrapped-around garbage delta.
+    auto delta = [](std::uint64_t now, std::uint64_t then) {
+        return now >= then ? now - then : std::uint64_t(0);
+    };
+    const SchedulerCounters now = parallelSchedulerCounters();
+    SchedulerCounters out;
+    out.steals = delta(now.steals, base.steals);
+    out.idleWakeups = delta(now.idleWakeups, base.idleWakeups);
+    out.idleNanos = delta(now.idleNanos, base.idleNanos);
+    out.overflowMigrations =
+        delta(now.overflowMigrations, base.overflowMigrations);
+    out.tasksExecuted = delta(now.tasksExecuted, base.tasksExecuted);
+    out.depTasksSubmitted =
+        delta(now.depTasksSubmitted, base.depTasksSubmitted);
+    out.depStallNanos = delta(now.depStallNanos, base.depStallNanos);
     return out;
 }
 

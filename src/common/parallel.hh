@@ -113,9 +113,22 @@ struct SchedulerCounters
 SchedulerCounters parallelSchedulerCounters();
 
 /**
+ * Delta of the current counters against @p base, per field, saturating
+ * at zero (a field below its baseline means the globals were reset
+ * mid-bracket). This is the bracketing primitive safe for *concurrent*
+ * top-level measurers: snapshot, run, subtract — no shared reset to
+ * race on, so bench_serve and bench_render_throughput (or several
+ * service sessions) can bracket the same process simultaneously.
+ */
+SchedulerCounters
+parallelSchedulerCountersSince(const SchedulerCounters &base);
+
+/**
  * Zero the scheduler counters. Meant for bench bracketing; calling it
  * while loops are in flight is harmless but splits their counts across
- * the reset.
+ * the reset. Prefer parallelSchedulerCountersSince() bracketing when
+ * anything else might be measuring concurrently — a reset here yanks
+ * every other measurer's baseline.
  */
 void parallelResetSchedulerCounters();
 
@@ -211,6 +224,12 @@ class TaskHandle
  * executes inline at submission (single-thread runs never touch the
  * pool), so a graph submitted in topological order runs serially in
  * submission order; the error still surfaces at wait().
+ *
+ * A task's captures are destroyed on the thread that ran it, strictly
+ * *after* the task counts as complete. A capture holding the last
+ * shared_ptr to an object that owns the task's own group is therefore
+ * safe: the owner (group included) is destructed on that worker once
+ * the group already observes the task as done.
  */
 class TaskGroup
 {

@@ -63,7 +63,7 @@ void
 NerfModel::renderOne(const Camera &camera, int px, int py,
                      std::uint32_t rayId, Vec3 &rgbOut, float &depthOut,
                      StageWork &work, TraceSink *trace,
-                     BakedPoint *gbufOut) const
+                     BakedPoint *gbufOut, DecodeSink *decodeSink) const
 {
     thread_local std::vector<RaySample> samples;
     thread_local std::vector<MemAccess> accessBuf;
@@ -148,8 +148,12 @@ NerfModel::renderOne(const Camera &camera, int px, int py,
         // without any transposition.
         float *feats = featureBuf.data();
         _encoding->gatherFeatureBatch(posBuf.data(), m, feats);
-        _decoder.decodeBatchSoA(feats, static_cast<std::size_t>(m), m,
-                                ray.dir, decodedBuf.data());
+        if (decodeSink)
+            decodeSink->decodeBlock(feats, static_cast<std::size_t>(m),
+                                    m, ray.dir, decodedBuf.data());
+        else
+            _decoder.decodeBatchSoA(feats, static_cast<std::size_t>(m),
+                                    m, ray.dir, decodedBuf.data());
 
         for (int j = 0; j < m; ++j) {
             const RaySample &s = samples[base + j];
@@ -293,6 +297,40 @@ NerfModel::render(const Camera &camera, TraceSink *trace,
             }
         });
     return out;
+}
+
+RenderResult
+NerfModel::renderServe(const Camera &camera, DecodeSink *sink) const
+{
+    RenderResult out;
+    out.image = Image(camera.width, camera.height);
+    out.depth = DepthMap(camera.width, camera.height);
+
+    // Serial pixel walk on the calling thread — the serve layer
+    // schedules whole frames as tasks, so this runs inside one worker.
+    // Same traversal order and per-ray math as render(); only the
+    // decode call site differs (routed through the sink).
+    const int W = camera.width;
+    const int H = camera.height;
+    for (int py = 0; py < H; ++py) {
+        std::uint32_t rayId = static_cast<std::uint32_t>(py) * W;
+        for (int px = 0; px < W; ++px, ++rayId) {
+            Vec3 rgb;
+            float d;
+            renderOne(camera, px, py, rayId, rgb, d, out.work, nullptr,
+                      nullptr, sink);
+            out.image.at(px, py) = rgb;
+            out.depth.at(px, py) = d;
+        }
+    }
+    return out;
+}
+
+void
+NerfModel::quantizeFp16()
+{
+    _encoding->quantizeFeaturesFp16();
+    _decoder.quantizeWeightsFp16();
 }
 
 StageWork

@@ -111,6 +111,22 @@ class NerfModel
                         bool wantGBuffer = false) const;
 
     /**
+     * Serving-path render: walk the frame's pixels serially on the
+     * *calling* thread (no internal parallelFor — the serve layer runs
+     * whole frames as single scheduler tasks, so parallelism comes
+     * from concurrent frames and sessions, not from intra-frame
+     * fan-out), decoding each ray block through @p sink when given.
+     * The pixel walk, ray ids and per-sample math are identical to
+     * render(), so with a conforming sink (one whose results are
+     * bit-identical to Decoder::decodeBatchSoA per block — see
+     * DecodeSink) the output is bit-identical to render() on the same
+     * camera. @p sink == nullptr decodes directly (the unfused
+     * serving baseline).
+     */
+    RenderResult renderServe(const Camera &camera,
+                             DecodeSink *sink = nullptr) const;
+
+    /**
      * Render only @p pixelIds (y * width + x), writing into @p image and
      * @p depth which must be pre-sized; used for sparse NeRF rendering of
      * disoccluded pixels (Eq. 4).
@@ -157,11 +173,22 @@ class NerfModel
     /** Per-sample nominal MLP MACs (Feature Computation accounting). */
     std::uint64_t nominalMlpMacs() const { return _nominalMlpMacs; }
 
+    /**
+     * Quantize the whole model to fp16 storage: encoding features
+     * (Encoding::quantizeFeaturesFp16) and decoder MLP weights
+     * (Decoder::quantizeWeightsFp16). Halves the resident footprint —
+     * the serve layer's shared-model cache keys fp16 and fp32
+     * variants separately so sessions pick one deliberately. Not
+     * thread-safe against concurrent renders; call before sharing.
+     */
+    void quantizeFp16();
+
   private:
     void renderOne(const Camera &camera, int px, int py,
                    std::uint32_t rayId, Vec3 &rgbOut, float &depthOut,
                    StageWork &work, TraceSink *trace,
-                   BakedPoint *gbufOut = nullptr) const;
+                   BakedPoint *gbufOut = nullptr,
+                   DecodeSink *decodeSink = nullptr) const;
 
     void traceOne(const Camera &camera, int px, int py,
                   std::uint32_t rayId, StageWork &work,

@@ -1,0 +1,193 @@
+#include "serve/fused_decode_queue.hh"
+
+#include <algorithm>
+
+namespace cicero {
+
+FusionStats &
+FusionStats::operator+=(const FusionStats &o)
+{
+    blocks += o.blocks;
+    samples += o.samples;
+    passes += o.passes;
+    fusedPasses += o.fusedPasses;
+    crossSessionPasses += o.crossSessionPasses;
+    maxBatchSamples = std::max(maxBatchSamples, o.maxBatchSamples);
+    maxBatchBlocks = std::max(maxBatchBlocks, o.maxBatchBlocks);
+    return *this;
+}
+
+FusedDecodeQueue::FusedDecodeQueue(const Decoder &decoder,
+                                   int quantumSamples)
+    : _decoder(decoder), _quantum(std::max(1, quantumSamples))
+{
+}
+
+void
+FusedDecodeQueue::decode(int session, const float *features,
+                         std::size_t featureStride, int count,
+                         const Vec3 &viewDir, DecodedSample *out)
+{
+    DecodeBlock blk;
+    blk.features = features;
+    blk.featureStride = featureStride;
+    blk.count = count;
+    blk.viewDir = viewDir;
+    blk.out = out;
+    decodeBlocks(session, &blk, 1);
+}
+
+void
+FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
+                               int numBlocks)
+{
+    int remaining = 0;
+
+    std::unique_lock<std::mutex> lock(_mu);
+    auto ins = _sessions.emplace(session, SessionQueue{});
+    if (ins.second)
+        _order.push_back(session);
+    SessionQueue &q = ins.first->second;
+    for (int i = 0; i < numBlocks; ++i) {
+        if (blocks[i].count <= 0)
+            continue;
+        q.items.push_back(Item{blocks[i], &remaining});
+        ++remaining;
+        ++_pendingBlocks;
+    }
+    if (remaining == 0)
+        return;
+
+    // Flat combining: the first submitter to find no active combiner
+    // takes the role and drains the whole queue (including blocks
+    // that arrive while it runs); everyone else sleeps until their
+    // submission completes. Any waiter still pending when the
+    // combiner retires takes over, so no submission is ever stranded.
+    while (remaining > 0) {
+        if (!_combinerActive) {
+            _combinerActive = true;
+            combineLocked(lock);
+            _combinerActive = false;
+            _cv.notify_all();
+        } else {
+            _cv.wait(lock);
+        }
+    }
+}
+
+void
+FusedDecodeQueue::releaseSession(int session)
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _sessions.find(session);
+    if (it == _sessions.end())
+        return;
+    _sessions.erase(it);
+    auto o = std::find(_order.begin(), _order.end(), session);
+    if (o != _order.end()) {
+        if (static_cast<std::size_t>(o - _order.begin()) < _cursor)
+            --_cursor;
+        _order.erase(o);
+    }
+    if (!_order.empty())
+        _cursor %= _order.size();
+    else
+        _cursor = 0;
+}
+
+FusionStats
+FusedDecodeQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _stats;
+}
+
+void
+FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
+{
+    std::vector<DecodeBlock> batch;
+    std::vector<int *> owners;
+    std::vector<int> contributors;
+
+    while (_pendingBlocks > 0) {
+        batch.clear();
+        owners.clear();
+        contributors.clear();
+        int batchSamples = 0;
+
+        // Deficit round-robin across sessions: starting at the rotating
+        // cursor, each backlogged session earns one quantum of sample
+        // credit per visit and dequeues blocks while the credit lasts.
+        // The batch closes once it can fill a kernel chunk — enough to
+        // amortize, small enough to bound the latency any one block
+        // spends waiting behind others. A lone block wider than its
+        // credit is taken anyway when the batch is empty (the fused
+        // kernel chunks internally), so progress never stalls.
+        const std::size_t nOrder = _order.size();
+        std::size_t stopIdx = _cursor;
+        for (std::size_t k = 0;
+             k < nOrder && batchSamples < kDecodeChunk; ++k) {
+            const std::size_t idx = (_cursor + k) % nOrder;
+            SessionQueue &q = _sessions[_order[idx]];
+            if (q.items.empty()) {
+                q.deficit = 0;
+                stopIdx = idx + 1;
+                continue;
+            }
+            q.deficit += _quantum;
+            bool contributed = false;
+            while (!q.items.empty() && batchSamples < kDecodeChunk) {
+                Item &it = q.items.front();
+                if (it.blk.count <= q.deficit) {
+                    q.deficit -= it.blk.count;
+                } else if (batch.empty()) {
+                    q.deficit = 0; // oversized lone block: take as-is
+                } else {
+                    break;
+                }
+                batch.push_back(it.blk);
+                owners.push_back(it.remaining);
+                batchSamples += it.blk.count;
+                q.items.pop_front();
+                --_pendingBlocks;
+                contributed = true;
+            }
+            if (contributed)
+                contributors.push_back(_order[idx]);
+            if (q.items.empty())
+                q.deficit = 0;
+            // Resume next pass at this session if it still has backlog
+            // (its credit carries over), else after it.
+            stopIdx = q.items.empty() ? idx + 1 : idx;
+        }
+        _cursor = nOrder ? stopIdx % nOrder : 0;
+
+        if (batch.empty())
+            break; // queue raced empty (defensive; pending was > 0)
+
+        _stats.blocks += batch.size();
+        _stats.samples += static_cast<std::uint64_t>(batchSamples);
+        ++_stats.passes;
+        if (batch.size() > 1)
+            ++_stats.fusedPasses;
+        if (contributors.size() > 1)
+            ++_stats.crossSessionPasses;
+        _stats.maxBatchSamples =
+            std::max(_stats.maxBatchSamples,
+                     static_cast<std::uint64_t>(batchSamples));
+        _stats.maxBatchBlocks = std::max(
+            _stats.maxBatchBlocks,
+            static_cast<std::uint64_t>(batch.size()));
+
+        lock.unlock();
+        _decoder.decodeBlocksFused(batch.data(),
+                                   static_cast<int>(batch.size()));
+        lock.lock();
+
+        for (int *remaining : owners)
+            --*remaining;
+        _cv.notify_all();
+    }
+}
+
+} // namespace cicero

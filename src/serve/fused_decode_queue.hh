@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Cross-session fused MLP decode queue — the serve layer's perf core.
+ *
+ * Many sessions of the same model render concurrently, each producing
+ * small ray blocks (8..64 samples — renderer.cc's geometric block
+ * growth). Decoded independently those blocks leave vector lanes idle
+ * at remainders and, in fp16 weight mode, pay a weight-widening pass
+ * per call. This queue gathers blocks from *all* sessions of one model
+ * into shared batches pushed through Decoder::decodeBlocksFused, so
+ * the kernel sees full batches whose cost amortizes with traffic.
+ *
+ * Execution model: flat combining. A submitting thread enqueues its
+ * block(s) under the queue mutex, then either becomes the *combiner*
+ * (if none is active) or waits on the condvar. The combiner drains the
+ * queue — selecting blocks by deficit round-robin across sessions for
+ * fair-share — releasing the mutex around each fused kernel pass, and
+ * wakes submitters whose blocks completed. Any waiter can take over
+ * combining, and the combiner never blocks, so progress is guaranteed;
+ * with one thread the submitter immediately self-combines and the
+ * queue degenerates to an inline decode.
+ *
+ * Correctness contract (the serve layer's bit-identity guarantee
+ * leans on this): each block's results are bit-identical to a solo
+ * Decoder::decodeBatchSoA call — decodeBlocksFused preserves
+ * per-sample bits at any batching composition, and this queue only
+ * ever reorders whole blocks across sessions, never samples within a
+ * block.
+ */
+
+#ifndef CICERO_SERVE_FUSED_DECODE_QUEUE_HH
+#define CICERO_SERVE_FUSED_DECODE_QUEUE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "nerf/decoder.hh"
+
+namespace cicero {
+
+/** Counters describing how much fusion the queue achieved. */
+struct FusionStats
+{
+    std::uint64_t blocks = 0;  //!< ray blocks decoded through the queue
+    std::uint64_t samples = 0; //!< samples decoded through the queue
+    std::uint64_t passes = 0;  //!< combiner kernel passes
+    std::uint64_t fusedPasses = 0; //!< passes batching >1 block
+    std::uint64_t crossSessionPasses = 0; //!< passes mixing sessions
+    std::uint64_t maxBatchSamples = 0;    //!< widest pass (samples)
+    std::uint64_t maxBatchBlocks = 0;     //!< widest pass (blocks)
+
+    /** Aggregate (sums counts, maxes the max fields). */
+    FusionStats &operator+=(const FusionStats &o);
+};
+
+/**
+ * Blocking fused-decode queue over one shared Decoder. Thread-safe;
+ * one instance per cached model, shared by all its sessions.
+ */
+class FusedDecodeQueue
+{
+  public:
+    /**
+     * @param decoder        the shared model's decoder
+     * @param quantumSamples deficit round-robin quantum: samples of
+     *        decode credit a session earns per scheduling round. Must
+     *        cover the largest renderer block (64) so one round always
+     *        admits at least one block per backlogged session.
+     */
+    explicit FusedDecodeQueue(const Decoder &decoder,
+                              int quantumSamples = 128);
+
+    /**
+     * Decode one ray block for @p session. Blocks until the results
+     * are in @p out — either decoded by this thread acting as the
+     * combiner (possibly fused with other sessions' pending blocks) or
+     * by another submitter combining on our behalf.
+     */
+    void decode(int session, const float *features,
+                std::size_t featureStride, int count, const Vec3 &viewDir,
+                DecodedSample *out);
+
+    /**
+     * Submit @p numBlocks blocks for @p session in one call and wait
+     * for all of them. Lets a single thread present the combiner with
+     * a multi-block batch deterministically (exercised by tests; the
+     * render path submits per-block as rays produce them).
+     */
+    void decodeBlocks(int session, const DecodeBlock *blocks,
+                      int numBlocks);
+
+    /**
+     * Forget @p session's scheduling state (deficit, round-robin
+     * slot). Call after the session's last frame; it must have no
+     * blocks in flight.
+     */
+    void releaseSession(int session);
+
+    FusionStats stats() const;
+
+    /** DecodeSink adapter binding one session id to the queue. */
+    class SessionSink : public DecodeSink
+    {
+      public:
+        SessionSink() = default;
+        SessionSink(FusedDecodeQueue *queue, int session)
+            : _queue(queue), _session(session)
+        {
+        }
+
+        void decodeBlock(const float *features, std::size_t featureStride,
+                         int count, const Vec3 &viewDir,
+                         DecodedSample *out) override
+        {
+            _queue->decode(_session, features, featureStride, count,
+                           viewDir, out);
+        }
+
+      private:
+        FusedDecodeQueue *_queue = nullptr;
+        int _session = 0;
+    };
+
+  private:
+    /** One submitted block plus its submission's completion counter. */
+    struct Item
+    {
+        DecodeBlock blk;
+        int *remaining = nullptr;
+    };
+
+    /** Per-session backlog and deficit round-robin credit. */
+    struct SessionQueue
+    {
+        std::deque<Item> items;
+        int deficit = 0;
+    };
+
+    /**
+     * Drain the queue as the combiner. Entered and exited holding
+     * @p lock; unlocks around each fused kernel pass.
+     */
+    void combineLocked(std::unique_lock<std::mutex> &lock);
+
+    const Decoder &_decoder;
+    const int _quantum;
+
+    mutable std::mutex _mu;
+    std::condition_variable _cv;
+    bool _combinerActive = false;
+    std::size_t _pendingBlocks = 0;
+    std::unordered_map<int, SessionQueue> _sessions;
+    std::vector<int> _order; //!< round-robin visit order
+    std::size_t _cursor = 0; //!< next _order slot to serve
+    FusionStats _stats;
+};
+
+} // namespace cicero
+
+#endif // CICERO_SERVE_FUSED_DECODE_QUEUE_HH

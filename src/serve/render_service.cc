@@ -1,0 +1,295 @@
+#include "serve/render_service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+
+namespace cicero {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+} // namespace
+
+/**
+ * One admitted session: its config, model lease, frame chain and
+ * completion state. Owned by a shared_ptr held by the service map and
+ * by waiters; frame tasks deliberately capture only a *raw* pointer —
+ * a capture with a destructor could otherwise drop the session (and
+ * its model lease) on a pool worker racing service teardown. Lifetime
+ * is instead guaranteed structurally: the session leaves the map only
+ * after its TaskGroup fully drained (RenderService::wait and the
+ * service destructor both drain before releasing their reference), so
+ * destruction always happens on the collecting thread while the
+ * shared cache is still alive.
+ */
+struct RenderService::Session
+{
+    int id = -1;
+    ServeSessionConfig cfg;
+    int window = 1;
+    SharedModelCache::Lease lease;
+    std::unique_ptr<FusedDecodeQueue::SessionSink> sink;
+    TaskGroup group;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<ServeFrame> frames;
+    std::vector<char> done;
+    std::vector<char> failed;
+    std::vector<Clock::time_point> eligibleAt;
+    int completed = 0;
+    bool finished = false;
+    std::exception_ptr error;
+};
+
+RenderService::RenderService(const RenderServiceConfig &config)
+    : _config(config)
+{
+}
+
+RenderService::~RenderService()
+{
+    // Drain every session still rendering before members go away:
+    // frame tasks touch the service counters and the shared cache.
+    // Draining the group (not just waiting on `finished`) is what
+    // makes that safe — it returns only after every task body has
+    // fully retired, including the post-notify bookkeeping.
+    std::vector<std::shared_ptr<Session>> live;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        for (auto &kv : _sessions)
+            live.push_back(kv.second);
+    }
+    for (auto &s : live)
+        s->group.wait();
+}
+
+int
+RenderService::admit(const ServeSessionConfig &config)
+{
+    return admitImpl(config, /*throwOnFull=*/true);
+}
+
+int
+RenderService::tryAdmit(const ServeSessionConfig &config)
+{
+    return admitImpl(config, /*throwOnFull=*/false);
+}
+
+int
+RenderService::admitImpl(const ServeSessionConfig &config,
+                         bool throwOnFull)
+{
+    if (config.trajectory.empty() || config.width <= 0 ||
+        config.height <= 0)
+        throw std::runtime_error("RenderService: invalid session config");
+
+    auto s = std::make_shared<Session>();
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        if (_active >= _config.maxSessions) {
+            ++_counters.rejected;
+            if (throwOnFull)
+                throw std::runtime_error(
+                    "RenderService: at session capacity");
+            return -1;
+        }
+        s->id = _nextId++;
+        ++_active;
+        ++_counters.admitted;
+        _sessions.emplace(s->id, s);
+    }
+
+    // Heavy setup outside the service lock: model build (on cache
+    // miss) and the whole frame-chain submission. On failure (say an
+    // unknown scene) the reserved slot must be handed back.
+    try {
+        setupSession(s, config);
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(_mu);
+        _sessions.erase(s->id);
+        --_active;
+        throw;
+    }
+    return s->id;
+}
+
+void
+RenderService::setupSession(const std::shared_ptr<Session> &s,
+                            const ServeSessionConfig &config)
+{
+    s->cfg = config;
+    s->lease = _cache.acquire(config.model);
+    if (_config.fuseDecode)
+        s->sink = std::make_unique<FusedDecodeQueue::SessionSink>(
+            &s->lease.fusion(), s->id);
+
+    const int n = static_cast<int>(config.trajectory.size());
+    int window = config.inflightWindow > 0 ? config.inflightWindow
+                                           : _config.defaultInflightWindow;
+    window = std::min(std::max(window, 1), n);
+    s->window = window;
+    s->frames.resize(n);
+    s->done.assign(n, 0);
+    s->failed.assign(n, 0);
+    s->eligibleAt.resize(n);
+
+    const Clock::time_point admitted = Clock::now();
+    for (int f = 0; f < window; ++f)
+        s->eligibleAt[f] = admitted;
+
+    // Submit the whole chain from this thread (TaskGroup is
+    // single-submitter): the first `window` frames are immediately
+    // runnable, frame f >= window stays dormant until frame
+    // f - window completes — the per-session in-flight window. On a
+    // one-thread pool runnable tasks execute inline right here, so
+    // admit() of a later session sees earlier sessions already done;
+    // with workers the chains of all admitted sessions interleave.
+    // The lambda captures the session by raw pointer on purpose: the
+    // captures stay trivially destructible, so a worker retiring the
+    // task cannot run the session destructor (see the Session doc).
+    std::vector<TaskHandle> handles(n);
+    for (int f = 0; f < n; ++f) {
+        auto task = [this, sp = s.get(), f] {
+            Session *const s = sp;
+            const int nFrames = static_cast<int>(s->frames.size());
+            const Clock::time_point t0 = Clock::now();
+            ServeFrame frame;
+            std::exception_ptr err;
+            try {
+                Camera cam = Camera::fromFov(
+                    s->cfg.width, s->cfg.height,
+                    s->lease.model().scene().fovYDeg,
+                    s->cfg.trajectory[f]);
+                RenderResult r =
+                    s->lease.model().renderServe(cam, s->sink.get());
+                frame.image = std::move(r.image);
+                frame.depth = std::move(r.depth);
+                frame.work = r.work;
+            } catch (...) {
+                err = std::current_exception();
+            }
+            const Clock::time_point t1 = Clock::now();
+
+            bool sessionDone = false;
+            {
+                std::lock_guard<std::mutex> lock(s->mu);
+                frame.latencyS = seconds(t1 - s->eligibleAt[f]);
+                frame.renderS = seconds(t1 - t0);
+                s->frames[f] = std::move(frame);
+                s->done[f] = 1;
+                if (err) {
+                    s->failed[f] = 1;
+                    if (!s->error)
+                        s->error = err;
+                }
+                if (f + s->window < nFrames)
+                    s->eligibleAt[f + s->window] = t1;
+                if (++s->completed == nFrames) {
+                    s->finished = true;
+                    sessionDone = true;
+                }
+            }
+            s->cv.notify_all();
+
+            {
+                std::lock_guard<std::mutex> lock(_mu);
+                ++_counters.framesCompleted;
+                if (sessionDone)
+                    --_active;
+            }
+            if (sessionDone && s->sink)
+                s->lease.fusion().releaseSession(s->id);
+        };
+        if (f < window)
+            handles[f] = s->group.run(task);
+        else
+            handles[f] = s->group.runAfter({handles[f - window]}, task);
+    }
+}
+
+std::shared_ptr<RenderService::Session>
+RenderService::findSession(int sessionId) const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    auto it = _sessions.find(sessionId);
+    if (it == _sessions.end())
+        throw std::runtime_error(
+            "RenderService: unknown (or already collected) session id");
+    return it->second;
+}
+
+ServeFrame
+RenderService::waitFrame(int sessionId, int frameIndex)
+{
+    std::shared_ptr<Session> s = findSession(sessionId);
+    if (frameIndex < 0 ||
+        frameIndex >= static_cast<int>(s->frames.size()))
+        throw std::runtime_error("RenderService: frame index out of range");
+
+    std::unique_lock<std::mutex> lock(s->mu);
+    s->cv.wait(lock, [&] { return s->done[frameIndex] != 0; });
+    if (s->failed[frameIndex])
+        std::rethrow_exception(s->error);
+    return s->frames[frameIndex];
+}
+
+ServeSessionResult
+RenderService::wait(int sessionId)
+{
+    std::shared_ptr<Session> s;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        auto it = _sessions.find(sessionId);
+        if (it == _sessions.end())
+            throw std::runtime_error(
+                "RenderService: unknown (or already collected) session id");
+        s = it->second;
+        _sessions.erase(it);
+    }
+
+    // Drain the session's group: `finished` flips inside the last
+    // frame's task body, so the task (and its post-notify service
+    // bookkeeping) may still be retiring on a worker — the group wait
+    // returns only once nothing references the session anymore, making
+    // it safe to destroy when our reference (the last) goes away.
+    s->group.wait();
+
+    ServeSessionResult out;
+    out.sessionId = sessionId;
+    {
+        std::unique_lock<std::mutex> lock(s->mu);
+        s->cv.wait(lock, [&] { return s->finished; });
+        if (s->error)
+            std::rethrow_exception(s->error);
+        out.frames = std::move(s->frames);
+    }
+    return out;
+}
+
+int
+RenderService::activeSessions() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _active;
+}
+
+ServiceCounters
+RenderService::counters() const
+{
+    std::lock_guard<std::mutex> lock(_mu);
+    return _counters;
+}
+
+} // namespace cicero

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The multi-session render service: a persistent in-process server
+ * admitting many concurrent client sessions and running them over the
+ * work-stealing pool.
+ *
+ * Execution model (the paraLLEl-RDP idiom, adapted): a session's
+ * frames are scheduler *tasks*, one per frame, submitted up-front as a
+ * dependency chain on the session's own TaskGroup — frame f waits on
+ * frame f - window, so each session keeps at most `inflightWindow`
+ * frames in flight (the client-side latency/throughput knob).
+ * Parallelism comes from many sessions' frame tasks running on pool
+ * workers simultaneously, NOT from intra-frame fan-out
+ * (NerfModel::renderServe walks its pixels serially on its worker);
+ * cross-session MLP decode fusion (FusedDecodeQueue) then merges those
+ * concurrent frames' ray blocks into shared kernel batches.
+ *
+ * Fairness: admission control caps concurrent sessions (admit()
+ * throws, tryAdmit() declines); the in-flight window bounds any one
+ * session's task-queue share; and the fused decode queue serves
+ * sessions by deficit round-robin, so an elephant session cannot
+ * starve mice of decode bandwidth.
+ *
+ * Correctness contract: a session's frames are bit-identical to the
+ * same (scene, model, trajectory, resolution) rendered solo —
+ * NerfModel::renderServe reproduces render()'s pixel walk exactly and
+ * fused decode preserves per-block bits (see FusedDecodeQueue).
+ * Fusion reorders work across sessions only, never within a ray
+ * block.
+ */
+
+#ifndef CICERO_SERVE_RENDER_SERVICE_HH
+#define CICERO_SERVE_RENDER_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/geometry.hh"
+#include "serve/model_cache.hh"
+
+namespace cicero {
+
+/** One client session's request: model + trajectory + schedule. */
+struct ServeSessionConfig
+{
+    ModelKey model;
+    int width = 64;
+    int height = 64;
+    std::vector<Pose> trajectory; //!< one frame rendered per pose
+    /**
+     * Frames this session may have in flight at once; 0 takes the
+     * service default. 1 = strictly serial frames (lowest latency
+     * variance), larger = deeper pipelining (higher throughput).
+     */
+    int inflightWindow = 0;
+};
+
+/** Service-wide configuration. */
+struct RenderServiceConfig
+{
+    int maxSessions = 64;          //!< admission-control cap
+    bool fuseDecode = true;        //!< route decode through the fusion queue
+    int fusionQuantumSamples = 128; //!< DRR quantum (FusedDecodeQueue)
+    int defaultInflightWindow = 2;
+};
+
+/** One completed frame. */
+struct ServeFrame
+{
+    Image image;
+    DepthMap depth;
+    StageWork work;
+    /**
+     * Seconds from the frame becoming *eligible* (admission for the
+     * first window's frames, completion of frame f - window after) to
+     * its completion — the latency a pipelined client observes.
+     */
+    double latencyS = 0.0;
+    double renderS = 0.0; //!< seconds spent rendering on the worker
+};
+
+/** Everything a finished session produced. */
+struct ServeSessionResult
+{
+    int sessionId = -1;
+    std::vector<ServeFrame> frames;
+};
+
+/** Service traffic counters. */
+struct ServiceCounters
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t framesCompleted = 0;
+};
+
+/**
+ * The render service. Thread-safe: sessions may be admitted, polled
+ * and collected from any thread.
+ */
+class RenderService
+{
+  public:
+    explicit RenderService(const RenderServiceConfig &config = {});
+    ~RenderService();
+
+    RenderService(const RenderService &) = delete;
+    RenderService &operator=(const RenderService &) = delete;
+
+    /**
+     * Admit a session and submit its whole frame chain; returns its
+     * session id immediately (frames render asynchronously). Throws
+     * std::runtime_error when the service is at maxSessions or the
+     * config is invalid (empty trajectory, non-positive resolution).
+     */
+    int admit(const ServeSessionConfig &config);
+
+    /** As admit(), but returns -1 instead of throwing when full. */
+    int tryAdmit(const ServeSessionConfig &config);
+
+    /**
+     * Block until session @p sessionId's frame @p frameIndex is done
+     * and return it (copy; the session keeps its frames until
+     * wait()). Rethrows a frame task's exception.
+     */
+    ServeFrame waitFrame(int sessionId, int frameIndex);
+
+    /**
+     * Block until every frame of @p sessionId is done and collect the
+     * session's results, retiring the session. Each session id can be
+     * waited exactly once; unknown ids throw.
+     */
+    ServeSessionResult wait(int sessionId);
+
+    /** Sessions admitted and not yet finished rendering. */
+    int activeSessions() const;
+
+    ServiceCounters counters() const;
+
+    /** The shared-model cache (stats, live entries, fusion totals). */
+    SharedModelCache &cache() { return _cache; }
+
+    const RenderServiceConfig &config() const { return _config; }
+
+  private:
+    struct Session;
+
+    std::shared_ptr<Session> findSession(int sessionId) const;
+    int admitImpl(const ServeSessionConfig &config, bool throwOnFull);
+    void setupSession(const std::shared_ptr<Session> &s,
+                      const ServeSessionConfig &config);
+
+    RenderServiceConfig _config;
+    SharedModelCache _cache;
+
+    mutable std::mutex _mu;
+    std::map<int, std::shared_ptr<Session>> _sessions;
+    int _nextId = 0;
+    int _active = 0;
+    ServiceCounters _counters;
+};
+
+} // namespace cicero
+
+#endif // CICERO_SERVE_RENDER_SERVICE_HH

@@ -595,6 +595,46 @@ TEST(ParallelTest, SchedulerCountersAdvanceAndReset)
     EXPECT_EQ(zeroed.depStallNanos, 0u);
 }
 
+TEST(ParallelTest, SchedulerCountersSinceBracketsWithoutReset)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    std::atomic<int> n{0};
+    auto burn = [&] {
+        parallelFor(0, 256, 4, [&](std::int64_t b, std::int64_t e) {
+            n.fetch_add(static_cast<int>(e - b));
+        });
+    };
+
+    const SchedulerCounters base = parallelSchedulerCounters();
+    burn();
+    const SchedulerCounters delta = parallelSchedulerCountersSince(base);
+    EXPECT_GE(delta.tasksExecuted, 256u / 4u);
+
+    // Bracketing is reset-free: two measurers can overlap. An inner
+    // bracket opened after more work sees only its own share.
+    burn();
+    const SchedulerCounters inner = parallelSchedulerCounters();
+    burn();
+    const SchedulerCounters innerDelta =
+        parallelSchedulerCountersSince(inner);
+    const SchedulerCounters outerDelta =
+        parallelSchedulerCountersSince(base);
+    EXPECT_GE(outerDelta.tasksExecuted,
+              innerDelta.tasksExecuted + 2u * (256u / 4u));
+
+    // A reset mid-bracket yanks the baseline below base: the delta
+    // saturates at zero per field instead of wrapping.
+    parallelResetSchedulerCounters();
+    const SchedulerCounters saturated =
+        parallelSchedulerCountersSince(base);
+    EXPECT_EQ(saturated.tasksExecuted, 0u);
+    EXPECT_EQ(saturated.steals, 0u);
+    EXPECT_EQ(saturated.idleNanos, 0u);
+    EXPECT_EQ(saturated.depTasksSubmitted, 0u);
+}
+
 TEST(ParallelTest, DependencyStallCountersMeasureDormantTasks)
 {
     // A successor submitted behind a blocked dependency is dormant: it

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <vector>
 
 #include "cicero/sparw.hh"
@@ -396,6 +397,48 @@ TEST(ParallelDeterminismTest, SparwDependencyGraphMatchesAllSchedules)
         expectSparwRunsIdentical(dsBaseline, dsD);
         SparwRun dsP = pipelined.runDownsampled(traj, 2);
         expectSparwRunsIdentical(dsBaseline, dsP);
+    }
+}
+
+TEST(ParallelDeterminismTest, ConcurrentDistinctRendersMatchSolo)
+{
+    // The serving layer's substrate: several client threads each
+    // driving a *different* render through the shared pool at once
+    // (concurrent top-level submitters). Every render must come out
+    // bit-identical to the same render run alone — work stealing may
+    // move chunks between threads, never change or mix them.
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    struct Client
+    {
+        std::unique_ptr<NerfModel> model;
+        Camera cam;
+        RenderResult solo;
+        RenderResult concurrent;
+    };
+    std::vector<Client> clients;
+    clients.push_back({test::tinyModel(GridLayout::Linear, 32),
+                       test::tinyCamera(40), {}, {}});
+    clients.push_back({test::tinyModel(GridLayout::MVoxelBlocked, 32),
+                       test::tinyCamera(32), {}, {}});
+    clients.push_back({test::tinyModel(GridLayout::Linear, 24),
+                       test::tinyCamera(36), {}, {}});
+
+    for (Client &c : clients)
+        c.solo = c.model->render(c.cam);
+
+    std::vector<std::thread> threads;
+    for (Client &c : clients)
+        threads.emplace_back(
+            [&c] { c.concurrent = c.model->render(c.cam); });
+    for (std::thread &t : threads)
+        t.join();
+
+    for (Client &c : clients) {
+        expectImagesIdentical(c.solo.image, c.concurrent.image);
+        expectDepthIdentical(c.solo.depth, c.concurrent.depth);
+        expectWorkIdentical(c.solo.work, c.concurrent.work);
     }
 }
 
