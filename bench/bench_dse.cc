@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Self-gating bench for the replay-driven DSE subsystem. Builds a tiny
+ * corpus (capture + manifest), then enforces the subsystem's two
+ * identity contracts and exits nonzero if either fails:
+ *
+ *  1. replay-vs-live: every accelerator stack (GPU, NPU, GU,
+ *     NeuRex/NGPC baselines) produces bit-identical stats JSON whether
+ *     fed the live render stream or the persisted trace.
+ *  2. parallel-vs-serial: a pool-sharded sweep emits byte-identical
+ *     result JSON to a serial run of the same grid.
+ *
+ * The final line is a machine-readable JSON summary for CI.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.hh"
+#include "dse/corpus.hh"
+#include "dse/driver.hh"
+
+using namespace cicero;
+using namespace cicero::bench;
+
+namespace {
+
+/** Capture one orbit frame into @p path with its workload summary. */
+void
+captureFrame(const NerfModel &model, const Scene &scene,
+             const Camera &cam, const std::string &path)
+{
+    TraceFileMeta meta;
+    meta.scene = scene.name;
+    meta.encoding = model.encoding().name();
+    meta.model = "dvgo";
+    meta.width = cam.width;
+    meta.height = cam.height;
+    meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
+    meta.featureBytes = static_cast<std::uint32_t>(
+        model.encoding().featureDim() * kBytesPerChannel);
+    meta.storageMode = model.encoding().featuresFp16()
+                           ? TraceStorageMode::Fp16
+                           : TraceStorageMode::Fp32;
+
+    TraceFileWriter writer(path, meta);
+    TraceWorkloadDescriptor desc;
+    desc.work = model.traceWorkload(cam, &writer);
+    desc.plan = model.encoding().streamingFootprint(
+        model.collectSamplePositions(cam));
+    desc.vertexBytes = meta.featureBytes;
+    writer.setWorkloadSummary(toSummary(desc));
+    writer.close();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
+
+    banner("DSE", "replay-driven design-space exploration gates");
+
+    const int frames = quick ? 1 : 2;
+    const int res = 32;
+
+    char dirTemplate[] = "/tmp/cicero_dse_XXXXXX";
+    const char *dir = mkdtemp(dirTemplate);
+    if (!dir) {
+        std::fprintf(stderr, "bench_dse: mkdtemp failed\n");
+        return 1;
+    }
+
+    Scene scene = makeScene("lego");
+    ModelBuildOptions opts;
+    opts.preset = ModelPreset::Fast;
+    auto model = buildModel(ModelKind::DirectVoxGO, scene, opts);
+    model->encoding().quantizeFeaturesFp16();
+    auto traj = sceneOrbit(scene, frames);
+
+    dse::Corpus corpus(dir);
+    std::vector<Camera> cams;
+    for (int f = 0; f < frames; ++f) {
+        Camera cam = Camera::fromFov(res, res, scene.fovYDeg, traj[f]);
+        cams.push_back(cam);
+        dse::CorpusEntry entry;
+        entry.id = "lego_dvgo_" + std::to_string(res) + "_f" +
+                   std::to_string(f);
+        entry.file = entry.id + ".ctrace";
+        entry.scene = scene.name;
+        entry.model = "dvgo";
+        entry.encoding = model->encoding().name();
+        entry.res = static_cast<std::uint32_t>(res);
+        entry.frame = static_cast<std::uint32_t>(f);
+        entry.fp16 = true;
+        captureFrame(*model, scene, cam, corpus.tracePath(entry));
+        corpus.add(std::move(entry));
+    }
+    corpus.save();
+
+    // Gate 1: replayed accelerator stats bit-identical to live.
+    TraceFileReader reader(corpus.tracePath(corpus.entries().front()));
+    TraceWorkloadDescriptor live = measureWorkload(*model, cams[0]);
+    TraceWorkloadDescriptor replayed = workloadFromTrace(reader);
+    TraceSourceFn liveSrc = liveSource(*model, cams[0]);
+    TraceSourceFn fileSrc = fileSource(reader);
+
+    struct Gate
+    {
+        const char *name;
+        std::string liveJson;
+        std::string replayJson;
+    };
+    Gate gates[] = {
+        {"gpu", statsJson(runGpuStack(liveSrc, live)),
+         statsJson(runGpuStack(fileSrc, replayed))},
+        {"npu", statsJson(runNpuStack(liveSrc, live)),
+         statsJson(runNpuStack(fileSrc, replayed))},
+        {"gu", statsJson(runGuStack(liveSrc, live)),
+         statsJson(runGuStack(fileSrc, replayed))},
+        {"baselines", statsJson(runBaselineStack(liveSrc, live)),
+         statsJson(runBaselineStack(fileSrc, replayed))},
+    };
+    bool replayMatchesLive = true;
+    for (const Gate &g : gates) {
+        bool same = g.liveJson == g.replayJson;
+        replayMatchesLive = replayMatchesLive && same;
+        std::printf("  %-10s replay==live: %s\n", g.name,
+                    same ? "yes" : "NO");
+        if (!same)
+            std::printf("    live:   %s\n    replay: %s\n",
+                        g.liveJson.c_str(), g.replayJson.c_str());
+    }
+
+    // Gate 2: pool-sharded sweep byte-identical to serial, on a
+    // 2 x 2 x 2 grid. Pin 4 workers so the sharded path really runs
+    // multi-threaded even on small CI machines.
+    setParallelThreadCount(4);
+    dse::SweepAxes axes;
+    axes.cacheMb = {1.0, 2.0};
+    axes.guVftKb = {32, 64};
+    axes.dramGBs = {12.8, 25.6};
+    dse::DseDriver driver(axes);
+    dse::DseResult parallelRun = driver.run(corpus, true);
+    dse::DseResult serialRun = driver.run(corpus, false);
+    bool parallelMatchesSerial =
+        parallelRun.json() == serialRun.json();
+    std::printf("  sweep %zu x %zu parallel==serial: %s (threads=%d)\n",
+                parallelRun.traceCount, parallelRun.configCount,
+                parallelMatchesSerial ? "yes" : "NO",
+                parallelThreadCount());
+    setParallelThreadCount(0);
+
+    std::size_t frontier = 0;
+    for (const auto &s : parallelRun.summaries)
+        frontier += s.pareto ? 1 : 0;
+    std::printf("  pareto frontier: %zu of %zu configs\n", frontier,
+                parallelRun.configCount);
+
+    // Clean up the temp corpus.
+    for (const auto &entry : corpus.entries())
+        std::remove(corpus.tracePath(entry).c_str());
+    std::remove((std::string(dir) + "/corpus.json").c_str());
+    std::remove(dir);
+
+    std::printf("{\"bench\": \"dse\", \"traces\": %zu, \"configs\": %zu, "
+                "\"pareto\": %zu, \"replay_matches_live\": %s, "
+                "\"parallel_matches_serial\": %s}\n",
+                parallelRun.traceCount, parallelRun.configCount,
+                frontier, replayMatchesLive ? "true" : "false",
+                parallelMatchesSerial ? "true" : "false");
+    return (replayMatchesLive && parallelMatchesSerial) ? 0 : 1;
+}

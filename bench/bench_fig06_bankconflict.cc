@@ -29,7 +29,8 @@ conflictRate(const TraceFileReader &trace, std::uint32_t banks,
     cfg.concurrentRays = rays;
     cfg.featureBytes = trace.meta().featureBytes;
     cfg.layout = layout;
-    return 100.0 * runBankStack(fileSource(trace), cfg).conflictRate();
+    return 100.0 *
+           runBankStack(fileSource(trace), cfg).stats.conflictRate();
 }
 
 } // namespace

@@ -43,6 +43,9 @@ struct NeurexConfig
     double freqGHz = 1.0;
     double bufferMissRate = 0.10;    //!< NeuRex's restructured hash buffering
     double activePowerW = 4.5;
+
+    /** On-chip SRAM footprint: the encoding buffer. */
+    std::uint64_t sramBytes() const { return bufferBytes; }
 };
 
 /** NGPC organization parameters. */
@@ -54,6 +57,9 @@ struct NgpcConfig
     std::uint64_t bufferBytes = 16ull << 20; //!< 16 MB on-chip encodings
     double freqGHz = 1.0;
     double activePowerW = 7.0; //!< large SRAM macro is power-hungry
+
+    /** On-chip SRAM footprint: the encoding buffer. */
+    std::uint64_t sramBytes() const { return bufferBytes; }
 };
 
 /**

@@ -33,6 +33,13 @@ struct GatheringUnitConfig
     std::uint32_t ritEntries = 128; //!< per buffer (double-buffered)
     double freqGHz = 1.0;
     double activePowerW = 0.25;     //!< datapath + SRAM leakage
+
+    /** On-chip SRAM footprint: VFT plus the double-buffered RIT. */
+    std::uint64_t
+    sramBytes() const
+    {
+        return vftBytes + 2ull * ritEntries * ritEntryBytes;
+    }
 };
 
 /** Priced GU execution of a gather workload. */

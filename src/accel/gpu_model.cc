@@ -33,6 +33,18 @@ GpuModel::gatherDramBytes(const StageWork &work,
                                       _config.cacheMissTransactionBytes);
 }
 
+double
+GpuModel::gatherDramEnergyNj(const StageWork &work,
+                             const GatherProfile &profile,
+                             const EnergyConstants &energy) const
+{
+    std::uint64_t bytes = gatherDramBytes(work, profile);
+    double randomBytes = bytes * profile.randomFraction;
+    double streamBytes = bytes - randomBytes;
+    return randomBytes * energy.dramRandomPjPerByte * 1e-3 +
+           streamBytes * energy.dramStreamPjPerByte * 1e-3;
+}
+
 GpuStageTimes
 GpuModel::timeNerfFrame(const StageWork &work,
                         const GatherProfile &profile) const

@@ -106,6 +106,15 @@ class GpuModel
     std::uint64_t gatherDramBytes(const StageWork &work,
                                   const GatherProfile &profile) const;
 
+    /**
+     * DRAM energy of the gather stage, in nJ: gatherDramBytes split
+     * into random and streaming shares by the profile and priced at
+     * the ledger's per-byte constants.
+     */
+    double gatherDramEnergyNj(const StageWork &work,
+                              const GatherProfile &profile,
+                              const EnergyConstants &energy = {}) const;
+
   private:
     GpuConfig _config;
 };

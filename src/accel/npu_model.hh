@@ -27,6 +27,13 @@ struct NpuConfig
     std::uint64_t weightBufBytes = 96 * 1024;
     double activePowerW = 3.5;
     double scalarOpsPerSecond = 50e9;
+
+    /** On-chip SRAM footprint: feature + weight buffers. */
+    std::uint64_t
+    sramBytes() const
+    {
+        return featureBufBytes + weightBufBytes;
+    }
 };
 
 /**

@@ -53,11 +53,7 @@ PerformanceModel::nerfCost(SystemVariant variant, const StageWork &work,
         // Pixel-centric gather on the GPU: cache misses produce
         // random-heavy DRAM traffic.
         gatherMs = t.gatherMs;
-        std::uint64_t bytes = _localGpu.gatherDramBytes(work, profile);
-        double randomBytes = bytes * profile.randomFraction;
-        double streamBytes = bytes - randomBytes;
-        dramNj = randomBytes * _energy.dramRandomPjPerByte * 1e-3 +
-                 streamBytes * _energy.dramStreamPjPerByte * 1e-3;
+        dramNj = _localGpu.gatherDramEnergyNj(work, profile, _energy);
         gpuMs += gatherMs;
         break;
       }

@@ -1,0 +1,152 @@
+#include "dse/corpus.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "dse/minijson.hh"
+
+namespace cicero::dse {
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("cannot open " + path);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        throw std::runtime_error("cannot write " + path);
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    if (n != text.size())
+        throw std::runtime_error("short write to " + path);
+}
+
+} // namespace
+
+Corpus::Corpus(std::string dir) : _dir(std::move(dir))
+{
+}
+
+Corpus
+Corpus::load(const std::string &dir)
+{
+    return fromManifestJson(readFile(dir + "/corpus.json"), dir);
+}
+
+Corpus
+Corpus::fromManifestJson(const std::string &json, const std::string &dir)
+{
+    JsonValue root = parseJson(json);
+    if (!root.isObject())
+        throw std::runtime_error("corpus manifest: root must be an object");
+    const JsonValue *entries = root.find("entries");
+    if (!entries)
+        throw std::runtime_error(
+            "corpus manifest: missing \"entries\" array");
+    Corpus corpus(dir);
+    for (const JsonValue &e : entries->asArray("entries")) {
+        if (!e.isObject())
+            throw std::runtime_error(
+                "corpus manifest: entries must be objects");
+        const JsonValue *id = e.find("id");
+        const JsonValue *file = e.find("file");
+        if (!id)
+            throw std::runtime_error(
+                "corpus manifest: entry missing \"id\"");
+        if (!file)
+            throw std::runtime_error(
+                "corpus manifest: entry \"" + id->asString("id") +
+                "\" missing \"file\"");
+        CorpusEntry entry;
+        entry.id = id->asString("id");
+        entry.file = file->asString("file");
+        if (const JsonValue *v = e.find("scene"))
+            entry.scene = v->asString("scene");
+        if (const JsonValue *v = e.find("model"))
+            entry.model = v->asString("model");
+        if (const JsonValue *v = e.find("encoding"))
+            entry.encoding = v->asString("encoding");
+        if (const JsonValue *v = e.find("res"))
+            entry.res = static_cast<std::uint32_t>(v->asU64("res"));
+        if (const JsonValue *v = e.find("frame"))
+            entry.frame = static_cast<std::uint32_t>(v->asU64("frame"));
+        if (const JsonValue *v = e.find("preset"))
+            entry.preset = v->asString("preset");
+        if (const JsonValue *v = e.find("layout"))
+            entry.layout = v->asString("layout");
+        if (const JsonValue *v = e.find("fp16"))
+            entry.fp16 = v->asBool("fp16");
+        corpus.add(std::move(entry));
+    }
+    return corpus;
+}
+
+void
+Corpus::add(CorpusEntry entry)
+{
+    if (findEntry(entry.id))
+        throw std::runtime_error("corpus: duplicate entry id \"" +
+                                 entry.id + "\"");
+    _entries.push_back(std::move(entry));
+}
+
+std::string
+Corpus::manifestJson() const
+{
+    std::string out = "{\n  \"version\": 1,\n  \"entries\": [";
+    bool first = true;
+    for (const CorpusEntry &e : _entries) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    {\"id\": \"" + jsonEscape(e.id) + "\", \"file\": \"" +
+               jsonEscape(e.file) + "\", \"scene\": \"" +
+               jsonEscape(e.scene) + "\", \"model\": \"" +
+               jsonEscape(e.model) + "\", \"encoding\": \"" +
+               jsonEscape(e.encoding) +
+               "\", \"res\": " + std::to_string(e.res) +
+               ", \"frame\": " + std::to_string(e.frame) +
+               ", \"preset\": \"" + jsonEscape(e.preset) +
+               "\", \"layout\": \"" + jsonEscape(e.layout) +
+               "\", \"fp16\": " + (e.fp16 ? "true" : "false") + "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+void
+Corpus::save() const
+{
+    writeFile(_dir + "/corpus.json", manifestJson());
+}
+
+std::string
+Corpus::tracePath(const CorpusEntry &entry) const
+{
+    return _dir + "/" + entry.file;
+}
+
+const CorpusEntry *
+Corpus::findEntry(const std::string &id) const
+{
+    for (const CorpusEntry &e : _entries)
+        if (e.id == id)
+            return &e;
+    return nullptr;
+}
+
+} // namespace cicero::dse

@@ -1,0 +1,385 @@
+#include "dse/driver.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+
+#include "common/parallel.hh"
+#include "dse/minijson.hh"
+
+namespace cicero::dse {
+
+namespace {
+
+std::string
+fmt(const char *format, double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, v);
+    return buf;
+}
+
+std::string
+axisJson(const std::vector<double> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out += (i ? ", " : "") + fmt("%g", v[i]);
+    return out + "]";
+}
+
+std::string
+axisJson(const std::vector<std::uint32_t> &v)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out += (i ? ", " : "") + std::to_string(v[i]);
+    return out + "]";
+}
+
+void
+parseDoubleAxis(const JsonValue &arr, const char *name,
+                std::vector<double> &out)
+{
+    const auto &items = arr.asArray(name);
+    if (items.empty())
+        throw std::runtime_error(std::string("sweep spec: axis \"") +
+                                 name + "\" must not be empty");
+    out.clear();
+    for (const JsonValue &v : items) {
+        double d = v.asNumber(name);
+        if (d <= 0)
+            throw std::runtime_error(std::string("sweep spec: axis \"") +
+                                     name + "\" values must be positive");
+        out.push_back(d);
+    }
+}
+
+void
+parseU32Axis(const JsonValue &arr, const char *name,
+             std::vector<std::uint32_t> &out)
+{
+    const auto &items = arr.asArray(name);
+    if (items.empty())
+        throw std::runtime_error(std::string("sweep spec: axis \"") +
+                                 name + "\" must not be empty");
+    out.clear();
+    for (const JsonValue &v : items) {
+        std::uint64_t u = v.asU64(name);
+        if (u == 0 || u > 0xffffffffull)
+            throw std::runtime_error(std::string("sweep spec: axis \"") +
+                                     name +
+                                     "\" values must be in [1, 2^32)");
+        out.push_back(static_cast<std::uint32_t>(u));
+    }
+}
+
+} // namespace
+
+std::size_t
+SweepAxes::configCount() const
+{
+    return cacheMb.size() * warpWays.size() * guVftKb.size() *
+           guBanks.size() * dramGBs.size() * sramBanks.size() *
+           concurrentRays.size();
+}
+
+SweepAxes
+parseSweepSpec(const std::string &jsonText)
+{
+    JsonValue root = parseJson(jsonText);
+    if (!root.isObject())
+        throw std::runtime_error("sweep spec: root must be an object");
+
+    SweepAxes axes;
+    for (const auto &m : root.members) {
+        if (m.first == "cache_mb")
+            parseDoubleAxis(m.second, "cache_mb", axes.cacheMb);
+        else if (m.first == "warp_ways")
+            parseU32Axis(m.second, "warp_ways", axes.warpWays);
+        else if (m.first == "gu_vft_kb")
+            parseU32Axis(m.second, "gu_vft_kb", axes.guVftKb);
+        else if (m.first == "gu_banks")
+            parseU32Axis(m.second, "gu_banks", axes.guBanks);
+        else if (m.first == "dram_gbs")
+            parseDoubleAxis(m.second, "dram_gbs", axes.dramGBs);
+        else if (m.first == "sram_banks")
+            parseU32Axis(m.second, "sram_banks", axes.sramBanks);
+        else if (m.first == "concurrent_rays")
+            parseU32Axis(m.second, "concurrent_rays",
+                         axes.concurrentRays);
+        else
+            throw std::runtime_error("sweep spec: unknown axis \"" +
+                                     m.first + "\"");
+    }
+    return axes;
+}
+
+std::string
+DseConfig::id() const
+{
+    return "cache" + fmt("%g", cacheMb) + "-ways" +
+           std::to_string(warpWays) + "-vft" + std::to_string(guVftKb) +
+           "k-gub" + std::to_string(guBanks) + "-dram" +
+           fmt("%g", dramGBs) + "-sb" + std::to_string(sramBanks) +
+           "-rays" + std::to_string(concurrentRays);
+}
+
+std::uint64_t
+DseConfig::sramBytes() const
+{
+    GatheringUnitConfig gu;
+    gu.vftBytes = static_cast<std::uint64_t>(guVftKb) * 1024;
+    gu.banks = guBanks;
+    return static_cast<std::uint64_t>(cacheMb * (1ull << 20)) +
+           gu.sramBytes();
+}
+
+std::vector<DseConfig>
+expandGrid(const SweepAxes &axes)
+{
+    std::vector<DseConfig> grid;
+    grid.reserve(axes.configCount());
+    for (double cache : axes.cacheMb)
+        for (std::uint32_t ways : axes.warpWays)
+            for (std::uint32_t vft : axes.guVftKb)
+                for (std::uint32_t gub : axes.guBanks)
+                    for (double dram : axes.dramGBs)
+                        for (std::uint32_t sb : axes.sramBanks)
+                            for (std::uint32_t rays :
+                                 axes.concurrentRays) {
+                                DseConfig c;
+                                c.cacheMb = cache;
+                                c.warpWays = ways;
+                                c.guVftKb = vft;
+                                c.guBanks = gub;
+                                c.dramGBs = dram;
+                                c.sramBanks = sb;
+                                c.concurrentRays = rays;
+                                grid.push_back(c);
+                            }
+    return grid;
+}
+
+DsePointResult
+evaluatePoint(const TraceSourceFn &source,
+              const TraceWorkloadDescriptor &desc,
+              const std::string &traceId, const DseConfig &config)
+{
+    GpuStackConfig gpuCfg;
+    gpuCfg.gpu.dram.bandwidthGBs = config.dramGBs;
+    gpuCfg.cache.capacityBytes =
+        static_cast<std::uint64_t>(config.cacheMb * (1ull << 20));
+    gpuCfg.warpWays = config.warpWays;
+
+    GuStackConfig guCfg;
+    guCfg.gu.vftBytes = static_cast<std::uint64_t>(config.guVftKb) * 1024;
+    guCfg.gu.banks = config.guBanks;
+    guCfg.dram.bandwidthGBs = config.dramGBs;
+    guCfg.concurrentRays = config.concurrentRays;
+
+    BaselineStackConfig baseCfg;
+    baseCfg.bank.numBanks = config.sramBanks;
+    baseCfg.bank.concurrentRays = config.concurrentRays;
+    baseCfg.dram.bandwidthGBs = config.dramGBs;
+
+    GpuStackResult gpu = runGpuStack(source, desc, gpuCfg);
+    NpuStackResult npu = runNpuStack(source, desc);
+    GuStackResult gu = runGuStack(source, desc, guCfg);
+    BaselineStackResult baselines =
+        runBaselineStack(source, desc, baseCfg);
+
+    DsePointResult point;
+    point.traceId = traceId;
+    point.configId = config.id();
+
+    // Cicero composition, mirroring cicero/pipeline.cc nerfCost(): the
+    // GPU indexes and composites, then the GU's gather overlaps with
+    // the NPU's MLP work through the double-buffered feature buffer.
+    double gpuPartMs = gpu.times.indexMs + gpu.times.compositeMs;
+    point.ciceroTimeMs =
+        gpuPartMs + std::max(gu.cost.timeMs, npu.timeMs);
+    point.ciceroFps =
+        point.ciceroTimeMs > 0 ? 1000.0 / point.ciceroTimeMs : 0.0;
+    point.ciceroEnergyNj = GpuModel(gpuCfg.gpu).energyNj(gpuPartMs) +
+                           npu.energyNj + gu.cost.energyNj;
+
+    point.gpuFps = gpu.timeMs > 0 ? 1000.0 / gpu.timeMs : 0.0;
+    point.gpuEnergyNj = gpu.energyNj;
+
+    point.gpuJson = statsJson(gpu);
+    point.npuJson = statsJson(npu);
+    point.guJson = statsJson(gu);
+    point.baselinesJson = statsJson(baselines);
+    return point;
+}
+
+DseDriver::DseDriver(SweepAxes axes) : _axes(std::move(axes))
+{
+}
+
+DseResult
+DseDriver::run(const Corpus &corpus, bool parallel) const
+{
+    if (corpus.empty())
+        throw std::runtime_error("dse: corpus has no entries");
+
+    // Parse every trace once; readers are shared across jobs (replay()
+    // is const and reentrant).
+    std::vector<std::unique_ptr<TraceFileReader>> readers;
+    std::vector<TraceWorkloadDescriptor> descs;
+    readers.reserve(corpus.size());
+    descs.reserve(corpus.size());
+    for (const CorpusEntry &entry : corpus.entries()) {
+        readers.push_back(std::make_unique<TraceFileReader>(
+            corpus.tracePath(entry)));
+        descs.push_back(workloadFromTrace(*readers.back()));
+    }
+
+    std::vector<DseConfig> grid = expandGrid(_axes);
+    const std::size_t traces = corpus.size();
+    const std::size_t jobs = grid.size() * traces;
+
+    DseResult result;
+    result.traceCount = traces;
+    result.configCount = grid.size();
+    result.points.resize(jobs);
+
+    // Index-addressed assembly: job j = config-major (c * traces + t),
+    // so the result layout never depends on scheduling.
+    auto evalJob = [&](std::size_t j) {
+        std::size_t c = j / traces;
+        std::size_t t = j % traces;
+        result.points[j] =
+            evaluatePoint(fileSource(*readers[t]), descs[t],
+                          corpus.entries()[t].id, grid[c]);
+    };
+
+    if (parallel) {
+        TaskGroup group;
+        for (std::size_t j = 0; j < jobs; ++j)
+            group.run([&evalJob, j] { evalJob(j); });
+        group.wait();
+    } else {
+        for (std::size_t j = 0; j < jobs; ++j)
+            evalJob(j);
+    }
+
+    // Per-config aggregates, accumulated in trace order.
+    result.summaries.reserve(grid.size());
+    for (std::size_t c = 0; c < grid.size(); ++c) {
+        DseConfigSummary s;
+        s.config = grid[c];
+        s.sramBytes = grid[c].sramBytes();
+        double fpsSum = 0.0, energySum = 0.0;
+        for (std::size_t t = 0; t < traces; ++t) {
+            const DsePointResult &p = result.points[c * traces + t];
+            fpsSum += p.ciceroFps;
+            energySum += p.ciceroEnergyNj;
+        }
+        s.fps = fpsSum / traces;
+        s.energyNj = energySum / traces;
+        result.summaries.push_back(s);
+    }
+
+    // Pareto frontier over (fps up, energy down, SRAM down).
+    for (std::size_t i = 0; i < result.summaries.size(); ++i) {
+        DseConfigSummary &a = result.summaries[i];
+        bool dominated = false;
+        for (std::size_t k = 0; k < result.summaries.size() && !dominated;
+             ++k) {
+            if (k == i)
+                continue;
+            const DseConfigSummary &b = result.summaries[k];
+            bool geFps = b.fps >= a.fps;
+            bool leEnergy = b.energyNj <= a.energyNj;
+            bool leSram = b.sramBytes <= a.sramBytes;
+            bool strict = b.fps > a.fps || b.energyNj < a.energyNj ||
+                          b.sramBytes < a.sramBytes;
+            dominated = geFps && leEnergy && leSram && strict;
+        }
+        a.pareto = !dominated;
+    }
+    return result;
+}
+
+namespace {
+
+std::string
+summaryJson(const DseConfigSummary &s)
+{
+    return "{\"config\": \"" + s.config.id() +
+           "\", \"cache_mb\": " + fmt("%g", s.config.cacheMb) +
+           ", \"warp_ways\": " + std::to_string(s.config.warpWays) +
+           ", \"gu_vft_kb\": " + std::to_string(s.config.guVftKb) +
+           ", \"gu_banks\": " + std::to_string(s.config.guBanks) +
+           ", \"dram_gbs\": " + fmt("%g", s.config.dramGBs) +
+           ", \"sram_banks\": " + std::to_string(s.config.sramBanks) +
+           ", \"concurrent_rays\": " +
+           std::to_string(s.config.concurrentRays) +
+           ", \"sram_bytes\": " + std::to_string(s.sramBytes) +
+           ", \"fps\": " + fmt("%.6f", s.fps) +
+           ", \"energy_nj\": " + fmt("%.3f", s.energyNj) +
+           ", \"pareto\": " + (s.pareto ? "true" : "false") + "}";
+}
+
+} // namespace
+
+std::string
+DseResult::json() const
+{
+    std::string out = "{\n  \"tool\": \"cicero_dse\",\n  \"traces\": " +
+                      std::to_string(traceCount) +
+                      ",\n  \"configs\": " + std::to_string(configCount) +
+                      ",\n  \"points\": [";
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const DsePointResult &p = points[i];
+        out += i ? ",\n" : "\n";
+        out += "    {\"trace\": \"" + jsonEscape(p.traceId) +
+               "\", \"config\": \"" + p.configId +
+               "\", \"cicero_time_ms\": " + fmt("%.6f", p.ciceroTimeMs) +
+               ", \"cicero_fps\": " + fmt("%.6f", p.ciceroFps) +
+               ", \"cicero_energy_nj\": " +
+               fmt("%.3f", p.ciceroEnergyNj) +
+               ", \"gpu_fps\": " + fmt("%.6f", p.gpuFps) +
+               ", \"gpu_energy_nj\": " + fmt("%.3f", p.gpuEnergyNj) +
+               ", \"gpu\": " + p.gpuJson + ", \"npu\": " + p.npuJson +
+               ", \"gu\": " + p.guJson +
+               ", \"baselines\": " + p.baselinesJson + "}";
+    }
+    out += "\n  ],\n  \"summary\": [";
+    for (std::size_t i = 0; i < summaries.size(); ++i) {
+        out += i ? ",\n" : "\n";
+        out += "    " + summaryJson(summaries[i]);
+    }
+    out += "\n  ],\n  \"pareto\": [";
+    bool first = true;
+    for (const DseConfigSummary &s : summaries) {
+        if (!s.pareto)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + s.config.id() + "\"";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string
+DseResult::paretoJson() const
+{
+    std::string out = "{\n  \"pareto\": [";
+    bool first = true;
+    for (const DseConfigSummary &s : summaries) {
+        if (!s.pareto)
+            continue;
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    " + summaryJson(s);
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+} // namespace cicero::dse

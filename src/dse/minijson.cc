@@ -1,0 +1,363 @@
+#include "dse/minijson.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace cicero::dse {
+
+namespace {
+
+[[noreturn]] void
+fail(std::size_t pos, const std::string &what)
+{
+    throw std::runtime_error("json: " + what + " at byte " +
+                            std::to_string(pos));
+}
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : _text(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        if (_pos != _text.size())
+            fail(_pos, "trailing garbage after document");
+        return v;
+    }
+
+  private:
+    const std::string &_text;
+    std::size_t _pos = 0;
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+                ++_pos;
+            else
+                break;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (_pos >= _text.size())
+            fail(_pos, "unexpected end of input");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (_pos >= _text.size() || _text[_pos] != c)
+            fail(_pos, std::string("expected '") + c + "'");
+        ++_pos;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n])
+            ++n;
+        if (_text.compare(_pos, n, word) != 0)
+            return false;
+        _pos += n;
+        return true;
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return stringValue();
+          case 't':
+          case 'f':
+            return boolValue();
+          case 'n':
+            if (!consumeWord("null"))
+                fail(_pos, "invalid literal");
+            return JsonValue{};
+          default:
+            if (c == '-' || (c >= '0' && c <= '9'))
+                return numberValue();
+            fail(_pos, "unexpected character");
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                fail(_pos, "expected object key string");
+            std::string key = stringBody();
+            skipWs();
+            expect(':');
+            v.members.emplace_back(std::move(key), value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == '}') {
+                ++_pos;
+                return v;
+            }
+            fail(_pos, "expected ',' or '}' in object");
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++_pos;
+            return v;
+        }
+        for (;;) {
+            v.items.push_back(value());
+            skipWs();
+            char c = peek();
+            if (c == ',') {
+                ++_pos;
+                continue;
+            }
+            if (c == ']') {
+                ++_pos;
+                return v;
+            }
+            fail(_pos, "expected ',' or ']' in array");
+        }
+    }
+
+    JsonValue
+    stringValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.str = stringBody();
+        return v;
+    }
+
+    std::string
+    stringBody()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            if (_pos >= _text.size())
+                fail(_pos, "unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (_pos >= _text.size())
+                    fail(_pos, "unterminated escape");
+                char e = _text[_pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (_pos + 4 > _text.size())
+                        fail(_pos, "truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        char h = _text[_pos++];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= h - 'A' + 10;
+                        else
+                            fail(_pos - 1, "bad hex digit in \\u escape");
+                    }
+                    // UTF-8 encode the BMP code point (surrogate pairs
+                    // land as two 3-byte sequences; fine for our inputs).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                  }
+                  default:
+                    fail(_pos - 1, "unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue
+    boolValue()
+    {
+        JsonValue v;
+        v.kind = JsonValue::Kind::Bool;
+        if (consumeWord("true"))
+            v.boolean = true;
+        else if (consumeWord("false"))
+            v.boolean = false;
+        else
+            fail(_pos, "invalid literal");
+        return v;
+    }
+
+    JsonValue
+    numberValue()
+    {
+        std::size_t start = _pos;
+        if (peek() == '-')
+            ++_pos;
+        while (_pos < _text.size()) {
+            char c = _text[_pos];
+            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
+                c == 'E' || c == '+' || c == '-')
+                ++_pos;
+            else
+                break;
+        }
+        JsonValue v;
+        v.kind = JsonValue::Kind::Number;
+        try {
+            std::size_t used = 0;
+            v.number = std::stod(_text.substr(start, _pos - start), &used);
+            if (used != _pos - start)
+                fail(start, "malformed number");
+        } catch (const std::logic_error &) {
+            fail(start, "malformed number");
+        }
+        return v;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &m : members)
+        if (m.first == key)
+            return &m.second;
+    return nullptr;
+}
+
+const std::string &
+JsonValue::asString(const std::string &what) const
+{
+    if (kind != Kind::String)
+        throw std::runtime_error("json: " + what + " must be a string");
+    return str;
+}
+
+double
+JsonValue::asNumber(const std::string &what) const
+{
+    if (kind != Kind::Number)
+        throw std::runtime_error("json: " + what + " must be a number");
+    return number;
+}
+
+std::uint64_t
+JsonValue::asU64(const std::string &what) const
+{
+    double n = asNumber(what);
+    if (n < 0 || n != std::floor(n))
+        throw std::runtime_error("json: " + what +
+                                 " must be a non-negative integer");
+    return static_cast<std::uint64_t>(n);
+}
+
+bool
+JsonValue::asBool(const std::string &what) const
+{
+    if (kind != Kind::Bool)
+        throw std::runtime_error("json: " + what + " must be a boolean");
+    return boolean;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray(const std::string &what) const
+{
+    if (kind != Kind::Array)
+        throw std::runtime_error("json: " + what + " must be an array");
+    return items;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    return Parser(text).document();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace cicero::dse

@@ -31,6 +31,21 @@ cacheStatsFields(const CacheStats &s)
 
 } // namespace
 
+namespace {
+
+/** Ledger pricing of a cache run: SRAM line reads + DRAM line fills. */
+double
+cacheEnergyNj(const CacheStats &s, const CacheConfig &cache,
+              const EnergyConstants &energy)
+{
+    EnergyLedger ledger(energy);
+    ledger.addSramBytes("sram", s.accesses * cache.lineBytes);
+    ledger.addDramRandomBytes("fill", s.misses * cache.lineBytes);
+    return ledger.totalNj();
+}
+
+} // namespace
+
 CacheStackResult
 runCacheStack(const TraceSourceFn &source, const CacheStackConfig &config)
 {
@@ -40,15 +55,29 @@ runCacheStack(const TraceSourceFn &source, const CacheStackConfig &config)
     interleaver.addSink(&lru);
     interleaver.addSink(&belady);
     source(&interleaver);
-    return CacheStackResult{lru.stats(), belady.simulate()};
+    CacheStackResult result{lru.stats(), belady.simulate(), 0.0, 0.0};
+    result.lruEnergyNj =
+        cacheEnergyNj(result.lru, config.cache, config.energy);
+    result.beladyEnergyNj =
+        cacheEnergyNj(result.belady, config.cache, config.energy);
+    return result;
 }
 
-BankConflictStats
-runBankStack(const TraceSourceFn &source, const SramBankConfig &config)
+BankStackResult
+runBankStack(const TraceSourceFn &source, const SramBankConfig &config,
+             const EnergyConstants &energy)
 {
     BankConflictSim sim(config);
     source(&sim);
-    return sim.stats();
+    BankStackResult result{sim.stats(), 0.0};
+    // Completed fetches read a feature vector from SRAM; every stalled
+    // attempt re-issues, paying the access again.
+    EnergyLedger ledger(energy);
+    ledger.addSramBytes("sram", (result.stats.fetches +
+                                 result.stats.stalls) *
+                                    config.featureBytes);
+    result.energyNj = ledger.totalNj();
+    return result;
 }
 
 DramStackResult
@@ -63,19 +92,23 @@ std::string
 statsJson(const CacheStackResult &result)
 {
     return "{\"stack\": \"cache\", \"lru\": {" +
-           cacheStatsFields(result.lru) + "}, \"belady\": {" +
-           cacheStatsFields(result.belady) + "}}";
+           cacheStatsFields(result.lru) +
+           ", \"energy_nj\": " + fmt("%.3f", result.lruEnergyNj) +
+           "}, \"belady\": {" + cacheStatsFields(result.belady) +
+           ", \"energy_nj\": " + fmt("%.3f", result.beladyEnergyNj) +
+           "}}";
 }
 
 std::string
-statsJson(const BankConflictStats &stats)
+statsJson(const BankStackResult &result)
 {
+    const BankConflictStats &stats = result.stats;
     return "{\"stack\": \"bank\", \"requests\": " + u64s(stats.requests) +
            ", \"stalls\": " + u64s(stats.stalls) +
            ", \"cycles\": " + u64s(stats.cycles) +
            ", \"fetches\": " + u64s(stats.fetches) +
            ", \"conflict_rate\": " + fmt("%.6f", stats.conflictRate()) +
-           "}";
+           ", \"energy_nj\": " + fmt("%.3f", result.energyNj) + "}";
 }
 
 std::string

@@ -21,6 +21,7 @@
 
 #include "memory/cache_model.hh"
 #include "memory/dram_model.hh"
+#include "memory/energy_model.hh"
 #include "memory/sram_bank_model.hh"
 #include "memory/tracefile.hh"
 
@@ -44,22 +45,41 @@ struct CacheStackConfig
 {
     CacheConfig cache;            //!< 2 MB / 64 B lines by default
     std::uint32_t warpWays = 32;  //!< interleaved rays
+    EnergyConstants energy;       //!< per-byte costs for the ledger
 };
 
-/** Results of the Fig. 5 cache stack. */
+/**
+ * Results of the Fig. 5 cache stack. Energy uses the EnergyModel
+ * ledger: every access reads one line from SRAM, every miss fills the
+ * line from DRAM at random-access cost — the same per-byte constants
+ * the figure benches price with.
+ */
 struct CacheStackResult
 {
     CacheStats lru;
     CacheStats belady;
+    double lruEnergyNj = 0.0;
+    double beladyEnergyNj = 0.0;
 };
 
 /** Run the interleaver → {LRU, Belady} stack over @p source. */
 CacheStackResult runCacheStack(const TraceSourceFn &source,
                                const CacheStackConfig &config = {});
 
+/**
+ * Results of the Fig. 6 bank stack: conflict stats plus the SRAM
+ * energy of the completed and re-issued (stalled) fetch attempts.
+ */
+struct BankStackResult
+{
+    BankConflictStats stats;
+    double energyNj = 0.0;
+};
+
 /** Run the Fig. 6 bank-conflict simulator over @p source. */
-BankConflictStats runBankStack(const TraceSourceFn &source,
-                               const SramBankConfig &config);
+BankStackResult runBankStack(const TraceSourceFn &source,
+                             const SramBankConfig &config,
+                             const EnergyConstants &energy = {});
 
 /** Results of the DRAM stack: classification stats plus cost. */
 struct DramStackResult
@@ -79,7 +99,7 @@ DramStackResult runDramStack(const TraceSourceFn &source,
  * produce byte-identical strings.
  */
 std::string statsJson(const CacheStackResult &result);
-std::string statsJson(const BankConflictStats &stats);
+std::string statsJson(const BankStackResult &result);
 std::string statsJson(const DramStackResult &result);
 
 } // namespace cicero

@@ -485,6 +485,22 @@ TraceFileWriter::close()
     appendU64(header, _counts.accesses);
     appendU64(header, _counts.rayEnds);
     appendU64(header, _counts.flushes);
+    header.push_back(_hasWorkload ? 1 : 0);
+    if (_hasWorkload) {
+        appendU64(header, _workload.rays);
+        appendU64(header, _workload.samples);
+        appendU64(header, _workload.indexOps);
+        appendU64(header, _workload.vertexFetches);
+        appendU64(header, _workload.gatherBytes);
+        appendU64(header, _workload.interpOps);
+        appendU64(header, _workload.mlpMacs);
+        appendU64(header, _workload.compositeOps);
+        appendU64(header, _workload.streamedBytes);
+        appendU64(header, _workload.randomBytes);
+        appendU64(header, _workload.ritEntries);
+        appendU64(header, _workload.ritBytes);
+        appendU32(header, _workload.vertexBytes);
+    }
     appendU64(header, _storedPayloadBytes);
     appendU64(header, _payload.size());
 
@@ -555,11 +571,13 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
     c.pos = 4;
 
     std::uint16_t version = c.u16();
-    if (version != kTraceFileVersion)
+    if (version < kTraceFileMinVersion || version > kTraceFileVersion)
         throw std::runtime_error(
             "unsupported trace-file version " + std::to_string(version) +
-            " (this build reads version " +
+            " (this build reads versions " +
+            std::to_string(kTraceFileMinVersion) + ".." +
             std::to_string(kTraceFileVersion) + ")");
+    _version = version;
 
     std::uint8_t codec = c.u8();
     if (codec > static_cast<std::uint8_t>(TraceCodec::Range))
@@ -582,6 +600,24 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
     _counts.accesses = c.u64();
     _counts.rayEnds = c.u64();
     _counts.flushes = c.u64();
+    if (version >= 2) {
+        _hasWorkload = c.u8() != 0;
+        if (_hasWorkload) {
+            _workload.rays = c.u64();
+            _workload.samples = c.u64();
+            _workload.indexOps = c.u64();
+            _workload.vertexFetches = c.u64();
+            _workload.gatherBytes = c.u64();
+            _workload.interpOps = c.u64();
+            _workload.mlpMacs = c.u64();
+            _workload.compositeOps = c.u64();
+            _workload.streamedBytes = c.u64();
+            _workload.randomBytes = c.u64();
+            _workload.ritEntries = c.u64();
+            _workload.ritBytes = c.u64();
+            _workload.vertexBytes = c.u32();
+        }
+    }
     _storedPayloadBytes = c.u64();
     std::uint64_t rawPayloadBytes = c.u64();
 
@@ -603,6 +639,47 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
     if (_events.empty() || _events.back() != kEvEnd)
         throw std::runtime_error(
             "corrupt trace file: missing stream terminator");
+}
+
+TraceEventBreakdown
+TraceFileReader::eventBreakdown() const
+{
+    TraceEventBreakdown out;
+    std::size_t pos = 0;
+    for (;;) {
+        if (pos >= _events.size())
+            throw std::runtime_error(
+                "corrupt trace payload: unterminated event stream");
+        const std::size_t start = pos;
+        std::uint8_t tag = _events[pos++];
+        switch (tag & 3) {
+          case kEvAccess:
+            readVarint(_events, pos); // address delta
+            if (tag & kFlagSameBytes)
+                ++out.sameBytesElisions;
+            else
+                readVarint(_events, pos);
+            if (tag & kFlagSameRay)
+                ++out.sameRayElisions;
+            else
+                readVarint(_events, pos);
+            ++out.accessEvents;
+            out.accessBytes += pos - start;
+            break;
+          case kEvRayEnd:
+            readVarint(_events, pos);
+            ++out.rayEndEvents;
+            out.rayEndBytes += pos - start;
+            break;
+          case kEvFlush:
+            ++out.flushEvents;
+            out.flushBytes += pos - start;
+            break;
+          case kEvEnd:
+            out.terminatorBytes += pos - start;
+            return out;
+        }
+    }
 }
 
 void

@@ -19,8 +19,17 @@
  *   str scene  str encoding  str model        (u32 length + bytes)
  *   u32 width  u32 height  u32 threads  u32 featureBytes
  *   u64 accesses  u64 rayEnds  u64 flushes
+ *   u8 hasWorkload  [12 x u64 + u32 summary]      (version >= 2)
  *   u64 storedPayloadBytes  u64 rawPayloadBytes
  *   payload
+ *
+ * Version 2 adds the optional workload-summary block: the StageWork
+ * and StreamPlan counters of the captured frame. The accel models
+ * (GPU/NPU/GU/baselines) price *derived* workload quantities — MLP
+ * MACs depend on occupancy, the streaming footprint on sample
+ * positions — which cannot be re-derived from the access stream alone,
+ * so replay-driven accelerator runs read them from the header instead
+ * of re-rendering. Version-1 files still parse (summary absent).
  *
  * The payload is an event stream framed to mirror the TraceSink
  * interface exactly (onAccess / onRayEnd / onFlush), encoded with
@@ -50,8 +59,11 @@ enum class TraceCodec : std::uint8_t
     Range = 1,  //!< varint stream re-coded by an order-0 range coder
 };
 
-/** Trace-file container version understood by this build. */
-constexpr std::uint16_t kTraceFileVersion = 1;
+/** Trace-file container version this build writes. */
+constexpr std::uint16_t kTraceFileVersion = 2;
+
+/** Oldest container version this build still reads. */
+constexpr std::uint16_t kTraceFileMinVersion = 1;
 
 /**
  * Capture-time feature storage of the traced encoding. Occupies the
@@ -93,6 +105,55 @@ struct TraceFileMeta
  * stats`/`replay` flag inconsistent captures.
  */
 bool traceMetaStorageConsistent(const TraceFileMeta &meta);
+
+/**
+ * Workload summary persisted in a version-2 container: the StageWork
+ * counters of the captured frame plus its fully-streaming StreamPlan
+ * and vertex size. Kept as plain integers (mirroring
+ * nerf/workload.hh's StageWork and nerf/encoding.hh's StreamPlan) so
+ * the memory layer does not depend on the nerf layer; src/dse converts
+ * both ways. These are exact capture-time integers, which is what
+ * makes replayed accelerator stats bit-identical to live runs.
+ */
+struct TraceWorkloadSummary
+{
+    // StageWork mirror.
+    std::uint64_t rays = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t indexOps = 0;
+    std::uint64_t vertexFetches = 0;
+    std::uint64_t gatherBytes = 0;
+    std::uint64_t interpOps = 0;
+    std::uint64_t mlpMacs = 0;
+    std::uint64_t compositeOps = 0;
+    // StreamPlan mirror.
+    std::uint64_t streamedBytes = 0;
+    std::uint64_t randomBytes = 0;
+    std::uint64_t ritEntries = 0;
+    std::uint64_t ritBytes = 0;
+    // Bytes of one vertex feature vector (featureDim x channel bytes).
+    std::uint32_t vertexBytes = 0;
+};
+
+/**
+ * Per-event-type accounting of a container's encoded payload — how
+ * many events of each kind the stream holds and how many varint-stage
+ * bytes each kind costs, plus how often the writer's same-bytes /
+ * same-ray elisions fired. Observability groundwork for the
+ * per-field-context codec work: it shows where the encoded bytes go.
+ */
+struct TraceEventBreakdown
+{
+    std::uint64_t accessEvents = 0;
+    std::uint64_t accessBytes = 0; //!< varint-stage bytes of access events
+    std::uint64_t rayEndEvents = 0;
+    std::uint64_t rayEndBytes = 0;
+    std::uint64_t flushEvents = 0;
+    std::uint64_t flushBytes = 0;
+    std::uint64_t terminatorBytes = 0;
+    std::uint64_t sameBytesElisions = 0; //!< access size repeated, elided
+    std::uint64_t sameRayElisions = 0;   //!< ray id repeated, elided
+};
 
 /** Event counts recorded in the trace-file header. */
 struct TraceFileCounts
@@ -143,6 +204,18 @@ class TraceFileWriter : public TraceSink
     void onRayEnd(std::uint32_t rayId) override;
     void onFlush() override;
 
+    /**
+     * Attach the captured frame's workload summary; must be called
+     * before close(). Capture paths fill it from the StageWork the
+     * traced render returned plus the encoding's streaming footprint.
+     */
+    void
+    setWorkloadSummary(const TraceWorkloadSummary &summary)
+    {
+        _workload = summary;
+        _hasWorkload = true;
+    }
+
     /** Finalize the container. Idempotent. */
     void close();
 
@@ -161,6 +234,8 @@ class TraceFileWriter : public TraceSink
     TraceFileMeta _meta;
     TraceCodec _codec;
     TraceFileCounts _counts;
+    TraceWorkloadSummary _workload;
+    bool _hasWorkload = false;
 
     std::string _path;                     //!< empty => memory backend
     std::vector<std::uint8_t> *_memoryOut = nullptr;
@@ -199,6 +274,25 @@ class TraceFileReader
     const TraceFileCounts &counts() const { return _counts; }
     TraceCodec codec() const { return _codec; }
 
+    /** Container version the file was written with (1 or 2). */
+    std::uint16_t version() const { return _version; }
+
+    /** True when a workload summary was captured (version >= 2). */
+    bool hasWorkloadSummary() const { return _hasWorkload; }
+
+    /** The captured workload summary; zeros when absent. */
+    const TraceWorkloadSummary &workloadSummary() const
+    {
+        return _workload;
+    }
+
+    /**
+     * Per-event-type byte accounting of the decoded varint payload —
+     * one extra walk over the in-memory event stream, no replay sink
+     * involved.
+     */
+    TraceEventBreakdown eventBreakdown() const;
+
     /** Total container size in bytes. */
     std::uint64_t fileBytes() const { return _fileBytes; }
 
@@ -229,6 +323,9 @@ class TraceFileReader
     TraceFileMeta _meta;
     TraceFileCounts _counts;
     TraceCodec _codec = TraceCodec::Varint;
+    std::uint16_t _version = kTraceFileVersion;
+    TraceWorkloadSummary _workload;
+    bool _hasWorkload = false;
     std::uint64_t _fileBytes = 0;
     std::uint64_t _storedPayloadBytes = 0;
     std::vector<std::uint8_t> _events; //!< decoded varint event stream

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * `cicero_dse` — replay-driven design-space exploration:
+ *
+ *   cicero_dse sweep --corpus DIR [--spec FILE] [-o OUT.json]
+ *              [--threads N] [--serial] [--check]
+ *       Expand the sweep spec (or the default axes) into a config
+ *       grid, price every (trace, config) pair by replaying the
+ *       corpus through the accelerator stacks, and write the full
+ *       results + Pareto frontier JSON. --check additionally gates
+ *       the run on the subsystem's two identity contracts:
+ *       replayed accelerator stats bit-identical to a live re-render
+ *       of the first corpus entry, and pool-sharded results
+ *       byte-identical to a serial run.
+ *
+ *   cicero_dse pareto OUT.json
+ *       Print the Pareto-optimal configs of a sweep result.
+ *
+ *   cicero_dse show OUT.json
+ *       Print the per-config summary table of a sweep result.
+ */
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hh"
+#include "dse/corpus.hh"
+#include "dse/driver.hh"
+#include "dse/minijson.hh"
+#include "nerf/models.hh"
+#include "scene/trajectory.hh"
+
+using namespace cicero;
+using namespace cicero::dse;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cicero_dse <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  sweep --corpus DIR [--spec FILE] [-o OUT.json]\n"
+        "        [--threads N] [--serial] [--check]\n"
+        "      run the config sweep over a trace corpus; --check gates\n"
+        "      on replay-vs-live and parallel-vs-serial identity\n"
+        "  pareto OUT.json\n"
+        "      print the Pareto-optimal configs of a sweep result\n"
+        "  show OUT.json\n"
+        "      print the per-config summary of a sweep result\n");
+    return 2;
+}
+
+const char *
+optValue(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+bool
+optFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
+}
+
+const char *
+positional(int argc, char **argv, int index)
+{
+    int seen = 0;
+    for (int i = 2; i < argc; ++i) {
+        if (argv[i][0] == '-' && argv[i][1] == '-') {
+            if (std::strcmp(argv[i], "--serial") != 0 &&
+                std::strcmp(argv[i], "--check") != 0)
+                ++i; // skip the option's value
+            continue;
+        }
+        if (seen++ == index)
+            return argv[i];
+    }
+    return nullptr;
+}
+
+/** --threads N, validated like CICERO_THREADS; invalid warns + default. */
+void
+applyThreadsOption(int argc, char **argv)
+{
+    const char *v = optValue(argc, argv, "--threads");
+    if (!v)
+        return;
+    int n = parallelParseThreadSpec(v);
+    if (n == 0) {
+        std::fprintf(stderr,
+                     "cicero_dse: ignoring invalid --threads=\"%s\" "
+                     "(want an integer in [1, %d]); falling back to "
+                     "the automatic default\n",
+                     v, kMaxParallelThreads);
+        setParallelThreadCount(0);
+        return;
+    }
+    setParallelThreadCount(n);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw std::runtime_error("cannot open " + path);
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+/**
+ * Replay-vs-live identity gate: re-render the first corpus entry from
+ * its manifest metadata and compare every accelerator stack's stats
+ * JSON, live stream vs persisted trace, byte for byte.
+ */
+bool
+checkReplayMatchesLive(const Corpus &corpus)
+{
+    const CorpusEntry &entry = corpus.entries().front();
+
+    ModelKind kind = ModelKind::DirectVoxGO;
+    std::string token;
+    for (char c : entry.model)
+        if (c != '-' && c != '_')
+            token += static_cast<char>(std::tolower(c));
+    if (token == "ngp" || token == "instantngp")
+        kind = ModelKind::InstantNgp;
+    else if (token == "dvgo" || token == "directvoxgo")
+        kind = ModelKind::DirectVoxGO;
+    else if (token == "tensorf")
+        kind = ModelKind::TensoRF;
+    else if (token == "enerf" || token == "efficientnerf")
+        kind = ModelKind::EfficientNeRF;
+    else
+        throw std::runtime_error("check: unknown model kind \"" +
+                                 entry.model + "\" in manifest");
+
+    ModelBuildOptions opts;
+    opts.preset = entry.preset == "full" ? ModelPreset::Full
+                                         : ModelPreset::Fast;
+    opts.gridLayout = entry.layout == "mvoxel" ? GridLayout::MVoxelBlocked
+                                               : GridLayout::Linear;
+
+    Scene scene = makeScene(entry.scene);
+    auto model = buildModel(kind, scene, opts);
+    if (entry.fp16)
+        model->encoding().quantizeFeaturesFp16();
+
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    std::vector<Pose> traj = orbitTrajectory(orbit, entry.frame + 1);
+    Camera cam = Camera::fromFov(entry.res, entry.res, scene.fovYDeg,
+                                 traj[entry.frame]);
+
+    TraceWorkloadDescriptor live = measureWorkload(*model, cam);
+    TraceSourceFn liveSrc = liveSource(*model, cam);
+
+    TraceFileReader reader(corpus.tracePath(entry));
+    TraceWorkloadDescriptor replayed = workloadFromTrace(reader);
+    TraceSourceFn fileSrc = fileSource(reader);
+
+    struct Pair
+    {
+        const char *name;
+        std::string liveJson;
+        std::string replayJson;
+    };
+    Pair pairs[] = {
+        {"gpu", statsJson(runGpuStack(liveSrc, live)),
+         statsJson(runGpuStack(fileSrc, replayed))},
+        {"npu", statsJson(runNpuStack(liveSrc, live)),
+         statsJson(runNpuStack(fileSrc, replayed))},
+        {"gu", statsJson(runGuStack(liveSrc, live)),
+         statsJson(runGuStack(fileSrc, replayed))},
+        {"baselines", statsJson(runBaselineStack(liveSrc, live)),
+         statsJson(runBaselineStack(fileSrc, replayed))},
+    };
+    bool ok = true;
+    for (const Pair &p : pairs) {
+        if (p.liveJson != p.replayJson) {
+            ok = false;
+            std::fprintf(stderr,
+                         "cicero_dse: check FAILED: %s stack replay "
+                         "diverges from live\n  live:   %s\n  replay: "
+                         "%s\n",
+                         p.name, p.liveJson.c_str(),
+                         p.replayJson.c_str());
+        }
+    }
+    return ok;
+}
+
+int
+cmdSweep(int argc, char **argv)
+{
+    const char *corpusDir = optValue(argc, argv, "--corpus");
+    if (!corpusDir) {
+        std::fprintf(stderr, "sweep: missing --corpus DIR\n");
+        return usage();
+    }
+    const char *specFile = optValue(argc, argv, "--spec");
+    const char *outFile = optValue(argc, argv, "-o");
+    if (!outFile)
+        outFile = optValue(argc, argv, "--out");
+    bool serial = optFlag(argc, argv, "--serial");
+    bool check = optFlag(argc, argv, "--check");
+
+    SweepAxes axes;
+    if (specFile)
+        axes = parseSweepSpec(readFile(specFile));
+
+    Corpus corpus = Corpus::load(corpusDir);
+    DseDriver driver(axes);
+    DseResult result = driver.run(corpus, !serial);
+
+    bool replayMatchesLive = true;
+    bool parallelMatchesSerial = true;
+    if (check) {
+        replayMatchesLive = checkReplayMatchesLive(corpus);
+        DseResult other = driver.run(corpus, serial);
+        parallelMatchesSerial = other.json() == result.json();
+        if (!parallelMatchesSerial)
+            std::fprintf(stderr,
+                         "cicero_dse: check FAILED: parallel and "
+                         "serial sweeps produced different JSON\n");
+    }
+
+    std::string json;
+    if (check) {
+        json = "{\n  \"replay_matches_live\": ";
+        json += replayMatchesLive ? "true" : "false";
+        json += ",\n  \"parallel_matches_serial\": ";
+        json += parallelMatchesSerial ? "true" : "false";
+        json += ",\n  \"sweep\": " + result.json() + "}\n";
+    } else {
+        json = result.json();
+    }
+
+    if (outFile) {
+        std::FILE *f = std::fopen(outFile, "wb");
+        if (!f) {
+            std::fprintf(stderr, "sweep: cannot write %s\n", outFile);
+            return 3;
+        }
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    } else {
+        std::fwrite(json.data(), 1, json.size(), stdout);
+    }
+
+    std::size_t frontier = 0;
+    for (const DseConfigSummary &s : result.summaries)
+        frontier += s.pareto ? 1 : 0;
+    std::fprintf(stderr,
+                 "cicero_dse: %zu trace(s) x %zu config(s), %zu "
+                 "Pareto-optimal, threads=%d%s\n",
+                 result.traceCount, result.configCount, frontier,
+                 parallelThreadCount(),
+                 check ? (replayMatchesLive && parallelMatchesSerial
+                              ? ", checks passed"
+                              : ", CHECKS FAILED")
+                       : "");
+    return (replayMatchesLive && parallelMatchesSerial) ? 0 : 1;
+}
+
+/** Load a sweep result, unwrapping the --check envelope if present. */
+JsonValue
+loadSweepJson(const std::string &path)
+{
+    JsonValue root = parseJson(readFile(path));
+    if (const JsonValue *sweep = root.find("sweep"))
+        return *sweep;
+    return root;
+}
+
+int
+printSummary(int argc, char **argv, bool paretoOnly)
+{
+    const char *file = positional(argc, argv, 0);
+    if (!file) {
+        std::fprintf(stderr, "%s: missing result file\n",
+                     paretoOnly ? "pareto" : "show");
+        return usage();
+    }
+    JsonValue root = loadSweepJson(file);
+    const JsonValue *summary = root.find("summary");
+    if (!summary)
+        throw std::runtime_error(
+            std::string(file) + ": not a sweep result (no \"summary\")");
+
+    std::printf("%-44s %12s %16s %12s %s\n", "config", "fps",
+                "energy_nj", "sram_kb", "pareto");
+    for (const JsonValue &s : summary->asArray("summary")) {
+        bool pareto =
+            s.find("pareto") && s.find("pareto")->asBool("pareto");
+        if (paretoOnly && !pareto)
+            continue;
+        std::printf("%-44s %12.4f %16.1f %12.1f %s\n",
+                    s.find("config")
+                        ? s.find("config")->asString("config").c_str()
+                        : "?",
+                    s.find("fps") ? s.find("fps")->asNumber("fps") : 0.0,
+                    s.find("energy_nj")
+                        ? s.find("energy_nj")->asNumber("energy_nj")
+                        : 0.0,
+                    s.find("sram_bytes")
+                        ? s.find("sram_bytes")->asNumber("sram_bytes") /
+                              1024.0
+                        : 0.0,
+                    pareto ? "*" : "");
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    applyThreadsOption(argc, argv);
+    try {
+        if (cmd == "sweep")
+            return cmdSweep(argc, argv);
+        if (cmd == "pareto")
+            return printSummary(argc, argv, true);
+        if (cmd == "show")
+            return printSummary(argc, argv, false);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cicero_dse: %s\n", e.what());
+        return 3;
+    }
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return usage();
+}

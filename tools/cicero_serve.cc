@@ -111,8 +111,28 @@ usage()
         "                    [--scene NAME] [--model KIND]\n"
         "                    [--preset fast|full] [--window N]\n"
         "                    [--mix uniform|bursty|heavy] [--no-fuse]\n"
-        "                    [--fp16] [--quantum N]\n");
+        "                    [--fp16] [--quantum N] [--threads N]\n");
     return 2;
+}
+
+/** --threads N, validated like CICERO_THREADS; invalid warns + default. */
+void
+applyThreadsOption(int argc, char **argv)
+{
+    const char *v = optValue(argc, argv, "--threads");
+    if (!v)
+        return;
+    int n = parallelParseThreadSpec(v);
+    if (n == 0) {
+        std::fprintf(stderr,
+                     "cicero_serve: ignoring invalid --threads=\"%s\" "
+                     "(want an integer in [1, %d]); falling back to "
+                     "the automatic default\n",
+                     v, kMaxParallelThreads);
+        setParallelThreadCount(0);
+        return;
+    }
+    setParallelThreadCount(n);
 }
 
 double
@@ -133,6 +153,7 @@ percentileMs(std::vector<double> v, double p)
 int
 main(int argc, char **argv)
 {
+    applyThreadsOption(argc, argv);
     std::uint32_t sessions, frames, res, window, quantum;
     if (!optUint(argc, argv, "--sessions", 4, 1, 1024, sessions) ||
         !optUint(argc, argv, "--frames", 8, 1, 100000, frames) ||

@@ -12,11 +12,18 @@
  *       bank or dram) and print its stats JSON. Replaying a capture
  *       reproduces the live-render statistics bit-identically.
  *
+ *   cicero_trace capture-set -o DIR --scenes lego,chair --models dvgo
+ *       Capture a corpus: one trace per scene x model x frame, plus a
+ *       corpus.json manifest the DSE driver consumes.
+ *
  *   cicero_trace stats t.ctrace
- *       Ray/access counts, address histogram, compression ratio.
+ *       Ray/access counts, per-event-type payload breakdown, address
+ *       histogram, compression ratio.
  *
  *   cicero_trace diff a.ctrace b.ctrace
  *       Event-level comparison of two traces; exit 1 on mismatch.
+ *
+ * All commands accept --threads N (validated like CICERO_THREADS).
  */
 
 #include <algorithm>
@@ -30,7 +37,11 @@
 #include <string>
 #include <vector>
 
+#include <sys/stat.h>
+
 #include "common/parallel.hh"
+#include "dse/accel_replay.hh"
+#include "dse/corpus.hh"
 #include "memory/replay.hh"
 #include "memory/tracefile.hh"
 #include "nerf/models.hh"
@@ -55,15 +66,22 @@ usage()
         "      render one frame and persist its gather access stream;\n"
         "      --fp16 quantizes feature storage first, so the trace's\n"
         "      2 B/channel featureBytes accounting matches the run\n"
-        "  replay FILE [--stack cache|bank|dram] [--ways N]\n"
-        "          [--capacity-mb N] [--banks N] [--rays N]\n"
+        "  capture-set -o DIR [--scenes A,B] [--models A,B] [--res N]\n"
+        "          [--frames K] [--preset fast|full] [--layout ...]\n"
+        "          [--codec ...] [--mode workload|render] [--fp16]\n"
+        "      capture one trace per scene x model x frame into DIR and\n"
+        "      write a corpus.json manifest (DSE corpus input)\n"
+        "  replay FILE [--stack cache|bank|dram|gpu|npu|gu|accels]\n"
+        "          [--ways N] [--capacity-mb N] [--banks N] [--rays N]\n"
         "          [--sram-layout feature|channel]\n"
-        "      run a persisted trace through a memory-model stack,\n"
-        "      print stats JSON\n"
+        "      run a persisted trace through a memory-model or\n"
+        "      accelerator stack, print stats JSON\n"
         "  stats FILE\n"
-        "      counts, address histogram, compression ratio\n"
+        "      counts, event breakdown, address histogram, ratio\n"
         "  diff FILE_A FILE_B\n"
-        "      compare two traces event by event; exit 1 if they differ\n");
+        "      compare two traces event by event; exit 1 if they differ\n"
+        "\n"
+        "global: --threads N  set worker count (like CICERO_THREADS)\n");
     return 2;
 }
 
@@ -139,6 +157,30 @@ positional(int argc, char **argv, int index)
     return nullptr;
 }
 
+/**
+ * Apply --threads N: validated with the CICERO_THREADS parser; an
+ * invalid spec warns and falls back to the automatic default instead
+ * of silently running with a garbage count.
+ */
+void
+applyThreadsOption(int argc, char **argv)
+{
+    const char *v = optValue(argc, argv, "--threads");
+    if (!v)
+        return;
+    int n = parallelParseThreadSpec(v);
+    if (n == 0) {
+        std::fprintf(stderr,
+                     "cicero_trace: ignoring invalid --threads=\"%s\" "
+                     "(want an integer in [1, %d]); falling back to "
+                     "the automatic default\n",
+                     v, kMaxParallelThreads);
+        setParallelThreadCount(0);
+        return;
+    }
+    setParallelThreadCount(n);
+}
+
 bool
 parseModelKind(const std::string &name, ModelKind &kind)
 {
@@ -197,6 +239,101 @@ metaJson(const TraceFileReader &reader)
 // capture
 // ---------------------------------------------------------------------
 
+/** One capture's parameters, shared by capture and capture-set. */
+struct CaptureSpec
+{
+    ModelKind kind = ModelKind::DirectVoxGO;
+    std::string sceneName = "lego";
+    std::uint32_t res = 64;
+    std::uint32_t frame = 0;
+    ModelBuildOptions opts;
+    TraceCodec codec = TraceCodec::Range;
+    bool fp16 = false;
+    bool renderMode = false; //!< full render instead of workload trace
+};
+
+/**
+ * Capture one trace to @p outPath: builds the model, renders the frame
+ * into a TraceFileWriter, and embeds the workload summary (StageWork +
+ * streaming footprint + vertex size) that replay-driven accelerator
+ * runs read back.
+ */
+void
+captureOne(const CaptureSpec &spec, const NerfModel &model,
+           const Scene &scene, const std::string &outPath)
+{
+    OrbitParams orbit;
+    orbit.radius = scene.cameraDistance;
+    std::vector<Pose> traj = orbitTrajectory(orbit, spec.frame + 1);
+    Camera cam = Camera::fromFov(spec.res, spec.res, scene.fovYDeg,
+                                 traj[spec.frame]);
+
+    TraceFileMeta meta;
+    meta.scene = scene.name;
+    meta.encoding = model.encoding().name();
+    meta.model = modelName(spec.kind);
+    meta.width = spec.res;
+    meta.height = spec.res;
+    meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
+    meta.featureBytes = static_cast<std::uint32_t>(
+        model.encoding().featureDim() * kBytesPerChannel);
+    meta.storageMode = model.encoding().featuresFp16()
+                           ? TraceStorageMode::Fp16
+                           : TraceStorageMode::Fp32;
+
+    TraceFileWriter writer(outPath, meta, spec.codec);
+    TraceWorkloadDescriptor desc;
+    if (spec.renderMode) {
+        RenderResult result = model.render(cam, &writer);
+        desc.work = result.work;
+    } else {
+        desc.work = model.traceWorkload(cam, &writer);
+    }
+    desc.plan = model.encoding().streamingFootprint(
+        model.collectSamplePositions(cam));
+    desc.vertexBytes = meta.featureBytes;
+    writer.setWorkloadSummary(toSummary(desc));
+    writer.close();
+
+    double ratio =
+        writer.counts().rawStreamBytes()
+            ? static_cast<double>(writer.fileBytes()) /
+                  writer.counts().rawStreamBytes()
+            : 0.0;
+    std::printf("captured %s: %llu accesses, %llu rays, %llu bytes "
+                "(%.1f%% of raw %llu-byte stream)\n",
+                outPath.c_str(),
+                static_cast<unsigned long long>(writer.counts().accesses),
+                static_cast<unsigned long long>(writer.counts().rayEnds),
+                static_cast<unsigned long long>(writer.fileBytes()),
+                100.0 * ratio,
+                static_cast<unsigned long long>(
+                    writer.counts().rawStreamBytes()));
+}
+
+/** Parse shared capture options into @p spec. */
+bool
+parseCaptureOpts(int argc, char **argv, CaptureSpec &spec)
+{
+    if (!optUint(argc, argv, "--res", 64, 1, 4096, spec.res) ||
+        !optUint(argc, argv, "--frame", 0, 0, 100000, spec.frame))
+        return false;
+    std::string presetStr = optValueOr(argc, argv, "--preset", "fast");
+    std::string layoutStr = optValueOr(argc, argv, "--layout", "linear");
+    std::string codecStr = optValueOr(argc, argv, "--codec", "range");
+    std::string mode = optValueOr(argc, argv, "--mode", "workload");
+    spec.opts.preset =
+        presetStr == "full" ? ModelPreset::Full : ModelPreset::Fast;
+    spec.opts.gridLayout = layoutStr == "mvoxel"
+                               ? GridLayout::MVoxelBlocked
+                               : GridLayout::Linear;
+    spec.codec =
+        codecStr == "varint" ? TraceCodec::Varint : TraceCodec::Range;
+    spec.fp16 = optFlag(argc, argv, "--fp16");
+    spec.renderMode = mode == "render";
+    return true;
+}
+
 int
 cmdCapture(int argc, char **argv)
 {
@@ -208,74 +345,122 @@ cmdCapture(int argc, char **argv)
         return usage();
     }
 
-    ModelKind kind = ModelKind::DirectVoxGO;
-    if (!parseModelKind(optValueOr(argc, argv, "--model", "dvgo"), kind)) {
+    CaptureSpec spec;
+    if (!parseModelKind(optValueOr(argc, argv, "--model", "dvgo"),
+                        spec.kind)) {
         std::fprintf(stderr, "capture: unknown --model\n");
         return usage();
     }
-    std::string sceneName = optValueOr(argc, argv, "--scene", "lego");
-    std::uint32_t res, frame;
-    if (!optUint(argc, argv, "--res", 64, 1, 4096, res) ||
-        !optUint(argc, argv, "--frame", 0, 0, 100000, frame))
+    spec.sceneName = optValueOr(argc, argv, "--scene", "lego");
+    if (!parseCaptureOpts(argc, argv, spec))
         return usage();
-    std::string presetStr = optValueOr(argc, argv, "--preset", "fast");
-    std::string layoutStr = optValueOr(argc, argv, "--layout", "linear");
-    std::string codecStr = optValueOr(argc, argv, "--codec", "range");
-    std::string mode = optValueOr(argc, argv, "--mode", "workload");
-    bool fp16 = optFlag(argc, argv, "--fp16");
 
-    ModelBuildOptions opts;
-    opts.preset =
-        presetStr == "full" ? ModelPreset::Full : ModelPreset::Fast;
-    opts.gridLayout = layoutStr == "mvoxel" ? GridLayout::MVoxelBlocked
-                                            : GridLayout::Linear;
-    TraceCodec codec =
-        codecStr == "varint" ? TraceCodec::Varint : TraceCodec::Range;
-
-    Scene scene = makeScene(sceneName);
-    auto model = buildModel(kind, scene, opts);
-    if (fp16)
+    Scene scene = makeScene(spec.sceneName);
+    auto model = buildModel(spec.kind, scene, spec.opts);
+    if (spec.fp16)
         model->encoding().quantizeFeaturesFp16();
+    captureOne(spec, *model, scene, out);
+    return 0;
+}
 
-    OrbitParams orbit;
-    orbit.radius = scene.cameraDistance;
-    std::vector<Pose> traj = orbitTrajectory(orbit, frame + 1);
-    Camera cam = Camera::fromFov(res, res, scene.fovYDeg, traj[frame]);
+// ---------------------------------------------------------------------
+// capture-set
+// ---------------------------------------------------------------------
 
-    TraceFileMeta meta;
-    meta.scene = scene.name;
-    meta.encoding = model->encoding().name();
-    meta.model = modelName(kind);
-    meta.width = static_cast<std::uint32_t>(res);
-    meta.height = static_cast<std::uint32_t>(res);
-    meta.threads = static_cast<std::uint32_t>(parallelThreadCount());
-    meta.featureBytes = static_cast<std::uint32_t>(
-        model->encoding().featureDim() * kBytesPerChannel);
-    meta.storageMode = model->encoding().featuresFp16()
-                           ? TraceStorageMode::Fp16
-                           : TraceStorageMode::Fp32;
+std::vector<std::string>
+splitCsv(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
 
-    TraceFileWriter writer(out, meta, codec);
-    if (mode == "render")
-        model->render(cam, &writer);
-    else
-        model->traceWorkload(cam, &writer);
-    writer.close();
+int
+cmdCaptureSet(int argc, char **argv)
+{
+    const char *dir = optValue(argc, argv, "-o");
+    if (!dir)
+        dir = optValue(argc, argv, "--out");
+    if (!dir) {
+        std::fprintf(stderr, "capture-set: missing -o DIR\n");
+        return usage();
+    }
 
-    double ratio =
-        writer.counts().rawStreamBytes()
-            ? static_cast<double>(writer.fileBytes()) /
-                  writer.counts().rawStreamBytes()
-            : 0.0;
-    std::printf("captured %s: %llu accesses, %llu rays, %llu bytes "
-                "(%.1f%% of raw %llu-byte stream)\n",
-                out,
-                static_cast<unsigned long long>(writer.counts().accesses),
-                static_cast<unsigned long long>(writer.counts().rayEnds),
-                static_cast<unsigned long long>(writer.fileBytes()),
-                100.0 * ratio,
-                static_cast<unsigned long long>(
-                    writer.counts().rawStreamBytes()));
+    std::vector<std::string> scenes =
+        splitCsv(optValueOr(argc, argv, "--scenes", "lego"));
+    std::vector<std::string> models =
+        splitCsv(optValueOr(argc, argv, "--models", "dvgo"));
+    std::uint32_t frames;
+    CaptureSpec base;
+    if (!optUint(argc, argv, "--frames", 1, 1, 1000, frames) ||
+        !parseCaptureOpts(argc, argv, base))
+        return usage();
+    if (scenes.empty() || models.empty()) {
+        std::fprintf(stderr, "capture-set: empty --scenes/--models\n");
+        return usage();
+    }
+
+    if (::mkdir(dir, 0755) != 0 && errno != EEXIST) {
+        std::fprintf(stderr, "capture-set: cannot create %s: %s\n", dir,
+                     std::strerror(errno));
+        return 3;
+    }
+
+    dse::Corpus corpus(dir);
+    for (const std::string &sceneName : scenes) {
+        for (const std::string &modelName : models) {
+            CaptureSpec spec = base;
+            spec.sceneName = sceneName;
+            if (!parseModelKind(modelName, spec.kind)) {
+                std::fprintf(stderr, "capture-set: unknown model '%s'\n",
+                             modelName.c_str());
+                return usage();
+            }
+            // One model build serves every frame of the orbit.
+            Scene scene = makeScene(sceneName);
+            auto model = buildModel(spec.kind, scene, spec.opts);
+            if (spec.fp16)
+                model->encoding().quantizeFeaturesFp16();
+            for (std::uint32_t f = 0; f < frames; ++f) {
+                spec.frame = f;
+                dse::CorpusEntry entry;
+                entry.id = sceneName + "_" + modelName + "_" +
+                           std::to_string(spec.res) + "_f" +
+                           std::to_string(f);
+                entry.file = entry.id + ".ctrace";
+                entry.scene = sceneName;
+                entry.model = modelName;
+                entry.encoding = model->encoding().name();
+                entry.res = spec.res;
+                entry.frame = f;
+                entry.preset = spec.opts.preset == ModelPreset::Full
+                                   ? "full"
+                                   : "fast";
+                entry.layout =
+                    spec.opts.gridLayout == GridLayout::MVoxelBlocked
+                        ? "mvoxel"
+                        : "linear";
+                entry.fp16 = spec.fp16;
+                captureOne(spec, *model, scene,
+                           corpus.tracePath(entry));
+                corpus.add(std::move(entry));
+            }
+        }
+    }
+    corpus.save();
+    std::printf("corpus %s: %llu traces, manifest corpus.json\n", dir,
+                static_cast<unsigned long long>(corpus.size()));
     return 0;
 }
 
@@ -292,7 +477,9 @@ cmdReplay(int argc, char **argv)
         return usage();
     }
     std::string stack = optValueOr(argc, argv, "--stack", "cache");
-    if (stack != "cache" && stack != "bank" && stack != "dram") {
+    if (stack != "cache" && stack != "bank" && stack != "dram" &&
+        stack != "gpu" && stack != "npu" && stack != "gu" &&
+        stack != "accels") {
         std::fprintf(stderr, "replay: unknown --stack '%s'\n",
                      stack.c_str());
         return usage();
@@ -335,8 +522,43 @@ cmdReplay(int argc, char **argv)
                          ? SramLayout::ChannelMajor
                          : SramLayout::FeatureMajor;
         stats = statsJson(runBankStack(fileSource(reader), cfg));
-    } else {
+    } else if (stack == "dram") {
         stats = statsJson(runDramStack(fileSource(reader)));
+    } else {
+        // Accelerator stacks need the capture-time workload summary
+        // (version-2 containers); workloadFromTrace throws otherwise.
+        TraceWorkloadDescriptor desc = workloadFromTrace(reader);
+        if (stack == "gpu") {
+            GpuStackConfig cfg;
+            std::uint32_t capacityMb;
+            if (!optUint(argc, argv, "--ways", 32, 1, 4096,
+                         cfg.warpWays) ||
+                !optUint(argc, argv, "--capacity-mb", 2, 1, 65536,
+                         capacityMb))
+                return usage();
+            cfg.cache.capacityBytes =
+                static_cast<std::uint64_t>(capacityMb) << 20;
+            stats = statsJson(runGpuStack(fileSource(reader), desc, cfg));
+        } else if (stack == "npu") {
+            stats = statsJson(runNpuStack(fileSource(reader), desc));
+        } else if (stack == "gu") {
+            GuStackConfig cfg;
+            if (!optUint(argc, argv, "--banks", 32, 1, 65536,
+                         cfg.gu.banks) ||
+                !optUint(argc, argv, "--rays", 16, 1, 65536,
+                         cfg.concurrentRays))
+                return usage();
+            stats = statsJson(runGuStack(fileSource(reader), desc, cfg));
+        } else { // accels: the NeuRex/NGPC baselines
+            BaselineStackConfig cfg;
+            if (!optUint(argc, argv, "--banks", 16, 1, 65536,
+                         cfg.bank.numBanks) ||
+                !optUint(argc, argv, "--rays", 16, 1, 65536,
+                         cfg.bank.concurrentRays))
+                return usage();
+            stats = statsJson(
+                runBaselineStack(fileSource(reader), desc, cfg));
+        }
     }
 
     std::printf("{\"meta\": %s,\n \"stats\": %s}\n",
@@ -445,6 +667,40 @@ cmdStats(int argc, char **argv)
                 static_cast<unsigned long long>(
                     reader.counts().rawStreamBytes()),
                 100.0 * reader.compressionRatio());
+
+    // Per-event-type payload accounting (varint stage): where the
+    // encoded bytes go, and how often the writer's elisions fired.
+    TraceEventBreakdown ev = reader.eventBreakdown();
+    std::printf("  events: access=%llu (%llu B) rayEnd=%llu (%llu B) "
+                "flush=%llu (%llu B) end=%llu B\n",
+                static_cast<unsigned long long>(ev.accessEvents),
+                static_cast<unsigned long long>(ev.accessBytes),
+                static_cast<unsigned long long>(ev.rayEndEvents),
+                static_cast<unsigned long long>(ev.rayEndBytes),
+                static_cast<unsigned long long>(ev.flushEvents),
+                static_cast<unsigned long long>(ev.flushBytes),
+                static_cast<unsigned long long>(ev.terminatorBytes));
+    std::printf("  elisions: same-bytes=%llu same-ray=%llu\n",
+                static_cast<unsigned long long>(ev.sameBytesElisions),
+                static_cast<unsigned long long>(ev.sameRayElisions));
+
+    std::printf("  version=%u workload-summary=%s\n", reader.version(),
+                reader.hasWorkloadSummary() ? "yes" : "no");
+    if (reader.hasWorkloadSummary()) {
+        const TraceWorkloadSummary &w = reader.workloadSummary();
+        std::printf("  workload: rays=%llu samples=%llu "
+                    "vertexFetches=%llu mlpMacs=%llu\n",
+                    static_cast<unsigned long long>(w.rays),
+                    static_cast<unsigned long long>(w.samples),
+                    static_cast<unsigned long long>(w.vertexFetches),
+                    static_cast<unsigned long long>(w.mlpMacs));
+        std::printf("  stream-plan: streamed=%llu B random=%llu B "
+                    "ritEntries=%llu vertexBytes=%u\n",
+                    static_cast<unsigned long long>(w.streamedBytes),
+                    static_cast<unsigned long long>(w.randomBytes),
+                    static_cast<unsigned long long>(w.ritEntries),
+                    w.vertexBytes);
+    }
 
     if (range.accesses > 0) {
         HistogramScan histo;
@@ -579,9 +835,12 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     std::string cmd = argv[1];
+    applyThreadsOption(argc, argv);
     try {
         if (cmd == "capture")
             return cmdCapture(argc, argv);
+        if (cmd == "capture-set")
+            return cmdCaptureSet(argc, argv);
         if (cmd == "replay")
             return cmdReplay(argc, argv);
         if (cmd == "stats")
