@@ -104,6 +104,7 @@ struct LegResult
     std::vector<std::vector<double>> latencyS; //!< per client, per frame
     FusionStats fusion;
     SchedulerCounters sched;
+    ServiceCounters service;
 
     double raysPerS() const { return wallS > 0.0 ? rays / wallS : 0.0; }
     std::vector<double> allLatencies() const
@@ -176,6 +177,7 @@ runLeg(const ModelKey &key, const std::vector<ClientSpec> &clients,
     leg.wallS = seconds(Clock::now() - t0);
     leg.sched = parallelSchedulerCountersSince(base);
     leg.fusion = svc.cache().fusionStatsTotal();
+    leg.service = svc.counters();
 
     for (std::size_t i = 0; i < clients.size(); ++i) {
         const auto &frames = results[i].frames;
@@ -219,6 +221,35 @@ printSched(const SchedulerCounters &c)
                 static_cast<unsigned long long>(c.tasksExecuted),
                 static_cast<unsigned long long>(c.depTasksSubmitted),
                 c.depStallNanos * 1e-6);
+}
+
+/**
+ * Robustness counters: retries/quarantines/shedding from the service,
+ * solo-retry fallbacks from the fusion queue, drained tasks from the
+ * scheduler. All zero on a healthy leg — the bench asserts nothing
+ * about them, it *surfaces* them so a regression that starts tripping
+ * the degradation machinery is visible in the JSON.
+ */
+void
+printRobust(const ServiceCounters &s, const FusionStats &f,
+            const SchedulerCounters &c)
+{
+    std::printf("\"robustness\": {\"frame_retries\": %llu, "
+                "\"frames_failed\": %llu, \"frames_skipped\": %llu, "
+                "\"quarantined_sessions\": %llu, "
+                "\"shed_admissions\": %llu, \"deadline_misses\": %llu, "
+                "\"split_retries\": %llu, \"failed_blocks\": %llu, "
+                "\"tasks_drained\": %llu, \"groups_cancelled\": %llu}",
+                static_cast<unsigned long long>(s.frameRetries),
+                static_cast<unsigned long long>(s.framesFailed),
+                static_cast<unsigned long long>(s.framesSkipped),
+                static_cast<unsigned long long>(s.quarantinedSessions),
+                static_cast<unsigned long long>(s.shedAdmissions),
+                static_cast<unsigned long long>(s.deadlineMisses),
+                static_cast<unsigned long long>(f.splitRetries),
+                static_cast<unsigned long long>(f.failedBlocks),
+                static_cast<unsigned long long>(c.tasksDrained),
+                static_cast<unsigned long long>(c.groupsCancelled));
 }
 
 void
@@ -415,6 +446,8 @@ main(int argc, char **argv)
         printFusion(leg.fusion);
         std::printf(", ");
         printSched(leg.sched);
+        std::printf(", ");
+        printRobust(leg.service, leg.fusion, leg.sched);
         std::printf("}");
     }
     std::printf("], ");

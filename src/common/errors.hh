@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Typed error hierarchy shared across the repo.
+ *
+ * Every error below derives std::runtime_error, so existing catch
+ * sites (and EXPECT_THROW(..., std::runtime_error) tests) keep
+ * working; the subtypes let the CLI tools map failures to distinct
+ * exit codes and print actionable context (which file, which errno)
+ * instead of a bare what() string.
+ */
+
+#ifndef CICERO_COMMON_ERRORS_HH
+#define CICERO_COMMON_ERRORS_HH
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace cicero {
+
+namespace detail {
+
+inline std::string
+ioErrorMessage(const std::string &what, const std::string &path, int err)
+{
+    std::string m = what + ": " + path;
+    if (err != 0) {
+        m += ": ";
+        m += std::strerror(err);
+    }
+    return m;
+}
+
+} // namespace detail
+
+/**
+ * Operating-system I/O failure (open/read/write/rename/...): carries
+ * the path and the errno at the failure point. Construct it right
+ * after the failing call, before anything can clobber errno.
+ */
+class IoError : public std::runtime_error
+{
+  public:
+    IoError(const std::string &what, const std::string &path, int err)
+        : std::runtime_error(detail::ioErrorMessage(what, path, err)),
+          _path(path), _errnum(err)
+    {
+    }
+
+    const std::string &path() const { return _path; }
+    int errnum() const { return _errnum; }
+
+  private:
+    std::string _path;
+    int _errnum;
+};
+
+/**
+ * Input that exists and was read fine but does not parse: bad magic,
+ * unsupported version, corrupt payload, malformed JSON. Distinct from
+ * IoError so the tools can exit with a "your file is damaged" code
+ * rather than a "the filesystem failed" code.
+ */
+class ParseError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+} // namespace cicero
+
+#endif // CICERO_COMMON_ERRORS_HH

@@ -1,0 +1,280 @@
+#include "common/fault.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace cicero {
+
+namespace {
+
+/**
+ * Per-site armed state. `hits` counts matching probe calls since the
+ * site was armed; the window [after, after + count) of that sequence
+ * fires. All counters are atomics so concurrent probes stay exact:
+ * fetch_add hands every hit a unique index, and exactly the indices
+ * inside the window fire regardless of which threads land them.
+ */
+struct SiteState
+{
+    std::atomic<bool> armed{false};
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+    // Window parameters: written under the config mutex before `armed`
+    // is released, read by probes after acquiring `armed`.
+    std::uint64_t after = 0;
+    std::uint64_t count = UINT64_MAX;
+    std::int64_t key = kFaultAnyKey;
+};
+
+struct FaultTable
+{
+    std::atomic<int> armedSites{0}; //!< fast-path gate
+    std::mutex configMu;            //!< serializes arm/disarm
+    SiteState sites[kNumFaultSites];
+};
+
+FaultTable &
+table()
+{
+    static FaultTable t;
+    return t;
+}
+
+std::once_flag gEnvOnce;
+
+constexpr const char *kSiteNames[kNumFaultSites] = {
+    "task_exec",     "mlp_decode",   "trace_read",
+    "trace_write",   "trace_flush",  "session_admit",
+    "frame_render",  "frame_deadline",
+};
+
+/**
+ * Probe core shared by faultCheck and faultShouldFire: count the hit,
+ * decide whether it falls in the armed window.
+ */
+bool
+probe(FaultSite site, std::int64_t key)
+{
+    FaultTable &t = table();
+    std::call_once(gEnvOnce, faultInitFromEnv);
+    if (t.armedSites.load(std::memory_order_relaxed) == 0)
+        return false;
+    SiteState &s = t.sites[static_cast<int>(site)];
+    if (!s.armed.load(std::memory_order_acquire))
+        return false;
+    if (s.key != kFaultAnyKey && s.key != key)
+        return false;
+    std::uint64_t hit =
+        s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (hit <= s.after || hit > s.after + s.count)
+        return false;
+    s.fired.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::uint64_t
+parseU64(const std::string &text, const std::string &where)
+{
+    if (text.empty())
+        throw FaultSpecError("empty value for " + where);
+    std::uint64_t v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            throw FaultSpecError("non-numeric value \"" + text +
+                                 "\" for " + where);
+        std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+        if (v > (UINT64_MAX - d) / 10)
+            throw FaultSpecError("value overflow for " + where);
+        v = v * 10 + d;
+    }
+    return v;
+}
+
+/** Parse one ';'-separated arm clause: site[:after=N][:count=N][:key=K]. */
+std::pair<FaultSite, FaultSpec>
+parseClause(const std::string &clause)
+{
+    std::size_t colon = clause.find(':');
+    std::string name = clause.substr(0, colon);
+    FaultSite site;
+    if (!faultSiteFromName(name, site))
+        throw FaultSpecError("unknown site \"" + name + "\"");
+
+    FaultSpec spec;
+    std::size_t pos = colon;
+    while (pos != std::string::npos) {
+        std::size_t next = clause.find(':', pos + 1);
+        std::string param =
+            clause.substr(pos + 1, next == std::string::npos
+                                       ? std::string::npos
+                                       : next - pos - 1);
+        std::size_t eq = param.find('=');
+        std::string pkey = param.substr(0, eq);
+        std::string pval =
+            eq == std::string::npos ? std::string() : param.substr(eq + 1);
+        if (pkey == "after")
+            spec.after = parseU64(pval, "after");
+        else if (pkey == "count")
+            spec.count = parseU64(pval, "count");
+        else if (pkey == "key")
+            spec.key = static_cast<std::int64_t>(parseU64(pval, "key"));
+        else
+            throw FaultSpecError("unknown parameter \"" + pkey + "\"");
+        pos = next;
+    }
+    return {site, spec};
+}
+
+} // namespace
+
+FaultInjectedError::FaultInjectedError(FaultSite site, std::uint64_t hit)
+    : std::runtime_error(std::string("injected fault at site ") +
+                         faultSiteName(site) + " (hit " +
+                         std::to_string(hit) + ")"),
+      _site(site), _hit(hit)
+{
+}
+
+const char *
+faultSiteName(FaultSite site)
+{
+    int i = static_cast<int>(site);
+    return (i >= 0 && i < kNumFaultSites) ? kSiteNames[i] : "?";
+}
+
+bool
+faultSiteFromName(const std::string &name, FaultSite &out)
+{
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        if (name == kSiteNames[i]) {
+            out = static_cast<FaultSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+faultArm(FaultSite site, const FaultSpec &spec)
+{
+    FaultTable &t = table();
+    std::lock_guard<std::mutex> lk(t.configMu);
+    SiteState &s = t.sites[static_cast<int>(site)];
+    bool wasArmed = s.armed.load(std::memory_order_relaxed);
+    s.after = spec.after;
+    s.count = spec.count;
+    s.key = spec.key;
+    s.hits.store(0, std::memory_order_relaxed);
+    s.fired.store(0, std::memory_order_relaxed);
+    if (!wasArmed)
+        t.armedSites.fetch_add(1, std::memory_order_relaxed);
+    s.armed.store(true, std::memory_order_release);
+}
+
+void
+faultArmSpec(const std::string &spec)
+{
+    // An empty (or all-whitespace) spec is an explicit no-op — the
+    // unset-env-var case. Anything else must parse completely; the
+    // parse is two-phase so a bad later clause arms nothing at all.
+    if (spec.find_first_not_of(" \t\n\r") == std::string::npos)
+        return;
+
+    std::vector<std::pair<FaultSite, FaultSpec>> parsed;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t next = spec.find(';', pos);
+        std::string clause =
+            spec.substr(pos, next == std::string::npos ? std::string::npos
+                                                       : next - pos);
+        // Trim surrounding whitespace.
+        std::size_t b = clause.find_first_not_of(" \t\n\r");
+        std::size_t e = clause.find_last_not_of(" \t\n\r");
+        if (b == std::string::npos)
+            throw FaultSpecError("empty clause in fault spec \"" + spec +
+                                 "\"");
+        parsed.push_back(parseClause(clause.substr(b, e - b + 1)));
+        if (next == std::string::npos)
+            break;
+        pos = next + 1;
+    }
+    for (const auto &[site, clauseSpec] : parsed)
+        faultArm(site, clauseSpec);
+}
+
+void
+faultDisarmAll()
+{
+    FaultTable &t = table();
+    std::lock_guard<std::mutex> lk(t.configMu);
+    for (SiteState &s : t.sites) {
+        if (s.armed.load(std::memory_order_relaxed))
+            t.armedSites.fetch_sub(1, std::memory_order_relaxed);
+        s.armed.store(false, std::memory_order_release);
+        s.hits.store(0, std::memory_order_relaxed);
+        s.fired.store(0, std::memory_order_relaxed);
+    }
+}
+
+bool
+faultsArmed()
+{
+    std::call_once(gEnvOnce, faultInitFromEnv);
+    return table().armedSites.load(std::memory_order_relaxed) != 0;
+}
+
+void
+faultCheck(FaultSite site, std::int64_t key)
+{
+    if (probe(site, key)) {
+        SiteState &s = table().sites[static_cast<int>(site)];
+        throw FaultInjectedError(site,
+                                 s.hits.load(std::memory_order_relaxed));
+    }
+}
+
+bool
+faultShouldFire(FaultSite site, std::int64_t key)
+{
+    return probe(site, key);
+}
+
+FaultCounters
+faultCounters()
+{
+    FaultTable &t = table();
+    FaultCounters out;
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        out.site[i].hits =
+            t.sites[i].hits.load(std::memory_order_relaxed);
+        out.site[i].fired =
+            t.sites[i].fired.load(std::memory_order_relaxed);
+        out.site[i].armed =
+            t.sites[i].armed.load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+faultInitFromEnv()
+{
+    const char *env = std::getenv("CICERO_FAULTS");
+    if (!env || !*env)
+        return;
+    try {
+        faultArmSpec(env);
+    } catch (const FaultSpecError &e) {
+        // A typo'd operator override must not crash the process — warn
+        // once and run unfaulted, mirroring CICERO_THREADS handling.
+        std::fprintf(stderr,
+                     "cicero: ignoring invalid CICERO_FAULTS=\"%s\": %s\n",
+                     env, e.what());
+        faultDisarmAll();
+    }
+}
+
+} // namespace cicero

@@ -1,5 +1,7 @@
 #include "common/parallel.hh"
 
+#include "common/fault.hh"
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -19,12 +21,14 @@ namespace detail {
 /**
  * Completion tracking shared by one loop or one TaskGroup: how many
  * tasks are outstanding, whether one failed (remaining tasks are then
- * skipped best-effort), and the first captured exception.
+ * skipped best-effort) or was cancelled (remaining tasks are drained
+ * without running), and the first captured exception.
  */
 struct ParallelTaskState
 {
     std::atomic<std::size_t> pending{0};
     std::atomic<bool> failed{false};
+    std::atomic<bool> cancelled{false};
 
     std::mutex doneMutex;
     std::condition_variable doneCv;
@@ -80,6 +84,8 @@ struct CounterBlock
     std::atomic<std::uint64_t> tasksExecuted{0};
     std::atomic<std::uint64_t> depTasksSubmitted{0};
     std::atomic<std::uint64_t> depStallNanos{0};
+    std::atomic<std::uint64_t> tasksDrained{0};
+    std::atomic<std::uint64_t> groupsCancelled{0};
 };
 
 CounterBlock &
@@ -231,8 +237,15 @@ runTask(Task &task)
     ParallelTaskState &state = *task.state;
     bool wasInside = tInsideWorker;
     tInsideWorker = true;
-    if (!state.failed.load(std::memory_order_acquire)) {
+    if (state.failed.load(std::memory_order_acquire) ||
+        state.cancelled.load(std::memory_order_acquire)) {
+        // Drain without running: the task still counts as complete and
+        // fires its dependents below, so a failed/cancelled graph never
+        // leaks dormant tasks or deadlocks its waiter.
+        bump(counters().tasksDrained);
+    } else {
         try {
+            faultCheck(FaultSite::TaskExec);
             task.fn();
         } catch (...) {
             std::lock_guard<std::mutex> lk(state.doneMutex);
@@ -643,6 +656,9 @@ parallelSchedulerCounters()
     out.depTasksSubmitted =
         c.depTasksSubmitted.load(std::memory_order_relaxed);
     out.depStallNanos = c.depStallNanos.load(std::memory_order_relaxed);
+    out.tasksDrained = c.tasksDrained.load(std::memory_order_relaxed);
+    out.groupsCancelled =
+        c.groupsCancelled.load(std::memory_order_relaxed);
     return out;
 }
 
@@ -666,6 +682,8 @@ parallelSchedulerCountersSince(const SchedulerCounters &base)
     out.depTasksSubmitted =
         delta(now.depTasksSubmitted, base.depTasksSubmitted);
     out.depStallNanos = delta(now.depStallNanos, base.depStallNanos);
+    out.tasksDrained = delta(now.tasksDrained, base.tasksDrained);
+    out.groupsCancelled = delta(now.groupsCancelled, base.groupsCancelled);
     return out;
 }
 
@@ -680,6 +698,8 @@ parallelResetSchedulerCounters()
     c.tasksExecuted.store(0, std::memory_order_relaxed);
     c.depTasksSubmitted.store(0, std::memory_order_relaxed);
     c.depStallNanos.store(0, std::memory_order_relaxed);
+    c.tasksDrained.store(0, std::memory_order_relaxed);
+    c.groupsCancelled.store(0, std::memory_order_relaxed);
 }
 
 std::int64_t
@@ -812,9 +832,23 @@ TaskGroup::runAfter(const std::vector<TaskHandle> &deps,
 }
 
 void
+TaskGroup::cancel()
+{
+    if (!_state->cancelled.exchange(true, std::memory_order_acq_rel))
+        bump(counters().groupsCancelled);
+}
+
+bool
+TaskGroup::cancelled() const
+{
+    return _state->cancelled.load(std::memory_order_acquire);
+}
+
+void
 TaskGroup::wait()
 {
     helpUntilDone(myLane(), *_state);
+    _state->cancelled.store(false, std::memory_order_release);
     std::lock_guard<std::mutex> lk(_state->doneMutex);
     if (_state->error) {
         std::exception_ptr error = _state->error;

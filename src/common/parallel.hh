@@ -107,6 +107,8 @@ struct SchedulerCounters
     std::uint64_t tasksExecuted = 0;   //!< tasks (chunks + group tasks) run
     std::uint64_t depTasksSubmitted = 0; //!< tasks submitted via TaskGroup::runAfter with live deps
     std::uint64_t depStallNanos = 0;   //!< dormant time: submission until the last dependency resolved
+    std::uint64_t tasksDrained = 0;    //!< tasks skipped (not run) because their group failed or was cancelled
+    std::uint64_t groupsCancelled = 0; //!< TaskGroup::cancel() calls
 };
 
 /** Snapshot the scheduler counters (safe concurrently with running work). */
@@ -251,8 +253,24 @@ class TaskGroup
                         std::function<void()> fn);
 
     /**
+     * Cooperatively cancel the group: tasks that have not started yet
+     * (including dormant runAfter dependents) are drained — they fire,
+     * count as complete, release their dependents, and are counted in
+     * SchedulerCounters::tasksDrained — but their bodies never run.
+     * Tasks already executing finish normally. cancel() itself does not
+     * make wait() throw; an exception captured before the cancel still
+     * surfaces there. Safe to call from any thread, including from
+     * inside one of the group's own tasks.
+     */
+    void cancel();
+
+    /** True once cancel() was called (cleared by the next wait()). */
+    bool cancelled() const;
+
+    /**
      * Help-execute and then block until every submitted task has
-     * completed; rethrows the first exception a task threw.
+     * completed; rethrows the first exception a task threw. Resets the
+     * failure and cancellation state, so the group is reusable.
      */
     void wait();
 

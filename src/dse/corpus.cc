@@ -1,8 +1,10 @@
 #include "dse/corpus.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <stdexcept>
 
+#include "common/errors.hh"
 #include "dse/minijson.hh"
 
 namespace cicero::dse {
@@ -14,13 +16,17 @@ readFile(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        throw std::runtime_error("cannot open " + path);
+        throw IoError("cannot open corpus file", path, errno);
     std::string out;
     char buf[4096];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         out.append(buf, n);
+    bool readError = std::ferror(f) != 0;
+    int readErrno = errno;
     std::fclose(f);
+    if (readError)
+        throw IoError("read error on corpus file", path, readErrno);
     return out;
 }
 
@@ -29,11 +35,14 @@ writeFile(const std::string &path, const std::string &text)
 {
     std::FILE *f = std::fopen(path.c_str(), "wb");
     if (!f)
-        throw std::runtime_error("cannot write " + path);
+        throw IoError("cannot write corpus file", path, errno);
     std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
-    std::fclose(f);
+    int writeErrno = errno;
+    bool closed = std::fclose(f) == 0;
     if (n != text.size())
-        throw std::runtime_error("short write to " + path);
+        throw IoError("short write to corpus file", path, writeErrno);
+    if (!closed)
+        throw IoError("cannot finalize corpus file", path, errno);
 }
 
 } // namespace

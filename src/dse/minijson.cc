@@ -11,8 +11,7 @@ namespace {
 [[noreturn]] void
 fail(std::size_t pos, const std::string &what)
 {
-    throw std::runtime_error("json: " + what + " at byte " +
-                            std::to_string(pos));
+    throw JsonParseError(what, pos);
 }
 
 class Parser
@@ -33,6 +32,19 @@ class Parser
   private:
     const std::string &_text;
     std::size_t _pos = 0;
+    std::size_t _depth = 0;
+
+    /** Depth guard: recursion bounded so deep nesting fails typed. */
+    struct DepthScope
+    {
+        Parser &p;
+        explicit DepthScope(Parser &parser) : p(parser)
+        {
+            if (++p._depth > kJsonMaxDepth)
+                fail(p._pos, "nesting too deep");
+        }
+        ~DepthScope() { --p._depth; }
+    };
 
     void
     skipWs()
@@ -77,6 +89,7 @@ class Parser
     JsonValue
     value()
     {
+        DepthScope depth(*this);
         skipWs();
         char c = peek();
         switch (c) {
@@ -249,17 +262,47 @@ class Parser
     JsonValue
     numberValue()
     {
-        std::size_t start = _pos;
-        if (peek() == '-')
-            ++_pos;
-        while (_pos < _text.size()) {
-            char c = _text[_pos];
-            if ((c >= '0' && c <= '9') || c == '.' || c == 'e' ||
-                c == 'E' || c == '+' || c == '-')
+        // Strict JSON grammar, validated before conversion:
+        //   -? (0 | [1-9][0-9]*) (. [0-9]+)? ([eE] [+-]? [0-9]+)?
+        // strtod alone is far too permissive ("01", "1.", ".5", "0x2",
+        // "inf" all convert) and the fuzz contract needs these
+        // rejected typed.
+        const std::size_t start = _pos;
+        auto digits = [this]() -> int {
+            int n = 0;
+            while (_pos < _text.size() && _text[_pos] >= '0' &&
+                   _text[_pos] <= '9') {
                 ++_pos;
-            else
-                break;
+                ++n;
+            }
+            return n;
+        };
+
+        if (_pos < _text.size() && _text[_pos] == '-')
+            ++_pos;
+        if (_pos < _text.size() && _text[_pos] == '0') {
+            ++_pos;
+            if (_pos < _text.size() && _text[_pos] >= '0' &&
+                _text[_pos] <= '9')
+                fail(start, "leading zero in number");
+        } else if (digits() == 0) {
+            fail(start, "malformed number");
         }
+        if (_pos < _text.size() && _text[_pos] == '.') {
+            ++_pos;
+            if (digits() == 0)
+                fail(start, "missing digits after decimal point");
+        }
+        if (_pos < _text.size() &&
+            (_text[_pos] == 'e' || _text[_pos] == 'E')) {
+            ++_pos;
+            if (_pos < _text.size() &&
+                (_text[_pos] == '+' || _text[_pos] == '-'))
+                ++_pos;
+            if (digits() == 0)
+                fail(start, "missing digits in exponent");
+        }
+
         JsonValue v;
         v.kind = JsonValue::Kind::Number;
         try {

@@ -21,7 +21,37 @@
 #include <utility>
 #include <vector>
 
+#include "common/errors.hh"
+
 namespace cicero::dse {
+
+/**
+ * Malformed JSON input. Derives ParseError (itself runtime_error) so
+ * the tools map it to the parse-failure exit code; carries the byte
+ * offset the parser stopped at.
+ */
+class JsonParseError : public ParseError
+{
+  public:
+    JsonParseError(const std::string &what, std::size_t offset)
+        : ParseError("json: " + what + " at byte " +
+                     std::to_string(offset)),
+          _offset(offset)
+    {
+    }
+
+    std::size_t offset() const { return _offset; }
+
+  private:
+    std::size_t _offset;
+};
+
+/**
+ * Maximum container nesting depth parseJson accepts. The parser is
+ * recursive-descent; without a cap a few kilobytes of '[' would
+ * overflow the stack instead of failing typed.
+ */
+constexpr std::size_t kJsonMaxDepth = 256;
 
 /** A parsed JSON value (tree). */
 struct JsonValue
@@ -68,8 +98,8 @@ struct JsonValue
 
 /**
  * Parse @p text as one JSON document.
- * @throws std::runtime_error with a byte offset on malformed input or
- *         trailing garbage.
+ * @throws JsonParseError with a byte offset on malformed input,
+ *         trailing garbage, or nesting deeper than kJsonMaxDepth.
  */
 JsonValue parseJson(const std::string &text);
 

@@ -1,8 +1,12 @@
 #include "memory/tracefile.hh"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+
+#include "common/fault.hh"
 
 namespace cicero {
 
@@ -22,6 +26,44 @@ constexpr std::uint8_t kEvFlush = 2;
 constexpr std::uint8_t kEvEnd = 3; //!< stream terminator
 constexpr std::uint8_t kFlagSameBytes = 1u << 2;
 constexpr std::uint8_t kFlagSameRay = 1u << 3;
+
+//! Version-3 checkpoint: the terminator type with bit 2 set, followed
+//! by varint(cumulative event count) + varint(section CRC32). Old
+//! writers never set high bits on non-access tags, so the encoding is
+//! unambiguous across versions.
+constexpr std::uint8_t kFlagCheckpoint = 1u << 2;
+constexpr std::uint8_t kEvCheckpoint = kEvEnd | kFlagCheckpoint;
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3 polynomial, table-driven) — the per-section
+// payload checksums and the header checksum of version-3 containers.
+// ---------------------------------------------------------------------
+
+struct Crc32Table
+{
+    std::uint32_t t[256];
+
+    Crc32Table()
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+    }
+};
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t n,
+      std::uint32_t seed = 0)
+{
+    static const Crc32Table table;
+    std::uint32_t c = seed ^ 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < n; ++i)
+        c = table.t[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
 
 inline std::uint64_t
 zigzag(std::int64_t v)
@@ -210,7 +252,11 @@ rangeDecompress(const std::uint8_t *data, std::size_t size,
                 std::uint64_t rawBytes)
 {
     std::vector<std::uint8_t> out;
-    out.reserve(rawBytes);
+    // Reserve only what the *stored* bytes make plausible; rawBytes is
+    // attacker-controlled header data and must not size an allocation
+    // on its own (the caller bounds the loop separately).
+    out.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(rawBytes, size * 16 + 4096)));
     ByteModel model;
     RangeDecoder dec(data, size);
     for (std::uint64_t i = 0; i < rawBytes; ++i)
@@ -263,7 +309,7 @@ struct Cursor
     need(std::size_t n) const
     {
         if (size - pos < n)
-            throw std::runtime_error("truncated trace file");
+            throw TraceFileError("truncated trace file");
     }
 
     std::uint16_t
@@ -323,7 +369,7 @@ readVarint(const std::vector<std::uint8_t> &events, std::size_t &pos)
     int shift = 0;
     for (;;) {
         if (pos >= events.size())
-            throw std::runtime_error(
+            throw TraceFileError(
                 "corrupt trace payload: truncated varint");
         std::uint8_t b = events[pos++];
         v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
@@ -331,9 +377,41 @@ readVarint(const std::vector<std::uint8_t> &events, std::size_t &pos)
             return v;
         shift += 7;
         if (shift >= 64)
-            throw std::runtime_error(
+            throw TraceFileError(
                 "corrupt trace payload: varint overflow");
     }
+}
+
+/**
+ * Largest varint-stage payload the header's event counts can honestly
+ * describe (worst-case encodings + checkpoint overhead), saturating.
+ * Anything above it is a forged header — rejecting here bounds the
+ * range-decoder loop, so a 40-byte fuzzed file cannot demand an
+ * exabyte decompression.
+ */
+std::uint64_t
+plausiblePayloadBytes(const TraceFileCounts &counts)
+{
+    auto satMul = [](std::uint64_t a, std::uint64_t b) {
+        if (a != 0 && b > UINT64_MAX / a)
+            return UINT64_MAX;
+        return a * b;
+    };
+    auto satAdd = [](std::uint64_t a, std::uint64_t b) {
+        return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+    };
+    // Worst case per event: access = tag + 10B addr delta + 5B bytes +
+    // 10B ray delta; rayEnd = tag + 10B delta; flush = tag.
+    std::uint64_t bytes = satMul(counts.accesses, 26);
+    bytes = satAdd(bytes, satMul(counts.rayEnds, 11));
+    bytes = satAdd(bytes, counts.flushes);
+    // Checkpoints: one per interval plus the final one, each at most
+    // tag + 10B count + 5B crc; plus terminator and slack.
+    std::uint64_t events = satAdd(
+        satAdd(counts.accesses, counts.rayEnds), counts.flushes);
+    bytes = satAdd(bytes,
+                   satMul(events / kTraceCheckpointInterval + 2, 16));
+    return satAdd(bytes, 64);
 }
 
 } // namespace
@@ -411,6 +489,30 @@ TraceFileWriter::putSignedDelta(std::int64_t d)
 }
 
 void
+TraceFileWriter::noteEvent()
+{
+    ++_eventCount;
+    if (++_eventsSinceCheckpoint >= kTraceCheckpointInterval)
+        emitCheckpoint();
+}
+
+/**
+ * Seal the payload section since the previous checkpoint under a CRC.
+ * The checkpoint event itself starts the next section.
+ */
+void
+TraceFileWriter::emitCheckpoint()
+{
+    std::uint32_t crc = crc32(_payload.data() + _checkpointStart,
+                              _payload.size() - _checkpointStart);
+    _payload.push_back(kEvCheckpoint);
+    putVarint(_eventCount);
+    putVarint(crc);
+    _checkpointStart = _payload.size();
+    _eventsSinceCheckpoint = 0;
+}
+
+void
 TraceFileWriter::onAccess(const MemAccess &access)
 {
     std::uint8_t tag = kEvAccess;
@@ -434,6 +536,7 @@ TraceFileWriter::onAccess(const MemAccess &access)
     _lastRay = access.rayId;
     _haveBytes = true;
     ++_counts.accesses;
+    noteEvent();
 }
 
 void
@@ -444,13 +547,16 @@ TraceFileWriter::onRayEnd(std::uint32_t rayId)
                    static_cast<std::int64_t>(_lastRay));
     _lastRay = rayId;
     ++_counts.rayEnds;
+    noteEvent();
 }
 
 void
 TraceFileWriter::onFlush()
 {
+    faultCheck(FaultSite::TraceFlush);
     _payload.push_back(kEvFlush);
     ++_counts.flushes;
+    noteEvent();
 }
 
 void
@@ -460,6 +566,9 @@ TraceFileWriter::close()
         return;
     _closed = true;
 
+    // Final checkpoint seals the tail section, so salvage can recover
+    // every event of a file whose only damage is past the payload.
+    emitCheckpoint();
     _payload.push_back(kEvEnd);
 
     std::vector<std::uint8_t> stored;
@@ -503,27 +612,45 @@ TraceFileWriter::close()
     }
     appendU64(header, _storedPayloadBytes);
     appendU64(header, _payload.size());
+    appendU32(header, crc32(header.data(), header.size()));
 
     _fileBytes = header.size() + payload->size();
+
+    faultCheck(FaultSite::TraceWrite);
 
     if (_memoryOut) {
         *_memoryOut = header;
         _memoryOut->insert(_memoryOut->end(), payload->begin(),
                            payload->end());
     } else {
-        std::FILE *f = std::fopen(_path.c_str(), "wb");
+        // Temp file + atomic rename: the destination path either keeps
+        // its previous content or gains a complete container. A crash
+        // mid-write orphans only the .tmp.
+        const std::string tmp = _path + ".tmp";
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
         if (!f)
-            throw std::runtime_error("cannot open trace file for write: " +
-                                     _path);
+            throw IoError("cannot open trace file for write", tmp,
+                          errno);
         bool ok =
             std::fwrite(header.data(), 1, header.size(), f) ==
                 header.size() &&
             (payload->empty() ||
              std::fwrite(payload->data(), 1, payload->size(), f) ==
                  payload->size());
+        int writeErr = ok ? 0 : errno;
         ok = std::fclose(f) == 0 && ok;
-        if (!ok)
-            throw std::runtime_error("short write on trace file: " + _path);
+        if (writeErr == 0 && !ok)
+            writeErr = errno;
+        if (!ok) {
+            std::remove(tmp.c_str());
+            throw IoError("short write on trace file", tmp, writeErr);
+        }
+        if (std::rename(tmp.c_str(), _path.c_str()) != 0) {
+            int renameErr = errno;
+            std::remove(tmp.c_str());
+            throw IoError("cannot rename trace file into place", _path,
+                          renameErr);
+        }
     }
 
     _payload = std::vector<std::uint8_t>();
@@ -533,46 +660,53 @@ TraceFileWriter::close()
 // TraceFileReader
 // ---------------------------------------------------------------------
 
-TraceFileReader::TraceFileReader(const std::string &path)
+TraceFileReader::TraceFileReader(const std::string &path,
+                                 TraceReadMode mode)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        throw std::runtime_error("cannot open trace file: " + path);
+        throw IoError("cannot open trace file", path, errno);
     std::vector<std::uint8_t> bytes;
     std::uint8_t chunk[65536];
     std::size_t n;
     while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
         bytes.insert(bytes.end(), chunk, chunk + n);
     bool readError = std::ferror(f) != 0;
+    int readErrno = errno;
     std::fclose(f);
     if (readError)
-        throw std::runtime_error("read error on trace file: " + path);
-    parse(bytes.data(), bytes.size());
+        throw IoError("read error on trace file", path, readErrno);
+    parse(bytes.data(), bytes.size(), mode);
 }
 
-TraceFileReader::TraceFileReader(const std::uint8_t *data, std::size_t size)
+TraceFileReader::TraceFileReader(const std::uint8_t *data,
+                                 std::size_t size, TraceReadMode mode)
 {
-    parse(data, size);
+    parse(data, size, mode);
 }
 
-TraceFileReader::TraceFileReader(const std::vector<std::uint8_t> &buffer)
+TraceFileReader::TraceFileReader(const std::vector<std::uint8_t> &buffer,
+                                 TraceReadMode mode)
 {
-    parse(buffer.data(), buffer.size());
+    parse(buffer.data(), buffer.size(), mode);
 }
 
 void
-TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
+TraceFileReader::parse(const std::uint8_t *data, std::size_t size,
+                       TraceReadMode mode)
 {
+    faultCheck(FaultSite::TraceRead);
+
     Cursor c{data, size};
 
     c.need(4);
     if (std::memcmp(data, kMagic, 4) != 0)
-        throw std::runtime_error("not a trace file (bad magic)");
+        throw TraceFileError("not a trace file (bad magic)");
     c.pos = 4;
 
     std::uint16_t version = c.u16();
     if (version < kTraceFileMinVersion || version > kTraceFileVersion)
-        throw std::runtime_error(
+        throw TraceFileError(
             "unsupported trace-file version " + std::to_string(version) +
             " (this build reads versions " +
             std::to_string(kTraceFileMinVersion) + ".." +
@@ -581,8 +715,8 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
 
     std::uint8_t codec = c.u8();
     if (codec > static_cast<std::uint8_t>(TraceCodec::Range))
-        throw std::runtime_error("unknown trace-file codec " +
-                                 std::to_string(codec));
+        throw TraceFileError("unknown trace-file codec " +
+                             std::to_string(codec));
     _codec = static_cast<TraceCodec>(codec);
     std::uint8_t storage = c.u8();
     _meta.storageMode =
@@ -621,24 +755,169 @@ TraceFileReader::parse(const std::uint8_t *data, std::size_t size)
     _storedPayloadBytes = c.u64();
     std::uint64_t rawPayloadBytes = c.u64();
 
-    if (size - c.pos < _storedPayloadBytes)
-        throw std::runtime_error("truncated trace file");
-    _fileBytes = c.pos + _storedPayloadBytes;
+    if (version >= 3) {
+        std::size_t crcPos = c.pos;
+        std::uint32_t storedCrc = c.u32();
+        // Header damage is unrecoverable in any mode: the counts,
+        // codec and sizes below the CRC are what salvage itself
+        // depends on.
+        if (crc32(data, crcPos) != storedCrc)
+            throw TraceFileError(
+                "corrupt trace file: header checksum mismatch");
+    }
+
+    // A forged header must not size an allocation or a decode loop:
+    // bound the claimed raw payload by what the event counts and the
+    // stored bytes can honestly produce.
+    if (rawPayloadBytes > plausiblePayloadBytes(_counts))
+        throw TraceFileError(
+            "corrupt trace file: implausible payload size");
+
+    std::uint64_t availableBytes = size - c.pos;
+    std::uint64_t storedUsed = _storedPayloadBytes;
+    if (availableBytes < _storedPayloadBytes) {
+        if (mode == TraceReadMode::Strict)
+            throw TraceFileError("truncated trace file");
+        storedUsed = availableBytes;
+    }
+    _fileBytes = c.pos + storedUsed;
 
     if (_codec == TraceCodec::Range) {
+        if (rawPayloadBytes > _storedPayloadBytes * 4096 + 4096)
+            throw TraceFileError(
+                "corrupt trace file: implausible payload size");
         _events = rangeDecompress(data + c.pos,
-                                  static_cast<std::size_t>(
-                                      _storedPayloadBytes),
+                                  static_cast<std::size_t>(storedUsed),
                                   rawPayloadBytes);
     } else {
-        if (_storedPayloadBytes != rawPayloadBytes)
-            throw std::runtime_error(
+        if (_storedPayloadBytes != rawPayloadBytes &&
+            mode == TraceReadMode::Strict)
+            throw TraceFileError(
                 "corrupt trace file: payload size mismatch");
-        _events.assign(data + c.pos, data + c.pos + _storedPayloadBytes);
+        _events.assign(data + c.pos, data + c.pos + storedUsed);
     }
-    if (_events.empty() || _events.back() != kEvEnd)
-        throw std::runtime_error(
-            "corrupt trace file: missing stream terminator");
+
+    validatePayload(mode);
+}
+
+/**
+ * Walk the decoded varint event stream end to end, checking framing,
+ * checkpoint CRCs (version >= 3), and that the walked event counts
+ * match the header. Strict mode throws on the first defect; Salvage
+ * mode cuts the stream back to the last trustworthy prefix — the last
+ * CRC-verified checkpoint for version >= 3, the last well-formed event
+ * boundary for older files — re-terminates it, and recomputes the
+ * counts from what was kept.
+ */
+void
+TraceFileReader::validatePayload(TraceReadMode mode)
+{
+    TraceFileCounts walked;
+    std::uint64_t walkedEvents = 0;
+    std::size_t pos = 0;
+    std::size_t sectionStart = 0;
+
+    // Salvage cut candidate: everything before it is trustworthy.
+    std::size_t lastGood = 0;
+    TraceFileCounts lastGoodCounts;
+    std::uint64_t lastGoodEvents = 0;
+
+    bool terminated = false;
+    std::string defect;
+
+    try {
+        while (pos < _events.size()) {
+            const std::size_t start = pos;
+            std::uint8_t tag = _events[pos++];
+            switch (tag & 3) {
+              case kEvAccess:
+                if (tag & ~(kFlagSameBytes | kFlagSameRay))
+                    throw TraceFileError(
+                        "corrupt trace payload: invalid event tag");
+                readVarint(_events, pos); // address delta
+                if (!(tag & kFlagSameBytes))
+                    readVarint(_events, pos);
+                if (!(tag & kFlagSameRay))
+                    readVarint(_events, pos);
+                ++walked.accesses;
+                ++walkedEvents;
+                break;
+              case kEvRayEnd:
+                if (tag != kEvRayEnd)
+                    throw TraceFileError(
+                        "corrupt trace payload: invalid event tag");
+                readVarint(_events, pos);
+                ++walked.rayEnds;
+                ++walkedEvents;
+                break;
+              case kEvFlush:
+                if (tag != kEvFlush)
+                    throw TraceFileError(
+                        "corrupt trace payload: invalid event tag");
+                ++walked.flushes;
+                ++walkedEvents;
+                break;
+              case kEvEnd:
+                if (tag == kEvCheckpoint) {
+                    std::uint64_t cumEvents = readVarint(_events, pos);
+                    std::uint64_t crc = readVarint(_events, pos);
+                    std::uint32_t computed =
+                        crc32(_events.data() + sectionStart,
+                              start - sectionStart);
+                    if (crc > 0xFFFFFFFFull || cumEvents != walkedEvents ||
+                        static_cast<std::uint32_t>(crc) != computed)
+                        throw TraceFileError(
+                            "corrupt trace payload: checkpoint "
+                            "checksum mismatch");
+                    sectionStart = pos;
+                    lastGood = pos;
+                    lastGoodCounts = walked;
+                    lastGoodEvents = walkedEvents;
+                    ++_recovery.checkpointsVerified;
+                    break;
+                }
+                if (tag != kEvEnd)
+                    throw TraceFileError(
+                        "corrupt trace payload: invalid event tag");
+                if (pos != _events.size())
+                    throw TraceFileError(
+                        "corrupt trace payload: trailing bytes after "
+                        "terminator");
+                terminated = true;
+                break;
+            }
+            if (terminated)
+                break;
+            // Pre-checkpoint files have no CRC anchors; the best
+            // trustworthy prefix is the last well-formed event.
+            if (_version < 3)
+                lastGood = pos, lastGoodCounts = walked,
+                lastGoodEvents = walkedEvents;
+        }
+        if (!terminated)
+            throw TraceFileError(
+                "corrupt trace file: missing stream terminator");
+        if (walked.accesses != _counts.accesses ||
+            walked.rayEnds != _counts.rayEnds ||
+            walked.flushes != _counts.flushes)
+            throw TraceFileError(
+                "corrupt trace file: header/payload event count "
+                "mismatch");
+    } catch (const TraceFileError &e) {
+        if (mode == TraceReadMode::Strict)
+            throw;
+        defect = e.what();
+    }
+
+    if (!defect.empty()) {
+        _recovery.salvaged = true;
+        _recovery.droppedPayloadBytes = _events.size() - lastGood;
+        _events.resize(lastGood);
+        _events.push_back(kEvEnd);
+        _counts = lastGoodCounts;
+        walkedEvents = lastGoodEvents;
+    }
+    _recovery.keptEvents = walkedEvents;
 }
 
 TraceEventBreakdown
@@ -648,7 +927,7 @@ TraceFileReader::eventBreakdown() const
     std::size_t pos = 0;
     for (;;) {
         if (pos >= _events.size())
-            throw std::runtime_error(
+            throw TraceFileError(
                 "corrupt trace payload: unterminated event stream");
         const std::size_t start = pos;
         std::uint8_t tag = _events[pos++];
@@ -676,6 +955,13 @@ TraceFileReader::eventBreakdown() const
             out.flushBytes += pos - start;
             break;
           case kEvEnd:
+            if (tag & kFlagCheckpoint) {
+                readVarint(_events, pos); // cumulative event count
+                readVarint(_events, pos); // section CRC
+                ++out.checkpointEvents;
+                out.checkpointBytes += pos - start;
+                break;
+            }
             out.terminatorBytes += pos - start;
             return out;
         }
@@ -692,7 +978,7 @@ TraceFileReader::replay(TraceSink *sink) const
 
     for (;;) {
         if (pos >= _events.size())
-            throw std::runtime_error(
+            throw TraceFileError(
                 "corrupt trace payload: unterminated event stream");
         std::uint8_t tag = _events[pos++];
         switch (tag & 3) {
@@ -730,6 +1016,13 @@ TraceFileReader::replay(TraceSink *sink) const
             sink->onFlush();
             break;
           case kEvEnd:
+            if (tag & kFlagCheckpoint) {
+                // Checkpoints are integrity metadata, not sink events;
+                // they were verified at parse time.
+                readVarint(_events, pos);
+                readVarint(_events, pos);
+                break;
+            }
             return;
         }
     }

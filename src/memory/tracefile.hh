@@ -21,6 +21,7 @@
  *   u64 accesses  u64 rayEnds  u64 flushes
  *   u8 hasWorkload  [12 x u64 + u32 summary]      (version >= 2)
  *   u64 storedPayloadBytes  u64 rawPayloadBytes
+ *   u32 headerCrc32                               (version >= 3)
  *   payload
  *
  * Version 2 adds the optional workload-summary block: the StageWork
@@ -30,6 +31,20 @@
  * positions — which cannot be re-derived from the access stream alone,
  * so replay-driven accelerator runs read them from the header instead
  * of re-rendering. Version-1 files still parse (summary absent).
+ *
+ * Version 3 adds crash-safety checksums. The header is covered by a
+ * trailing CRC32 (over every header byte before the CRC field), and
+ * the varint-stage payload embeds *checkpoint events* (tag 7): every
+ * ~kTraceCheckpointInterval events, and once more right before the
+ * terminator, the writer records the cumulative event count and the
+ * CRC32 of the payload section since the previous checkpoint. Strict
+ * reads verify every checkpoint at parse time; the salvage read mode
+ * (TraceReadMode::Salvage) uses them to recover the longest
+ * checksum-valid event prefix of a truncated or corrupted capture —
+ * a capture process killed mid-run loses one trace's tail, not the
+ * corpus. The file-backed writer additionally finalizes via temp file
+ * + atomic rename, so a completed `.ctrace` path is always a complete
+ * container.
  *
  * The payload is an event stream framed to mirror the TraceSink
  * interface exactly (onAccess / onRayEnd / onFlush), encoded with
@@ -48,9 +63,22 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
 #include "memory/trace.hh"
 
 namespace cicero {
+
+/**
+ * A `.ctrace` container that does not parse: bad magic, unsupported
+ * version, corrupt or truncated payload, checksum mismatch. Derives
+ * ParseError (itself a runtime_error), so the CLI tools map it to the
+ * parse-failure exit code.
+ */
+class TraceFileError : public ParseError
+{
+  public:
+    using ParseError::ParseError;
+};
 
 /** Payload compression stage. */
 enum class TraceCodec : std::uint8_t
@@ -60,10 +88,37 @@ enum class TraceCodec : std::uint8_t
 };
 
 /** Trace-file container version this build writes. */
-constexpr std::uint16_t kTraceFileVersion = 2;
+constexpr std::uint16_t kTraceFileVersion = 3;
 
 /** Oldest container version this build still reads. */
 constexpr std::uint16_t kTraceFileMinVersion = 1;
+
+/** Events between embedded payload checkpoints (version >= 3). */
+constexpr std::uint64_t kTraceCheckpointInterval = 1024;
+
+/** How strictly TraceFileReader treats a damaged container. */
+enum class TraceReadMode
+{
+    /** Any truncation or corruption throws TraceFileError (default). */
+    Strict,
+    /**
+     * Recover what the checksums vouch for: keep the longest
+     * checkpoint-valid event prefix of a truncated/corrupted payload
+     * and recompute the counts from it. A file damaged *in the header*
+     * still throws — there is nothing trustworthy to salvage without
+     * the header.
+     */
+    Salvage,
+};
+
+/** What a salvage-mode read had to do (all zeros for a clean file). */
+struct TraceRecoveryInfo
+{
+    bool salvaged = false;          //!< tail was dropped
+    std::uint64_t keptEvents = 0;   //!< events in the recovered prefix
+    std::uint64_t droppedPayloadBytes = 0; //!< varint-stage bytes cut
+    std::uint64_t checkpointsVerified = 0; //!< CRC-valid checkpoints
+};
 
 /**
  * Capture-time feature storage of the traced encoding. Occupies the
@@ -150,6 +205,8 @@ struct TraceEventBreakdown
     std::uint64_t rayEndBytes = 0;
     std::uint64_t flushEvents = 0;
     std::uint64_t flushBytes = 0;
+    std::uint64_t checkpointEvents = 0; //!< embedded v3 checkpoints
+    std::uint64_t checkpointBytes = 0;
     std::uint64_t terminatorBytes = 0;
     std::uint64_t sameBytesElisions = 0; //!< access size repeated, elided
     std::uint64_t sameRayElisions = 0;   //!< ray id repeated, elided
@@ -180,8 +237,13 @@ struct TraceFileCounts
  * in one pass. close() is idempotent and called by the destructor;
  * call it explicitly to observe counts/sizes or write failures.
  *
- * @throws std::runtime_error if the output file cannot be opened or
- *         written.
+ * The file backend is crash-safe: close() writes to `<path>.tmp` and
+ * atomically renames onto @p path, so the destination either holds the
+ * previous content or a complete container — never a torn write. A
+ * process killed mid-close leaves at worst a stale `.tmp` beside it.
+ *
+ * @throws IoError if the output file cannot be opened, written, or
+ *         renamed into place.
  */
 class TraceFileWriter : public TraceSink
 {
@@ -230,6 +292,8 @@ class TraceFileWriter : public TraceSink
   private:
     void putVarint(std::uint64_t v);
     void putSignedDelta(std::int64_t d);
+    void noteEvent();
+    void emitCheckpoint();
 
     TraceFileMeta _meta;
     TraceCodec _codec;
@@ -246,6 +310,10 @@ class TraceFileWriter : public TraceSink
     std::uint32_t _lastRay = 0;
     bool _haveBytes = false;
 
+    std::uint64_t _eventCount = 0;          //!< events emitted so far
+    std::uint64_t _eventsSinceCheckpoint = 0;
+    std::size_t _checkpointStart = 0; //!< payload offset the next CRC covers from
+
     bool _closed = false;
     std::uint64_t _fileBytes = 0;
     std::uint64_t _storedPayloadBytes = 0;
@@ -254,28 +322,38 @@ class TraceFileWriter : public TraceSink
 /**
  * Parses a `.ctrace` container and replays it into TraceSinks.
  *
- * The payload is decoded to the varint stage once at construction;
- * replay() then re-walks that stream, so a reader replays any number
- * of times (the capture-once / replay-many pattern).
+ * The payload is decoded to the varint stage once at construction and
+ * fully validated — every event parses, every version-3 checkpoint
+ * CRC matches, the walked counts agree with the header; replay() then
+ * re-walks that stream, so a reader replays any number of times (the
+ * capture-once / replay-many pattern).
  *
- * @throws std::runtime_error on I/O failure, bad magic, unsupported
- *         version or codec, and truncated or corrupt payloads.
+ * @throws IoError on I/O failure; TraceFileError on bad magic,
+ *         unsupported version or codec, and truncated or corrupt
+ *         containers (in Strict mode — Salvage mode instead recovers
+ *         the longest checksum-valid event prefix; see recovery()).
  */
 class TraceFileReader
 {
   public:
-    explicit TraceFileReader(const std::string &path);
+    explicit TraceFileReader(const std::string &path,
+                             TraceReadMode mode = TraceReadMode::Strict);
 
     /** Parse an in-memory container (the bytes are not retained). */
-    TraceFileReader(const std::uint8_t *data, std::size_t size);
-    explicit TraceFileReader(const std::vector<std::uint8_t> &buffer);
+    TraceFileReader(const std::uint8_t *data, std::size_t size,
+                    TraceReadMode mode = TraceReadMode::Strict);
+    explicit TraceFileReader(const std::vector<std::uint8_t> &buffer,
+                             TraceReadMode mode = TraceReadMode::Strict);
 
     const TraceFileMeta &meta() const { return _meta; }
     const TraceFileCounts &counts() const { return _counts; }
     TraceCodec codec() const { return _codec; }
 
-    /** Container version the file was written with (1 or 2). */
+    /** Container version the file was written with (1, 2, or 3). */
     std::uint16_t version() const { return _version; }
+
+    /** What a Salvage-mode read recovered (all zeros when clean). */
+    const TraceRecoveryInfo &recovery() const { return _recovery; }
 
     /** True when a workload summary was captured (version >= 2). */
     bool hasWorkloadSummary() const { return _hasWorkload; }
@@ -318,7 +396,9 @@ class TraceFileReader
     void replay(TraceSink *sink) const;
 
   private:
-    void parse(const std::uint8_t *data, std::size_t size);
+    void parse(const std::uint8_t *data, std::size_t size,
+               TraceReadMode mode);
+    void validatePayload(TraceReadMode mode);
 
     TraceFileMeta _meta;
     TraceFileCounts _counts;
@@ -328,6 +408,7 @@ class TraceFileReader
     bool _hasWorkload = false;
     std::uint64_t _fileBytes = 0;
     std::uint64_t _storedPayloadBytes = 0;
+    TraceRecoveryInfo _recovery;
     std::vector<std::uint8_t> _events; //!< decoded varint event stream
 };
 

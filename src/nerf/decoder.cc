@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "common/fault.hh"
 #include "common/simd.hh"
 
 namespace cicero {
@@ -183,6 +184,8 @@ Decoder::decodeBatchSoA(const float *features, std::size_t featureStride,
 void
 Decoder::decodeBlocksFused(const DecodeBlock *blocks, int numBlocks) const
 {
+    faultCheck(FaultSite::MlpDecode);
+
     constexpr int inDim = kFeatureDim + 3;
     thread_local std::vector<float> mlpIn(
         static_cast<std::size_t>(inDim) * kDecodeChunk);

@@ -14,6 +14,8 @@ FusionStats::operator+=(const FusionStats &o)
     crossSessionPasses += o.crossSessionPasses;
     maxBatchSamples = std::max(maxBatchSamples, o.maxBatchSamples);
     maxBatchBlocks = std::max(maxBatchBlocks, o.maxBatchBlocks);
+    splitRetries += o.splitRetries;
+    failedBlocks += o.failedBlocks;
     return *this;
 }
 
@@ -42,6 +44,7 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
                                int numBlocks)
 {
     int remaining = 0;
+    std::exception_ptr error;
 
     std::unique_lock<std::mutex> lock(_mu);
     auto ins = _sessions.emplace(session, SessionQueue{});
@@ -51,7 +54,7 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
     for (int i = 0; i < numBlocks; ++i) {
         if (blocks[i].count <= 0)
             continue;
-        q.items.push_back(Item{blocks[i], &remaining});
+        q.items.push_back(Item{blocks[i], &remaining, &error});
         ++remaining;
         ++_pendingBlocks;
     }
@@ -63,6 +66,9 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
     // that arrive while it runs); everyone else sleeps until their
     // submission completes. Any waiter still pending when the
     // combiner retires takes over, so no submission is ever stranded.
+    // combineLocked() never throws — decode failures are delivered
+    // through each item's error slot — so the combiner role is always
+    // handed back and waiters always wake.
     while (remaining > 0) {
         if (!_combinerActive) {
             _combinerActive = true;
@@ -73,6 +79,10 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
             _cv.wait(lock);
         }
     }
+    // Rethrow on the *owning* submitter: a combiner that failed some
+    // other session's block must not see that session's error.
+    if (error)
+        std::rethrow_exception(error);
 }
 
 void
@@ -107,11 +117,13 @@ FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
 {
     std::vector<DecodeBlock> batch;
     std::vector<int *> owners;
+    std::vector<std::exception_ptr *> errorSlots;
     std::vector<int> contributors;
 
     while (_pendingBlocks > 0) {
         batch.clear();
         owners.clear();
+        errorSlots.clear();
         contributors.clear();
         int batchSamples = 0;
 
@@ -147,6 +159,7 @@ FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
                 }
                 batch.push_back(it.blk);
                 owners.push_back(it.remaining);
+                errorSlots.push_back(it.error);
                 batchSamples += it.blk.count;
                 q.items.pop_front();
                 --_pendingBlocks;
@@ -179,13 +192,53 @@ FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
             _stats.maxBatchBlocks,
             static_cast<std::uint64_t>(batch.size()));
 
+        // Fault isolation: a fused pass that throws falls back to
+        // decoding each of the batch's blocks solo (the bit-identity
+        // reference), so one poisoned block cannot fail its
+        // batch-mates. A block whose solo decode also fails parks its
+        // exception in its submission's error slot — the *owning*
+        // submitter rethrows it from decodeBlocks(). Nothing escapes
+        // this region, so the combiner role is always handed back.
+        std::vector<std::exception_ptr> blockErrs;
+        std::uint64_t splitRetries = 0;
         lock.unlock();
-        _decoder.decodeBlocksFused(batch.data(),
-                                   static_cast<int>(batch.size()));
+        std::exception_ptr batchErr;
+        try {
+            _decoder.decodeBlocksFused(batch.data(),
+                                       static_cast<int>(batch.size()));
+        } catch (...) {
+            batchErr = std::current_exception();
+        }
+        if (batchErr) {
+            blockErrs.resize(batch.size());
+            if (batch.size() == 1) {
+                // A lone block *is* its solo decode; no retry to run.
+                blockErrs[0] = batchErr;
+            } else {
+                for (std::size_t i = 0; i < batch.size(); ++i) {
+                    try {
+                        ++splitRetries;
+                        _decoder.decodeBlocksFused(&batch[i], 1);
+                    } catch (...) {
+                        blockErrs[i] = std::current_exception();
+                    }
+                }
+            }
+        }
         lock.lock();
 
-        for (int *remaining : owners)
-            --*remaining;
+        if (batchErr) {
+            _stats.splitRetries += splitRetries;
+            for (const std::exception_ptr &e : blockErrs)
+                if (e)
+                    ++_stats.failedBlocks;
+        }
+        for (std::size_t i = 0; i < owners.size(); ++i) {
+            if (!blockErrs.empty() && blockErrs[i] && errorSlots[i] &&
+                !*errorSlots[i])
+                *errorSlots[i] = blockErrs[i];
+            --*owners[i];
+        }
         _cv.notify_all();
     }
 }

@@ -34,6 +34,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -52,6 +53,8 @@ struct FusionStats
     std::uint64_t crossSessionPasses = 0; //!< passes mixing sessions
     std::uint64_t maxBatchSamples = 0;    //!< widest pass (samples)
     std::uint64_t maxBatchBlocks = 0;     //!< widest pass (blocks)
+    std::uint64_t splitRetries = 0; //!< solo re-decodes after a failed batch
+    std::uint64_t failedBlocks = 0; //!< blocks whose solo retry failed too
 
     /** Aggregate (sums counts, maxes the max fields). */
     FusionStats &operator+=(const FusionStats &o);
@@ -79,6 +82,14 @@ class FusedDecodeQueue
      * are in @p out — either decoded by this thread acting as the
      * combiner (possibly fused with other sessions' pending blocks) or
      * by another submitter combining on our behalf.
+     *
+     * Fault isolation: if a *fused* kernel pass throws, the combiner
+     * falls back to decoding that batch's blocks one by one (bits
+     * preserved — a solo block is the bit-identity reference), so a
+     * failure affecting one session's block cannot fail another
+     * session's submission; a block whose solo decode also fails
+     * delivers its exception to its *own* submitter. The combiner
+     * never exits with the queue wedged.
      */
     void decode(int session, const float *features,
                 std::size_t featureStride, int count, const Vec3 &viewDir,
@@ -126,11 +137,15 @@ class FusedDecodeQueue
     };
 
   private:
-    /** One submitted block plus its submission's completion counter. */
+    /**
+     * One submitted block plus its submission's completion counter and
+     * error slot (first failing block of a submission wins).
+     */
     struct Item
     {
         DecodeBlock blk;
         int *remaining = nullptr;
+        std::exception_ptr *error = nullptr;
     };
 
     /** Per-session backlog and deficit round-robin credit. */

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <stdexcept>
+#include <thread>
 
+#include "common/fault.hh"
 #include "common/parallel.hh"
 
 namespace cicero {
@@ -42,13 +45,20 @@ struct RenderService::Session
     std::unique_ptr<FusedDecodeQueue::SessionSink> sink;
     TaskGroup group;
 
+    int maxRetries = 0;     //!< resolved per-frame retry budget
+    double deadlineS = 0.0; //!< resolved per-frame deadline (0 = none)
+    bool downsampled = false; //!< admission was shed to half resolution
+
     std::mutex mu;
     std::condition_variable cv;
     std::vector<ServeFrame> frames;
     std::vector<char> done;
     std::vector<char> failed;
+    std::vector<char> skipped; //!< failed because quarantine skipped it
     std::vector<Clock::time_point> eligibleAt;
     int completed = 0;
+    int failedFrames = 0;    //!< frames that exhausted their retries
+    bool quarantined = false;
     bool finished = false;
     std::exception_ptr error;
 };
@@ -91,11 +101,14 @@ int
 RenderService::admitImpl(const ServeSessionConfig &config,
                          bool throwOnFull)
 {
+    faultCheck(FaultSite::SessionAdmit);
+
     if (config.trajectory.empty() || config.width <= 0 ||
         config.height <= 0)
         throw std::runtime_error("RenderService: invalid session config");
 
     auto s = std::make_shared<Session>();
+    bool shed = false;
     {
         std::lock_guard<std::mutex> lock(_mu);
         if (_active >= _config.maxSessions) {
@@ -105,17 +118,36 @@ RenderService::admitImpl(const ServeSessionConfig &config,
                     "RenderService: at session capacity");
             return -1;
         }
+        // Overload shedding: past the pressure threshold, admit at
+        // half resolution instead of full cost. Decided (and fixed) at
+        // admission so a session's frames stay mutually consistent —
+        // the service never changes resolution mid-session.
+        if (_config.shedOnOverload) {
+            int pressure = std::max(
+                1, static_cast<int>(std::ceil(_config.shedThreshold *
+                                              _config.maxSessions)));
+            shed = _active >= pressure;
+        }
+        if (shed)
+            ++_counters.shedAdmissions;
         s->id = _nextId++;
         ++_active;
         ++_counters.admitted;
         _sessions.emplace(s->id, s);
     }
 
+    ServeSessionConfig effective = config;
+    if (shed) {
+        effective.width = std::max(8, config.width / 2);
+        effective.height = std::max(8, config.height / 2);
+        s->downsampled = true;
+    }
+
     // Heavy setup outside the service lock: model build (on cache
     // miss) and the whole frame-chain submission. On failure (say an
     // unknown scene) the reserved slot must be handed back.
     try {
-        setupSession(s, config);
+        setupSession(s, effective);
     } catch (...) {
         std::lock_guard<std::mutex> lock(_mu);
         _sessions.erase(s->id);
@@ -140,9 +172,16 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
                                            : _config.defaultInflightWindow;
     window = std::min(std::max(window, 1), n);
     s->window = window;
+    s->maxRetries = config.maxFrameRetries >= 0
+                        ? config.maxFrameRetries
+                        : std::max(0, _config.maxFrameRetries);
+    s->deadlineS = config.frameDeadlineS > 0
+                       ? config.frameDeadlineS
+                       : _config.defaultFrameDeadlineS;
     s->frames.resize(n);
     s->done.assign(n, 0);
     s->failed.assign(n, 0);
+    s->skipped.assign(n, 0);
     s->eligibleAt.resize(n);
 
     const Clock::time_point admitted = Clock::now();
@@ -164,35 +203,89 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
         auto task = [this, sp = s.get(), f] {
             Session *const s = sp;
             const int nFrames = static_cast<int>(s->frames.size());
+
+            // Quarantine short-circuit: the render is skipped, but the
+            // completion bookkeeping below must still run — wait()
+            // blocks on `finished`, which only flips inside task
+            // bodies, so a quarantined session drains fast instead of
+            // deadlocking its waiter.
+            bool skip;
+            {
+                std::lock_guard<std::mutex> lock(s->mu);
+                skip = s->quarantined;
+            }
+
             const Clock::time_point t0 = Clock::now();
             ServeFrame frame;
             std::exception_ptr err;
-            try {
-                Camera cam = Camera::fromFov(
-                    s->cfg.width, s->cfg.height,
-                    s->lease.model().scene().fovYDeg,
-                    s->cfg.trajectory[f]);
-                RenderResult r =
-                    s->lease.model().renderServe(cam, s->sink.get());
-                frame.image = std::move(r.image);
-                frame.depth = std::move(r.depth);
-                frame.work = r.work;
-            } catch (...) {
-                err = std::current_exception();
+            int retries = 0;
+            if (!skip) {
+                // Bounded retry with exponential backoff: transient
+                // failures (an injected fault window, a briefly
+                // unavailable resource) cost latency, not the frame.
+                // Re-rendering is safe — renderServe is deterministic,
+                // so a retried frame is bit-identical to an untroubled
+                // one.
+                for (int attempt = 0;; ++attempt) {
+                    err = nullptr;
+                    try {
+                        faultCheck(FaultSite::FrameRender, s->id);
+                        Camera cam = Camera::fromFov(
+                            s->cfg.width, s->cfg.height,
+                            s->lease.model().scene().fovYDeg,
+                            s->cfg.trajectory[f]);
+                        RenderResult r = s->lease.model().renderServe(
+                            cam, s->sink.get());
+                        frame.image = std::move(r.image);
+                        frame.depth = std::move(r.depth);
+                        frame.work = r.work;
+                        break;
+                    } catch (...) {
+                        err = std::current_exception();
+                    }
+                    if (attempt >= s->maxRetries)
+                        break;
+                    ++retries;
+                    {
+                        std::lock_guard<std::mutex> lock(_mu);
+                        ++_counters.frameRetries;
+                    }
+                    std::this_thread::sleep_for(
+                        std::chrono::duration<double>(
+                            _config.retryBackoffS *
+                            static_cast<double>(1 << attempt)));
+                }
             }
             const Clock::time_point t1 = Clock::now();
 
+            const double renderS = seconds(t1 - t0);
+            bool deadlineMiss =
+                !skip && !err &&
+                ((s->deadlineS > 0 && renderS > s->deadlineS) ||
+                 faultShouldFire(FaultSite::FrameDeadline, s->id));
+
             bool sessionDone = false;
+            bool newlyQuarantined = false;
             {
                 std::lock_guard<std::mutex> lock(s->mu);
                 frame.latencyS = seconds(t1 - s->eligibleAt[f]);
-                frame.renderS = seconds(t1 - t0);
+                frame.renderS = renderS;
+                frame.retries = retries;
+                frame.deadlineMiss = deadlineMiss;
                 s->frames[f] = std::move(frame);
                 s->done[f] = 1;
-                if (err) {
+                if (skip) {
+                    s->failed[f] = 1;
+                    s->skipped[f] = 1;
+                } else if (err) {
                     s->failed[f] = 1;
                     if (!s->error)
                         s->error = err;
+                    if (++s->failedFrames >= _config.quarantineThreshold &&
+                        !s->quarantined) {
+                        s->quarantined = true;
+                        newlyQuarantined = true;
+                    }
                 }
                 if (f + s->window < nFrames)
                     s->eligibleAt[f + s->window] = t1;
@@ -206,6 +299,14 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
             {
                 std::lock_guard<std::mutex> lock(_mu);
                 ++_counters.framesCompleted;
+                if (skip)
+                    ++_counters.framesSkipped;
+                else if (err)
+                    ++_counters.framesFailed;
+                if (deadlineMiss)
+                    ++_counters.deadlineMisses;
+                if (newlyQuarantined)
+                    ++_counters.quarantinedSessions;
                 if (sessionDone)
                     --_active;
             }
@@ -240,9 +341,43 @@ RenderService::waitFrame(int sessionId, int frameIndex)
 
     std::unique_lock<std::mutex> lock(s->mu);
     s->cv.wait(lock, [&] { return s->done[frameIndex] != 0; });
-    if (s->failed[frameIndex])
+    if (s->failed[frameIndex]) {
+        if (s->skipped[frameIndex])
+            throw SessionQuarantinedError(sessionId);
         std::rethrow_exception(s->error);
+    }
     return s->frames[frameIndex];
+}
+
+ServeFrame
+RenderService::waitFrameFor(int sessionId, int frameIndex,
+                            double timeoutS)
+{
+    std::shared_ptr<Session> s = findSession(sessionId);
+    if (frameIndex < 0 ||
+        frameIndex >= static_cast<int>(s->frames.size()))
+        throw std::runtime_error("RenderService: frame index out of range");
+
+    std::unique_lock<std::mutex> lock(s->mu);
+    bool done = s->cv.wait_for(
+        lock, std::chrono::duration<double>(timeoutS),
+        [&] { return s->done[frameIndex] != 0; });
+    if (!done)
+        throw WaitTimeoutError(sessionId, frameIndex, timeoutS);
+    if (s->failed[frameIndex]) {
+        if (s->skipped[frameIndex])
+            throw SessionQuarantinedError(sessionId);
+        std::rethrow_exception(s->error);
+    }
+    return s->frames[frameIndex];
+}
+
+bool
+RenderService::sessionQuarantined(int sessionId) const
+{
+    std::shared_ptr<Session> s = findSession(sessionId);
+    std::lock_guard<std::mutex> lock(s->mu);
+    return s->quarantined;
 }
 
 ServeSessionResult
@@ -268,6 +403,7 @@ RenderService::wait(int sessionId)
 
     ServeSessionResult out;
     out.sessionId = sessionId;
+    out.downsampled = s->downsampled;
     {
         std::unique_lock<std::mutex> lock(s->mu);
         s->cv.wait(lock, [&] { return s->finished; });

@@ -27,6 +27,17 @@
  * fused decode preserves per-block bits (see FusedDecodeQueue).
  * Fusion reorders work across sessions only, never within a ray
  * block.
+ *
+ * Failure semantics (see README "Failure semantics & fault
+ * injection"): a transiently failing frame is retried with bounded
+ * exponential backoff; a session whose frames keep failing past the
+ * retry budget is *quarantined* — its remaining frames short-circuit
+ * (skipped, counted) while every other session's output stays
+ * bit-identical to its solo render — and surfaces a typed error at
+ * wait(). Per-frame deadlines mark (never corrupt) late frames, and
+ * under load pressure admissions degrade to the downsampled path
+ * (half resolution) instead of growing the queue — the DS-k shape of
+ * the paper applied to admission control.
  */
 
 #ifndef CICERO_SERVE_RENDER_SERVICE_HH
@@ -35,12 +46,58 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/geometry.hh"
 #include "serve/model_cache.hh"
 
 namespace cicero {
+
+/**
+ * Thrown when a frame is requested from a session the service
+ * quarantined after repeated frame failures. Carries the session id;
+ * the session's *first real* error is what wait() rethrows.
+ */
+class SessionQuarantinedError : public std::runtime_error
+{
+  public:
+    explicit SessionQuarantinedError(int sessionId)
+        : std::runtime_error("RenderService: session " +
+                             std::to_string(sessionId) +
+                             " is quarantined after repeated frame "
+                             "failures"),
+          _sessionId(sessionId)
+    {
+    }
+
+    int sessionId() const { return _sessionId; }
+
+  private:
+    int _sessionId;
+};
+
+/** Thrown by waitFrameFor() when the timeout elapses first. */
+class WaitTimeoutError : public std::runtime_error
+{
+  public:
+    WaitTimeoutError(int sessionId, int frameIndex, double timeoutS)
+        : std::runtime_error(
+              "RenderService: frame " + std::to_string(frameIndex) +
+              " of session " + std::to_string(sessionId) +
+              " not done within " + std::to_string(timeoutS) + " s"),
+          _sessionId(sessionId), _frameIndex(frameIndex)
+    {
+    }
+
+    int sessionId() const { return _sessionId; }
+    int frameIndex() const { return _frameIndex; }
+
+  private:
+    int _sessionId;
+    int _frameIndex;
+};
 
 /** One client session's request: model + trajectory + schedule. */
 struct ServeSessionConfig
@@ -55,6 +112,16 @@ struct ServeSessionConfig
      * variance), larger = deeper pipelining (higher throughput).
      */
     int inflightWindow = 0;
+    /**
+     * Per-frame render deadline in seconds; 0 takes the service
+     * default (which defaults to "none"). A frame that renders past
+     * its deadline is *marked* (ServeFrame::deadlineMiss, the
+     * deadlineMisses counter) but never altered — deadlines inform
+     * the client, they do not corrupt output.
+     */
+    double frameDeadlineS = 0.0;
+    /** Retry budget per frame; < 0 takes the service default. */
+    int maxFrameRetries = -1;
 };
 
 /** Service-wide configuration. */
@@ -64,6 +131,29 @@ struct RenderServiceConfig
     bool fuseDecode = true;        //!< route decode through the fusion queue
     int fusionQuantumSamples = 128; //!< DRR quantum (FusedDecodeQueue)
     int defaultInflightWindow = 2;
+
+    // --- graceful degradation ---
+    /** Retry budget for a transiently failing frame. */
+    int maxFrameRetries = 2;
+    /** Base retry backoff in seconds (doubles per retry). */
+    double retryBackoffS = 0.0005;
+    /**
+     * Frames that may fail (after retries) before the session is
+     * quarantined: its remaining frames are skipped instead of
+     * rendered, isolating the fault from healthy sessions.
+     */
+    int quarantineThreshold = 2;
+    /** Default per-frame deadline in seconds (0 = none). */
+    double defaultFrameDeadlineS = 0.0;
+    /**
+     * Overload shedding: when active sessions reach
+     * shedThreshold x maxSessions, new admissions are downgraded to
+     * the downsampled path (half resolution, floor 8) instead of
+     * rendered at full cost — predictable degradation, the DS-k
+     * fallback applied at admission time.
+     */
+    bool shedOnOverload = true;
+    double shedThreshold = 0.75;
 };
 
 /** One completed frame. */
@@ -79,6 +169,8 @@ struct ServeFrame
      */
     double latencyS = 0.0;
     double renderS = 0.0; //!< seconds spent rendering on the worker
+    int retries = 0;      //!< failed attempts before this frame succeeded
+    bool deadlineMiss = false; //!< rendered past its deadline
 };
 
 /** Everything a finished session produced. */
@@ -86,6 +178,8 @@ struct ServeSessionResult
 {
     int sessionId = -1;
     std::vector<ServeFrame> frames;
+    /** True when overload shedding downsampled this session. */
+    bool downsampled = false;
 };
 
 /** Service traffic counters. */
@@ -94,6 +188,14 @@ struct ServiceCounters
     std::uint64_t admitted = 0;
     std::uint64_t rejected = 0;
     std::uint64_t framesCompleted = 0;
+
+    // --- robustness ---
+    std::uint64_t frameRetries = 0;   //!< failed attempts that were retried
+    std::uint64_t framesFailed = 0;   //!< frames that exhausted their retries
+    std::uint64_t framesSkipped = 0;  //!< frames short-circuited by quarantine
+    std::uint64_t quarantinedSessions = 0;
+    std::uint64_t shedAdmissions = 0; //!< admissions downgraded to downsampled
+    std::uint64_t deadlineMisses = 0;
 };
 
 /**
@@ -123,9 +225,21 @@ class RenderService
     /**
      * Block until session @p sessionId's frame @p frameIndex is done
      * and return it (copy; the session keeps its frames until
-     * wait()). Rethrows a frame task's exception.
+     * wait()). Rethrows a frame task's exception;
+     * SessionQuarantinedError for a frame skipped by quarantine.
      */
     ServeFrame waitFrame(int sessionId, int frameIndex);
+
+    /**
+     * As waitFrame(), but gives up after @p timeoutS seconds.
+     * @throws WaitTimeoutError when the frame is not done in time (the
+     *         frame keeps rendering; the call can be retried).
+     */
+    ServeFrame waitFrameFor(int sessionId, int frameIndex,
+                            double timeoutS);
+
+    /** True when @p sessionId has been quarantined. */
+    bool sessionQuarantined(int sessionId) const;
 
     /**
      * Block until every frame of @p sessionId is done and collect the

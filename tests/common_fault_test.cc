@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the fault-injection framework: spec grammar, trigger
+ * windows (after/count), keyed matching, counters, the RAII test
+ * scope, and the exact-fire guarantee under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hh"
+
+namespace cicero {
+namespace {
+
+TEST(FaultTest, SiteNamesRoundTrip)
+{
+    for (int i = 0; i < kNumFaultSites; ++i) {
+        const FaultSite site = static_cast<FaultSite>(i);
+        FaultSite back = FaultSite::Count_;
+        ASSERT_TRUE(faultSiteFromName(faultSiteName(site), back))
+            << faultSiteName(site);
+        EXPECT_EQ(back, site);
+    }
+    FaultSite out;
+    EXPECT_FALSE(faultSiteFromName("no_such_site", out));
+}
+
+TEST(FaultTest, DisarmedChecksAreNoOps)
+{
+    FaultScope scope; // ensure a clean slate either way
+    EXPECT_FALSE(faultsArmed());
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceRead));
+    EXPECT_FALSE(faultShouldFire(FaultSite::FrameDeadline));
+}
+
+TEST(FaultTest, EmptySpecIsANoOp)
+{
+    FaultScope scope;
+    faultArmSpec("");
+    EXPECT_FALSE(faultsArmed());
+}
+
+TEST(FaultTest, MalformedSpecsThrowTyped)
+{
+    FaultScope scope;
+    EXPECT_THROW(faultArmSpec("no_such_site"), FaultSpecError);
+    EXPECT_THROW(faultArmSpec("trace_read:bogus=1"), FaultSpecError);
+    EXPECT_THROW(faultArmSpec("trace_read:count=xyz"), FaultSpecError);
+    EXPECT_THROW(faultArmSpec("trace_read:count="), FaultSpecError);
+    EXPECT_THROW(faultArmSpec(";"), FaultSpecError);
+    // Nothing half-armed after a failed parse attempt of a later term.
+    EXPECT_THROW(faultArmSpec("trace_read;no_such_site"), FaultSpecError);
+}
+
+TEST(FaultTest, WindowSkipsAfterThenFiresCountTimes)
+{
+    FaultScope scope("trace_read:after=2:count=2");
+    ASSERT_TRUE(faultsArmed());
+
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceRead)); // hit 1
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceRead)); // hit 2
+    try {
+        faultCheck(FaultSite::TraceRead); // hit 3: fires
+        FAIL() << "expected FaultInjectedError";
+    } catch (const FaultInjectedError &e) {
+        EXPECT_EQ(e.site(), FaultSite::TraceRead);
+        EXPECT_EQ(e.hit(), 3u);
+    }
+    EXPECT_THROW(faultCheck(FaultSite::TraceRead), FaultInjectedError);
+    // Window exhausted: hit 5 and on pass again.
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceRead));
+
+    const FaultCounters c = faultCounters();
+    const FaultSiteCounters &s =
+        c.site[static_cast<int>(FaultSite::TraceRead)];
+    EXPECT_EQ(s.hits, 5u);
+    EXPECT_EQ(s.fired, 2u);
+    EXPECT_TRUE(s.armed);
+}
+
+TEST(FaultTest, ArmedSiteDoesNotAffectOtherSites)
+{
+    FaultScope scope("trace_read:count=1");
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceWrite));
+    EXPECT_NO_THROW(faultCheck(FaultSite::MlpDecode));
+    EXPECT_THROW(faultCheck(FaultSite::TraceRead), FaultInjectedError);
+}
+
+TEST(FaultTest, KeyedArmOnlyCountsMatchingKeys)
+{
+    FaultScope scope("frame_render:key=7:count=1");
+    // Non-matching keys are not even hits for the window.
+    EXPECT_NO_THROW(faultCheck(FaultSite::FrameRender, 3));
+    EXPECT_NO_THROW(faultCheck(FaultSite::FrameRender, 8));
+    EXPECT_THROW(faultCheck(FaultSite::FrameRender, 7),
+                 FaultInjectedError);
+    // Window consumed.
+    EXPECT_NO_THROW(faultCheck(FaultSite::FrameRender, 7));
+}
+
+TEST(FaultTest, ShouldFireReportsWithoutThrowing)
+{
+    FaultScope scope("frame_deadline:after=1:count=1");
+    EXPECT_FALSE(faultShouldFire(FaultSite::FrameDeadline));
+    EXPECT_TRUE(faultShouldFire(FaultSite::FrameDeadline));
+    EXPECT_FALSE(faultShouldFire(FaultSite::FrameDeadline));
+}
+
+TEST(FaultTest, MultiSiteSpecArmsEverySite)
+{
+    FaultScope scope("trace_read:count=1;trace_write:count=1");
+    EXPECT_THROW(faultCheck(FaultSite::TraceRead), FaultInjectedError);
+    EXPECT_THROW(faultCheck(FaultSite::TraceWrite), FaultInjectedError);
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceRead));
+    EXPECT_NO_THROW(faultCheck(FaultSite::TraceWrite));
+}
+
+TEST(FaultTest, ScopeDisarmsAndZeroesOnExit)
+{
+    {
+        FaultScope scope("task_exec");
+        EXPECT_TRUE(faultsArmed());
+    }
+    EXPECT_FALSE(faultsArmed());
+    EXPECT_NO_THROW(faultCheck(FaultSite::TaskExec));
+    const FaultCounters c = faultCounters();
+    EXPECT_EQ(c.totalFired(), 0u);
+}
+
+TEST(FaultTest, ConcurrentHitsFireExactlyCountTimes)
+{
+    // The determinism contract under concurrency: whichever threads
+    // land the Nth..(N+count-1)th hits fire, and the *total* fired
+    // count is exact — no lost or duplicated fires.
+    FaultScope scope("frame_deadline:after=100:count=3");
+
+    constexpr int kThreads = 8;
+    constexpr int kHitsPerThread = 500;
+    std::atomic<int> fired{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&] {
+            for (int i = 0; i < kHitsPerThread; ++i)
+                if (faultShouldFire(FaultSite::FrameDeadline))
+                    fired.fetch_add(1, std::memory_order_relaxed);
+        });
+    for (std::thread &th : threads)
+        th.join();
+
+    EXPECT_EQ(fired.load(), 3);
+    const FaultCounters c = faultCounters();
+    const FaultSiteCounters &s =
+        c.site[static_cast<int>(FaultSite::FrameDeadline)];
+    EXPECT_EQ(s.hits,
+              static_cast<std::uint64_t>(kThreads) * kHitsPerThread);
+    EXPECT_EQ(s.fired, 3u);
+}
+
+} // namespace
+} // namespace cicero

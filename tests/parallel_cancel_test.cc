@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for cooperative cancellation and failure propagation through
+ * TaskGroup / runAfter dependency graphs: a failed or cancelled
+ * group's unstarted tasks (including dormant dependents) are drained —
+ * fired and counted, bodies never run — the graph always finishes, and
+ * the first exception surfaces at wait(). Every shape runs at 1, 4 and
+ * 7 threads; CI additionally runs this suite under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/parallel.hh"
+
+namespace cicero {
+namespace {
+
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+const int kThreadCounts[] = {1, 4, 7};
+
+TEST(ParallelCancelTest, ChainFailureDrainsDependents)
+{
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+        const SchedulerCounters base = parallelSchedulerCounters();
+
+        TaskGroup group;
+        std::atomic<int> ran{0};
+        TaskHandle a = group.run(
+            [] { throw std::runtime_error("chain head fails"); });
+        TaskHandle b = group.runAfter({a}, [&] { ran.fetch_add(1); });
+        TaskHandle c = group.runAfter({b}, [&] { ran.fetch_add(1); });
+        (void)c;
+
+        EXPECT_THROW(group.wait(), std::runtime_error)
+            << "threads " << threads;
+        EXPECT_EQ(ran.load(), 0) << "threads " << threads;
+
+        const SchedulerCounters d = parallelSchedulerCountersSince(base);
+        EXPECT_GE(d.tasksDrained, 2u) << "threads " << threads;
+
+        // The group is reusable after the failed wait().
+        std::atomic<bool> again{false};
+        group.run([&] { again.store(true); });
+        EXPECT_NO_THROW(group.wait());
+        EXPECT_TRUE(again.load()) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, DiamondFailureDrainsWholeSubgraph)
+{
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+
+        TaskGroup group;
+        std::atomic<int> ran{0};
+        TaskHandle a = group.run(
+            [] { throw std::runtime_error("diamond apex fails"); });
+        TaskHandle b = group.runAfter({a}, [&] { ran.fetch_add(1); });
+        TaskHandle c = group.runAfter({a}, [&] { ran.fetch_add(1); });
+        TaskHandle d = group.runAfter({b, c}, [&] { ran.fetch_add(1); });
+        (void)d;
+
+        // The graph drains (no deadlock) and the error surfaces.
+        EXPECT_THROW(group.wait(), std::runtime_error)
+            << "threads " << threads;
+        EXPECT_EQ(ran.load(), 0) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, CrossGroupDependencyStillReleasesDependent)
+{
+    // Failure state is per-group: a dependent in a *healthy* group
+    // whose dependency lives in a failed group is released by the
+    // skipped task and runs normally.
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+
+        TaskGroup failing, healthy;
+        std::atomic<bool> drainedDepRan{false};
+        std::atomic<bool> healthyRan{false};
+
+        TaskHandle a = failing.run(
+            [] { throw std::runtime_error("source group fails"); });
+        TaskHandle b =
+            failing.runAfter({a}, [&] { drainedDepRan.store(true); });
+        healthy.runAfter({b}, [&] { healthyRan.store(true); });
+
+        EXPECT_THROW(failing.wait(), std::runtime_error)
+            << "threads " << threads;
+        EXPECT_NO_THROW(healthy.wait()) << "threads " << threads;
+        EXPECT_FALSE(drainedDepRan.load()) << "threads " << threads;
+        EXPECT_TRUE(healthyRan.load()) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, CancelDrainsUnstartedTasksWithoutThrowing)
+{
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+        const SchedulerCounters base = parallelSchedulerCounters();
+
+        TaskGroup group;
+        std::atomic<int> ran{0};
+        // Outlive group.wait(): the gate task reads these until it is
+        // released, which can be after the else-block closes.
+        std::atomic<bool> release{false};
+        std::atomic<bool> started{false};
+        if (threads == 1) {
+            // One thread executes ready tasks inline at submission, so
+            // cancel first: everything submitted after drains.
+            group.cancel();
+            EXPECT_TRUE(group.cancelled());
+            group.run([&] { ran.fetch_add(1); });
+            group.run([&] { ran.fetch_add(1); });
+        } else {
+            // A gate holds the first task mid-run while cancel() lands;
+            // the dormant dependents behind it must drain, not run.
+            TaskHandle gate = group.run([&] {
+                started.store(true);
+                while (!release.load())
+                    std::this_thread::yield();
+            });
+            TaskHandle mid = group.runAfter({gate}, [&] {
+                ran.fetch_add(1);
+            });
+            group.runAfter({mid}, [&] { ran.fetch_add(1); });
+            while (!started.load())
+                std::this_thread::yield();
+            group.cancel();
+            EXPECT_TRUE(group.cancelled());
+            release.store(true);
+        }
+
+        EXPECT_NO_THROW(group.wait()) << "threads " << threads;
+        EXPECT_EQ(ran.load(), 0) << "threads " << threads;
+        EXPECT_FALSE(group.cancelled()) // cleared by wait()
+            << "threads " << threads;
+
+        const SchedulerCounters d = parallelSchedulerCountersSince(base);
+        EXPECT_GE(d.tasksDrained, 2u) << "threads " << threads;
+        EXPECT_GE(d.groupsCancelled, 1u) << "threads " << threads;
+
+        // Reusable: post-wait() submissions run again.
+        std::atomic<bool> again{false};
+        group.run([&] { again.store(true); });
+        EXPECT_NO_THROW(group.wait());
+        EXPECT_TRUE(again.load()) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, LongChainFailureMidwayDrainsTail)
+{
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+
+        constexpr int kLen = 16;
+        constexpr int kFailAt = 7;
+        TaskGroup group;
+        std::atomic<int> ran{0};
+        TaskHandle prev;
+        for (int i = 0; i < kLen; ++i) {
+            auto fn = [&ran, i]() {
+                if (i == kFailAt)
+                    throw std::runtime_error("midway failure");
+                ran.fetch_add(1);
+            };
+            prev = prev.valid()
+                       ? group.runAfter({prev}, fn)
+                       : group.run(fn);
+        }
+
+        EXPECT_THROW(group.wait(), std::runtime_error)
+            << "threads " << threads;
+        // Everything before the failure ran; everything after drained.
+        EXPECT_EQ(ran.load(), kFailAt) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, InjectedTaskFaultSurfacesTypedAtWait)
+{
+    ThreadCountGuard guard;
+    for (int threads : kThreadCounts) {
+        setParallelThreadCount(threads);
+        FaultScope scope("task_exec:after=2:count=1");
+
+        TaskGroup group;
+        std::atomic<int> ran{0};
+        for (int i = 0; i < 8; ++i)
+            group.run([&] { ran.fetch_add(1); });
+
+        try {
+            group.wait();
+            FAIL() << "expected FaultInjectedError, threads " << threads;
+        } catch (const FaultInjectedError &e) {
+            EXPECT_EQ(e.site(), FaultSite::TaskExec)
+                << "threads " << threads;
+        }
+        // Exactly one task was killed by the fault; the rest either
+        // ran before the failure or were drained after it.
+        EXPECT_LT(ran.load(), 8) << "threads " << threads;
+    }
+}
+
+TEST(ParallelCancelTest, InjectedFaultPropagatesFromParallelFor)
+{
+    // One thread runs loops serially inline — no scheduler task, no
+    // task_exec site — so this shape starts at 4 threads.
+    ThreadCountGuard guard;
+    for (int threads : {4, 7}) {
+        setParallelThreadCount(threads);
+        FaultScope scope("task_exec:count=1");
+
+        EXPECT_THROW(parallelFor(0, 64, 4,
+                                 [](std::int64_t, std::int64_t) {}),
+                     FaultInjectedError)
+            << "threads " << threads;
+
+        // The pool is healthy afterwards.
+        std::atomic<int> visited{0};
+        parallelFor(0, 64, 4, [&](std::int64_t b, std::int64_t e) {
+            visited.fetch_add(static_cast<int>(e - b));
+        });
+        EXPECT_EQ(visited.load(), 64) << "threads " << threads;
+    }
+}
+
+} // namespace
+} // namespace cicero

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Graceful-degradation tests for the render service and the fused
+ * decode queue, driven by the deterministic fault-injection framework:
+ * transient-fault retry, session quarantine with fault isolation
+ * (healthy sessions stay bit-identical to solo), waitFrameFor
+ * timeouts, overload shedding, deadline marking, and the fused queue's
+ * split-retry fallback.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/fault.hh"
+#include "common/parallel.hh"
+#include "common/simd.hh"
+#include "scene/trajectory.hh"
+#include "serve/render_service.hh"
+#include "test_util.hh"
+
+namespace cicero {
+namespace {
+
+struct ThreadCountGuard
+{
+    ~ThreadCountGuard() { setParallelThreadCount(0); }
+};
+
+ModelKey
+tinyKey()
+{
+    ModelKey key;
+    key.scene = "lego";
+    key.kind = ModelKind::DirectVoxGO;
+    key.preset = ModelPreset::Fast;
+    return key;
+}
+
+std::vector<Pose>
+orbit(int frames, float startDeg = 0.0f)
+{
+    OrbitParams params;
+    params.startDeg = startDeg;
+    return orbitTrajectory(params, frames);
+}
+
+/** Channel-major features for @p count synthetic baked points. */
+std::vector<float>
+blockFeatures(int count, int salt)
+{
+    std::vector<float> aos(static_cast<std::size_t>(count) * kFeatureDim);
+    for (int b = 0; b < count; ++b) {
+        BakedPoint pt;
+        pt.sigma = ((b + salt) % 5 == 0) ? 0.0f : 0.8f + 0.3f * b;
+        pt.diffuse = {0.07f * ((b + salt) % 13), 0.4f, 0.9f - 0.02f * b};
+        pt.normal =
+            Vec3{0.1f * (salt % 7), 1.0f, 0.05f * b}.normalized();
+        pt.specular = 0.03f * ((b + salt) % 9);
+        pt.shininess = 3.0f + (b % 11);
+        encodeBakedPoint(pt, aos.data() + b * kFeatureDim);
+    }
+    std::vector<float> soa(aos.size());
+    simd::transposeToChannelMajor(aos.data(), count, kFeatureDim,
+                                  soa.data());
+    return soa;
+}
+
+/** Pixel-exact image comparison. */
+int
+mismatchedPixels(const Image &a, const Image &b)
+{
+    if (a.pixelCount() != b.pixelCount())
+        return static_cast<int>(a.pixelCount() + b.pixelCount());
+    int bad = 0;
+    for (std::size_t p = 0; p < a.pixelCount(); ++p)
+        if (a.at(p).x != b.at(p).x || a.at(p).y != b.at(p).y ||
+            a.at(p).z != b.at(p).z)
+            ++bad;
+    return bad;
+}
+
+TEST(ServeRobustnessTest, RetryRecoversTransientFrameFault)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(2);
+
+    RenderService svc;
+    ServeSessionConfig sc;
+    sc.model = tinyKey();
+    sc.width = 24;
+    sc.height = 24;
+    sc.trajectory = orbit(3);
+
+    // Solo reference before arming anything.
+    SharedModelCache::Lease pin = svc.cache().acquire(tinyKey());
+    std::vector<Image> solo;
+    for (const Pose &pose : sc.trajectory) {
+        Camera cam = Camera::fromFov(sc.width, sc.height,
+                                     pin.model().scene().fovYDeg, pose);
+        solo.push_back(pin.model().render(cam).image);
+    }
+
+    FaultScope scope("frame_render:count=1");
+    const int id = svc.admit(sc);
+    ServeSessionResult r = svc.wait(id);
+
+    // Exactly one attempt was killed; the retry recovered it and the
+    // output is still bit-identical to the solo render.
+    ASSERT_EQ(r.frames.size(), 3u);
+    int retried = 0;
+    for (int f = 0; f < 3; ++f) {
+        retried += r.frames[f].retries;
+        EXPECT_EQ(mismatchedPixels(r.frames[f].image, solo[f]), 0)
+            << "frame " << f;
+    }
+    EXPECT_EQ(retried, 1);
+
+    const ServiceCounters c = svc.counters();
+    EXPECT_EQ(c.frameRetries, 1u);
+    EXPECT_EQ(c.framesFailed, 0u);
+    EXPECT_EQ(c.framesCompleted, 3u);
+    EXPECT_EQ(c.quarantinedSessions, 0u);
+}
+
+TEST(ServeRobustnessTest, QuarantineIsolatesFailingSession)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(4);
+
+    RenderServiceConfig cfg;
+    cfg.quarantineThreshold = 2;
+    cfg.retryBackoffS = 1e-6;
+    RenderService svc(cfg);
+
+    // Solo reference for the healthy session.
+    SharedModelCache::Lease pin = svc.cache().acquire(tinyKey());
+    std::vector<Pose> healthyTraj = orbit(2, /*startDeg=*/45.0f);
+    std::vector<Image> solo;
+    for (const Pose &pose : healthyTraj) {
+        Camera cam =
+            Camera::fromFov(24, 24, pin.model().scene().fovYDeg, pose);
+        solo.push_back(pin.model().render(cam).image);
+    }
+
+    // Every frame_render check of session 0 fails, forever. The fresh
+    // service hands out ids from 0, so the first admission is the
+    // victim and the keyed fault never touches session 1.
+    FaultScope scope("frame_render:key=0:count=100000");
+
+    ServeSessionConfig bad;
+    bad.model = tinyKey();
+    bad.width = 16;
+    bad.height = 16;
+    bad.trajectory = orbit(4);
+    bad.inflightWindow = 1; // strictly serial: frames 2,3 are *after*
+    bad.maxFrameRetries = 1; // the quarantine and deterministically skip
+
+    ServeSessionConfig good = bad;
+    good.width = 24;
+    good.height = 24;
+    good.trajectory = healthyTraj;
+
+    const int badId = svc.admit(bad);
+    ASSERT_EQ(badId, 0);
+    const int goodId = svc.admit(good);
+    EXPECT_FALSE(svc.sessionQuarantined(goodId));
+
+    // The healthy session is untouched: bit-identical to solo even
+    // while session 0 is failing and being quarantined next door.
+    ServeSessionResult healthy = svc.wait(goodId);
+    ASSERT_EQ(healthy.frames.size(), 2u);
+    for (int f = 0; f < 2; ++f)
+        EXPECT_EQ(mismatchedPixels(healthy.frames[f].image, solo[f]), 0)
+            << "frame " << f;
+
+    // Frame 0 exhausted its retries: its own error surfaces.
+    EXPECT_THROW(svc.waitFrame(badId, 0), FaultInjectedError);
+    // Frame 3 was never attempted: quarantine short-circuited it.
+    EXPECT_THROW(svc.waitFrame(badId, 3), SessionQuarantinedError);
+    EXPECT_TRUE(svc.sessionQuarantined(badId));
+
+    // wait() rethrows the session's first real error, and retires it.
+    EXPECT_THROW(svc.wait(badId), FaultInjectedError);
+    EXPECT_THROW(svc.wait(badId), std::runtime_error); // already gone
+
+    const ServiceCounters c = svc.counters();
+    EXPECT_EQ(c.framesFailed, 2u);   // frames 0, 1
+    EXPECT_EQ(c.framesSkipped, 2u);  // frames 2, 3
+    EXPECT_EQ(c.quarantinedSessions, 1u);
+    EXPECT_EQ(c.frameRetries, 2u);   // one retry per failed frame
+}
+
+TEST(ServeRobustnessTest, WaitFrameForTimesOutThenDelivers)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(2);
+
+    RenderServiceConfig cfg;
+    cfg.retryBackoffS = 0.1; // the injected failure forces a 0.1 s nap
+    RenderService svc(cfg);
+
+    ServeSessionConfig sc;
+    sc.model = tinyKey();
+    sc.width = 16;
+    sc.height = 16;
+    sc.trajectory = orbit(1);
+
+    FaultScope scope("frame_render:count=1");
+    const int id = svc.admit(sc);
+
+    // The frame cannot be done inside 10 ms — its first attempt dies
+    // and the retry sits in the 100 ms backoff.
+    try {
+        svc.waitFrameFor(id, 0, 0.01);
+        FAIL() << "expected WaitTimeoutError";
+    } catch (const WaitTimeoutError &e) {
+        EXPECT_EQ(e.sessionId(), id);
+        EXPECT_EQ(e.frameIndex(), 0);
+    }
+
+    // The frame kept rendering; the blocking wait delivers it.
+    ServeFrame frame = svc.waitFrame(id, 0);
+    EXPECT_EQ(frame.retries, 1);
+    svc.wait(id);
+}
+
+TEST(ServeRobustnessTest, OverloadSheddingDownsamplesAdmissions)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(2); // async frames: sessions stay in flight
+
+    RenderServiceConfig cfg;
+    cfg.maxSessions = 4;
+    cfg.shedThreshold = 0.5; // pressure at ceil(0.5 * 4) = 2 active
+    RenderService svc(cfg);
+
+    ServeSessionConfig sc;
+    sc.model = tinyKey();
+    sc.width = 32;
+    sc.height = 32;
+    sc.trajectory = orbit(8);
+
+    const int a = svc.admit(sc);
+    const int b = svc.admit(sc);
+    const int c = svc.admit(sc); // 2 active >= pressure: shed
+    ServeSessionResult ra = svc.wait(a);
+    ServeSessionResult rb = svc.wait(b);
+    ServeSessionResult rc = svc.wait(c);
+
+    EXPECT_FALSE(ra.downsampled);
+    EXPECT_FALSE(rb.downsampled);
+    EXPECT_TRUE(rc.downsampled);
+    // Half resolution: 32x32 -> 16x16.
+    EXPECT_EQ(ra.frames[0].image.pixelCount(), 32u * 32u);
+    EXPECT_EQ(rc.frames[0].image.pixelCount(), 16u * 16u);
+    EXPECT_EQ(svc.counters().shedAdmissions, 1u);
+
+    // Pressure cleared: the next admission runs at full resolution.
+    ServeSessionConfig one = sc;
+    one.trajectory = orbit(1);
+    ServeSessionResult rd = svc.wait(svc.admit(one));
+    EXPECT_FALSE(rd.downsampled);
+    EXPECT_EQ(rd.frames[0].image.pixelCount(), 32u * 32u);
+}
+
+TEST(ServeRobustnessTest, DeadlinesMarkLateFramesWithoutCorruption)
+{
+    ThreadCountGuard guard;
+    setParallelThreadCount(2);
+
+    RenderServiceConfig cfg;
+    cfg.defaultFrameDeadlineS = 1e-9; // every frame is "late"
+    RenderService svc(cfg);
+
+    ServeSessionConfig sc;
+    sc.model = tinyKey();
+    sc.width = 24;
+    sc.height = 24;
+    sc.trajectory = orbit(2);
+
+    SharedModelCache::Lease pin = svc.cache().acquire(tinyKey());
+    std::vector<Image> solo;
+    for (const Pose &pose : sc.trajectory) {
+        Camera cam = Camera::fromFov(sc.width, sc.height,
+                                     pin.model().scene().fovYDeg, pose);
+        solo.push_back(pin.model().render(cam).image);
+    }
+
+    ServeSessionResult r = svc.wait(svc.admit(sc));
+    ASSERT_EQ(r.frames.size(), 2u);
+    for (int f = 0; f < 2; ++f) {
+        EXPECT_TRUE(r.frames[f].deadlineMiss) << "frame " << f;
+        // Marked, never altered.
+        EXPECT_EQ(mismatchedPixels(r.frames[f].image, solo[f]), 0)
+            << "frame " << f;
+    }
+    EXPECT_EQ(svc.counters().deadlineMisses, 2u);
+
+    // The injected variant: no real deadline, one forced miss.
+    RenderService svc2;
+    FaultScope scope("frame_deadline:count=1");
+    ServeSessionResult r2 = svc2.wait(svc2.admit(sc));
+    int misses = 0;
+    for (const ServeFrame &frame : r2.frames)
+        misses += frame.deadlineMiss ? 1 : 0;
+    EXPECT_EQ(misses, 1);
+    EXPECT_EQ(svc2.counters().deadlineMisses, 1u);
+}
+
+TEST(ServeRobustnessTest, FusedQueueSplitRetryIsolatesBatchFault)
+{
+    Scene scene = test::tinyScene();
+    Decoder decoder(scene.field.lightDir());
+    FusedDecodeQueue queue(decoder);
+
+    const int counts[2] = {12, 9};
+    std::vector<std::vector<float>> feats;
+    std::vector<Vec3> dirs;
+    std::vector<std::vector<DecodedSample>> out(2), ref(2);
+    for (int i = 0; i < 2; ++i) {
+        feats.push_back(blockFeatures(counts[i], i + 1));
+        dirs.push_back(Vec3{0.1f * i - 0.2f, 0.3f, -1.0f}.normalized());
+        out[i].resize(counts[i]);
+        ref[i].resize(counts[i]);
+        decoder.decodeBatchSoA(feats[i].data(),
+                               static_cast<std::size_t>(counts[i]),
+                               counts[i], dirs[i], ref[i].data());
+    }
+
+    DecodeBlock blocks[2];
+    for (int i = 0; i < 2; ++i) {
+        blocks[i].features = feats[i].data();
+        blocks[i].featureStride = static_cast<std::size_t>(counts[i]);
+        blocks[i].count = counts[i];
+        blocks[i].viewDir = dirs[i];
+        blocks[i].out = out[i].data();
+    }
+
+    // The fused pass dies (count=1 consumes the window); both solo
+    // retries then succeed, so the submitter sees no error at all and
+    // the results are still bit-identical.
+    {
+        FaultScope scope("mlp_decode:count=1");
+        queue.decodeBlocks(/*session=*/0, blocks, 2);
+    }
+    for (int i = 0; i < 2; ++i)
+        for (int b = 0; b < counts[i]; ++b) {
+            ASSERT_EQ(out[i][b].sigma, ref[i][b].sigma)
+                << "block " << i << " sample " << b;
+            ASSERT_EQ(out[i][b].rgb.x, ref[i][b].rgb.x);
+            ASSERT_EQ(out[i][b].rgb.y, ref[i][b].rgb.y);
+            ASSERT_EQ(out[i][b].rgb.z, ref[i][b].rgb.z);
+        }
+    FusionStats stats = queue.stats();
+    EXPECT_EQ(stats.splitRetries, 2u);
+    EXPECT_EQ(stats.failedBlocks, 0u);
+
+    // Fused pass AND both solo retries die: the error surfaces on the
+    // submitter, and the queue is not wedged afterwards.
+    {
+        FaultScope scope("mlp_decode:count=3");
+        EXPECT_THROW(queue.decodeBlocks(0, blocks, 2),
+                     FaultInjectedError);
+    }
+    stats = queue.stats();
+    EXPECT_EQ(stats.failedBlocks, 2u);
+
+    // Single-block batch: the batch IS the solo decode — its failure
+    // is delivered directly, no pointless retry.
+    {
+        FaultScope scope("mlp_decode:count=1");
+        EXPECT_THROW(queue.decodeBlocks(0, blocks, 1),
+                     FaultInjectedError);
+    }
+    EXPECT_EQ(queue.stats().splitRetries, 4u); // unchanged by the last two
+
+    // Healthy again: a clean decode still matches the reference.
+    queue.decodeBlocks(0, blocks, 2);
+    for (int i = 0; i < 2; ++i)
+        for (int b = 0; b < counts[i]; ++b)
+            ASSERT_EQ(out[i][b].sigma, ref[i][b].sigma)
+                << "block " << i << " sample " << b;
+    queue.releaseSession(0);
+}
+
+} // namespace
+} // namespace cicero

@@ -21,6 +21,7 @@
  */
 
 #include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
 #include "common/parallel.hh"
 #include "dse/corpus.hh"
 #include "dse/driver.hh"
@@ -56,7 +58,10 @@ usage()
         "  pareto OUT.json\n"
         "      print the Pareto-optimal configs of a sweep result\n"
         "  show OUT.json\n"
-        "      print the per-config summary of a sweep result\n");
+        "      print the per-config summary of a sweep result\n"
+        "\n"
+        "exit codes: 0 ok, 1 check failed, 2 usage, 3 I/O error,\n"
+        "            4 parse error, 5 other failure\n");
     return 2;
 }
 
@@ -120,12 +125,17 @@ readFile(const std::string &path)
 {
     std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
-        throw std::runtime_error("cannot open " + path);
+        throw IoError("cannot open", path, errno);
     std::string out;
     char buf[4096];
     std::size_t n;
     while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
         out.append(buf, n);
+    if (std::ferror(f)) {
+        int err = errno;
+        std::fclose(f);
+        throw IoError("read error on", path, err);
+    }
     std::fclose(f);
     return out;
 }
@@ -260,12 +270,15 @@ cmdSweep(int argc, char **argv)
 
     if (outFile) {
         std::FILE *f = std::fopen(outFile, "wb");
-        if (!f) {
-            std::fprintf(stderr, "sweep: cannot write %s\n", outFile);
-            return 3;
+        if (!f)
+            throw IoError("cannot write", outFile, errno);
+        if (std::fwrite(json.data(), 1, json.size(), f) != json.size()) {
+            int err = errno;
+            std::fclose(f);
+            throw IoError("short write on", outFile, err);
         }
-        std::fwrite(json.data(), 1, json.size(), f);
-        std::fclose(f);
+        if (std::fclose(f) != 0)
+            throw IoError("cannot finalize", outFile, errno);
     } else {
         std::fwrite(json.data(), 1, json.size(), stdout);
     }
@@ -350,9 +363,15 @@ main(int argc, char **argv)
             return printSummary(argc, argv, true);
         if (cmd == "show")
             return printSummary(argc, argv, false);
-    } catch (const std::exception &e) {
+    } catch (const IoError &e) {
         std::fprintf(stderr, "cicero_dse: %s\n", e.what());
         return 3;
+    } catch (const ParseError &e) {
+        std::fprintf(stderr, "cicero_dse: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cicero_dse: %s\n", e.what());
+        return 5;
     }
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();

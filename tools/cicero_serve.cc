@@ -13,7 +13,11 @@
  *   cicero_serve [--sessions N] [--frames N] [--res N] [--scene NAME]
  *                [--model ngp|dvgo|tensorf|enerf] [--preset fast|full]
  *                [--window N] [--mix uniform|bursty|heavy]
- *                [--no-fuse] [--fp16] [--quantum N]
+ *                [--no-fuse] [--fp16] [--quantum N] [--faults SPEC]
+ *
+ * Exit codes: 0 success, 2 usage error, 3 I/O error, 4 parse error,
+ * 5 other runtime failure (including injected faults that exhaust the
+ * service's retry/quarantine budget).
  */
 
 #include <algorithm>
@@ -26,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "common/errors.hh"
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "scene/trajectory.hh"
 #include "serve/render_service.hh"
@@ -111,7 +117,11 @@ usage()
         "                    [--scene NAME] [--model KIND]\n"
         "                    [--preset fast|full] [--window N]\n"
         "                    [--mix uniform|bursty|heavy] [--no-fuse]\n"
-        "                    [--fp16] [--quantum N] [--threads N]\n");
+        "                    [--fp16] [--quantum N] [--threads N]\n"
+        "                    [--faults SPEC]\n"
+        "\n"
+        "exit codes: 0 ok, 2 usage, 3 I/O error, 4 parse error,\n"
+        "            5 other failure\n");
     return 2;
 }
 
@@ -148,12 +158,28 @@ percentileMs(std::vector<double> v, double p)
     return 1e3 * (v[lo] * (1.0 - frac) + v[hi] * frac);
 }
 
-} // namespace
+/** --faults SPEC: a malformed CLI spec is a usage error. */
+bool
+applyFaultsOption(int argc, char **argv)
+{
+    const char *v = optValue(argc, argv, "--faults");
+    if (!v)
+        return true;
+    try {
+        faultArmSpec(v);
+    } catch (const FaultSpecError &e) {
+        std::fprintf(stderr, "cicero_serve: --faults: %s\n", e.what());
+        return false;
+    }
+    return true;
+}
 
 int
-main(int argc, char **argv)
+run(int argc, char **argv)
 {
     applyThreadsOption(argc, argv);
+    if (!applyFaultsOption(argc, argv))
+        return usage();
     std::uint32_t sessions, frames, res, window, quantum;
     if (!optUint(argc, argv, "--sessions", 4, 1, 1024, sessions) ||
         !optUint(argc, argv, "--frames", 8, 1, 100000, frames) ||
@@ -275,5 +301,35 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(fu.fusedPasses),
                 static_cast<unsigned long long>(fu.crossSessionPasses),
                 static_cast<unsigned long long>(fu.maxBatchSamples));
+    std::printf("robust:  retries=%llu failed=%llu skipped=%llu "
+                "quarantined=%llu shed=%llu deadline_miss=%llu "
+                "split_retries=%llu failed_blocks=%llu\n",
+                static_cast<unsigned long long>(sc.frameRetries),
+                static_cast<unsigned long long>(sc.framesFailed),
+                static_cast<unsigned long long>(sc.framesSkipped),
+                static_cast<unsigned long long>(sc.quarantinedSessions),
+                static_cast<unsigned long long>(sc.shedAdmissions),
+                static_cast<unsigned long long>(sc.deadlineMisses),
+                static_cast<unsigned long long>(fu.splitRetries),
+                static_cast<unsigned long long>(fu.failedBlocks));
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        return run(argc, argv);
+    } catch (const IoError &e) {
+        std::fprintf(stderr, "cicero_serve: %s\n", e.what());
+        return 3;
+    } catch (const ParseError &e) {
+        std::fprintf(stderr, "cicero_serve: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cicero_serve: %s\n", e.what());
+        return 5;
+    }
 }

@@ -23,7 +23,18 @@
  *   cicero_trace diff a.ctrace b.ctrace
  *       Event-level comparison of two traces; exit 1 on mismatch.
  *
- * All commands accept --threads N (validated like CICERO_THREADS).
+ *   cicero_trace recover damaged.ctrace -o salvaged.ctrace
+ *       Salvage the longest checksum-valid event prefix of a truncated
+ *       or corrupted trace and (optionally) rewrite it as a clean
+ *       container.
+ *
+ * All commands accept --threads N (validated like CICERO_THREADS) and
+ * --faults SPEC (arm fault-injection sites; same grammar as
+ * CICERO_FAULTS).
+ *
+ * Exit codes: 0 success, 1 comparison mismatch / check failure,
+ * 2 usage error, 3 I/O error, 4 parse error (malformed trace or
+ * manifest), 5 other runtime failure (including injected faults).
  */
 
 #include <algorithm>
@@ -39,6 +50,8 @@
 
 #include <sys/stat.h>
 
+#include "common/errors.hh"
+#include "common/fault.hh"
 #include "common/parallel.hh"
 #include "dse/accel_replay.hh"
 #include "dse/corpus.hh"
@@ -73,15 +86,23 @@ usage()
         "      write a corpus.json manifest (DSE corpus input)\n"
         "  replay FILE [--stack cache|bank|dram|gpu|npu|gu|accels]\n"
         "          [--ways N] [--capacity-mb N] [--banks N] [--rays N]\n"
-        "          [--sram-layout feature|channel]\n"
+        "          [--sram-layout feature|channel] [--salvage]\n"
         "      run a persisted trace through a memory-model or\n"
         "      accelerator stack, print stats JSON\n"
-        "  stats FILE\n"
+        "  stats FILE [--salvage]\n"
         "      counts, event breakdown, address histogram, ratio\n"
         "  diff FILE_A FILE_B\n"
         "      compare two traces event by event; exit 1 if they differ\n"
+        "  recover FILE [-o OUT]\n"
+        "      salvage the longest checksum-valid event prefix of a\n"
+        "      damaged trace; with -o, rewrite it as a clean container\n"
         "\n"
-        "global: --threads N  set worker count (like CICERO_THREADS)\n");
+        "global: --threads N    set worker count (like CICERO_THREADS)\n"
+        "        --faults SPEC  arm fault injection (CICERO_FAULTS "
+        "grammar)\n"
+        "\n"
+        "exit codes: 0 ok, 1 mismatch, 2 usage, 3 I/O error,\n"
+        "            4 parse error, 5 other failure\n");
     return 2;
 }
 
@@ -141,14 +162,23 @@ optUint(int argc, char **argv, const char *name, std::uint32_t fallback,
     return true;
 }
 
+/** Options that take no value (everything else is --name VALUE). */
+bool
+optIsValueless(const char *name)
+{
+    return std::strcmp(name, "--fp16") == 0 ||
+           std::strcmp(name, "--salvage") == 0;
+}
+
 /** First non-option argument after the command, or nullptr. */
 const char *
 positional(int argc, char **argv, int index)
 {
     int seen = 0;
     for (int i = 2; i < argc; ++i) {
-        if (argv[i][0] == '-' && argv[i][1] == '-') {
-            ++i; // skip the option's value
+        if (argv[i][0] == '-') {
+            if (!optIsValueless(argv[i]))
+                ++i; // skip the option's value
             continue;
         }
         if (seen++ == index)
@@ -179,6 +209,50 @@ applyThreadsOption(int argc, char **argv)
         return;
     }
     setParallelThreadCount(n);
+}
+
+/**
+ * Apply --faults SPEC. Unlike the CICERO_FAULTS env (operator typo →
+ * warn and ignore), an explicit CLI spec that fails to parse is a
+ * usage error.
+ */
+bool
+applyFaultsOption(int argc, char **argv)
+{
+    const char *v = optValue(argc, argv, "--faults");
+    if (!v)
+        return true;
+    try {
+        faultArmSpec(v);
+    } catch (const FaultSpecError &e) {
+        std::fprintf(stderr, "cicero_trace: --faults: %s\n", e.what());
+        return false;
+    }
+    return true;
+}
+
+/** Read mode for commands accepting --salvage. */
+TraceReadMode
+readMode(int argc, char **argv)
+{
+    return optFlag(argc, argv, "--salvage") ? TraceReadMode::Salvage
+                                            : TraceReadMode::Strict;
+}
+
+/** Report what a salvage-mode read had to recover (stderr). */
+void
+reportRecovery(const char *file, const TraceFileReader &reader)
+{
+    const TraceRecoveryInfo &r = reader.recovery();
+    if (!r.salvaged)
+        return;
+    std::fprintf(stderr,
+                 "cicero_trace: %s was damaged; salvaged %llu events "
+                 "(%llu checkpoint(s) verified, %llu payload bytes "
+                 "dropped)\n",
+                 file, static_cast<unsigned long long>(r.keptEvents),
+                 static_cast<unsigned long long>(r.checkpointsVerified),
+                 static_cast<unsigned long long>(r.droppedPayloadBytes));
 }
 
 bool
@@ -485,7 +559,8 @@ cmdReplay(int argc, char **argv)
         return usage();
     }
 
-    TraceFileReader reader(file);
+    TraceFileReader reader(file, readMode(argc, argv));
+    reportRecovery(file, reader);
     if (!traceMetaStorageConsistent(reader.meta()))
         std::fprintf(stderr,
                      "cicero_trace: warning: %s was captured with %s "
@@ -611,7 +686,8 @@ cmdStats(int argc, char **argv)
         std::fprintf(stderr, "stats: missing trace file\n");
         return usage();
     }
-    TraceFileReader reader(file);
+    TraceFileReader reader(file, readMode(argc, argv));
+    reportRecovery(file, reader);
 
     // Two streaming replays (range, then histogram) keep memory O(1)
     // however long the trace is — the whole point of sink plumbing.
@@ -827,6 +903,53 @@ cmdDiff(int argc, char **argv)
     return 0;
 }
 
+// ---------------------------------------------------------------------
+// recover
+// ---------------------------------------------------------------------
+
+int
+cmdRecover(int argc, char **argv)
+{
+    const char *file = positional(argc, argv, 0);
+    if (!file) {
+        std::fprintf(stderr, "recover: missing trace file\n");
+        return usage();
+    }
+    const char *out = optValue(argc, argv, "-o");
+    if (!out)
+        out = optValue(argc, argv, "--out");
+
+    TraceFileReader reader(file, TraceReadMode::Salvage);
+    const TraceRecoveryInfo &r = reader.recovery();
+    std::printf("recover %s: %s\n", file,
+                r.salvaged ? "damage found, tail dropped"
+                           : "file intact, nothing to do");
+    std::printf("  kept: accesses=%llu rayEnds=%llu flushes=%llu\n",
+                static_cast<unsigned long long>(reader.counts().accesses),
+                static_cast<unsigned long long>(reader.counts().rayEnds),
+                static_cast<unsigned long long>(reader.counts().flushes));
+    if (r.salvaged)
+        std::printf("  salvage: events=%llu checkpointsVerified=%llu "
+                    "droppedPayloadBytes=%llu\n",
+                    static_cast<unsigned long long>(r.keptEvents),
+                    static_cast<unsigned long long>(r.checkpointsVerified),
+                    static_cast<unsigned long long>(
+                        r.droppedPayloadBytes));
+
+    if (out) {
+        // Re-encode the recovered prefix as a fresh, clean container
+        // (checkpoints and checksums rebuilt by the writer).
+        TraceFileWriter writer(out, reader.meta(), reader.codec());
+        reader.replay(&writer);
+        if (reader.hasWorkloadSummary())
+            writer.setWorkloadSummary(reader.workloadSummary());
+        writer.close();
+        std::printf("  rewrote %s: %llu bytes\n", out,
+                    static_cast<unsigned long long>(writer.fileBytes()));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -836,6 +959,8 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = argv[1];
     applyThreadsOption(argc, argv);
+    if (!applyFaultsOption(argc, argv))
+        return usage();
     try {
         if (cmd == "capture")
             return cmdCapture(argc, argv);
@@ -847,9 +972,17 @@ main(int argc, char **argv)
             return cmdStats(argc, argv);
         if (cmd == "diff")
             return cmdDiff(argc, argv);
-    } catch (const std::exception &e) {
+        if (cmd == "recover")
+            return cmdRecover(argc, argv);
+    } catch (const IoError &e) {
         std::fprintf(stderr, "cicero_trace: %s\n", e.what());
         return 3;
+    } catch (const ParseError &e) {
+        std::fprintf(stderr, "cicero_trace: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "cicero_trace: %s\n", e.what());
+        return 5;
     }
     std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
     return usage();
