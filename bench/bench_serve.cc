@@ -16,6 +16,15 @@
  *    S in {1,2,4,8,16}, cross-session decode fusion on; reports
  *    p50/p95/p99 frame latency, aggregate rays/s, fusion counters and
  *    scheduler-counter deltas per S.
+ *  - low_session: S in {1,2} run twice, intra-frame ray-block fan-out
+ *    off vs on (decode fused both ways) — the batching-density story
+ *    at low occupancy: fan-out feeds the fusion queue same-frame
+ *    blocks, so the decode kernel runs dense even without many
+ *    sessions. Gated (multi-core only): fan-out on must be strictly
+ *    denser (avg fused batch size) and faster (aggregate rays/s) than
+ *    off at both counts, the 2-session fan-out-on leg must reach
+ *    >= 1.2x the serial_unfused baseline, and its mean blocks per
+ *    kernel pass must exceed 1.
  *  - fp16: the 8-session uniform mix on the fp16-storage model
  *    variant (fusion also amortizes the per-call weight widening).
  *  - bursty: half the sessions admitted immediately, the second wave
@@ -25,12 +34,13 @@
  *    the fair-share check.
  *
  * Exit code gates on (a) every session of every leg bit-identical to
- * its solo render and (b) — only when the pool has >= 2 threads AND
+ * its solo render, (b) — only when the pool has >= 2 threads AND
  * the machine has >= 2 hardware cores — aggregate rays/s of the
- * 8-session fused uniform leg >= 1.5x the serial_unfused baseline. On
+ * 8-session fused uniform leg >= 1.5x the serial_unfused baseline,
+ * and (c) under the same arming, the low_session fan-out gates. On
  * a single-core runner extra software threads only time-slice the one
  * core, so concurrent sessions cannot beat the serial walk and the
- * perf leg is a smoke test there, like the other parallel benches.
+ * perf legs are smoke tests there, like the other parallel benches.
  *
  * --quick cuts resolution, frame counts and the session sweep for the
  * CI smoke step; every bit-identity check still runs.
@@ -107,6 +117,20 @@ struct LegResult
     ServiceCounters service;
 
     double raysPerS() const { return wallS > 0.0 ? rays / wallS : 0.0; }
+    /** Mean samples per fused-queue kernel pass (batch density). */
+    double avgBatchSamples() const
+    {
+        return fusion.passes > 0 ? static_cast<double>(fusion.samples) /
+                                       static_cast<double>(fusion.passes)
+                                 : 0.0;
+    }
+    /** Mean ray blocks per fused-queue kernel pass. */
+    double avgBatchBlocks() const
+    {
+        return fusion.passes > 0 ? static_cast<double>(fusion.blocks) /
+                                       static_cast<double>(fusion.passes)
+                                 : 0.0;
+    }
     std::vector<double> allLatencies() const
     {
         std::vector<double> out;
@@ -125,11 +149,12 @@ struct LegResult
 LegResult
 runLeg(const ModelKey &key, const std::vector<ClientSpec> &clients,
        const std::vector<std::vector<Image>> &solo, bool fuse, int window,
-       const std::vector<int> *admitWave = nullptr,
+       bool fanOut = true, const std::vector<int> *admitWave = nullptr,
        bool serializeClients = false)
 {
     RenderServiceConfig cfg;
     cfg.fuseDecode = fuse;
+    cfg.intraFrameFanOut = fanOut;
     cfg.maxSessions = static_cast<int>(clients.size()) + 1;
     RenderService svc(cfg);
 
@@ -194,18 +219,26 @@ runLeg(const ModelKey &key, const std::vector<ClientSpec> &clients,
 void
 printFusion(const FusionStats &f)
 {
+    const double passes =
+        f.passes > 0 ? static_cast<double>(f.passes) : 1.0;
     std::printf("\"fusion\": {\"blocks\": %llu, \"samples\": %llu, "
                 "\"passes\": %llu, \"fused_passes\": %llu, "
                 "\"cross_session_passes\": %llu, "
+                "\"avg_batch_samples\": %.2f, "
+                "\"avg_batch_blocks\": %.2f, "
                 "\"max_batch_samples\": %llu, "
-                "\"max_batch_blocks\": %llu}",
+                "\"max_batch_blocks\": %llu, "
+                "\"weighted_sessions\": %llu}",
                 static_cast<unsigned long long>(f.blocks),
                 static_cast<unsigned long long>(f.samples),
                 static_cast<unsigned long long>(f.passes),
                 static_cast<unsigned long long>(f.fusedPasses),
                 static_cast<unsigned long long>(f.crossSessionPasses),
+                static_cast<double>(f.samples) / passes,
+                static_cast<double>(f.blocks) / passes,
                 static_cast<unsigned long long>(f.maxBatchSamples),
-                static_cast<unsigned long long>(f.maxBatchBlocks));
+                static_cast<unsigned long long>(f.maxBatchBlocks),
+                static_cast<unsigned long long>(f.weightedSessions));
 }
 
 void
@@ -367,7 +400,7 @@ main(int argc, char **argv)
 
     const LegResult serialUnfused =
         runLeg(key, gateClients, soloGate, /*fuse=*/false, /*window=*/1,
-               nullptr, /*serializeClients=*/true);
+               /*fanOut=*/false, nullptr, /*serializeClients=*/true);
 
     std::vector<LegResult> uniformLegs;
     for (int s : sessionCounts) {
@@ -385,11 +418,28 @@ main(int argc, char **argv)
     std::vector<int> waves(gateClients.size(), 0);
     for (std::size_t i = waves.size() / 2; i < waves.size(); ++i)
         waves[i] = 1;
-    const LegResult bursty = runLeg(key, gateClients, soloGate,
-                                    /*fuse=*/true, window, &waves);
+    const LegResult bursty =
+        runLeg(key, gateClients, soloGate, /*fuse=*/true, window,
+               /*fanOut=*/true, &waves);
 
     const LegResult heavyLeg =
         runLeg(key, heavy, soloHeavy, /*fuse=*/true, window);
+
+    // Low-session density legs: fan-out off vs on at 1 and 2 sessions,
+    // decode fused both ways — isolates what intra-frame ray-block
+    // fan-out buys when cross-session traffic is thin.
+    const std::vector<int> lowCounts{1, 2};
+    std::vector<LegResult> lowOff, lowOn;
+    for (int s : lowCounts) {
+        std::vector<ClientSpec> clients(uniform.begin(),
+                                        uniform.begin() + s);
+        std::vector<std::vector<Image>> solo(soloUniform.begin(),
+                                             soloUniform.begin() + s);
+        lowOff.push_back(runLeg(key, clients, solo, /*fuse=*/true,
+                                window, /*fanOut=*/false));
+        lowOn.push_back(runLeg(key, clients, solo, /*fuse=*/true,
+                               window, /*fanOut=*/true));
+    }
 
     // ---- verdicts ---------------------------------------------------
     bool allIdentical = serialUnfused.bitIdentical &&
@@ -397,6 +447,9 @@ main(int argc, char **argv)
                         heavyLeg.bitIdentical;
     for (const LegResult &leg : uniformLegs)
         allIdentical = allIdentical && leg.bitIdentical;
+    for (std::size_t i = 0; i < lowCounts.size(); ++i)
+        allIdentical = allIdentical && lowOff[i].bitIdentical &&
+                       lowOn[i].bitIdentical;
 
     double gateRaysPerS = 0.0;
     for (std::size_t i = 0; i < sessionCounts.size(); ++i)
@@ -413,6 +466,36 @@ main(int argc, char **argv)
     const unsigned hwCores = std::thread::hardware_concurrency();
     const bool gateActive = threads >= 2 && hwCores >= 2;
     const bool gainOk = !gateActive || gain >= 1.5;
+
+    // Fan-out gates (same multi-core arming as the 1.5x gate): at 1
+    // and 2 sessions fan-out must strictly raise both the average
+    // fused batch size and aggregate rays/s over fan-out off; the
+    // 2-session fan-out-on leg must reach 1.2x the serial-unfused
+    // baseline; and its fused batches must average > 1 block. The
+    // strict on-vs-off comparisons additionally require the pool to
+    // have spare threads beyond the off leg's own frame concurrency
+    // (sessions x window): with threads <= sessions x window the off
+    // leg already saturates the pool via window pipelining, fan-out
+    // cannot mechanically add parallelism, and the comparison is a
+    // coin flip on scheduler noise.
+    bool fanoutDenser = true;
+    bool fanoutFaster = true;
+    for (std::size_t i = 0; i < lowCounts.size(); ++i) {
+        if (threads <= lowCounts[i] * window)
+            continue;
+        fanoutDenser = fanoutDenser && lowOn[i].avgBatchSamples() >
+                                           lowOff[i].avgBatchSamples();
+        fanoutFaster =
+            fanoutFaster && lowOn[i].raysPerS() > lowOff[i].raysPerS();
+    }
+    const double fanoutGain2 =
+        serialUnfused.raysPerS() > 0.0
+            ? lowOn.back().raysPerS() / serialUnfused.raysPerS()
+            : 0.0;
+    const bool batchDensityOk = lowOn.back().avgBatchBlocks() > 1.0;
+    const bool fanoutOk =
+        !gateActive || (fanoutDenser && fanoutFaster &&
+                        fanoutGain2 >= 1.2 && batchDensityOk);
 
     // ---- JSON -------------------------------------------------------
     std::printf("{\"bench\": \"serve\", \"scheduler\": \"%s\", "
@@ -468,6 +551,25 @@ main(int argc, char **argv)
     std::printf(", \"bit_identical\": %s}, ",
                 bursty.bitIdentical ? "true" : "false");
 
+    std::printf("\"low_session\": [");
+    for (std::size_t i = 0; i < lowCounts.size(); ++i) {
+        std::printf("%s{\"sessions\": %d", i ? ", " : "", lowCounts[i]);
+        const char *names[2] = {"fanout_off", "fanout_on"};
+        const LegResult *legs[2] = {&lowOff[i], &lowOn[i]};
+        for (int v = 0; v < 2; ++v) {
+            std::printf(", \"%s\": {\"wall_s\": %.6f, "
+                        "\"rays_per_s\": %.1f, ",
+                        names[v], legs[v]->wallS, legs[v]->raysPerS());
+            printLatencies(legs[v]->allLatencies());
+            std::printf(", \"bit_identical\": %s, ",
+                        legs[v]->bitIdentical ? "true" : "false");
+            printFusion(legs[v]->fusion);
+            std::printf("}");
+        }
+        std::printf("}");
+    }
+    std::printf("], ");
+
     std::printf("\"heavy_tailed\": {\"sessions\": %d, "
                 "\"elephant_frames\": %d, \"wall_s\": %.6f, "
                 "\"rays_per_s\": %.1f, "
@@ -490,10 +592,19 @@ main(int argc, char **argv)
     std::printf("\"aggregate_gain_8_sessions\": %.3f, "
                 "\"gain_gate_active\": %s, "
                 "\"gain_gate_pass\": %s, "
+                "\"fanout_gain_2_sessions\": %.3f, "
+                "\"fanout_avg_batch_blocks_2_sessions\": %.2f, "
+                "\"batch_density_ok\": %s, "
+                "\"fanout_gate_active\": %s, "
+                "\"fanout_gate_pass\": %s, "
                 "\"all_bit_identical\": %s}\n",
                 gain, gateActive ? "true" : "false",
-                gainOk ? "true" : "false",
+                gainOk ? "true" : "false", fanoutGain2,
+                lowOn.back().avgBatchBlocks(),
+                batchDensityOk ? "true" : "false",
+                gateActive ? "true" : "false",
+                fanoutOk ? "true" : "false",
                 allIdentical ? "true" : "false");
 
-    return allIdentical && gainOk ? 0 : 1;
+    return allIdentical && gainOk && fanoutOk ? 0 : 1;
 }

@@ -86,6 +86,8 @@ struct CounterBlock
     std::atomic<std::uint64_t> depStallNanos{0};
     std::atomic<std::uint64_t> tasksDrained{0};
     std::atomic<std::uint64_t> groupsCancelled{0};
+    std::atomic<std::uint64_t> kernelBatchPasses{0};
+    std::atomic<std::uint64_t> kernelBatchItems{0};
 };
 
 CounterBlock &
@@ -659,7 +661,19 @@ parallelSchedulerCounters()
     out.tasksDrained = c.tasksDrained.load(std::memory_order_relaxed);
     out.groupsCancelled =
         c.groupsCancelled.load(std::memory_order_relaxed);
+    out.kernelBatchPasses =
+        c.kernelBatchPasses.load(std::memory_order_relaxed);
+    out.kernelBatchItems =
+        c.kernelBatchItems.load(std::memory_order_relaxed);
     return out;
+}
+
+void
+parallelNoteKernelBatch(std::uint64_t items)
+{
+    CounterBlock &c = counters();
+    bump(c.kernelBatchPasses);
+    bump(c.kernelBatchItems, items);
 }
 
 SchedulerCounters
@@ -684,6 +698,10 @@ parallelSchedulerCountersSince(const SchedulerCounters &base)
     out.depStallNanos = delta(now.depStallNanos, base.depStallNanos);
     out.tasksDrained = delta(now.tasksDrained, base.tasksDrained);
     out.groupsCancelled = delta(now.groupsCancelled, base.groupsCancelled);
+    out.kernelBatchPasses =
+        delta(now.kernelBatchPasses, base.kernelBatchPasses);
+    out.kernelBatchItems =
+        delta(now.kernelBatchItems, base.kernelBatchItems);
     return out;
 }
 
@@ -700,6 +718,8 @@ parallelResetSchedulerCounters()
     c.depStallNanos.store(0, std::memory_order_relaxed);
     c.tasksDrained.store(0, std::memory_order_relaxed);
     c.groupsCancelled.store(0, std::memory_order_relaxed);
+    c.kernelBatchPasses.store(0, std::memory_order_relaxed);
+    c.kernelBatchItems.store(0, std::memory_order_relaxed);
 }
 
 std::int64_t

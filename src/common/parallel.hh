@@ -109,10 +109,21 @@ struct SchedulerCounters
     std::uint64_t depStallNanos = 0;   //!< dormant time: submission until the last dependency resolved
     std::uint64_t tasksDrained = 0;    //!< tasks skipped (not run) because their group failed or was cancelled
     std::uint64_t groupsCancelled = 0; //!< TaskGroup::cancel() calls
+    std::uint64_t kernelBatchPasses = 0; //!< batched compute-kernel invocations (parallelNoteKernelBatch)
+    std::uint64_t kernelBatchItems = 0;  //!< items those invocations processed (avg = items / passes)
 };
 
 /** Snapshot the scheduler counters (safe concurrently with running work). */
 SchedulerCounters parallelSchedulerCounters();
+
+/**
+ * Record one batched compute-kernel invocation over @p items items
+ * (e.g. an Mlp::forwardBatch pass over its sample count). Kernels call
+ * this so benches can report *measured* batch density —
+ * kernelBatchItems / kernelBatchPasses — instead of inferring it from
+ * layer traffic. Lock-free relaxed counters; safe from any thread.
+ */
+void parallelNoteKernelBatch(std::uint64_t items);
 
 /**
  * Delta of the current counters against @p base, per field, saturating

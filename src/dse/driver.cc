@@ -58,7 +58,7 @@ parseDoubleAxis(const JsonValue &arr, const char *name,
 
 void
 parseU32Axis(const JsonValue &arr, const char *name,
-             std::vector<std::uint32_t> &out)
+             std::vector<std::uint32_t> &out, bool allowZero = false)
 {
     const auto &items = arr.asArray(name);
     if (items.empty())
@@ -67,10 +67,11 @@ parseU32Axis(const JsonValue &arr, const char *name,
     out.clear();
     for (const JsonValue &v : items) {
         std::uint64_t u = v.asU64(name);
-        if (u == 0 || u > 0xffffffffull)
-            throw std::runtime_error(std::string("sweep spec: axis \"") +
-                                     name +
-                                     "\" values must be in [1, 2^32)");
+        if ((u == 0 && !allowZero) || u > 0xffffffffull)
+            throw std::runtime_error(
+                std::string("sweep spec: axis \"") + name +
+                "\" values must be in [" + (allowZero ? "0" : "1") +
+                ", 2^32)");
         out.push_back(static_cast<std::uint32_t>(u));
     }
 }
@@ -80,9 +81,9 @@ parseU32Axis(const JsonValue &arr, const char *name,
 std::size_t
 SweepAxes::configCount() const
 {
-    return cacheMb.size() * warpWays.size() * guVftKb.size() *
-           guBanks.size() * dramGBs.size() * sramBanks.size() *
-           concurrentRays.size();
+    return cacheMb.size() * cacheWays.size() * warpWays.size() *
+           guVftKb.size() * guBanks.size() * dramGBs.size() *
+           sramBanks.size() * concurrentRays.size();
 }
 
 SweepAxes
@@ -96,6 +97,10 @@ parseSweepSpec(const std::string &jsonText)
     for (const auto &m : root.members) {
         if (m.first == "cache_mb")
             parseDoubleAxis(m.second, "cache_mb", axes.cacheMb);
+        else if (m.first == "cache_ways")
+            // 0 = fully associative, a legal sweep point.
+            parseU32Axis(m.second, "cache_ways", axes.cacheWays,
+                         /*allowZero=*/true);
         else if (m.first == "warp_ways")
             parseU32Axis(m.second, "warp_ways", axes.warpWays);
         else if (m.first == "gu_vft_kb")
@@ -119,7 +124,8 @@ parseSweepSpec(const std::string &jsonText)
 std::string
 DseConfig::id() const
 {
-    return "cache" + fmt("%g", cacheMb) + "-ways" +
+    return "cache" + fmt("%g", cacheMb) + "-cw" +
+           std::to_string(cacheWays) + "-ways" +
            std::to_string(warpWays) + "-vft" + std::to_string(guVftKb) +
            "k-gub" + std::to_string(guBanks) + "-dram" +
            fmt("%g", dramGBs) + "-sb" + std::to_string(sramBanks) +
@@ -142,23 +148,25 @@ expandGrid(const SweepAxes &axes)
     std::vector<DseConfig> grid;
     grid.reserve(axes.configCount());
     for (double cache : axes.cacheMb)
-        for (std::uint32_t ways : axes.warpWays)
-            for (std::uint32_t vft : axes.guVftKb)
-                for (std::uint32_t gub : axes.guBanks)
-                    for (double dram : axes.dramGBs)
-                        for (std::uint32_t sb : axes.sramBanks)
-                            for (std::uint32_t rays :
-                                 axes.concurrentRays) {
-                                DseConfig c;
-                                c.cacheMb = cache;
-                                c.warpWays = ways;
-                                c.guVftKb = vft;
-                                c.guBanks = gub;
-                                c.dramGBs = dram;
-                                c.sramBanks = sb;
-                                c.concurrentRays = rays;
-                                grid.push_back(c);
-                            }
+        for (std::uint32_t cw : axes.cacheWays)
+            for (std::uint32_t ways : axes.warpWays)
+                for (std::uint32_t vft : axes.guVftKb)
+                    for (std::uint32_t gub : axes.guBanks)
+                        for (double dram : axes.dramGBs)
+                            for (std::uint32_t sb : axes.sramBanks)
+                                for (std::uint32_t rays :
+                                     axes.concurrentRays) {
+                                    DseConfig c;
+                                    c.cacheMb = cache;
+                                    c.cacheWays = cw;
+                                    c.warpWays = ways;
+                                    c.guVftKb = vft;
+                                    c.guBanks = gub;
+                                    c.dramGBs = dram;
+                                    c.sramBanks = sb;
+                                    c.concurrentRays = rays;
+                                    grid.push_back(c);
+                                }
     return grid;
 }
 
@@ -171,6 +179,7 @@ evaluatePoint(const TraceSourceFn &source,
     gpuCfg.gpu.dram.bandwidthGBs = config.dramGBs;
     gpuCfg.cache.capacityBytes =
         static_cast<std::uint64_t>(config.cacheMb * (1ull << 20));
+    gpuCfg.cache.ways = config.cacheWays;
     gpuCfg.warpWays = config.warpWays;
 
     GuStackConfig guCfg;
@@ -311,6 +320,7 @@ summaryJson(const DseConfigSummary &s)
 {
     return "{\"config\": \"" + s.config.id() +
            "\", \"cache_mb\": " + fmt("%g", s.config.cacheMb) +
+           ", \"cache_ways\": " + std::to_string(s.config.cacheWays) +
            ", \"warp_ways\": " + std::to_string(s.config.warpWays) +
            ", \"gu_vft_kb\": " + std::to_string(s.config.guVftKb) +
            ", \"gu_banks\": " + std::to_string(s.config.guBanks) +

@@ -39,6 +39,12 @@ namespace cicero::dse {
 struct SweepAxes
 {
     std::vector<double> cacheMb{1.0, 2.0, 4.0};       //!< gather cache
+    /**
+     * Gather-cache associativity in ways; 0 = fully associative (the
+     * paper's generous baseline). Real design points sweep e.g.
+     * {4, 8, 16} to price the conflict-miss gap.
+     */
+    std::vector<std::uint32_t> cacheWays{0};
     std::vector<std::uint32_t> warpWays{32};          //!< interleaving
     std::vector<std::uint32_t> guVftKb{32, 64};       //!< GU VFT size
     std::vector<std::uint32_t> guBanks{32};           //!< GU SRAM arrays
@@ -52,9 +58,10 @@ struct SweepAxes
 
 /**
  * Parse a JSON sweep spec: an object whose members name axes
- * ("cache_mb", "warp_ways", "gu_vft_kb", "gu_banks", "dram_gbs",
- * "sram_banks", "concurrent_rays") and hold non-empty arrays of
- * positive numbers. Missing axes keep their defaults.
+ * ("cache_mb", "cache_ways", "warp_ways", "gu_vft_kb", "gu_banks",
+ * "dram_gbs", "sram_banks", "concurrent_rays") and hold non-empty
+ * arrays of positive numbers. Missing axes keep their defaults.
+ * "cache_ways" alone admits 0 (= fully associative).
  * @throws std::runtime_error on malformed JSON, unknown axis names,
  *         empty arrays, or non-positive values.
  */
@@ -64,6 +71,7 @@ SweepAxes parseSweepSpec(const std::string &jsonText);
 struct DseConfig
 {
     double cacheMb = 2.0;
+    std::uint32_t cacheWays = 0; //!< 0 = fully associative
     std::uint32_t warpWays = 32;
     std::uint32_t guVftKb = 32;
     std::uint32_t guBanks = 32;
@@ -71,7 +79,7 @@ struct DseConfig
     std::uint32_t sramBanks = 16;
     std::uint32_t concurrentRays = 16;
 
-    /** Deterministic identifier, e.g. "cache2-ways32-vft32k-...". */
+    /** Deterministic identifier, e.g. "cache2-cw0-ways32-vft32k-...". */
     std::string id() const;
 
     /**

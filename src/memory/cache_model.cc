@@ -1,5 +1,6 @@
 #include "memory/cache_model.hh"
 
+#include <algorithm>
 #include <queue>
 
 namespace cicero {
@@ -9,8 +10,32 @@ LruCache::LruCache(const CacheConfig &config) : _config(config)
 }
 
 void
+LruCache::touchSetAssoc(std::uint64_t line)
+{
+    ++_stats.accesses;
+    if (_sets.empty())
+        _sets.resize(_config.numSets());
+    std::vector<std::uint64_t> &set = _sets[line % _sets.size()];
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+        ++_stats.hits;
+        set.erase(it);
+        set.insert(set.begin(), line); // move to MRU
+        return;
+    }
+    ++_stats.misses;
+    if (set.size() >= _config.ways)
+        set.pop_back(); // evict the set's LRU line
+    set.insert(set.begin(), line);
+}
+
+void
 LruCache::touch(std::uint64_t line)
 {
+    if (_config.ways != 0) {
+        touchSetAssoc(line);
+        return;
+    }
     ++_stats.accesses;
     auto it = _where.find(line);
     if (it != _where.end()) {
@@ -46,6 +71,7 @@ LruCache::reset()
     _stats = CacheStats{};
     _lru.clear();
     _where.clear();
+    _sets.clear();
 }
 
 BeladyCache::BeladyCache(const CacheConfig &config) : _config(config)

@@ -8,6 +8,7 @@
 #ifndef CICERO_MEMORY_CACHE_MODEL_HH
 #define CICERO_MEMORY_CACHE_MODEL_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
@@ -22,8 +23,23 @@ struct CacheConfig
 {
     std::uint64_t capacityBytes = 2ull << 20; //!< 2 MB as in the paper
     std::uint32_t lineBytes = 64;
+    /**
+     * Associativity: lines per set. 0 (the default) = fully
+     * associative, the paper's generous baseline assumption; a real
+     * design point sets e.g. 4/8/16 ways and pays extra conflict
+     * misses — the DSE sweeps this axis to price that gap.
+     */
+    std::uint32_t ways = 0;
 
     std::uint64_t numLines() const { return capacityBytes / lineBytes; }
+
+    /** Sets at the configured associativity (1 when fully assoc). */
+    std::uint64_t numSets() const
+    {
+        if (ways == 0)
+            return 1;
+        return std::max<std::uint64_t>(1, numLines() / ways);
+    }
 };
 
 /** Hit/miss statistics. */
@@ -40,10 +56,14 @@ struct CacheStats
 };
 
 /**
- * Fully-associative LRU cache simulated as a TraceSink.
+ * LRU cache simulated as a TraceSink.
  *
- * Fully-associative is the generous assumption for the baseline: real
- * caches only do worse, so the measured inefficiency is a lower bound.
+ * With CacheConfig::ways == 0 (the default) it is fully associative —
+ * the generous assumption for the baseline: real caches only do
+ * worse, so the measured inefficiency is a lower bound. With ways set
+ * it models a set-associative cache (set = line mod numSets, LRU
+ * within the set), which adds the conflict misses a real design point
+ * pays; the DSE sweeps associativity through this path.
  */
 class LruCache : public TraceSink
 {
@@ -57,12 +77,20 @@ class LruCache : public TraceSink
 
   private:
     void touch(std::uint64_t line);
+    void touchSetAssoc(std::uint64_t line);
 
     CacheConfig _config;
     CacheStats _stats;
-    std::list<std::uint64_t> _lru; //!< front = most recent
+    std::list<std::uint64_t> _lru; //!< front = most recent (fully assoc)
     std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator>
         _where;
+    /**
+     * Set-associative mode only: per-set resident lines, most
+     * recently used at the front. Sets are at most `ways` long, so a
+     * linear scan matches real hardware cost models and beats a
+     * per-set map at these sizes.
+     */
+    std::vector<std::vector<std::uint64_t>> _sets;
 };
 
 /**

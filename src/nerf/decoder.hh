@@ -72,9 +72,13 @@ struct DecodeBlock
  * Consumer of ray-block decode requests. The render paths decode
  * through one of these when given instead of calling the model's
  * decoder directly; the serve layer's FusedDecodeQueue implements it
- * to gather blocks from many sessions into one batched MLP pass.
- * Implementations must fill out[0..count) with results bit-identical
- * to Decoder::decodeBatchSoA on the same block before returning.
+ * to gather blocks from many sessions — and, with intra-frame
+ * fan-out, from many concurrent ray-block tasks of the *same* frame —
+ * into one batched MLP pass. Implementations must fill
+ * out[0..count) with results bit-identical to Decoder::decodeBatchSoA
+ * on the same block before returning, and must tolerate concurrent
+ * decodeBlock() calls from multiple threads (several submitters of
+ * one frame/session may be in flight at once).
  */
 class DecodeSink
 {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "common/simd.hh"
 
@@ -190,6 +191,11 @@ Mlp::forwardBatch(const float *in, float *out, int count) const
 {
     if (count <= 0)
         return;
+
+    // Measured batch density: every pass notes its width so benches
+    // can report how full the kernel actually ran (fused serve blocks
+    // should push this well past the solo block sizes).
+    parallelNoteKernelBatch(static_cast<std::uint64_t>(count));
 
     // Scratch lives in TLS so concurrent forward passes on one model
     // are safe (the shared mutable buffers of the old implementation

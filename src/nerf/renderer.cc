@@ -305,25 +305,35 @@ NerfModel::renderServe(const Camera &camera, DecodeSink *sink) const
     RenderResult out;
     out.image = Image(camera.width, camera.height);
     out.depth = DepthMap(camera.width, camera.height);
+    out.work = renderServeRows(camera, 0, camera.height, out.image,
+                               out.depth, sink);
+    return out;
+}
 
-    // Serial pixel walk on the calling thread — the serve layer
-    // schedules whole frames as tasks, so this runs inside one worker.
+StageWork
+NerfModel::renderServeRows(const Camera &camera, int rowBegin,
+                           int rowEnd, Image &image, DepthMap &depth,
+                           DecodeSink *sink) const
+{
+    // Serial pixel walk on the calling thread over [rowBegin, rowEnd).
     // Same traversal order and per-ray math as render(); only the
-    // decode call site differs (routed through the sink).
+    // decode call site differs (routed through the sink). Per-ray
+    // decode blocking lives inside renderOne, so composing disjoint
+    // row ranges reproduces renderServe bit-for-bit.
+    StageWork work;
     const int W = camera.width;
-    const int H = camera.height;
-    for (int py = 0; py < H; ++py) {
+    for (int py = rowBegin; py < rowEnd; ++py) {
         std::uint32_t rayId = static_cast<std::uint32_t>(py) * W;
         for (int px = 0; px < W; ++px, ++rayId) {
             Vec3 rgb;
             float d;
-            renderOne(camera, px, py, rayId, rgb, d, out.work, nullptr,
+            renderOne(camera, px, py, rayId, rgb, d, work, nullptr,
                       nullptr, sink);
-            out.image.at(px, py) = rgb;
-            out.depth.at(px, py) = d;
+            image.at(px, py) = rgb;
+            depth.at(px, py) = d;
         }
     }
-    return out;
+    return work;
 }
 
 void

@@ -16,6 +16,7 @@ FusionStats::operator+=(const FusionStats &o)
     maxBatchBlocks = std::max(maxBatchBlocks, o.maxBatchBlocks);
     splitRetries += o.splitRetries;
     failedBlocks += o.failedBlocks;
+    weightedSessions += o.weightedSessions;
     return *this;
 }
 
@@ -48,8 +49,12 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
 
     std::unique_lock<std::mutex> lock(_mu);
     auto ins = _sessions.emplace(session, SessionQueue{});
-    if (ins.second)
+    if (ins.second) {
         _order.push_back(session);
+        auto w = _weights.find(session);
+        if (w != _weights.end())
+            ins.first->second.weight = w->second;
+    }
     SessionQueue &q = ins.first->second;
     for (int i = 0; i < numBlocks; ++i) {
         if (blocks[i].count <= 0)
@@ -86,9 +91,23 @@ FusedDecodeQueue::decodeBlocks(int session, const DecodeBlock *blocks,
 }
 
 void
+FusedDecodeQueue::setSessionWeight(int session, int weight)
+{
+    const int w = std::max(1, weight);
+    std::lock_guard<std::mutex> lock(_mu);
+    _weights[session] = w;
+    auto it = _sessions.find(session);
+    if (it != _sessions.end())
+        it->second.weight = w;
+    if (w > 1)
+        ++_stats.weightedSessions;
+}
+
+void
 FusedDecodeQueue::releaseSession(int session)
 {
     std::lock_guard<std::mutex> lock(_mu);
+    _weights.erase(session);
     auto it = _sessions.find(session);
     if (it == _sessions.end())
         return;
@@ -128,8 +147,9 @@ FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
         int batchSamples = 0;
 
         // Deficit round-robin across sessions: starting at the rotating
-        // cursor, each backlogged session earns one quantum of sample
-        // credit per visit and dequeues blocks while the credit lasts.
+        // cursor, each backlogged session earns weight * quantum of
+        // sample credit per visit and dequeues blocks while the credit
+        // lasts (weight > 1 = premium QoS share).
         // The batch closes once it can fill a kernel chunk — enough to
         // amortize, small enough to bound the latency any one block
         // spends waiting behind others. A lone block wider than its
@@ -146,7 +166,7 @@ FusedDecodeQueue::combineLocked(std::unique_lock<std::mutex> &lock)
                 stopIdx = idx + 1;
                 continue;
             }
-            q.deficit += _quantum;
+            q.deficit += _quantum * q.weight;
             bool contributed = false;
             while (!q.items.empty() && batchSamples < kDecodeChunk) {
                 Item &it = q.items.front();

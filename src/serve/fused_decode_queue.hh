@@ -55,6 +55,7 @@ struct FusionStats
     std::uint64_t maxBatchBlocks = 0;     //!< widest pass (blocks)
     std::uint64_t splitRetries = 0; //!< solo re-decodes after a failed batch
     std::uint64_t failedBlocks = 0; //!< blocks whose solo retry failed too
+    std::uint64_t weightedSessions = 0; //!< sessions registered with QoS weight > 1
 
     /** Aggregate (sums counts, maxes the max fields). */
     FusionStats &operator+=(const FusionStats &o);
@@ -105,9 +106,20 @@ class FusedDecodeQueue
                       int numBlocks);
 
     /**
+     * Set @p session's QoS weight (clamped to >= 1; default 1). A
+     * session with weight w earns w quanta of decode credit per
+     * round-robin visit, so a premium session's blocks fill a larger
+     * share of each fused batch under contention. May be called before
+     * or after the session's first decode; weights only shape
+     * *scheduling order*, never per-block bits, so output stays
+     * bit-identical at any weight.
+     */
+    void setSessionWeight(int session, int weight);
+
+    /**
      * Forget @p session's scheduling state (deficit, round-robin
-     * slot). Call after the session's last frame; it must have no
-     * blocks in flight.
+     * slot, QoS weight). Call after the session's last frame; it must
+     * have no blocks in flight.
      */
     void releaseSession(int session);
 
@@ -148,11 +160,12 @@ class FusedDecodeQueue
         std::exception_ptr *error = nullptr;
     };
 
-    /** Per-session backlog and deficit round-robin credit. */
+    /** Per-session backlog, deficit round-robin credit, QoS weight. */
     struct SessionQueue
     {
         std::deque<Item> items;
         int deficit = 0;
+        int weight = 1; //!< quanta earned per round-robin visit
     };
 
     /**
@@ -169,6 +182,9 @@ class FusedDecodeQueue
     bool _combinerActive = false;
     std::size_t _pendingBlocks = 0;
     std::unordered_map<int, SessionQueue> _sessions;
+    //! Weights set before a session's first decode park here until its
+    //! SessionQueue exists (setSessionWeight vs first block may race).
+    std::unordered_map<int, int> _weights;
     std::vector<int> _order; //!< round-robin visit order
     std::size_t _cursor = 0; //!< next _order slot to serve
     FusionStats _stats;

@@ -49,9 +49,32 @@ struct RenderService::Session
     double deadlineS = 0.0; //!< resolved per-frame deadline (0 = none)
     bool downsampled = false; //!< admission was shed to half resolution
 
+    /**
+     * Row ranges [first, second) of the frame's ray-block tasks —
+     * identical for every frame of the session (one entry spanning
+     * the whole frame when fan-out is off).
+     */
+    std::vector<std::pair<int, int>> blocks;
+
+    /**
+     * Per-frame aggregation across the frame's ray-block tasks,
+     * folded into the ServeFrame by the finalize task. Guarded by mu
+     * while blocks run; the finalize task additionally sees all block
+     * writes through its scheduler dependency edges.
+     */
+    struct FrameState
+    {
+        std::exception_ptr err; //!< first permanently failing block
+        bool anySkip = false;   //!< a block observed quarantine
+        bool started = false;   //!< startAt is valid
+        Clock::time_point startAt; //!< first block's render start
+        int retriesMax = 0; //!< max retry rounds over the frame's blocks
+    };
+
     std::mutex mu;
     std::condition_variable cv;
     std::vector<ServeFrame> frames;
+    std::vector<FrameState> fstate;
     std::vector<char> done;
     std::vector<char> failed;
     std::vector<char> skipped; //!< failed because quarantine skipped it
@@ -163,9 +186,14 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
 {
     s->cfg = config;
     s->lease = _cache.acquire(config.model);
-    if (_config.fuseDecode)
+    if (_config.fuseDecode) {
         s->sink = std::make_unique<FusedDecodeQueue::SessionSink>(
             &s->lease.fusion(), s->id);
+        // QoS: a premium session's ray blocks earn a larger share of
+        // each fused batch (weighted deficit round-robin).
+        s->lease.fusion().setSessionWeight(
+            s->id, std::max(1, config.qosWeight));
+    }
 
     const int n = static_cast<int>(config.trajectory.size());
     int window = config.inflightWindow > 0 ? config.inflightWindow
@@ -179,53 +207,108 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
                        ? config.frameDeadlineS
                        : _config.defaultFrameDeadlineS;
     s->frames.resize(n);
+    s->fstate.resize(n);
     s->done.assign(n, 0);
     s->failed.assign(n, 0);
     s->skipped.assign(n, 0);
     s->eligibleAt.resize(n);
 
+    // Intra-frame ray-block decomposition: contiguous row ranges,
+    // identical for every frame. Auto-sizing targets ~2x the pool's
+    // thread count blocks per frame — enough slack for load balancing
+    // and for same-frame blocks to meet in the fusion queue, without
+    // drowning the scheduler in tiny tasks. Fan-out off = one block
+    // spanning the frame (the whole frame renders on one worker).
+    {
+        const int H = config.height;
+        int rowsPer = H;
+        if (_config.intraFrameFanOut) {
+            if (_config.fanOutBlockRows > 0) {
+                rowsPer = std::min(_config.fanOutBlockRows, H);
+            } else {
+                const int targetTasks =
+                    std::max(1, 2 * parallelThreadCount());
+                rowsPer = std::max(1, (H + targetTasks - 1) / targetTasks);
+            }
+        }
+        s->blocks.clear();
+        for (int r0 = 0; r0 < H; r0 += rowsPer)
+            s->blocks.emplace_back(r0, std::min(H, r0 + rowsPer));
+    }
+
     const Clock::time_point admitted = Clock::now();
     for (int f = 0; f < window; ++f)
         s->eligibleAt[f] = admitted;
 
-    // Submit the whole chain from this thread (TaskGroup is
-    // single-submitter): the first `window` frames are immediately
-    // runnable, frame f >= window stays dormant until frame
-    // f - window completes — the per-session in-flight window. On a
-    // one-thread pool runnable tasks execute inline right here, so
+    // Submit the whole graph from this thread (TaskGroup is
+    // single-submitter): frame f is its ray-block tasks plus one
+    // finalize task that runs after all of them — the finalize handle
+    // is what frame f + window chains on, so the per-session
+    // in-flight window is preserved under fan-out. The first
+    // `window` frames' blocks are immediately runnable. On a
+    // one-thread pool runnable tasks execute inline right here in
+    // submission order (blocks, then finalize, frame by frame), so
     // admit() of a later session sees earlier sessions already done;
-    // with workers the chains of all admitted sessions interleave.
-    // The lambda captures the session by raw pointer on purpose: the
-    // captures stay trivially destructible, so a worker retiring the
-    // task cannot run the session destructor (see the Session doc).
-    std::vector<TaskHandle> handles(n);
+    // with workers one frame's blocks spread across the pool and
+    // their decode submissions fuse in the queue. Lambdas capture the
+    // session by raw pointer on purpose: the captures stay trivially
+    // destructible, so a worker retiring a task cannot run the
+    // session destructor (see the Session doc).
+    std::vector<TaskHandle> frameDone(n);
+    std::vector<TaskHandle> blockHandles;
+    const int nBlocks = static_cast<int>(s->blocks.size());
     for (int f = 0; f < n; ++f) {
-        auto task = [this, sp = s.get(), f] {
-            Session *const s = sp;
-            const int nFrames = static_cast<int>(s->frames.size());
+        blockHandles.clear();
+        blockHandles.reserve(nBlocks);
+        for (int b = 0; b < nBlocks; ++b) {
+            const int r0 = s->blocks[b].first;
+            const int r1 = s->blocks[b].second;
+            auto task = [this, sp = s.get(), f, r0, r1] {
+                Session *const s = sp;
 
-            // Quarantine short-circuit: the render is skipped, but the
-            // completion bookkeeping below must still run — wait()
-            // blocks on `finished`, which only flips inside task
-            // bodies, so a quarantined session drains fast instead of
-            // deadlocking its waiter.
-            bool skip;
-            {
-                std::lock_guard<std::mutex> lock(s->mu);
-                skip = s->quarantined;
-            }
+                // Quarantine short-circuit: the render is skipped but
+                // the frame still completes through its finalize task
+                // — wait() blocks on `finished`, which only flips
+                // inside task bodies, so a quarantined session drains
+                // fast instead of deadlocking its waiter. The first
+                // non-skipping block stamps the frame's render start
+                // and allocates its output surfaces; afterwards
+                // sibling blocks write disjoint rows lock-free (the
+                // mutexed allocation check gives them a happens-before
+                // on the buffers).
+                bool skip;
+                {
+                    std::lock_guard<std::mutex> lock(s->mu);
+                    skip = s->quarantined;
+                    Session::FrameState &fs = s->fstate[f];
+                    if (skip) {
+                        fs.anySkip = true;
+                    } else {
+                        if (!fs.started) {
+                            fs.started = true;
+                            fs.startAt = Clock::now();
+                        }
+                        if (s->frames[f].image.pixelCount() == 0) {
+                            s->frames[f].image =
+                                Image(s->cfg.width, s->cfg.height);
+                            s->frames[f].depth =
+                                DepthMap(s->cfg.width, s->cfg.height);
+                        }
+                    }
+                }
+                if (skip)
+                    return;
 
-            const Clock::time_point t0 = Clock::now();
-            ServeFrame frame;
-            std::exception_ptr err;
-            int retries = 0;
-            if (!skip) {
                 // Bounded retry with exponential backoff: transient
                 // failures (an injected fault window, a briefly
                 // unavailable resource) cost latency, not the frame.
-                // Re-rendering is safe — renderServe is deterministic,
-                // so a retried frame is bit-identical to an untroubled
-                // one.
+                // Re-rendering is safe — renderServeRows is
+                // deterministic and rewrites only this block's rows,
+                // so a retried block is bit-identical to an
+                // untroubled one.
+                StageWork work;
+                std::exception_ptr err;
+                int retries = 0;
                 for (int attempt = 0;; ++attempt) {
                     err = nullptr;
                     try {
@@ -234,11 +317,9 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
                             s->cfg.width, s->cfg.height,
                             s->lease.model().scene().fovYDeg,
                             s->cfg.trajectory[f]);
-                        RenderResult r = s->lease.model().renderServe(
-                            cam, s->sink.get());
-                        frame.image = std::move(r.image);
-                        frame.depth = std::move(r.depth);
-                        frame.work = r.work;
+                        work = s->lease.model().renderServeRows(
+                            cam, r0, r1, s->frames[f].image,
+                            s->frames[f].depth, s->sink.get());
                         break;
                     } catch (...) {
                         err = std::current_exception();
@@ -246,19 +327,54 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
                     if (attempt >= s->maxRetries)
                         break;
                     ++retries;
-                    {
-                        std::lock_guard<std::mutex> lock(_mu);
-                        ++_counters.frameRetries;
-                    }
                     std::this_thread::sleep_for(
                         std::chrono::duration<double>(
                             _config.retryBackoffS *
                             static_cast<double>(1 << attempt)));
                 }
-            }
+
+                std::lock_guard<std::mutex> lock(s->mu);
+                Session::FrameState &fs = s->fstate[f];
+                // Frame retry accounting is the MAX over its blocks —
+                // the retry *rounds* the frame needed — so the count
+                // is independent of the block decomposition for
+                // deterministic faults.
+                fs.retriesMax = std::max(fs.retriesMax, retries);
+                if (err) {
+                    if (!fs.err)
+                        fs.err = err;
+                } else {
+                    s->frames[f].work += work;
+                }
+            };
+            blockHandles.push_back(
+                f < window
+                    ? s->group.run(task)
+                    : s->group.runAfter({frameDone[f - window]}, task));
+        }
+
+        auto finalize = [this, sp = s.get(), f] {
+            Session *const s = sp;
+            const int nFrames = static_cast<int>(s->frames.size());
             const Clock::time_point t1 = Clock::now();
 
-            const double renderS = seconds(t1 - t0);
+            bool skip;
+            bool started;
+            std::exception_ptr err;
+            int retries;
+            Clock::time_point startAt;
+            {
+                std::lock_guard<std::mutex> lock(s->mu);
+                Session::FrameState &fs = s->fstate[f];
+                skip = fs.anySkip;
+                started = fs.started;
+                err = fs.err;
+                retries = fs.retriesMax;
+                startAt = fs.startAt;
+            }
+
+            const double renderS =
+                started ? seconds(t1 - startAt) : 0.0;
             bool deadlineMiss =
                 !skip && !err &&
                 ((s->deadlineS > 0 && renderS > s->deadlineS) ||
@@ -268,11 +384,19 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
             bool newlyQuarantined = false;
             {
                 std::lock_guard<std::mutex> lock(s->mu);
+                ServeFrame &frame = s->frames[f];
                 frame.latencyS = seconds(t1 - s->eligibleAt[f]);
                 frame.renderS = renderS;
                 frame.retries = retries;
                 frame.deadlineMiss = deadlineMiss;
-                s->frames[f] = std::move(frame);
+                if (skip) {
+                    // A skipped frame delivers no pixels, even when
+                    // quarantine flipped mid-frame and some blocks
+                    // had already rendered.
+                    frame.image = Image();
+                    frame.depth = DepthMap();
+                    frame.work = StageWork{};
+                }
                 s->done[f] = 1;
                 if (skip) {
                     s->failed[f] = 1;
@@ -299,6 +423,8 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
             {
                 std::lock_guard<std::mutex> lock(_mu);
                 ++_counters.framesCompleted;
+                _counters.frameRetries +=
+                    static_cast<std::uint64_t>(retries);
                 if (skip)
                     ++_counters.framesSkipped;
                 else if (err)
@@ -313,10 +439,7 @@ RenderService::setupSession(const std::shared_ptr<Session> &s,
             if (sessionDone && s->sink)
                 s->lease.fusion().releaseSession(s->id);
         };
-        if (f < window)
-            handles[f] = s->group.run(task);
-        else
-            handles[f] = s->group.runAfter({handles[f - window]}, task);
+        frameDone[f] = s->group.runAfter(blockHandles, finalize);
     }
 }
 
@@ -424,8 +547,24 @@ RenderService::activeSessions() const
 ServiceCounters
 RenderService::counters() const
 {
-    std::lock_guard<std::mutex> lock(_mu);
-    return _counters;
+    ServiceCounters out;
+    {
+        std::lock_guard<std::mutex> lock(_mu);
+        out = _counters;
+    }
+    // Fused-batch density, derived from the model cache's fusion
+    // totals (live + retired entries): how full the decode kernel ran.
+    const FusionStats fusion = _cache.fusionStatsTotal();
+    out.decodeKernelPasses = fusion.passes;
+    if (fusion.passes > 0) {
+        out.avgBatchSamples = static_cast<double>(fusion.samples) /
+                              static_cast<double>(fusion.passes);
+        out.avgBatchBlocks = static_cast<double>(fusion.blocks) /
+                             static_cast<double>(fusion.passes);
+    }
+    out.maxBatchSamples = fusion.maxBatchSamples;
+    out.maxBatchBlocks = fusion.maxBatchBlocks;
+    return out;
 }
 
 } // namespace cicero

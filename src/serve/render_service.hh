@@ -5,28 +5,39 @@
  * work-stealing pool.
  *
  * Execution model (the paraLLEl-RDP idiom, adapted): a session's
- * frames are scheduler *tasks*, one per frame, submitted up-front as a
- * dependency chain on the session's own TaskGroup — frame f waits on
- * frame f - window, so each session keeps at most `inflightWindow`
- * frames in flight (the client-side latency/throughput knob).
- * Parallelism comes from many sessions' frame tasks running on pool
- * workers simultaneously, NOT from intra-frame fan-out
- * (NerfModel::renderServe walks its pixels serially on its worker);
- * cross-session MLP decode fusion (FusedDecodeQueue) then merges those
- * concurrent frames' ray blocks into shared kernel batches.
+ * frames are scheduler *tasks* submitted up-front as a dependency
+ * chain on the session's own TaskGroup — frame f waits on frame
+ * f - window, so each session keeps at most `inflightWindow` frames
+ * in flight (the client-side latency/throughput knob). Each frame is
+ * itself fanned out into contiguous *ray-block* tasks (row ranges
+ * rendered via NerfModel::renderServeRows) plus one finalize task that
+ * runs after all of the frame's blocks and carries the frame's
+ * bookkeeping; the finalize task is what the next window frame chains
+ * on, so window pipelining is preserved. Parallelism therefore comes
+ * from two axes: many sessions' frames running concurrently AND one
+ * frame's ray blocks spreading across workers — the intra-frame
+ * fan-out is what feeds the MLP decode fusion queue
+ * (FusedDecodeQueue) dense batches even at 1-2 live sessions, since
+ * same-frame blocks fuse into one kernel pass just like cross-session
+ * blocks do. `intraFrameFanOut` / `fanOutBlockRows` control the
+ * decomposition (off = one block per frame, the PR 7 behavior).
  *
  * Fairness: admission control caps concurrent sessions (admit()
  * throws, tryAdmit() declines); the in-flight window bounds any one
  * session's task-queue share; and the fused decode queue serves
- * sessions by deficit round-robin, so an elephant session cannot
- * starve mice of decode bandwidth.
+ * sessions by deficit round-robin — weighted by the session's
+ * `qosWeight`, so a premium session earns a larger share of each
+ * fused batch — so an elephant session cannot starve mice of decode
+ * bandwidth.
  *
  * Correctness contract: a session's frames are bit-identical to the
  * same (scene, model, trajectory, resolution) rendered solo —
- * NerfModel::renderServe reproduces render()'s pixel walk exactly and
- * fused decode preserves per-block bits (see FusedDecodeQueue).
- * Fusion reorders work across sessions only, never within a ray
- * block.
+ * NerfModel::renderServeRows reproduces render()'s pixel walk exactly
+ * on disjoint row ranges (per-ray decode blocking is internal to each
+ * ray, so the row decomposition cannot change bits) and fused decode
+ * preserves per-block bits (see FusedDecodeQueue). Fusion reorders
+ * whole ray blocks only — across sessions or across a frame's blocks
+ * — never samples within a block.
  *
  * Failure semantics (see README "Failure semantics & fault
  * injection"): a transiently failing frame is retried with bounded
@@ -122,6 +133,14 @@ struct ServeSessionConfig
     double frameDeadlineS = 0.0;
     /** Retry budget per frame; < 0 takes the service default. */
     int maxFrameRetries = -1;
+    /**
+     * QoS weight for the fused decode queue's deficit round-robin
+     * (clamped to >= 1). A weight-w session earns w quanta of decode
+     * credit per scheduling round, so its ray blocks claim a larger
+     * share of each fused batch under contention. Shapes scheduling
+     * only — output bits are weight-independent.
+     */
+    int qosWeight = 1;
 };
 
 /** Service-wide configuration. */
@@ -131,6 +150,21 @@ struct RenderServiceConfig
     bool fuseDecode = true;        //!< route decode through the fusion queue
     int fusionQuantumSamples = 128; //!< DRR quantum (FusedDecodeQueue)
     int defaultInflightWindow = 2;
+    /**
+     * Intra-frame ray-block fan-out: split each served frame into
+     * row-range tasks that render concurrently and feed the fusion
+     * queue dense same-frame batches. Off = one block per frame (a
+     * frame occupies a single worker, parallelism comes only from
+     * concurrent frames/sessions).
+     */
+    bool intraFrameFanOut = true;
+    /**
+     * Rows per ray-block task when fan-out is on; 0 = auto (size the
+     * frame into ~2x the pool's thread count blocks). Smaller blocks
+     * = denser fusion and better load balance, more scheduling
+     * overhead. Ignored with fan-out off.
+     */
+    int fanOutBlockRows = 0;
 
     // --- graceful degradation ---
     /** Retry budget for a transiently failing frame. */
@@ -190,12 +224,27 @@ struct ServiceCounters
     std::uint64_t framesCompleted = 0;
 
     // --- robustness ---
-    std::uint64_t frameRetries = 0;   //!< failed attempts that were retried
+    /**
+     * Retry rounds across completed frames. With fan-out a frame's
+     * blocks retry independently; the frame contributes the *max*
+     * retry count over its blocks (the rounds the frame needed), so
+     * the counter is decomposition-independent for deterministic
+     * faults.
+     */
+    std::uint64_t frameRetries = 0;
     std::uint64_t framesFailed = 0;   //!< frames that exhausted their retries
     std::uint64_t framesSkipped = 0;  //!< frames short-circuited by quarantine
     std::uint64_t quarantinedSessions = 0;
     std::uint64_t shedAdmissions = 0; //!< admissions downgraded to downsampled
     std::uint64_t deadlineMisses = 0;
+
+    // --- fused-batch density (derived from the model cache's fusion
+    // totals at counters() time; how full the decode kernel ran) ---
+    std::uint64_t decodeKernelPasses = 0; //!< fused-queue kernel passes
+    double avgBatchSamples = 0.0; //!< samples per kernel pass, mean
+    double avgBatchBlocks = 0.0;  //!< ray blocks per kernel pass, mean
+    std::uint64_t maxBatchSamples = 0; //!< widest pass (samples)
+    std::uint64_t maxBatchBlocks = 0;  //!< widest pass (blocks)
 };
 
 /**

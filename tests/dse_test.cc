@@ -20,6 +20,7 @@
 #include "dse/accel_replay.hh"
 #include "dse/corpus.hh"
 #include "dse/driver.hh"
+#include "memory/cache_model.hh"
 #include "memory/tracefile.hh"
 #include "nerf/models.hh"
 #include "test_util.hh"
@@ -293,6 +294,87 @@ TEST(DseDriverTest, ParseSweepSpec)
     EXPECT_THROW(dse::parseSweepSpec("{\"cache_mb\": [0]}"),
                  std::runtime_error);
     EXPECT_THROW(dse::parseSweepSpec("[1]"), std::runtime_error);
+}
+
+TEST(DseDriverTest, ParseCacheWaysAxis)
+{
+    // 0 is legal for cache_ways only (fully associative).
+    dse::SweepAxes axes = dse::parseSweepSpec(
+        "{\"cache_ways\": [0, 4, 8], \"cache_mb\": [1, 2],"
+        " \"gu_vft_kb\": [32]}");
+    EXPECT_EQ(axes.cacheWays, (std::vector<std::uint32_t>{0, 4, 8}));
+    EXPECT_EQ(axes.configCount(), 2u * 3u * 1u);
+    // Unspecified cache_ways keeps the fully-associative default.
+    dse::SweepAxes defaults = dse::parseSweepSpec("{\"cache_mb\": [1]}");
+    EXPECT_EQ(defaults.cacheWays, (std::vector<std::uint32_t>{0}));
+    // Other u32 axes still reject 0.
+    EXPECT_THROW(dse::parseSweepSpec("{\"warp_ways\": [0]}"),
+                 std::runtime_error);
+}
+
+TEST(DseDriverTest, GridExpansionIncludesCacheWays)
+{
+    dse::SweepAxes axes;
+    axes.cacheMb = {1.0, 2.0};
+    axes.cacheWays = {0, 4};
+    axes.warpWays = {32};
+    axes.guVftKb = {32};
+    axes.guBanks = {32};
+    axes.dramGBs = {25.6};
+    axes.sramBanks = {16};
+    axes.concurrentRays = {16};
+    std::vector<dse::DseConfig> grid = dse::expandGrid(axes);
+    ASSERT_EQ(grid.size(), 4u);
+    // cache_ways varies faster than cache_mb (it sits right after it
+    // in lexicographic axis order).
+    EXPECT_EQ(grid[0].cacheMb, 1.0);
+    EXPECT_EQ(grid[0].cacheWays, 0u);
+    EXPECT_EQ(grid[1].cacheMb, 1.0);
+    EXPECT_EQ(grid[1].cacheWays, 4u);
+    EXPECT_EQ(grid[2].cacheMb, 2.0);
+    EXPECT_EQ(grid[2].cacheWays, 0u);
+    EXPECT_EQ(grid[3].cacheMb, 2.0);
+    EXPECT_EQ(grid[3].cacheWays, 4u);
+    // Associativity is part of the config identity.
+    EXPECT_NE(grid[0].id(), grid[1].id());
+    EXPECT_NE(grid[0].id(), grid[2].id());
+}
+
+TEST(DseDriverTest, SetAssociativeLruAddsConflictMisses)
+{
+    // Tiny cache: 4 lines of 64 B. A cyclic sweep over 5 lines
+    // thrashes LRU fully-associative (every access misses); direct-
+    // mapped (1-way, 4 sets) keeps lines 0..3 resident except where
+    // line 4 conflicts with line 0 in set 0.
+    CacheConfig full;
+    full.capacityBytes = 4 * 64;
+    full.lineBytes = 64;
+    CacheConfig direct = full;
+    direct.ways = 1;
+    EXPECT_EQ(full.numSets(), 1u);
+    EXPECT_EQ(direct.numSets(), 4u);
+
+    LruCache fullCache(full);
+    LruCache directCache(direct);
+    for (int round = 0; round < 8; ++round) {
+        for (std::uint64_t line = 0; line < 5; ++line) {
+            MemAccess a;
+            a.addr = line * 64;
+            a.bytes = 4;
+            fullCache.onAccess(a);
+            directCache.onAccess(a);
+        }
+    }
+    // Fully associative: pure LRU thrash, zero hits after warmup.
+    EXPECT_EQ(fullCache.stats().hits, 0u);
+    // Direct-mapped: sets 1..3 hit every round after the first; only
+    // set 0 (lines 0 and 4) conflicts.
+    EXPECT_GT(directCache.stats().hits, 0u);
+    EXPECT_EQ(directCache.stats().accesses, fullCache.stats().accesses);
+    // And a non-trivial associativity still bounds the set size.
+    CacheConfig twoWay = full;
+    twoWay.ways = 2;
+    EXPECT_EQ(twoWay.numSets(), 2u);
 }
 
 TEST(DseDriverTest, GridExpansionIsLexicographic)

@@ -3,7 +3,7 @@
  * `cicero_dse` — replay-driven design-space exploration:
  *
  *   cicero_dse sweep --corpus DIR [--spec FILE] [-o OUT.json]
- *              [--threads N] [--serial] [--check]
+ *              [--threads N] [--serial] [--check] [--check-all]
  *       Expand the sweep spec (or the default axes) into a config
  *       grid, price every (trace, config) pair by replaying the
  *       corpus through the accelerator stacks, and write the full
@@ -11,7 +11,8 @@
  *       the run on the subsystem's two identity contracts:
  *       replayed accelerator stats bit-identical to a live re-render
  *       of the first corpus entry, and pool-sharded results
- *       byte-identical to a serial run.
+ *       byte-identical to a serial run. --check-all re-renders and
+ *       verifies *every* corpus entry instead of only the first.
  *
  *   cicero_dse pareto OUT.json
  *       Print the Pareto-optimal configs of a sweep result.
@@ -52,9 +53,11 @@ usage()
         "\n"
         "commands:\n"
         "  sweep --corpus DIR [--spec FILE] [-o OUT.json]\n"
-        "        [--threads N] [--serial] [--check]\n"
+        "        [--threads N] [--serial] [--check] [--check-all]\n"
         "      run the config sweep over a trace corpus; --check gates\n"
         "      on replay-vs-live and parallel-vs-serial identity\n"
+        "      (--check-all verifies every corpus entry, not just the\n"
+        "      first)\n"
         "  pareto OUT.json\n"
         "      print the Pareto-optimal configs of a sweep result\n"
         "  show OUT.json\n"
@@ -90,7 +93,8 @@ positional(int argc, char **argv, int index)
     for (int i = 2; i < argc; ++i) {
         if (argv[i][0] == '-' && argv[i][1] == '-') {
             if (std::strcmp(argv[i], "--serial") != 0 &&
-                std::strcmp(argv[i], "--check") != 0)
+                std::strcmp(argv[i], "--check") != 0 &&
+                std::strcmp(argv[i], "--check-all") != 0)
                 ++i; // skip the option's value
             continue;
         }
@@ -141,15 +145,13 @@ readFile(const std::string &path)
 }
 
 /**
- * Replay-vs-live identity gate: re-render the first corpus entry from
- * its manifest metadata and compare every accelerator stack's stats
- * JSON, live stream vs persisted trace, byte for byte.
+ * Replay-vs-live identity gate for one corpus entry: re-render it
+ * from its manifest metadata and compare every accelerator stack's
+ * stats JSON, live stream vs persisted trace, byte for byte.
  */
 bool
-checkReplayMatchesLive(const Corpus &corpus)
+checkReplayMatchesLive(const Corpus &corpus, const CorpusEntry &entry)
 {
-    const CorpusEntry &entry = corpus.entries().front();
-
     ModelKind kind = ModelKind::DirectVoxGO;
     std::string token;
     for (char c : entry.model)
@@ -212,10 +214,10 @@ checkReplayMatchesLive(const Corpus &corpus)
         if (p.liveJson != p.replayJson) {
             ok = false;
             std::fprintf(stderr,
-                         "cicero_dse: check FAILED: %s stack replay "
-                         "diverges from live\n  live:   %s\n  replay: "
-                         "%s\n",
-                         p.name, p.liveJson.c_str(),
+                         "cicero_dse: check FAILED: entry \"%s\": %s "
+                         "stack replay diverges from live\n  live:   "
+                         "%s\n  replay: %s\n",
+                         entry.id.c_str(), p.name, p.liveJson.c_str(),
                          p.replayJson.c_str());
         }
     }
@@ -235,7 +237,8 @@ cmdSweep(int argc, char **argv)
     if (!outFile)
         outFile = optValue(argc, argv, "--out");
     bool serial = optFlag(argc, argv, "--serial");
-    bool check = optFlag(argc, argv, "--check");
+    bool checkAll = optFlag(argc, argv, "--check-all");
+    bool check = checkAll || optFlag(argc, argv, "--check");
 
     SweepAxes axes;
     if (specFile)
@@ -247,8 +250,17 @@ cmdSweep(int argc, char **argv)
 
     bool replayMatchesLive = true;
     bool parallelMatchesSerial = true;
+    std::size_t checkedEntries = 0;
     if (check) {
-        replayMatchesLive = checkReplayMatchesLive(corpus);
+        // --check verifies the first entry; --check-all re-renders
+        // and verifies every one (a model rebuild per entry — the
+        // thorough gate for refreshed or hand-edited corpora).
+        const std::size_t nCheck =
+            checkAll ? corpus.entries().size() : std::size_t(1);
+        for (std::size_t i = 0; i < nCheck; ++i)
+            if (!checkReplayMatchesLive(corpus, corpus.entries()[i]))
+                replayMatchesLive = false;
+        checkedEntries = nCheck;
         DseResult other = driver.run(corpus, serial);
         parallelMatchesSerial = other.json() == result.json();
         if (!parallelMatchesSerial)
@@ -263,6 +275,8 @@ cmdSweep(int argc, char **argv)
         json += replayMatchesLive ? "true" : "false";
         json += ",\n  \"parallel_matches_serial\": ";
         json += parallelMatchesSerial ? "true" : "false";
+        json += ",\n  \"checked_entries\": " +
+                std::to_string(checkedEntries);
         json += ",\n  \"sweep\": " + result.json() + "}\n";
     } else {
         json = result.json();

@@ -13,7 +13,13 @@
  *   cicero_serve [--sessions N] [--frames N] [--res N] [--scene NAME]
  *                [--model ngp|dvgo|tensorf|enerf] [--preset fast|full]
  *                [--window N] [--mix uniform|bursty|heavy]
- *                [--no-fuse] [--fp16] [--quantum N] [--faults SPEC]
+ *                [--no-fuse] [--no-fanout] [--premium-weight N]
+ *                [--fp16] [--quantum N] [--faults SPEC]
+ *
+ * --no-fanout disables intra-frame ray-block fan-out (each served
+ * frame renders as one scheduler task, as before). --premium-weight N
+ * gives session 0 a QoS weight of N in the fused-decode deficit
+ * round-robin, demoing per-session quality-of-service.
  *
  * Exit codes: 0 success, 2 usage error, 3 I/O error, 4 parse error,
  * 5 other runtime failure (including injected faults that exhaust the
@@ -117,6 +123,7 @@ usage()
         "                    [--scene NAME] [--model KIND]\n"
         "                    [--preset fast|full] [--window N]\n"
         "                    [--mix uniform|bursty|heavy] [--no-fuse]\n"
+        "                    [--no-fanout] [--premium-weight N]\n"
         "                    [--fp16] [--quantum N] [--threads N]\n"
         "                    [--faults SPEC]\n"
         "\n"
@@ -180,12 +187,13 @@ run(int argc, char **argv)
     applyThreadsOption(argc, argv);
     if (!applyFaultsOption(argc, argv))
         return usage();
-    std::uint32_t sessions, frames, res, window, quantum;
+    std::uint32_t sessions, frames, res, window, quantum, premium;
     if (!optUint(argc, argv, "--sessions", 4, 1, 1024, sessions) ||
         !optUint(argc, argv, "--frames", 8, 1, 100000, frames) ||
         !optUint(argc, argv, "--res", 64, 1, 4096, res) ||
         !optUint(argc, argv, "--window", 2, 1, 1024, window) ||
-        !optUint(argc, argv, "--quantum", 128, 1, 1 << 20, quantum))
+        !optUint(argc, argv, "--quantum", 128, 1, 1 << 20, quantum) ||
+        !optUint(argc, argv, "--premium-weight", 1, 1, 1024, premium))
         return usage();
 
     ModelKind kind = ModelKind::DirectVoxGO;
@@ -212,6 +220,7 @@ run(int argc, char **argv)
 
     RenderServiceConfig cfg;
     cfg.fuseDecode = !optFlag(argc, argv, "--no-fuse");
+    cfg.intraFrameFanOut = !optFlag(argc, argv, "--no-fanout");
     cfg.fusionQuantumSamples = static_cast<int>(quantum);
     cfg.maxSessions = static_cast<int>(sessions) + 1;
     cfg.defaultInflightWindow = static_cast<int>(window);
@@ -227,6 +236,8 @@ run(int argc, char **argv)
         sc.width = static_cast<int>(res);
         sc.height = static_cast<int>(res);
         sc.trajectory = orbitTrajectory(orbit, numFrames);
+        if (i == 0)
+            sc.qosWeight = static_cast<int>(premium);
         if (mix == "heavy" && i == 0) {
             JitterParams jitter;
             jitter.posSigma = 0.01f;
@@ -237,11 +248,12 @@ run(int argc, char **argv)
     };
 
     std::printf("cicero_serve: %u session(s) x %u frame(s) @ %ux%u, "
-                "%s/%s, fuse=%s, fp16=%s, window=%u, mix=%s, "
-                "threads=%d\n",
+                "%s/%s, fuse=%s, fanout=%s, fp16=%s, window=%u, "
+                "mix=%s, premium_weight=%u, threads=%d\n",
                 sessions, frames, res, res, sceneName.c_str(),
                 modelName(kind), cfg.fuseDecode ? "on" : "off",
-                key.fp16 ? "on" : "off", window, mix.c_str(),
+                cfg.intraFrameFanOut ? "on" : "off",
+                key.fp16 ? "on" : "off", window, mix.c_str(), premium,
                 parallelThreadCount());
 
     std::vector<int> ids(sessions, -1);
@@ -294,13 +306,17 @@ run(int argc, char **argv)
                 static_cast<unsigned long long>(mc.misses),
                 static_cast<unsigned long long>(mc.evictions));
     std::printf("fusion:  blocks=%llu samples=%llu passes=%llu "
-                "fused=%llu cross_session=%llu max_batch=%llu\n",
+                "fused=%llu cross_session=%llu max_batch=%llu "
+                "avg_batch_samples=%.2f avg_batch_blocks=%.2f "
+                "weighted_sessions=%llu\n",
                 static_cast<unsigned long long>(fu.blocks),
                 static_cast<unsigned long long>(fu.samples),
                 static_cast<unsigned long long>(fu.passes),
                 static_cast<unsigned long long>(fu.fusedPasses),
                 static_cast<unsigned long long>(fu.crossSessionPasses),
-                static_cast<unsigned long long>(fu.maxBatchSamples));
+                static_cast<unsigned long long>(fu.maxBatchSamples),
+                sc.avgBatchSamples, sc.avgBatchBlocks,
+                static_cast<unsigned long long>(fu.weightedSessions));
     std::printf("robust:  retries=%llu failed=%llu skipped=%llu "
                 "quarantined=%llu shed=%llu deadline_miss=%llu "
                 "split_retries=%llu failed_blocks=%llu\n",
